@@ -1,0 +1,23 @@
+# Convenience targets for the iVA-file reproduction.
+
+.PHONY: install test test-all bench experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate EXPERIMENTS.md from a fresh benchmark run.
+experiments: bench
+	sh scripts/build_experiments_md.sh
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf bench_results .pytest_cache build src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,54 @@
+"""Sweeps shared between figure benchmarks.
+
+Figures 8-11 all derive from the same experiment (running the fixed-arity
+query sets against iVA and SII); the sweep runs once per session and every
+figure reports its own projection of the results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench import DEFAULTS, Environment, QuerySetStats, run_query_set
+
+ARITIES = (1, 3, 5, 7, 9)
+ALPHAS = (0.10, 0.15, 0.20, 0.25, 0.30)
+GRAM_LENGTHS = (2, 3, 4, 5)
+KS = (5, 10, 15, 20, 25)
+
+SweepResult = Dict[int, Dict[str, QuerySetStats]]
+
+
+def arity_sweep(env: Environment) -> SweepResult:
+    """Figs. 8-11: iVA vs SII across the number of values per query."""
+
+    def compute() -> SweepResult:
+        out: SweepResult = {}
+        for arity in ARITIES:
+            query_set = env.query_set(arity)
+            out[arity] = {
+                "iVA": run_query_set(env.iva_engine(), query_set, k=DEFAULTS.k),
+                "SII": run_query_set(env.sii_engine(), query_set, k=DEFAULTS.k),
+            }
+        return out
+
+    return env.cached("arity_sweep", compute)
+
+
+def alpha_sweep(env: Environment) -> Dict[float, QuerySetStats]:
+    """Figs. 14-15: the iVA-file across relative vector lengths α."""
+
+    def compute() -> Dict[float, QuerySetStats]:
+        query_set = env.query_set(DEFAULTS.values_per_query)
+        out = {}
+        for alpha in ALPHAS:
+            index = env.iva_variant(alpha=alpha, n=DEFAULTS.n)
+            out[alpha] = run_query_set(env.iva_engine(index), query_set, k=DEFAULTS.k)
+        return out
+
+    return env.cached("alpha_sweep", compute)
+
+
+def representative_query(env: Environment):
+    """The benchmarkable unit behind the query-efficiency figures."""
+    return env.query_set(DEFAULTS.values_per_query).measured[0]

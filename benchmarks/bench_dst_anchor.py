@@ -1,0 +1,46 @@
+"""Sec. V-B — the DST anchor: direct scan is flat and far slower.
+
+Paper: "The query processing time of DST is very stable under different
+parameter settings, always around 30 seconds per query.  The results of
+the DST query efficiency were very poor and we left them out from
+comparisons in all figures."
+"""
+
+from _shared import arity_sweep
+from repro.analysis.stats import mean, population_stddev
+from repro.bench import DEFAULTS, emit_table, run_queries
+
+
+def test_dst_anchor(env, benchmark):
+    def compute():
+        out = {}
+        for arity in (1, 3, 5):
+            queries = env.query_set(arity).measured[:5]
+            out[arity] = [
+                r.query_time_ms for r in run_queries(env.dst_engine(), queries)
+            ]
+        return out
+
+    per_arity = env.cached("dst_anchor", compute)
+    rows = [
+        [arity, round(mean(times), 1), round(population_stddev(times), 1)]
+        for arity, times in sorted(per_arity.items())
+    ]
+    emit_table(
+        "dst_anchor",
+        "DST anchor — direct table scan query time (ms)",
+        ["values/query", "mean", "stddev"],
+        rows,
+    )
+
+    # Shape 1: DST is stable across arities (flat curve).
+    means = [mean(times) for times in per_arity.values()]
+    assert max(means) < 1.5 * min(means)
+
+    # Shape 2: DST is far slower than the indexed engines.
+    iva_ms = arity_sweep(env)[DEFAULTS.values_per_query]["iVA"].mean_query_time_ms
+    assert mean(per_arity[DEFAULTS.values_per_query]) > 2 * iva_ms
+
+    query = env.query_set(DEFAULTS.values_per_query).measured[0]
+    engine = env.dst_engine()
+    benchmark.pedantic(lambda: engine.search(query, k=DEFAULTS.k), rounds=3, iterations=1)

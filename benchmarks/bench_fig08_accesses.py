@@ -1,0 +1,32 @@
+"""Fig. 8 — table-file accesses per query vs. number of defined values.
+
+Paper result: "The iVA-file accesses the table file only about 1.5% ~ 22%
+of SII … iVA-file table accesses do not steadily grow with the number of
+defined values per query."
+"""
+
+from _shared import ARITIES, arity_sweep, representative_query
+from repro.bench import DEFAULTS, emit_table
+
+
+def test_fig08_table_file_accesses(env, benchmark):
+    sweep = arity_sweep(env)
+    rows = []
+    for arity in ARITIES:
+        iva = sweep[arity]["iVA"].mean_table_accesses
+        sii = sweep[arity]["SII"].mean_table_accesses
+        rows.append([arity, round(iva, 1), round(sii, 1), f"{iva / max(sii, 1):.1%}"])
+    emit_table(
+        "fig08_accesses",
+        "Fig. 8 — table file accesses per query (iVA vs SII)",
+        ["values/query", "iVA accesses", "SII accesses", "iVA/SII"],
+        rows,
+    )
+    # Shape checks mirroring the paper's claims.
+    total_iva = sum(sweep[a]["iVA"].mean_table_accesses for a in ARITIES)
+    total_sii = sum(sweep[a]["SII"].mean_table_accesses for a in ARITIES)
+    assert total_iva < 0.5 * total_sii
+
+    query = representative_query(env)
+    engine = env.iva_engine()
+    benchmark(lambda: engine.search(query, k=DEFAULTS.k))

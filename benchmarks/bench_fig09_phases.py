@@ -1,0 +1,39 @@
+"""Fig. 9 — filtering vs. refining time per query.
+
+Paper result: "the iVA-file sacrifices on the filtering time while gains
+lower refining time."
+"""
+
+from _shared import ARITIES, arity_sweep, representative_query
+from repro.bench import DEFAULTS, emit_table
+
+
+def test_fig09_filter_refine_split(env, benchmark):
+    sweep = arity_sweep(env)
+    rows = []
+    for arity in ARITIES:
+        iva, sii = sweep[arity]["iVA"], sweep[arity]["SII"]
+        rows.append(
+            [
+                arity,
+                round(iva.mean_filter_time_ms, 1),
+                round(sii.mean_filter_time_ms, 1),
+                round(iva.mean_refine_time_ms, 1),
+                round(sii.mean_refine_time_ms, 1),
+            ]
+        )
+    emit_table(
+        "fig09_phases",
+        "Fig. 9 — filtering and refining time per query (ms)",
+        ["values/query", "iVA filter", "SII filter", "iVA refine", "SII refine"],
+        rows,
+    )
+    # Shape: iVA pays more filter I/O (it scans vectors, SII only tids) but
+    # refines far less.
+    at_default = sweep[DEFAULTS.values_per_query]
+    assert at_default["iVA"].mean_filter_time_ms >= at_default["SII"].mean_filter_time_ms * 0.8
+    assert at_default["iVA"].mean_refine_time_ms < at_default["SII"].mean_refine_time_ms
+
+    query = representative_query(env)
+    engine = env.sii_engine()
+    benchmark(lambda: engine.search(query, k=DEFAULTS.k))

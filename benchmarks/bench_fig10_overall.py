@@ -1,0 +1,30 @@
+"""Fig. 10 — overall query time per query vs. number of defined values.
+
+Paper result: "the iVA-file is usually twice faster than SII."
+"""
+
+from _shared import ARITIES, arity_sweep, representative_query
+from repro.bench import DEFAULTS, emit_table
+
+
+def test_fig10_overall_query_time(env, benchmark):
+    sweep = arity_sweep(env)
+    rows = []
+    for arity in ARITIES:
+        iva = sweep[arity]["iVA"].mean_query_time_ms
+        sii = sweep[arity]["SII"].mean_query_time_ms
+        rows.append([arity, round(iva, 1), round(sii, 1), f"{sii / max(iva, 1e-9):.2f}x"])
+    emit_table(
+        "fig10_overall",
+        "Fig. 10 — overall query time per query (ms, modeled I/O + CPU)",
+        ["values/query", "iVA overall", "SII overall", "SII/iVA speedup"],
+        rows,
+    )
+    # Shape: iVA wins overall across the sweep.
+    mean_iva = sum(sweep[a]["iVA"].mean_query_time_ms for a in ARITIES) / len(ARITIES)
+    mean_sii = sum(sweep[a]["SII"].mean_query_time_ms for a in ARITIES) / len(ARITIES)
+    assert mean_iva < mean_sii
+
+    query = representative_query(env)
+    iva_engine = env.iva_engine()
+    benchmark(lambda: iva_engine.search(query, k=DEFAULTS.k))

@@ -1,0 +1,32 @@
+"""Fig. 11 — standard deviation of single-query time.
+
+Paper result: "the iVA-file also significantly improves the stability of
+single-query time" — SII's content-blind filter makes its per-query cost
+swing wildly with value selectivity.
+"""
+
+from _shared import ARITIES, arity_sweep, representative_query
+from repro.bench import DEFAULTS, emit_table
+
+
+def test_fig11_query_time_stability(env, benchmark):
+    sweep = arity_sweep(env)
+    rows = []
+    for arity in ARITIES:
+        iva = sweep[arity]["iVA"].stddev_query_time_ms
+        sii = sweep[arity]["SII"].stddev_query_time_ms
+        rows.append([arity, round(iva, 1), round(sii, 1)])
+    emit_table(
+        "fig11_stability",
+        "Fig. 11 — standard deviation of query time (ms)",
+        ["values/query", "iVA stddev", "SII stddev"],
+        rows,
+    )
+    # Shape: across the sweep, iVA is the more stable engine.
+    mean_iva = sum(sweep[a]["iVA"].stddev_query_time_ms for a in ARITIES) / len(ARITIES)
+    mean_sii = sum(sweep[a]["SII"].stddev_query_time_ms for a in ARITIES) / len(ARITIES)
+    assert mean_iva < mean_sii
+
+    query = representative_query(env)
+    engine = env.iva_engine()
+    benchmark(lambda: engine.search(query, k=DEFAULTS.k))

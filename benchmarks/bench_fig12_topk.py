@@ -1,0 +1,44 @@
+"""Fig. 12 — effect of k on query time.
+
+Paper result: "The iVA-file surpasses the SII in query efficiency for all
+ks. And the slope of the iVA-file curve is smaller."
+"""
+
+from _shared import KS, representative_query
+from repro.bench import DEFAULTS, emit_table, run_query_set
+
+
+def test_fig12_effect_of_k(env, benchmark):
+    def compute():
+        query_set = env.query_set(DEFAULTS.values_per_query)
+        out = {}
+        for k in KS:
+            out[k] = {
+                "iVA": run_query_set(env.iva_engine(), query_set, k=k),
+                "SII": run_query_set(env.sii_engine(), query_set, k=k),
+            }
+        return out
+
+    sweep = env.cached("k_sweep", compute)
+    rows = []
+    for k in KS:
+        iva = sweep[k]["iVA"].mean_query_time_ms
+        sii = sweep[k]["SII"].mean_query_time_ms
+        rows.append([k, round(iva, 1), round(sii, 1)])
+    emit_table(
+        "fig12_topk",
+        "Fig. 12 — query time vs k (ms)",
+        ["k", "iVA", "SII"],
+        rows,
+    )
+    # Shape: iVA wins at every k, and its curve rises no faster (within
+    # the CPU-noise tolerance of the wall-time component).
+    for k in KS:
+        assert sweep[k]["iVA"].mean_query_time_ms < sweep[k]["SII"].mean_query_time_ms
+    iva_slope = sweep[KS[-1]]["iVA"].mean_query_time_ms - sweep[KS[0]]["iVA"].mean_query_time_ms
+    sii_slope = sweep[KS[-1]]["SII"].mean_query_time_ms - sweep[KS[0]]["SII"].mean_query_time_ms
+    assert iva_slope <= sii_slope * 1.3
+
+    query = representative_query(env)
+    engine = env.iva_engine()
+    benchmark(lambda: engine.search(query, k=KS[-1]))

@@ -1,0 +1,56 @@
+"""Fig. 13 — distance metrics × attribute weights (settings S1-S6).
+
+Paper result: "The iVA-file outperforms SII significantly for all these
+settings" — S1..S6 = {EQU, ITF} × {L1, L2, L∞}.
+"""
+
+from _shared import representative_query
+from repro.bench import DEFAULTS, emit_table, run_query_set
+
+SETTINGS = [
+    ("S1", "EQU", "L1"),
+    ("S2", "EQU", "L2"),
+    ("S3", "EQU", "Linf"),
+    ("S4", "ITF", "L1"),
+    ("S5", "ITF", "L2"),
+    ("S6", "ITF", "Linf"),
+]
+
+
+def test_fig13_metrics_and_weights(env, benchmark):
+    def compute():
+        query_set = env.query_set(DEFAULTS.values_per_query)
+        out = {}
+        for label, weights, metric in SETTINGS:
+            out[label] = {
+                "iVA": run_query_set(
+                    env.iva_engine(metric=metric, weights=weights), query_set
+                ),
+                "SII": run_query_set(
+                    env.sii_engine(metric=metric, weights=weights), query_set
+                ),
+            }
+        return out
+
+    sweep = env.cached("metric_sweep", compute)
+    rows = []
+    for label, weights, metric in SETTINGS:
+        iva = sweep[label]["iVA"].mean_query_time_ms
+        sii = sweep[label]["SII"].mean_query_time_ms
+        rows.append([label, f"{weights}+{metric}", round(iva, 1), round(sii, 1)])
+    emit_table(
+        "fig13_metrics",
+        "Fig. 13 — query time across distance metrics and weights (ms)",
+        ["setting", "combination", "iVA", "SII"],
+        rows,
+    )
+    # Shape: iVA wins under every setting.
+    for label, _, _ in SETTINGS:
+        assert (
+            sweep[label]["iVA"].mean_query_time_ms
+            < sweep[label]["SII"].mean_query_time_ms
+        )
+
+    query = representative_query(env)
+    engine = env.iva_engine(metric="L1", weights="ITF")
+    benchmark(lambda: engine.search(query, k=DEFAULTS.k))

@@ -1,0 +1,32 @@
+"""Fig. 14 — effect of the relative vector length α on query time.
+
+Paper result: "The query efficiency reaches the best when α = 20%" — α
+trades index-scan I/O against table-file random accesses.
+"""
+
+from _shared import ALPHAS, alpha_sweep, representative_query
+from repro.bench import DEFAULTS, emit_table
+
+
+def test_fig14_relative_vector_length(env, benchmark):
+    sweep = alpha_sweep(env)
+    rows = [
+        [f"{alpha:.0%}", round(sweep[alpha].mean_query_time_ms, 1)] for alpha in ALPHAS
+    ]
+    emit_table(
+        "fig14_alpha",
+        "Fig. 14 — iVA query time vs relative vector length α (ms)",
+        ["alpha", "time per query"],
+        rows,
+    )
+    # Shape: an interior α is at least as good as both extremes (the
+    # U-shaped trade-off the paper reports, optimum near 20%).
+    times = {alpha: sweep[alpha].mean_query_time_ms for alpha in ALPHAS}
+    best_alpha = min(times, key=times.get)
+    assert ALPHAS[0] <= best_alpha <= ALPHAS[-1]
+    assert times[best_alpha] <= times[ALPHAS[0]]
+    assert times[best_alpha] <= times[ALPHAS[-1]]
+
+    query = representative_query(env)
+    engine = env.iva_engine(env.iva_variant(alpha=0.10, n=DEFAULTS.n))
+    benchmark(lambda: engine.search(query, k=DEFAULTS.k))

@@ -1,0 +1,43 @@
+"""Fig. 16 — effect of the gram length n on query time.
+
+Paper result: "the average time of processing one query keeps growing as n
+grows. So n = 2 is a good choice for short text."
+"""
+
+from _shared import GRAM_LENGTHS, representative_query
+from repro.bench import DEFAULTS, emit_table, run_query_set
+
+
+def test_fig16_gram_length(env, benchmark):
+    def compute():
+        query_set = env.query_set(DEFAULTS.values_per_query)
+        out = {}
+        for n in GRAM_LENGTHS:
+            index = env.iva_variant(alpha=DEFAULTS.alpha, n=n)
+            out[n] = run_query_set(env.iva_engine(index), query_set, k=DEFAULTS.k)
+        return out
+
+    sweep = env.cached("gram_sweep", compute)
+    rows = [
+        [
+            n,
+            round(sweep[n].mean_query_time_ms, 1),
+            round(sweep[n].mean_table_accesses, 1),
+        ]
+        for n in GRAM_LENGTHS
+    ]
+    emit_table(
+        "fig16_gram_length",
+        "Fig. 16 — iVA query time vs gram length n (ms)",
+        ["n", "time per query", "table accesses"],
+        rows,
+    )
+    # Shape: n = 2 beats the long-gram end for short CWMS strings.
+    assert (
+        sweep[GRAM_LENGTHS[0]].mean_query_time_ms
+        <= sweep[GRAM_LENGTHS[-1]].mean_query_time_ms
+    )
+
+    query = representative_query(env)
+    engine = env.iva_engine(env.iva_variant(alpha=DEFAULTS.alpha, n=3))
+    benchmark(lambda: engine.search(query, k=DEFAULTS.k))

@@ -1,0 +1,115 @@
+"""Fig. 17 — average update time vs cleaning trigger threshold β.
+
+Paper protocol (Sec. V-C): measure the average deletion time t_d and the
+rebuild time t_r (t_i = t_r / |T|); the amortised per-update cost under
+cleaning threshold β is t_d + t_i + t_r/(β·|T|).  Result: "The iVA-file's
+average update time is very close to that of SII and DST … update is
+around 10² faster" than queries.
+"""
+
+import time
+
+from _shared import arity_sweep
+from repro.bench import BENCH_DISK, DEFAULTS, build_environment, emit_table
+from repro.data.generator import DatasetConfig
+from repro.data.workload import WorkloadGenerator
+from repro.maintenance import MaintainedSystem, amortized_update_times
+
+BETAS = (0.01, 0.02, 0.03, 0.04, 0.05)
+DELETIONS = 100
+
+UPDATE_DATASET = DatasetConfig(
+    num_tuples=4000, num_attributes=300, mean_attrs_per_tuple=16.0, seed=42
+)
+
+
+def _measured_ms(disk, fn) -> float:
+    io_before = disk.stats.io_time_ms
+    started = time.perf_counter()
+    fn()
+    return (disk.stats.io_time_ms - io_before) + (time.perf_counter() - started) * 1000
+
+
+def _variant_costs(indices_of):
+    """(t_d, t_i, t_r, |T|) for one system variant on a fresh environment."""
+    env = build_environment(dataset=UPDATE_DATASET, disk_params=BENCH_DISK)
+    system = MaintainedSystem(env.table, indices_of(env))
+    workload = WorkloadGenerator(env.table, seed=13)
+    victims = []
+    seen = set()
+    for tid in workload.random_tuples(10 * DELETIONS):
+        if tid not in seen:
+            seen.add(tid)
+            victims.append(tid)
+        if len(victims) == DELETIONS:
+            break
+    td_total = _measured_ms(
+        env.disk, lambda: [system.delete(tid) for tid in victims]
+    )
+    td = td_total / len(victims)
+    total_tuples = len(env.table) + env.table.dead_tuples
+    tr = _measured_ms(env.disk, system.rebuild)
+    ti = tr / max(total_tuples, 1)
+    return td, ti, tr, total_tuples
+
+
+def test_fig17_update_time(env, benchmark):
+    def compute():
+        return {
+            "iVA": _variant_costs(lambda e: [e.iva]),
+            "SII": _variant_costs(lambda e: [e.sii]),
+            "DST": _variant_costs(lambda e: []),
+        }
+
+    costs = env.cached("update_costs", compute)
+    rows = []
+    for beta in BETAS:
+        row = [f"{beta:.0%}"]
+        for name in ("iVA", "SII", "DST"):
+            td, ti, tr, total = costs[name]
+            row.append(
+                round(
+                    amortized_update_times(td, ti, tr, beta, total)["update_ms"], 2
+                )
+            )
+        rows.append(row)
+    emit_table(
+        "fig17_updates",
+        "Fig. 17 — average update time vs cleaning threshold β (ms)",
+        ["beta", "iVA", "SII", "DST"],
+        rows,
+    )
+
+    # Shape 1: the iVA-file "sacrifices little in update speed" — within a
+    # small constant of the index-free DST.
+    for beta in BETAS:
+        td, ti, tr, total = costs["iVA"]
+        iva_ms = amortized_update_times(td, ti, tr, beta, total)["update_ms"]
+        td, ti, tr, total = costs["DST"]
+        dst_ms = amortized_update_times(td, ti, tr, beta, total)["update_ms"]
+        assert iva_ms < 6 * dst_ms
+
+    # Shape 2: updates are orders of magnitude faster than queries.
+    query_ms = arity_sweep(env)[DEFAULTS.values_per_query]["iVA"].mean_query_time_ms
+    td, ti, tr, total = costs["iVA"]
+    update_ms = amortized_update_times(td, ti, tr, BETAS[-1], total)["update_ms"]
+    assert update_ms < query_ms / 5
+
+    # Benchmark one delete+insert update on a maintained system.  Use a
+    # dedicated environment: the session `env` is shared with the other
+    # figure benches and must stay unmutated.
+    update_env = build_environment(dataset=UPDATE_DATASET, disk_params=BENCH_DISK)
+    system = MaintainedSystem(update_env.table, [update_env.iva, update_env.sii])
+    workload = WorkloadGenerator(update_env.table, seed=21)
+
+    def one_update():
+        tid = workload.random_tuples(1)[0]
+        record = update_env.table.read(tid)
+        values = {
+            update_env.table.catalog.by_id(attr_id).name: value
+            for attr_id, value in record.cells.items()
+        }
+        system.update(tid, values)
+        workload._live_tids = update_env.table.live_tids()
+
+    benchmark.pedantic(one_update, rounds=10, iterations=1)

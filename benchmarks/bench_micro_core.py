@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the core primitives (pytest-benchmark timings).
+
+These are the operations the per-query costs decompose into: signature
+encoding, signature-based estimation, exact edit distance, numeric
+quantisation, and the interpreted row codec.
+"""
+
+import random
+
+from repro.core.signature import QueryStringEncoder, SignatureScheme
+from repro.core.numeric import NumericQuantizer
+from repro.data.vocab import Vocabulary
+from repro.metrics.edit_distance import edit_distance
+from repro.model.record import Record
+from repro.storage.interpreted import decode_record, encode_record
+
+SCHEME = SignatureScheme(alpha=0.2, n=2)
+RNG = random.Random(3)
+VOCAB = Vocabulary(RNG)
+STRINGS = [VOCAB.value_string() for _ in range(256)]
+
+
+def test_micro_signature_encode(benchmark):
+    it = iter(range(10**9))
+    benchmark(lambda: SCHEME.encode(STRINGS[next(it) % len(STRINGS)]))
+
+
+def test_micro_signature_estimate(benchmark):
+    encoder = QueryStringEncoder("Digital Camera", 2)
+    signatures = [SCHEME.encode(s) for s in STRINGS]
+    it = iter(range(10**9))
+    benchmark(lambda: encoder.estimate(signatures[next(it) % len(signatures)]))
+
+
+def test_micro_edit_distance(benchmark):
+    it = iter(range(10**9))
+
+    def run():
+        i = next(it)
+        return edit_distance(STRINGS[i % len(STRINGS)], STRINGS[(i * 7 + 1) % len(STRINGS)])
+
+    benchmark(run)
+
+
+def test_micro_quantizer(benchmark):
+    quantizer = NumericQuantizer(lo=0.0, hi=5000.0, vector_bytes=2)
+    values = [RNG.uniform(0, 5000) for _ in range(256)]
+    it = iter(range(10**9))
+
+    def run():
+        i = next(it)
+        code = quantizer.encode(values[i % len(values)])
+        return quantizer.lower_bound(2500.0, code)
+
+    benchmark(run)
+
+
+def test_micro_row_codec(benchmark):
+    record = Record(
+        tid=7,
+        cells={
+            0: ("Digital Camera",),
+            3: ("Canon", "compact camera kit"),
+            9: 230.0,
+            17: 10000000.0,
+        },
+    )
+    payload = encode_record(record)
+
+    def run():
+        return decode_record(payload)
+
+    benchmark(run)

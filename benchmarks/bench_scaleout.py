@@ -1,0 +1,70 @@
+"""Extension — horizontal partitioning (the paper's Sec. VI remark).
+
+Measures scatter/gather top-k latency and total work as the table is
+sharded over 1, 2 and 4 partitions.  Expected shape: latency (the slowest
+partition) falls as partitions are added while total machine work stays
+within a small factor — the property that makes the iVA-file "suitable for
+… a distributed and parallel system architecture".
+"""
+
+from repro.bench import BENCH_DISK, emit_table
+from repro.data.generator import DatasetConfig, DatasetGenerator
+from repro.distributed import PartitionedSystem
+
+PARTITIONS = (1, 2, 4)
+ROWS = 6000
+QUERIES = 8
+
+
+def test_scaleout(env, benchmark):
+    def compute():
+        generator = DatasetGenerator(
+            DatasetConfig(
+                num_tuples=1, num_attributes=200, mean_attrs_per_tuple=12.0, seed=31
+            )
+        )
+        rows = [generator.tuple_values() for _ in range(ROWS)]
+        out = {}
+        for partitions in PARTITIONS:
+            system = PartitionedSystem(num_partitions=partitions, disk_params=BENCH_DISK)
+            for row in rows:
+                system.insert(row)
+            system.build_indexes()
+            attr = system.catalog.text_attributes()[0]
+            reports = [
+                system.search({attr.name: "Digital Camera"}, k=10)
+                for _ in range(QUERIES)
+            ]
+            out[partitions] = (
+                sum(r.elapsed_ms for r in reports) / QUERIES,
+                sum(r.total_work_ms for r in reports) / QUERIES,
+                [r.distance for r in reports[0].results],
+                system,
+            )
+        return out
+
+    sweep = env.cached("scaleout", compute)
+    rows = [
+        [p, round(sweep[p][0], 1), round(sweep[p][1], 1)] for p in PARTITIONS
+    ]
+    emit_table(
+        "scaleout",
+        "Extension — scatter/gather top-k across partitions (ms)",
+        ["partitions", "latency (max partition)", "total work"],
+        rows,
+    )
+    # Same answers at every partitioning.
+    base = sweep[PARTITIONS[0]][2]
+    for p in PARTITIONS[1:]:
+        assert sweep[p][2] == base
+    # Latency falls with partitions; total work stays within 3x.
+    assert sweep[PARTITIONS[-1]][0] < sweep[PARTITIONS[0]][0]
+    assert sweep[PARTITIONS[-1]][1] < 3 * sweep[PARTITIONS[0]][1]
+
+    system = sweep[PARTITIONS[-1]][3]
+    attr = system.catalog.text_attributes()[0]
+    benchmark.pedantic(
+        lambda: system.search({attr.name: "Digital Camera"}, k=10),
+        rounds=2,
+        iterations=1,
+    )

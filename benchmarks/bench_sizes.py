@@ -1,0 +1,47 @@
+"""Sec. V-A — storage footprints: table file, SII, iVA-file across α.
+
+Paper numbers (at Google Base scale): table 355.7 MB, SII 101.5 MB, iVA
+82.7–116.7 MB across parameter settings — i.e. "The iVA-files under some
+settings are even smaller than the SII file, which reflects that the
+intellectual selection between multi-type vector lists contributes well to
+lower the index size."
+"""
+
+from _shared import ALPHAS
+from repro.analysis.size_model import predict_iva_size
+from repro.bench import DEFAULTS, emit_table
+
+
+def test_index_sizes(env, benchmark):
+    table_bytes = env.table.file_bytes
+    sii_bytes = env.sii.total_bytes()
+    rows = [["table file", "-", table_bytes, f"{table_bytes / table_bytes:.2f}"]]
+    rows.append(["SII", "-", sii_bytes, f"{sii_bytes / table_bytes:.2f}"])
+    iva_sizes = {}
+    for alpha in ALPHAS:
+        built = env.iva_variant(alpha=alpha, n=DEFAULTS.n).total_bytes()
+        predicted = predict_iva_size(env.table, alpha=alpha, n=DEFAULTS.n).total_bytes
+        assert built == predicted  # the closed-form model is exact
+        iva_sizes[alpha] = built
+        rows.append(
+            [f"iVA α={alpha:.0%}", "auto", built, f"{built / table_bytes:.2f}"]
+        )
+    emit_table(
+        "sizes",
+        "Sec. V-A — storage footprints (bytes; ratio vs table file)",
+        ["structure", "list types", "bytes", "vs table"],
+        rows,
+    )
+
+    # Shape: every index is far smaller than the table file, and the iVA
+    # size range brackets the SII size (paper: 82.7-116.7 MB vs 101.5 MB).
+    assert all(size < table_bytes for size in iva_sizes.values())
+    assert sii_bytes < table_bytes
+    assert min(iva_sizes.values()) < 1.6 * sii_bytes
+    assert max(iva_sizes.values()) > 0.6 * sii_bytes
+
+    benchmark.pedantic(
+        lambda: predict_iva_size(env.table, alpha=DEFAULTS.alpha, n=DEFAULTS.n),
+        rounds=3,
+        iterations=1,
+    )

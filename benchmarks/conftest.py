@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+One evaluation environment (dataset + default indices) is built per pytest
+session and shared by every figure bench; sweeps reused by several figures
+(e.g. the arity sweep behind Figs. 8-11) are memoised on the environment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_environment
+
+
+@pytest.fixture(scope="session")
+def env():
+    return build_environment()

@@ -1,0 +1,64 @@
+"""Scale-out: the iVA-file over a horizontally partitioned table.
+
+The paper closes by noting the iVA-file, "being a non-hierarchical index,
+is suitable for indexing horizontally or vertically partitioned datasets
+in a distributed and parallel system architecture" (Sec. VI).  This
+example shards a catalogue over several partitions, runs scatter/gather
+top-k queries, and shows the latency-vs-work trade as partitions are
+added.  It also demonstrates the single-attribute range search API.
+
+Run:  python examples/distributed_search.py
+"""
+
+from repro.core.range_search import RangeSearcher
+from repro.data import DatasetConfig, DatasetGenerator
+from repro.distributed import PartitionedSystem
+from repro.storage.disk import DiskParameters
+
+DISK = DiskParameters(seek_ms=2.0, transfer_mb_per_s=1.5, cache_bytes=96 * 1024)
+
+
+def main() -> None:
+    generator = DatasetGenerator(
+        DatasetConfig(num_tuples=1, num_attributes=120, mean_attrs_per_tuple=10.0, seed=21)
+    )
+    rows = [generator.tuple_values() for _ in range(3000)]
+
+    for partitions in (1, 2, 4):
+        system = PartitionedSystem(num_partitions=partitions, disk_params=DISK)
+        for row in rows:
+            system.insert(row)
+        system.build_indexes()
+        attr = system.catalog.text_attributes()[0]
+        report = system.search({attr.name: "Digital Camera"}, k=10)
+        print(
+            f"{partitions} partition(s): latency {report.elapsed_ms:7.1f} ms "
+            f"(total work {report.total_work_ms:7.1f} ms, "
+            f"{report.table_accesses} table accesses) — "
+            f"top hit {report.results[0].global_id} "
+            f"d={report.results[0].distance:.2f}"
+        )
+        if partitions == 4:
+            final = system
+
+    print("\nsame answers regardless of partitioning; latency shrinks with "
+          "partitions while total work stays in the same ballpark.")
+
+    # Range search on one partition's index: typo-tolerant selection.
+    searcher = RangeSearcher(final.tables[0], final.indexes[0])
+    brand_attr = next(a for a in final.catalog.text_attributes() if "Brand" in a.name)
+    report = searcher.within_edit_distance(brand_attr.name, "Cannon", 1)
+    print(
+        f"\nrange search: {brand_attr.name} within 1 edit of 'Cannon' on "
+        f"partition 0 -> {len(report.matches)} matches "
+        f"({report.candidates} candidates of {report.tuples_scanned} scanned)"
+    )
+    for match in report.matches[:5]:
+        value = final.tables[0].read(match.tid).value(
+            final.catalog.require(brand_attr.name).attr_id
+        )
+        print(f"  tid {match.tid}: {value} (ed={match.difference:.0f})")
+
+
+if __name__ == "__main__":
+    main()

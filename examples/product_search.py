@@ -1,0 +1,69 @@
+"""Product search over a synthetic Google-Base-like catalogue.
+
+The paper's motivating workload: a community e-commerce table with
+hundreds of user-defined attributes, short typo-ridden strings, and
+structured similarity queries.  This example compares the three engines —
+the iVA-file, the inverted-index baseline (SII) and direct scan (DST) —
+on the same top-k queries, printing the answers and the cost counters
+behind the paper's evaluation figures.
+
+Run:  python examples/product_search.py
+"""
+
+from repro import IVAFile, SimulatedDisk, SparseWideTable
+from repro.baselines import DirectScanEngine, SIIEngine, SparseInvertedIndex
+from repro.core import IVAEngine
+from repro.data import DatasetConfig, DatasetGenerator, WorkloadGenerator
+from repro.storage.disk import DiskParameters
+
+
+def main() -> None:
+    print("generating a synthetic sparse catalogue ...")
+    config = DatasetConfig(
+        num_tuples=5000, num_attributes=200, mean_attrs_per_tuple=12.0, seed=1
+    )
+    disk = SimulatedDisk(DiskParameters(seek_ms=2.0, transfer_mb_per_s=1.5,
+                                        cache_bytes=96 * 1024))
+    table = SparseWideTable(disk)
+    DatasetGenerator(config).populate(table)
+    print(
+        f"  {len(table)} tuples, {len(table.catalog)} attributes, "
+        f"table file {table.file_bytes / 1e6:.1f} MB"
+    )
+
+    print("building indices ...")
+    iva = IVAFile.build(table)
+    sii = SparseInvertedIndex.build(table)
+    print(
+        f"  iVA-file {iva.total_bytes() / 1e6:.2f} MB, "
+        f"SII {sii.total_bytes() / 1e6:.2f} MB"
+    )
+
+    engines = [
+        IVAEngine(table, iva),
+        SIIEngine(table, sii),
+        DirectScanEngine(table),
+    ]
+    workload = WorkloadGenerator(table, seed=5)
+
+    for query_number in range(1, 4):
+        query = workload.sample_query(3)
+        print(f"\nquery {query_number}: {query.describe()}")
+        for engine in engines:
+            report = engine.search(query, k=5)
+            top = ", ".join(
+                f"(tid {r.tid}, d={r.distance:.2f})" for r in report.results[:3]
+            )
+            print(
+                f"  {engine.name:>3}: {report.query_time_ms:8.1f} ms modeled "
+                f"({report.table_accesses:5d} table accesses)  top-3: {top}"
+            )
+
+    print(
+        "\nAll three engines return the same distances; the iVA-file gets "
+        "there with a fraction of the random table-file accesses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: index a tiny sparse wide table and run a similarity query.
+
+Recreates the paper's running example (Figs. 1 and 2): users submit freely
+defined metadata; a structured query describes the item they want; the
+engine returns the top-k tuples under a typo-tolerant similarity metric.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DistanceFunction,
+    IVAConfig,
+    IVAEngine,
+    IVAFile,
+    SimulatedDisk,
+    SparseWideTable,
+)
+
+
+def main() -> None:
+    disk = SimulatedDisk()
+    table = SparseWideTable(disk)
+
+    # Fig. 1: tuples define only the attributes they care about.
+    table.insert(
+        {
+            "Type": "Job Position",
+            "Industry": ("Computer", "Software"),
+            "Company": "Google",
+            "Salary": 1000,
+        }
+    )
+    table.insert(
+        {"Type": "Digital Camera", "Price": 230, "Company": "Canon", "Pixel": 10_000_000}
+    )
+    table.insert(
+        {"Type": "Music Album", "Year": 1996, "Price": 20, "Artist": "Michael Jackson"}
+    )
+    table.insert({"Type": "Digital Camera", "Price": 240, "Company": "Sony"})
+    # Fig. 2: community typo — "Cannon" should be "Canon".
+    table.insert({"Type": "Digital Camera", "Price": 230, "Company": "Cannon"})
+
+    index = IVAFile.build(table, IVAConfig(alpha=0.20, n=2))
+    engine = IVAEngine(table, index, DistanceFunction(metric="L2", ndf_penalty=100.0))
+
+    print(f"table: {len(table)} tuples, {len(table.catalog)} attributes, "
+          f"{table.file_bytes} bytes; index: {index.total_bytes()} bytes\n")
+
+    query = {"Type": "Digital Camera", "Company": "Canon", "Price": 200.0}
+    report = engine.search(query, k=2)
+
+    print("query:", query)
+    for rank, result in enumerate(report.results, start=1):
+        record = table.read(result.tid)
+        cells = {
+            table.catalog.by_id(attr_id).name: value
+            for attr_id, value in record.cells.items()
+        }
+        print(f"  #{rank}: tid={result.tid} distance={result.distance:.2f}  {cells}")
+
+    print(
+        f"\nfiltering scanned {report.tuples_scanned} tuples but fetched only "
+        f"{report.table_accesses} from the table file "
+        f"(the typo'd 'Cannon' still ranks — no false negatives)."
+    )
+
+
+if __name__ == "__main__":
+    main()

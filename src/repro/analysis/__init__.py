@@ -1,0 +1,26 @@
+"""Closed-form models and experiment statistics.
+
+* :mod:`repro.analysis.error_model` — the Eq. 5 signature error model and
+  its empirical validation helpers.
+* :mod:`repro.analysis.size_model` — closed-form index size prediction
+  (the Sec. III-D formulas applied table-wide).
+* :mod:`repro.analysis.stats` — the small statistics the paper reports
+  (means, standard deviations — Fig. 11).
+"""
+
+from repro.analysis.error_model import (
+    empirical_relative_error,
+    predicted_relative_error,
+)
+from repro.analysis.size_model import IndexSizeBreakdown, predict_iva_size
+from repro.analysis.stats import mean, population_stddev, summarize
+
+__all__ = [
+    "empirical_relative_error",
+    "predicted_relative_error",
+    "IndexSizeBreakdown",
+    "predict_iva_size",
+    "mean",
+    "population_stddev",
+    "summarize",
+]

@@ -1,0 +1,128 @@
+"""An empirical α advisor: measure candidates, recommend a setting.
+
+Sec. III-B.3 leaves α to the operator ("l controls the I/O trade-off
+between the filtering step and the refining step").  The advisor turns
+that into a procedure: build candidate indexes on a *sample* of the table,
+replay a representative query set against each, and score
+
+``modeled cost = filter I/O + refine I/O (+ CPU)``
+
+scaled back to the full table size.  It is measurement, not guesswork —
+exactly how one would tune a production deployment — but cheap because the
+sample is small.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import IVAEngine
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.errors import QueryError
+from repro.metrics.distance import DistanceFunction
+from repro.query import Query, QueryTerm
+from repro.storage.disk import SimulatedDisk
+from repro.storage.table import SparseWideTable
+
+
+@dataclass(frozen=True)
+class AlphaCandidate:
+    """One measured candidate setting."""
+
+    alpha: float
+    index_bytes: int
+    mean_query_time_ms: float
+    mean_table_accesses: float
+
+
+@dataclass(frozen=True)
+class AlphaRecommendation:
+    """The advisor's verdict plus the full measurement table."""
+
+    best_alpha: float
+    candidates: Tuple[AlphaCandidate, ...]
+
+    def describe(self) -> str:
+        """Human-readable rendering."""
+        lines = ["alpha  index bytes  time/query (ms)  accesses"]
+        for candidate in self.candidates:
+            marker = " <- best" if candidate.alpha == self.best_alpha else ""
+            lines.append(
+                f"{candidate.alpha:>5.0%}  {candidate.index_bytes:>11,}  "
+                f"{candidate.mean_query_time_ms:>15.1f}  "
+                f"{candidate.mean_table_accesses:>8.1f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def recommend_alpha(
+    table: SparseWideTable,
+    queries: Sequence[Query],
+    alphas: Sequence[float] = (0.10, 0.15, 0.20, 0.25, 0.30),
+    k: int = 10,
+    sample_tuples: int = 2000,
+    distance: Optional[DistanceFunction] = None,
+    seed: int = 0,
+) -> AlphaRecommendation:
+    """Measure each candidate α on a sampled copy of *table* and pick the
+    cheapest by mean modeled query time (ties broken by index size)."""
+    if not queries:
+        raise QueryError("need at least one representative query")
+    if not alphas:
+        raise QueryError("need at least one candidate α")
+    dist = distance or DistanceFunction()
+
+    sample_table, scale = _sample_table(table, sample_tuples, seed)
+    sample_queries = [_rebind(query, sample_table) for query in queries]
+
+    candidates: List[AlphaCandidate] = []
+    for alpha in alphas:
+        index = IVAFile.build(
+            sample_table,
+            IVAConfig(alpha=alpha, name=f"advisor_a{int(round(alpha * 1000))}"),
+        )
+        engine = IVAEngine(sample_table, index, dist)
+        reports = [engine.search(query, k=k) for query in sample_queries]
+        candidates.append(
+            AlphaCandidate(
+                alpha=alpha,
+                index_bytes=int(index.total_bytes() * scale),
+                mean_query_time_ms=sum(r.query_time_ms for r in reports)
+                / len(reports),
+                mean_table_accesses=sum(r.table_accesses for r in reports)
+                / len(reports),
+            )
+        )
+    best = min(candidates, key=lambda c: (c.mean_query_time_ms, c.index_bytes))
+    return AlphaRecommendation(best_alpha=best.alpha, candidates=tuple(candidates))
+
+
+def _sample_table(
+    table: SparseWideTable, sample_tuples: int, seed: int
+) -> Tuple[SparseWideTable, float]:
+    """A fresh table holding a uniform sample of the live tuples.
+
+    Returns the sample and the size scale factor (full/sample) used to
+    extrapolate index bytes.
+    """
+    live = table.live_tids()
+    if not live:
+        raise QueryError("cannot sample an empty table")
+    rng = random.Random(seed)
+    if len(live) > sample_tuples:
+        chosen = sorted(rng.sample(live, sample_tuples))
+    else:
+        chosen = live
+    sample = SparseWideTable(SimulatedDisk(table.disk.params), catalog=table.catalog)
+    for tid in chosen:
+        sample.insert_record(dict(table.read(tid).cells))
+    return sample, len(live) / len(chosen)
+
+
+def _rebind(query: Query, table: SparseWideTable) -> Query:
+    """Re-validate a query against the sample's (shared) catalog."""
+    return Query(
+        terms=tuple(QueryTerm(attr=t.attr, value=t.value) for t in query.terms)
+    )

@@ -1,0 +1,76 @@
+"""The storage premise of Sec. II-A, quantified.
+
+"For sparse wide tables (SWT), a horizontal storage scheme is not
+efficient due to the large amount of undefined values" — Beckmann et al.
+conclude the interpreted format wins, and the paper stores its table that
+way.  This model computes what a naive dense-horizontal layout (one fixed
+slot per attribute per tuple, ndf markers included) would cost for a given
+table, so the premise can be checked against any dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.values import is_text_value
+from repro.storage.table import SparseWideTable
+
+#: Dense layout unit costs: a numeric slot is a float64, a text slot is a
+#: pointer/length header plus the string bytes (strings must live somewhere
+#: even in a dense layout).
+NUMERIC_SLOT_BYTES = 8
+TEXT_SLOT_HEADER_BYTES = 8
+NDF_SLOT_BYTES = 8  # a dense layout still spends a slot on ndf
+
+
+@dataclass(frozen=True)
+class StorageComparison:
+    """Dense-horizontal vs interpreted footprints for one table."""
+
+    interpreted_bytes: int
+    dense_bytes: int
+    defined_cells: int
+    total_cells: int
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of cells that are ndf."""
+        if self.total_cells == 0:
+            return 0.0
+        return 1.0 - self.defined_cells / self.total_cells
+
+    @property
+    def dense_overhead(self) -> float:
+        """Dense bytes per interpreted byte (> 1 means interpreted wins)."""
+        if self.interpreted_bytes == 0:
+            return 0.0
+        return self.dense_bytes / self.interpreted_bytes
+
+
+def compare_storage(table: SparseWideTable) -> StorageComparison:
+    """Measure the table's interpreted footprint against a dense layout."""
+    live = len(table)
+    attributes = len(table.catalog)
+    defined = 0
+    string_bytes = 0
+    text_slots = 0
+    for record in table.scan():
+        defined += len(record.cells)
+        for value in record.cells.values():
+            if is_text_value(value):
+                text_slots += 1
+                string_bytes += sum(len(s.encode("utf-8")) for s in value)
+    numeric_slots = defined - text_slots
+    ndf_slots = live * attributes - defined
+    dense = (
+        numeric_slots * NUMERIC_SLOT_BYTES
+        + text_slots * TEXT_SLOT_HEADER_BYTES
+        + string_bytes
+        + ndf_slots * NDF_SLOT_BYTES
+    )
+    return StorageComparison(
+        interpreted_bytes=table.file_bytes,
+        dense_bytes=dense,
+        defined_cells=defined,
+        total_cells=live * attributes,
+    )

@@ -1,0 +1,23 @@
+"""Baselines the paper evaluates against (Sec. V).
+
+* :mod:`repro.baselines.sii` — the sparse inverted index of Yu et al. [7],
+  the only index previously evaluated for SWTs: per-attribute posting lists
+  of tids, content-blind filtering.
+* :mod:`repro.baselines.dst` — direct scan of the table file.
+* :mod:`repro.baselines.vafile` — the classic VA-file [23], excluded from
+  the paper's evaluation because "its size far exceeds that of the table
+  file"; we implement it to reproduce that exclusion argument as an
+  ablation.
+"""
+
+from repro.baselines.sii import SIIEngine, SparseInvertedIndex
+from repro.baselines.dst import DirectScanEngine
+from repro.baselines.vafile import VAFile, VAFileEngine
+
+__all__ = [
+    "SIIEngine",
+    "SparseInvertedIndex",
+    "DirectScanEngine",
+    "VAFile",
+    "VAFileEngine",
+]

@@ -1,0 +1,38 @@
+"""Benchmark harness: builds evaluation environments and aggregates runs.
+
+`benchmarks/` (pytest-benchmark) uses this package to regenerate every
+table and figure of the paper's Sec. V; the harness owns the default
+experimental setup (Table I parameters, the scaled dataset, the disk cost
+model) and the query-set execution protocol (warm-up + measured queries).
+"""
+
+from repro.bench.harness import (
+    BENCH_DATASET,
+    BENCH_DISK,
+    DEFAULTS,
+    QUERIES_PER_SET,
+    WARMUP_QUERIES,
+    Environment,
+    QuerySetStats,
+    TableIDefaults,
+    build_environment,
+    run_queries,
+    run_query_set,
+)
+from repro.bench.reporting import emit_table, results_dir
+
+__all__ = [
+    "BENCH_DATASET",
+    "BENCH_DISK",
+    "DEFAULTS",
+    "QUERIES_PER_SET",
+    "WARMUP_QUERIES",
+    "Environment",
+    "QuerySetStats",
+    "TableIDefaults",
+    "build_environment",
+    "run_queries",
+    "run_query_set",
+    "emit_table",
+    "results_dir",
+]

@@ -1,0 +1,67 @@
+"""Result tables: printing and persistence.
+
+Every benchmark emits its figure/table as (a) stdout (visible with
+``pytest -s``), (b) a fixed-width ``.txt`` and (c) a ``.csv`` under
+``bench_results/`` (override with ``REPRO_BENCH_RESULTS``), so the series
+survive pytest's output capture and feed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Sequence
+
+
+def results_dir() -> Path:
+    """The directory benchmark outputs land in (created on demand)."""
+    path = Path(os.environ.get("REPRO_BENCH_RESULTS", "bench_results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width text table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def emit_table(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Print a result table and persist it as .txt and .csv."""
+    text = format_table(title, headers, rows)
+    print("\n" + text + "\n")
+    out = results_dir()
+    (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    with open(out / f"{name}.csv", "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow([_cell(value) for value in row])
+    return text
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,80 @@
+"""Saving and replaying query workloads.
+
+Benchmark comparability across machines and runs needs the *same* queries,
+not just the same seeds (a generator tweak silently changes every seeded
+workload).  Query sets serialise to a small JSON document and re-bind to
+any table whose catalog has the queried attributes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.data.workload import QuerySet
+from repro.errors import QueryError
+from repro.query import Query, QueryTerm
+from repro.storage.catalog import Catalog
+
+FORMAT = "iva-repro-queryset-v1"
+
+
+def dump_query_set(query_set: QuerySet, path: Union[str, Path]) -> None:
+    """Serialise a query set to JSON."""
+    queries = []
+    for query in query_set.queries:
+        terms = []
+        for term in query.terms:
+            terms.append(
+                {
+                    "attribute": term.attr.name,
+                    "kind": term.attr.kind.value,
+                    "value": term.value,
+                }
+            )
+        queries.append(terms)
+    document = {
+        "format": FORMAT,
+        "values_per_query": query_set.values_per_query,
+        "warmup_count": query_set.warmup_count,
+        "queries": queries,
+    }
+    Path(path).write_text(json.dumps(document, indent=1), encoding="utf-8")
+
+
+def load_query_set(path: Union[str, Path], catalog: Catalog) -> QuerySet:
+    """Load a query set and bind it against *catalog*.
+
+    Raises :class:`QueryError` when the file is not a query-set document or
+    names attributes the catalog lacks / types differently.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise QueryError(f"{path!s} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != FORMAT:
+        raise QueryError(f"{path!s} is not an iva-repro query-set document")
+    queries = []
+    for index, raw_terms in enumerate(document.get("queries", [])):
+        terms = []
+        for raw in raw_terms:
+            name = raw.get("attribute")
+            attr = catalog.get(name)
+            if attr is None:
+                raise QueryError(
+                    f"query {index} names attribute {name!r} which the "
+                    "catalog does not have"
+                )
+            if attr.kind.value != raw.get("kind"):
+                raise QueryError(
+                    f"query {index}: attribute {name!r} is "
+                    f"{attr.kind.value} here but {raw.get('kind')} in the file"
+                )
+            terms.append(QueryTerm(attr=attr, value=raw.get("value")))
+        queries.append(Query(terms=tuple(terms)))
+    return QuerySet(
+        values_per_query=int(document["values_per_query"]),
+        queries=tuple(queries),
+        warmup_count=int(document["warmup_count"]),
+    )

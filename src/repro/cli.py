@@ -1,0 +1,376 @@
+"""Command-line interface: build and query iVA-file databases.
+
+The CLI operates on snapshot files (see :mod:`repro.storage.snapshot`), so
+a database built once can be queried across invocations::
+
+    python -m repro generate --tuples 5000 --snapshot shop.ivadb
+    python -m repro build    --snapshot shop.ivadb --alpha 0.2
+    python -m repro info     --snapshot shop.ivadb
+    python -m repro query    --snapshot shop.ivadb -k 5 \
+        --term Category0="Digital Camera" --term Price290=200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.engine import IVAEngine
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.data.generator import DatasetConfig, DatasetGenerator
+from repro.errors import ReproError
+from repro.metrics.distance import DistanceFunction
+from repro.query import Query, QueryTerm
+from repro.storage.disk import SimulatedDisk
+from repro.storage.snapshot import load_disk, save_disk
+from repro.storage.table import SparseWideTable
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iVA-file over sparse wide tables (ICDE 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic SWT")
+    generate.add_argument("--snapshot", required=True, help="output snapshot file")
+    generate.add_argument("--tuples", type=int, default=5000)
+    generate.add_argument("--attributes", type=int, default=200)
+    generate.add_argument("--mean-attrs", type=float, default=12.0)
+    generate.add_argument("--seed", type=int, default=42)
+
+    build = sub.add_parser("build", help="build the iVA-file index")
+    build.add_argument("--snapshot", required=True)
+    build.add_argument("--alpha", type=float, default=0.20)
+    build.add_argument("--n", type=int, default=2)
+    build.add_argument("--name", default="iva")
+
+    query = sub.add_parser("query", help="run a top-k similarity query")
+    query.add_argument("--snapshot", required=True)
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument("--metric", default="L2", choices=["L1", "L2", "Linf"])
+    query.add_argument("--ndf-penalty", type=float, default=20.0)
+    query.add_argument("--name", default="iva", help="index name inside the snapshot")
+    query.add_argument(
+        "--term",
+        action="append",
+        required=True,
+        metavar="ATTR=VALUE",
+        help="query value; repeat for multiple attributes",
+    )
+
+    load = sub.add_parser("load", help="load tuples from JSONL or CSV")
+    load.add_argument("--snapshot", required=True)
+    load.add_argument("--jsonl", help="JSON Lines file to import")
+    load.add_argument("--csv", help="CSV file to import")
+    load.add_argument("--create", action="store_true",
+                      help="start a fresh snapshot instead of appending")
+
+    export = sub.add_parser("export", help="dump the table as JSON Lines")
+    export.add_argument("--snapshot", required=True)
+    export.add_argument("--jsonl", required=True, help="output file")
+
+    explain = sub.add_parser("explain", help="preview a query's scan plan")
+    explain.add_argument("--snapshot", required=True)
+    explain.add_argument("--name", default="iva")
+    explain.add_argument("--term", action="append", required=True,
+                         metavar="ATTR=VALUE")
+
+    advise = sub.add_parser("advise", help="recommend α from sample measurements")
+    advise.add_argument("--snapshot", required=True)
+    advise.add_argument("--queries", type=int, default=5,
+                        help="sample queries to measure with")
+    advise.add_argument("--values-per-query", type=int, default=3)
+    advise.add_argument("--sample-tuples", type=int, default=1000)
+
+    compare = sub.add_parser(
+        "compare", help="race iVA vs SII vs DST on sampled queries"
+    )
+    compare.add_argument("--snapshot", required=True)
+    compare.add_argument("--name", default="iva")
+    compare.add_argument("--queries", type=int, default=5)
+    compare.add_argument("--values-per-query", type=int, default=3)
+    compare.add_argument("-k", type=int, default=10)
+    compare.add_argument("--queries-file",
+                         help="replay a saved query set instead of sampling")
+
+    workload = sub.add_parser(
+        "workload", help="sample a query set and save it for replay"
+    )
+    workload.add_argument("--snapshot", required=True)
+    workload.add_argument("--out", required=True, help="output JSON file")
+    workload.add_argument("--queries", type=int, default=20)
+    workload.add_argument("--warmup", type=int, default=5)
+    workload.add_argument("--values-per-query", type=int, default=3)
+    workload.add_argument("--seed", type=int, default=7)
+
+    fsck = sub.add_parser("fsck", help="check table and index integrity")
+    fsck.add_argument("--snapshot", required=True)
+    fsck.add_argument("--name", default="iva")
+
+    info = sub.add_parser("info", help="show table and index statistics")
+    info.add_argument("--snapshot", required=True)
+    info.add_argument("--name", default="iva")
+    return parser
+
+
+def _parse_terms(table: SparseWideTable, raw_terms: Sequence[str]) -> Query:
+    terms: List[QueryTerm] = []
+    for raw in raw_terms:
+        if "=" not in raw:
+            raise ReproError(f"bad --term {raw!r}; expected ATTR=VALUE")
+        name, value = raw.split("=", 1)
+        attr = table.catalog.require(name)
+        if attr.is_numeric:
+            try:
+                terms.append(QueryTerm(attr=attr, value=float(value)))
+            except ValueError:
+                raise ReproError(
+                    f"attribute {name!r} is numeric; {value!r} is not a number"
+                ) from None
+        else:
+            terms.append(QueryTerm(attr=attr, value=value))
+    return Query(terms=tuple(terms))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    disk = SimulatedDisk()
+    table = SparseWideTable(disk)
+    config = DatasetConfig(
+        num_tuples=args.tuples,
+        num_attributes=args.attributes,
+        mean_attrs_per_tuple=args.mean_attrs,
+        seed=args.seed,
+    )
+    DatasetGenerator(config).populate(table)
+    written = save_disk(disk, args.snapshot)
+    print(
+        f"generated {len(table)} tuples over {len(table.catalog)} attributes; "
+        f"snapshot {args.snapshot} ({written:,} bytes)"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    disk = load_disk(args.snapshot)
+    table = SparseWideTable.attach(disk)
+    index = IVAFile.build(table, IVAConfig(alpha=args.alpha, n=args.n, name=args.name))
+    save_disk(disk, args.snapshot)
+    print(
+        f"built iVA-file {args.name!r}: {index.total_bytes():,} bytes "
+        f"(α={args.alpha:.0%}, n={args.n}) over {len(table)} tuples"
+    )
+    return 0
+
+
+def _open(args: argparse.Namespace):
+    disk = load_disk(args.snapshot)
+    table = SparseWideTable.attach(disk)
+    index = IVAFile.attach(table, IVAConfig(name=args.name))
+    return disk, table, index
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    _, table, index = _open(args)
+    query = _parse_terms(table, args.term)
+    engine = IVAEngine(
+        table,
+        index,
+        DistanceFunction(metric=args.metric, ndf_penalty=args.ndf_penalty),
+    )
+    report = engine.search(query, k=args.k)
+    print(f"query: {query.describe()}  (k={args.k}, {args.metric})")
+    for rank, result in enumerate(report.results, start=1):
+        record = table.read(result.tid)
+        cells = ", ".join(
+            f"{table.catalog.by_id(attr_id).name}={value!r}"
+            for attr_id, value in sorted(record.cells.items())
+        )
+        print(f"  #{rank}  tid={result.tid}  distance={result.distance:.3f}  {cells}")
+    print(
+        f"scanned {report.tuples_scanned} tuples, "
+        f"{report.table_accesses} table-file accesses, "
+        f"{report.query_time_ms:.1f} ms modeled"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    disk, table, index = _open(args)
+    text = len(table.catalog.text_attributes())
+    numeric = len(table.catalog.numeric_attributes())
+    print(f"snapshot: {args.snapshot}")
+    print(
+        f"table: {len(table)} live tuples ({table.dead_tuples} dead), "
+        f"{len(table.catalog)} attributes ({text} text / {numeric} numeric), "
+        f"{table.file_bytes:,} bytes"
+    )
+    print(
+        f"index {args.name!r}: {index.total_bytes():,} bytes, "
+        f"{index.tuple_elements} tuple-list elements "
+        f"({index.deleted_elements} tombstoned)"
+    )
+    by_type: dict = {}
+    for entry in index.entries():
+        by_type[entry.list_type.name] = by_type.get(entry.list_type.name, 0) + 1
+    layouts = ", ".join(f"{name}: {count}" for name, count in sorted(by_type.items()))
+    print(f"vector-list layouts: {layouts}")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.data.io_utils import load_csv, load_jsonl
+
+    if bool(args.jsonl) == bool(args.csv):
+        raise ReproError("pass exactly one of --jsonl or --csv")
+    if args.create:
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+    else:
+        disk = load_disk(args.snapshot)
+        table = SparseWideTable.attach(disk)
+    if args.jsonl:
+        count = load_jsonl(table, args.jsonl)
+        source = args.jsonl
+    else:
+        count = load_csv(table, args.csv)
+        source = args.csv
+    save_disk(disk, args.snapshot)
+    print(f"loaded {count} tuples from {source} into {args.snapshot} "
+          f"({len(table)} live tuples total); rebuild indexes with `build`")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.data.io_utils import dump_jsonl
+
+    disk = load_disk(args.snapshot)
+    table = SparseWideTable.attach(disk)
+    count = dump_jsonl(table, args.jsonl)
+    print(f"exported {count} tuples to {args.jsonl}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain as build_plan
+
+    _, table, index = _open(args)
+    query = _parse_terms(table, args.term)
+    print(build_plan(table, index, query).describe())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.analysis.advisor import recommend_alpha
+    from repro.data.workload import WorkloadGenerator
+
+    disk = load_disk(args.snapshot)
+    table = SparseWideTable.attach(disk)
+    workload = WorkloadGenerator(table, seed=17)
+    queries = [
+        workload.sample_query(args.values_per_query) for _ in range(args.queries)
+    ]
+    recommendation = recommend_alpha(
+        table, queries, sample_tuples=args.sample_tuples
+    )
+    print(recommendation.describe())
+    print(f"\nrecommended: --alpha {recommendation.best_alpha}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.bench.workload_io import dump_query_set
+    from repro.data.workload import WorkloadGenerator
+
+    disk = load_disk(args.snapshot)
+    table = SparseWideTable.attach(disk)
+    generator = WorkloadGenerator(table, seed=args.seed)
+    query_set = generator.query_set(
+        args.values_per_query, count=args.queries, warmup_count=args.warmup
+    )
+    dump_query_set(query_set, args.out)
+    print(
+        f"saved {args.queries} queries ({args.warmup} warm-up, "
+        f"{args.values_per_query} values each) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines.dst import DirectScanEngine
+    from repro.baselines.sii import SIIEngine, SparseInvertedIndex
+    from repro.data.workload import WorkloadGenerator
+
+    _, table, index = _open(args)
+    sii = SparseInvertedIndex.build(table, name="_compare_sii")
+    if args.queries_file:
+        from repro.bench.workload_io import load_query_set
+
+        queries = list(load_query_set(args.queries_file, table.catalog).queries)
+    else:
+        workload = WorkloadGenerator(table, seed=23)
+        queries = [
+            workload.sample_query(args.values_per_query)
+            for _ in range(args.queries)
+        ]
+    engines = [
+        IVAEngine(table, index),
+        SIIEngine(table, sii),
+        DirectScanEngine(table),
+    ]
+    print(f"{len(queries)} queries, k={args.k}")
+    print(f"{'engine':>6}  {'time/query (ms)':>16}  {'table accesses':>14}")
+    for engine in engines:
+        reports = [engine.search(query, k=args.k) for query in queries]
+        mean_ms = sum(r.query_time_ms for r in reports) / len(reports)
+        mean_acc = sum(r.table_accesses for r in reports) / len(reports)
+        print(f"{engine.name:>6}  {mean_ms:>16.1f}  {mean_acc:>14.1f}")
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.storage.fsck import check_all
+
+    _, table, index = _open(args)
+    findings = check_all(table, index)
+    if not findings:
+        print(f"ok: {args.snapshot} is consistent "
+              f"({len(table)} live tuples, index {args.name!r})")
+        return 0
+    for finding in findings:
+        print(finding)
+    errors = sum(1 for f in findings if f.severity == "error")
+    print(f"{len(findings)} finding(s), {errors} error(s)")
+    return 2 if errors else 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "load": _cmd_load,
+    "export": _cmd_export,
+    "explain": _cmd_explain,
+    "advise": _cmd_advise,
+    "compare": _cmd_compare,
+    "workload": _cmd_workload,
+    "fsck": _cmd_fsck,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Concurrency control: many readers, one writer.
+
+The on-disk structures are safe for concurrent *reads* (scans snapshot the
+file length at open; inserts only append past it) but not for writes —
+most dangerously, a rebuild swaps files out from under open scans.  A
+CWMS serves many queries per update (Sec. IV-B: "insertions, deletions and
+updates are not as frequent as queries"), so a classic readers-writer lock
+fits: queries share the read side; inserts, deletes, updates and cleaning
+take the write side.
+
+:class:`ConcurrentSystem` wraps a :class:`~repro.maintenance.MaintainedSystem`
+plus any number of engines with that discipline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from repro.core.engine import SearchReport
+from repro.maintenance import MaintainedSystem
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Writers waiting blocks new readers, so a steady query stream cannot
+    starve maintenance.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._readers_done = threading.Condition(self._lock)
+        self._writer_done = threading.Condition(self._lock)
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Block until shared (read) access is granted."""
+        with self._lock:
+            while self._writer_active or self._writers_waiting:
+                self._writer_done.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Release shared access."""
+        with self._lock:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._readers_done.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until exclusive (write) access is granted."""
+        with self._lock:
+            self._writers_waiting += 1
+            while self._writer_active or self._active_readers:
+                self._readers_done.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Release exclusive access."""
+        with self._lock:
+            self._writer_active = False
+            self._readers_done.notify_all()
+            self._writer_done.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+            return False
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+            return False
+
+    def reading(self) -> "ReadWriteLock._ReadGuard":
+        """Context manager acquiring shared access."""
+        return self._ReadGuard(self)
+
+    def writing(self) -> "ReadWriteLock._WriteGuard":
+        """Context manager acquiring exclusive access."""
+        return self._WriteGuard(self)
+
+
+class ConcurrentSystem:
+    """Thread-safe facade over a maintained system and its query engine."""
+
+    def __init__(self, system: MaintainedSystem, engine) -> None:
+        self.system = system
+        self.engine = engine
+        self.lock = ReadWriteLock()
+
+    def search(self, query, k: int = 10, distance=None) -> SearchReport:
+        """Run a top-k structured similarity query; returns a report."""
+        with self.lock.reading():
+            return self.engine.search(query, k=k, distance=distance)
+
+    def insert(self, values: Mapping[str, object]) -> int:
+        """Insert a tuple under the write lock; returns its id."""
+        with self.lock.writing():
+            return self.system.insert(values)
+
+    def delete(self, tid: int) -> None:
+        """Tombstone the tuple with this tid."""
+        with self.lock.writing():
+            self.system.delete(tid)
+
+    def update(self, tid: int, values: Mapping[str, object]) -> int:
+        """Delete + insert under the write lock; returns the new tid."""
+        with self.lock.writing():
+            return self.system.update(tid, values)
+
+    def maybe_clean(self, beta: float) -> bool:
+        """Run the β-triggered cleaning under the write lock."""
+        with self.lock.writing():
+            return self.system.maybe_clean(beta)
+
+    def rebuild(self) -> None:
+        """Rebuild from the table's current live contents."""
+        with self.lock.writing():
+            self.system.rebuild()

@@ -1,0 +1,35 @@
+"""The iVA-file: the paper's primary contribution.
+
+* :mod:`repro.core.ngram` — positional n-gram multisets and the
+  Gravano-style edit-distance lower bound ``est'`` (Eq. 1).
+* :mod:`repro.core.signature` — the nG-signature encoding of strings and the
+  hit-gram-set estimate ``est`` (Eq. 3, Prop. 3.3: no false negatives).
+* :mod:`repro.core.params` — the Eq. 5 error model and optimal-``t`` table.
+* :mod:`repro.core.numeric` — relative-domain scalar quantisation (Sec. III-C).
+* :mod:`repro.core.vector_lists` — the four vector-list layouts and their
+  size-based auto-selection (Sec. III-D).
+* :mod:`repro.core.iva_file` — the index proper: tuple list, attribute list,
+  per-attribute vector lists; build / insert / delete / rebuild.
+* :mod:`repro.core.scan` — scanning pointers with MoveTo/freeze semantics.
+* :mod:`repro.core.pool` — the bounded top-k result pool.
+* :mod:`repro.core.engine` — Algorithm 1, the parallel filter-and-refine plan.
+"""
+
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.core.engine import IVAEngine, SearchReport, QueryResult
+from repro.core.pool import ResultPool
+from repro.core.signature import Signature, SignatureScheme, QueryStringEncoder
+from repro.core.numeric import NumericQuantizer
+
+__all__ = [
+    "IVAConfig",
+    "IVAFile",
+    "IVAEngine",
+    "SearchReport",
+    "QueryResult",
+    "ResultPool",
+    "Signature",
+    "SignatureScheme",
+    "QueryStringEncoder",
+    "NumericQuantizer",
+]

@@ -1,0 +1,73 @@
+"""Positional n-grams and the exact-gram edit-distance lower bound.
+
+Follows Sec. III-B.1/2 of the paper: a string ``s`` is extended with
+``n − 1`` '#' prefix characters and ``n − 1`` '$' suffix characters; every
+window of ``n`` consecutive characters of the extension is an n-gram, so
+``s`` has exactly ``|s| + n − 1`` grams (Example 3.1).  Grams are kept as a
+multiset — "the same n-grams starting at different positions … should not be
+merged" — represented as ``{gram: count}``.
+
+``est'(sq, sd)`` (Eq. 1) is the Gravano et al. lower bound computed from the
+exact common gram multiset; the signature-based ``est`` of
+:mod:`repro.core.signature` approximates it from above on the hit count and
+therefore from below on the distance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+PREFIX_PAD = "#"
+SUFFIX_PAD = "$"
+
+
+def extend(s: str, n: int) -> str:
+    """Pad *s* for gram extraction: ``n−1`` '#' before, ``n−1`` '$' after."""
+    if n < 1:
+        raise ValueError("gram length n must be >= 1")
+    pad = n - 1
+    return PREFIX_PAD * pad + s + SUFFIX_PAD * pad
+
+
+def ngrams(s: str, n: int) -> List[str]:
+    """All n-grams of *s* in order; ``len(result) == len(s) + n - 1``."""
+    extended = extend(s, n)
+    return [extended[i : i + n] for i in range(len(extended) - n + 1)]
+
+
+def gram_multiset(s: str, n: int) -> Dict[str, int]:
+    """The n-gram multiset ``g(s)`` as ``{gram: appearance count}``."""
+    counts: Dict[str, int] = {}
+    for gram in ngrams(s, n):
+        counts[gram] = counts.get(gram, 0) + 1
+    return counts
+
+
+def multiset_size(counts: Dict[str, int]) -> int:
+    """``|Ω|`` — the sum of appearance counts (Example 3.3)."""
+    return sum(counts.values())
+
+
+def common_gram_count(s1: str, s2: str, n: int) -> int:
+    """``|cg(s1, s2)|`` — size of the common gram multiset (min of counts)."""
+    g1 = gram_multiset(s1, n)
+    g2 = gram_multiset(s2, n)
+    if len(g2) < len(g1):
+        g1, g2 = g2, g1
+    return sum(min(count, g2[gram]) for gram, count in g1.items() if gram in g2)
+
+
+def exact_estimate(sq: str, sd: str, n: int) -> float:
+    """``est'(sq, sd)`` — Eq. 1; may be negative (clamp for use as a bound).
+
+    Guaranteed ``est'(sq, sd) <= ed(sq, sd)`` (Eq. 2): one edit operation can
+    destroy at most ``n`` grams, and the longer string has
+    ``max(|sq|,|sd|) + n − 1`` of them.
+    """
+    common = common_gram_count(sq, sd, n)
+    return (max(len(sq), len(sd)) - common - 1) / n + 1
+
+
+def estimate_from_hits(query_length: int, data_length: int, hits: int, n: int) -> float:
+    """Eq. 3's arithmetic, shared by exact and signature-based estimation."""
+    return (max(query_length, data_length) - hits - 1) / n + 1

@@ -1,0 +1,58 @@
+"""The nG-signature parameter model (paper Sec. III-B.3 and Appendix A).
+
+For a signature of ``l`` higher bits in which each gram hash sets exactly
+``t`` bits, the probability that a non-gram of the data string is a *false
+hit* is (Eq. 6)
+
+``p = (1 − (1 − t/l)^(|sd| + n − 1))^t``
+
+and the expected relative error of the estimate is ``ē ≈ p`` (Eq. 5).  For a
+given ``l`` the best ``t`` minimises ``ē``; the paper pre-computes the proper
+``t`` for every ``(l, |sd| + n − 1)`` and keeps it in an in-memory table —
+:func:`optimal_t` reproduces exactly that.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def false_hit_probability(l_bits: int, t: int, gram_count: int) -> float:
+    """Eq. 6: probability a non-gram is a false hit in the signature."""
+    if l_bits <= 0:
+        raise ValueError("signature length must be positive")
+    if not 0 < t < l_bits:
+        raise ValueError(f"t must satisfy 0 < t < l, got t={t} l={l_bits}")
+    if gram_count < 0:
+        raise ValueError("gram count must be non-negative")
+    zero_bit = (1.0 - t / l_bits) ** gram_count
+    return (1.0 - zero_bit) ** t
+
+
+def expected_relative_error(l_bits: int, t: int, gram_count: int) -> float:
+    """Eq. 5: the expected relative error ``ē`` of the estimate (≈ p)."""
+    return false_hit_probability(l_bits, t, gram_count)
+
+
+@lru_cache(maxsize=None)
+def optimal_t(l_bits: int, gram_count: int) -> int:
+    """The ``t`` in ``1..l−1`` minimising Eq. 5 for this ``(l, gram count)``.
+
+    Cached, reproducing the paper's "pre-calculated and stored in an
+    in-memory table to save the run-time cpu burden".
+    """
+    if l_bits < 2:
+        return 1
+    grams = max(gram_count, 1)
+    best_t = 1
+    best_error = false_hit_probability(l_bits, 1, grams)
+    for t in range(2, l_bits):
+        error = false_hit_probability(l_bits, t, grams)
+        if error < best_error:
+            best_error = error
+            best_t = t
+        elif error > best_error * 4:
+            # The error curve is unimodal in t; once it has clearly turned
+            # upward there is no point scanning the long tail.
+            break
+    return best_t

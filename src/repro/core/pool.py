@@ -1,0 +1,70 @@
+"""The temporary result pool of Algorithm 1 (paper Sec. IV-A).
+
+Holds at most k ``<tid, dist>`` pairs.  ``max_dist`` is the largest actual
+distance in the pool; a tuple is a candidate iff the pool is not yet full or
+its *estimated* distance beats ``max_dist``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """One pool member: tid plus its actual distance."""
+    tid: int
+    distance: float
+
+
+class ResultPool:
+    """Bounded max-heap of the best k tuples seen so far."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        # Max-heap via negated distances; tid breaks ties deterministically.
+        self._heap: List[Tuple[float, int]] = []
+
+    def size(self) -> int:
+        """Current number of members."""
+        return len(self._heap)
+
+    def is_full(self) -> bool:
+        """True once k members are held."""
+        return len(self._heap) >= self.k
+
+    def max_dist(self) -> Optional[float]:
+        """Largest actual distance in the pool, or None when empty."""
+        if not self._heap:
+            return None
+        return -self._heap[0][0]
+
+    def is_candidate(self, estimated_distance: float) -> bool:
+        """Line 10 of Algorithm 1: worth fetching from the table file?"""
+        if not self.is_full():
+            return True
+        return estimated_distance < -self._heap[0][0]
+
+    def insert(self, tid: int, distance: float) -> bool:
+        """Insert a tuple with its *actual* distance.
+
+        Returns True if the tuple entered the pool (and possibly evicted the
+        current worst member).
+        """
+        if not self.is_full():
+            heapq.heappush(self._heap, (-distance, tid))
+            return True
+        worst = -self._heap[0][0]
+        if distance < worst:
+            heapq.heapreplace(self._heap, (-distance, tid))
+            return True
+        return False
+
+    def results(self) -> List[PoolEntry]:
+        """Pool contents sorted by (distance, tid) ascending."""
+        ordered = sorted(((-neg, tid) for neg, tid in self._heap))
+        return [PoolEntry(tid=tid, distance=dist) for dist, tid in ordered]

@@ -1,0 +1,166 @@
+"""Scanning pointers over vector lists (paper Sec. IV-A).
+
+Query processing scans the tuple list and the vector lists of the queried
+attributes "in a synchronized manner": each list has a scanning pointer; the
+tuple list's pointer advances one element at a time, and each vector list's
+pointer is asked to ``MoveTo(currentTuple)``.
+
+Tid-based layouts (Types I and II) implement the paper's *freeze* semantics:
+when the list holds no element for the current tuple, the pointer stops at
+the next larger tid (or the list tail) and reports ndf until the current
+tuple catches up.  Positional layouts (Types III and IV) consume exactly one
+element per tuple-list element; identification is by position, so the engine
+must call ``move_to`` once for every tuple-list element — including
+tombstoned ones — in order.
+
+``move_to`` returns the tuple's payload on the attribute:
+
+* text lists — a list of :class:`~repro.core.signature.Signature`
+  (empty ⇒ ndf, returned as ``None``),
+* numeric lists — an ``int`` slice code, or ``None`` for ndf.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.numeric import NumericQuantizer
+from repro.core.signature import Signature, SignatureScheme
+from repro.errors import IndexError_
+from repro.storage.pager import BufferedReader
+
+TID_BYTES = 4
+NUM_BYTES = 1
+
+
+class VectorListScanner:
+    """Base scanning pointer; concrete layouts override :meth:`move_to`."""
+
+    def __init__(self, reader: BufferedReader) -> None:
+        self._reader = reader
+
+    def move_to(self, tid: int):  # pragma: no cover - abstract
+        """Advance the pointer to *tid*; see the class docstring."""
+        raise NotImplementedError
+
+
+class _TidBasedScanner(VectorListScanner):
+    """Shared freeze-semantics machinery for Types I and II."""
+
+    def __init__(self, reader: BufferedReader) -> None:
+        super().__init__(reader)
+        self._pending: Optional[int] = None
+        self._load_next()
+
+    def _load_next(self) -> None:
+        if self._reader.exhausted():
+            self._pending = None
+        else:
+            self._pending = int.from_bytes(self._reader.read(TID_BYTES), "little")
+
+    @property
+    def pending_tid(self) -> Optional[int]:
+        """The tid the pointer is frozen at (None at the list tail)."""
+        return self._pending
+
+
+class TextTypeIScanner(_TidBasedScanner):
+    """Type I text layout: ``<tid, vector>`` per string, sorted by tid;
+    consecutive elements may repeat a tid for multi-string values."""
+
+    def __init__(self, reader: BufferedReader, scheme: SignatureScheme) -> None:
+        self._scheme = scheme
+        super().__init__(reader)
+
+    def move_to(self, tid: int) -> Optional[List[Signature]]:
+        """Advance the pointer to *tid*; see the class docstring."""
+        out: List[Signature] = []
+        while self._pending is not None and self._pending <= tid:
+            signature = self._scheme.read(self._reader)
+            if self._pending == tid:
+                out.append(signature)
+            self._load_next()
+        return out or None
+
+
+class TextTypeIIScanner(_TidBasedScanner):
+    """Type II text layout: ``<tid, num, vector1, vector2, …>``."""
+
+    def __init__(self, reader: BufferedReader, scheme: SignatureScheme) -> None:
+        self._scheme = scheme
+        super().__init__(reader)
+
+    def move_to(self, tid: int) -> Optional[List[Signature]]:
+        """Advance the pointer to *tid*; see the class docstring."""
+        out: List[Signature] = []
+        while self._pending is not None and self._pending <= tid:
+            count = self._reader.read(NUM_BYTES)[0]
+            signatures = [self._scheme.read(self._reader) for _ in range(count)]
+            if self._pending == tid:
+                out.extend(signatures)
+            self._load_next()
+        return out or None
+
+
+class TextTypeIIIScanner(VectorListScanner):
+    """Type III text layout: positional ``<num, vectors…>`` for every tuple."""
+
+    def __init__(self, reader: BufferedReader, scheme: SignatureScheme) -> None:
+        super().__init__(reader)
+        self._scheme = scheme
+
+    def move_to(self, tid: int) -> Optional[List[Signature]]:
+        """Advance the pointer to *tid*; see the class docstring."""
+        if self._reader.exhausted():
+            raise IndexError_(
+                "Type III vector list ran out of elements before the tuple "
+                "list did — the index is inconsistent with its table"
+            )
+        count = self._reader.read(NUM_BYTES)[0]
+        if count == 0:
+            return None
+        return [self._scheme.read(self._reader) for _ in range(count)]
+
+
+class NumericTypeIScanner(_TidBasedScanner):
+    """Type I numeric layout: ``<tid, vector>`` per defined tuple."""
+
+    def __init__(self, reader: BufferedReader, quantizer: NumericQuantizer) -> None:
+        self._quantizer = quantizer
+        super().__init__(reader)
+
+    def move_to(self, tid: int) -> Optional[int]:
+        """Advance the pointer to *tid*; see the class docstring."""
+        out: Optional[int] = None
+        width = self._quantizer.vector_bytes
+        while self._pending is not None and self._pending <= tid:
+            code = self._quantizer.decode_bytes(self._reader.read(width))
+            if self._pending == tid:
+                out = code
+            self._load_next()
+        return out
+
+
+class NumericTypeIVScanner(VectorListScanner):
+    """Type IV numeric layout: positional ``<vector>`` with a reserved ndf
+    code, one element per tuple."""
+
+    def __init__(self, reader: BufferedReader, quantizer: NumericQuantizer) -> None:
+        super().__init__(reader)
+        if quantizer.ndf_code is None:
+            raise IndexError_("Type IV layout requires a reserved ndf code")
+        self._quantizer = quantizer
+
+    def move_to(self, tid: int) -> Optional[int]:
+        """Advance the pointer to *tid*; see the class docstring."""
+        if self._reader.exhausted():
+            raise IndexError_(
+                "Type IV vector list ran out of elements before the tuple "
+                "list did — the index is inconsistent with its table"
+            )
+        code = self._quantizer.decode_bytes(
+            self._reader.read(self._quantizer.vector_bytes)
+        )
+        if code == self._quantizer.ndf_code:
+            return None
+        return code

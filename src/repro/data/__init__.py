@@ -1,0 +1,28 @@
+"""Synthetic CWMS data and workloads.
+
+The paper evaluates on a Google Base subset (779,019 tuples, 1,147
+attributes — 1,081 text / 66 numeric — 16.3 attributes per tuple, average
+string length 16.8 bytes).  That dataset is long gone (Google Base shut
+down in 2010), so this subpackage synthesises a dataset matching the
+reported statistics: Zipf-skewed attribute popularity, a product-domain
+vocabulary yielding short strings, multi-string text values, community-
+style typos, and per-attribute numeric distributions.  The workload module
+reproduces the paper's query protocol: values sampled from the data so the
+query distribution follows the data distribution, 50 queries per set with
+the first 10 used to warm the cache.
+"""
+
+from repro.data.generator import DatasetConfig, DatasetGenerator, generate_dataset
+from repro.data.typos import introduce_typo
+from repro.data.vocab import Vocabulary
+from repro.data.workload import QuerySet, WorkloadGenerator
+
+__all__ = [
+    "DatasetConfig",
+    "DatasetGenerator",
+    "generate_dataset",
+    "introduce_typo",
+    "Vocabulary",
+    "QuerySet",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,261 @@
+"""Synthetic Google-Base-like sparse dataset generation.
+
+Calibrated against the paper's reported statistics (Sec. V-A):
+
+* 1,147 attributes of which 1,081 text (≈ 94 %) — ``text_fraction``;
+* 16.3 attributes defined per tuple on average — ``mean_attrs_per_tuple``;
+* average string length 16.8 bytes — via :class:`~repro.data.vocab.Vocabulary`;
+* community data entry — ``typo_rate`` of strings carry a single-edit typo;
+* attribute usage is heavily skewed (every item has a Type/Brand-ish
+  attribute, most attributes are rare) — Zipf-distributed popularity.
+
+Scale knobs (tuples, attributes) default to a laptop-sized table; the
+benchmark harness documents the scale used per experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.typos import maybe_typo
+from repro.data.vocab import Vocabulary
+from repro.storage.disk import SimulatedDisk
+from repro.storage.table import SparseWideTable
+
+#: Numeric attribute archetypes: (name stem, low, high, integral).
+_NUMERIC_TEMPLATES = [
+    ("Price", 1.0, 5000.0, False),
+    ("Year", 1900.0, 2026.0, True),
+    ("Count", 1.0, 500.0, True),
+    ("Weight", 0.1, 80.0, False),
+    ("Pixel", 100000.0, 20000000.0, True),
+    ("Salary", 500.0, 250000.0, False),
+]
+
+#: Text attribute archetypes: the vocabulary pool each draws from.
+_TEXT_POOLS = ["category", "brand", "industry", "person", "phrase", "mixed"]
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Knobs of the synthetic dataset."""
+
+    num_tuples: int = 20000
+    num_attributes: int = 400
+    #: Fraction of text attributes (paper: 1081 / 1147 ≈ 0.94).
+    text_fraction: float = 0.94
+    #: Mean number of defined attributes per tuple (paper: 16.3).
+    mean_attrs_per_tuple: float = 16.0
+    #: Zipf exponent of attribute popularity (1.0 ⇒ classic 1/rank).
+    zipf_exponent: float = 1.0
+    #: Probability a text value holds more than one string.
+    multi_string_prob: float = 0.08
+    max_strings_per_value: int = 3
+    #: Fraction of data strings carrying a community typo.
+    typo_rate: float = 0.05
+    #: Fraction of numeric attributes forced into the popularity head.
+    #: E-commerce metadata (Price, Year, …) is near-universal in Google
+    #: Base-style data even though numeric attributes are few, so by
+    #: default most numeric attributes rank among the most-used ones.
+    numeric_head_bias: float = 0.6
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class _AttributeSpec:
+    name: str
+    is_text: bool
+    pool: str
+    lo: float
+    hi: float
+    integral: bool
+    weight: float
+
+
+class DatasetGenerator:
+    """Deterministic generator of sparse wide tables."""
+
+    def __init__(self, config: Optional[DatasetConfig] = None) -> None:
+        self.config = config or DatasetConfig()
+        self._rng = random.Random(self.config.seed)
+        self._vocab = Vocabulary(self._rng)
+        self._specs = self._make_attribute_specs()
+        self._cum_weights = self._cumulative_weights()
+
+    # ------------------------------------------------------------- schema
+
+    def _make_attribute_specs(self) -> List[_AttributeSpec]:
+        config = self.config
+        rng = self._rng
+        num_text = round(config.num_attributes * config.text_fraction)
+        specs: List[_AttributeSpec] = []
+        for i in range(config.num_attributes):
+            if i < num_text:
+                pool = _TEXT_POOLS[i % len(_TEXT_POOLS)]
+                specs.append(
+                    _AttributeSpec(
+                        name=f"{pool.title()}{i}",
+                        is_text=True,
+                        pool=pool,
+                        lo=0.0,
+                        hi=0.0,
+                        integral=False,
+                        weight=0.0,
+                    )
+                )
+            else:
+                stem, lo, hi, integral = _NUMERIC_TEMPLATES[i % len(_NUMERIC_TEMPLATES)]
+                specs.append(
+                    _AttributeSpec(
+                        name=f"{stem}{i}",
+                        is_text=False,
+                        pool="numeric",
+                        lo=lo,
+                        hi=hi,
+                        integral=integral,
+                        weight=0.0,
+                    )
+                )
+        # Zipf popularity over a shuffled rank assignment, with most numeric
+        # attributes biased into the head (see numeric_head_bias).
+        ranks = self._assign_ranks(specs)
+        weighted = []
+        for spec, rank in zip(specs, ranks):
+            weight = 1.0 / ((rank + 1) ** config.zipf_exponent)
+            weighted.append(
+                _AttributeSpec(
+                    name=spec.name,
+                    is_text=spec.is_text,
+                    pool=spec.pool,
+                    lo=spec.lo,
+                    hi=spec.hi,
+                    integral=spec.integral,
+                    weight=weight,
+                )
+            )
+        return weighted
+
+    def _assign_ranks(self, specs: List[_AttributeSpec]) -> List[int]:
+        """Popularity ranks per attribute (0 = most popular).
+
+        Numeric attributes are few but heavily used in real CWMS data, so a
+        ``numeric_head_bias`` fraction of them is planted into the head
+        (the best decile of ranks); everything else is shuffled uniformly.
+        """
+        config = self.config
+        rng = self._rng
+        total = config.num_attributes
+        numeric_ids = [i for i, spec in enumerate(specs) if not spec.is_text]
+        boosted = [i for i in numeric_ids if rng.random() < config.numeric_head_bias]
+        head_size = max(len(boosted), total // 10)
+        head_ranks = rng.sample(range(head_size), len(boosted)) if boosted else []
+        boosted_rank = dict(zip(boosted, head_ranks))
+        remaining_ranks = [r for r in range(total) if r not in set(head_ranks)]
+        rng.shuffle(remaining_ranks)
+        ranks = [0] * total
+        cursor = 0
+        for i in range(total):
+            if i in boosted_rank:
+                ranks[i] = boosted_rank[i]
+            else:
+                ranks[i] = remaining_ranks[cursor]
+                cursor += 1
+        return ranks
+
+    def _cumulative_weights(self) -> List[float]:
+        total = 0.0
+        cumulative = []
+        for spec in self._specs:
+            total += spec.weight
+            cumulative.append(total)
+        return cumulative
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Names of all generated attributes."""
+        return [spec.name for spec in self._specs]
+
+    # ------------------------------------------------------------- values
+
+    def _text_value(self, spec: _AttributeSpec) -> Tuple[str, ...]:
+        rng = self._rng
+        config = self.config
+        count = 1
+        if rng.random() < config.multi_string_prob:
+            count = rng.randint(2, config.max_strings_per_value)
+        strings = []
+        for _ in range(count):
+            if spec.pool == "category":
+                s = self._vocab.category()
+            elif spec.pool == "brand":
+                s = self._vocab.brand()
+            elif spec.pool == "industry":
+                s = self._vocab.industry()
+            elif spec.pool == "person":
+                s = self._vocab.person()
+            elif spec.pool == "phrase":
+                s = self._vocab.phrase()
+            else:
+                s = self._vocab.value_string()
+            strings.append(maybe_typo(s, config.typo_rate, rng))
+        return tuple(strings)
+
+    def _numeric_value(self, spec: _AttributeSpec) -> float:
+        value = self._rng.uniform(spec.lo, spec.hi)
+        if spec.integral:
+            value = float(int(value))
+        return value
+
+    def _attrs_for_tuple(self) -> List[int]:
+        """Sample the set of defined attributes for one tuple."""
+        rng = self._rng
+        config = self.config
+        mean = config.mean_attrs_per_tuple
+        k = int(rng.gauss(mean, mean * 0.35))
+        k = max(1, min(config.num_attributes, k))
+        chosen: Dict[int, None] = {}
+        # Weighted sampling without replacement by rejection; the Zipf head
+        # is small so duplicates are common — over-draw, then top up.
+        while len(chosen) < k:
+            picks = rng.choices(
+                range(config.num_attributes),
+                cum_weights=self._cum_weights,
+                k=k - len(chosen) + 4,
+            )
+            for index in picks:
+                if len(chosen) >= k:
+                    break
+                chosen.setdefault(index, None)
+        return list(chosen)
+
+    def tuple_values(self) -> Dict[str, object]:
+        """One synthetic tuple as ``{attribute name: value}``."""
+        values: Dict[str, object] = {}
+        for index in self._attrs_for_tuple():
+            spec = self._specs[index]
+            if spec.is_text:
+                values[spec.name] = self._text_value(spec)
+            else:
+                values[spec.name] = self._numeric_value(spec)
+        return values
+
+    # ------------------------------------------------------------ driving
+
+    def populate(self, table: SparseWideTable, num_tuples: Optional[int] = None) -> None:
+        """Insert the configured number of tuples into *table*."""
+        count = self.config.num_tuples if num_tuples is None else num_tuples
+        for _ in range(count):
+            table.insert(self.tuple_values())
+
+
+def generate_dataset(
+    config: Optional[DatasetConfig] = None,
+    disk: Optional[SimulatedDisk] = None,
+) -> SparseWideTable:
+    """Create a disk + table and populate it; returns the table."""
+    disk = disk or SimulatedDisk()
+    table = SparseWideTable(disk)
+    DatasetGenerator(config).populate(table)
+    return table

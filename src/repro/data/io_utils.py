@@ -1,0 +1,137 @@
+"""Loading and dumping sparse wide tables (JSON Lines and CSV).
+
+Real CWMS datasets arrive as exports — one object per item with free-form
+keys (exactly the Google Base shape).  JSON Lines is the natural match for
+an SWT: absent keys are ndf, lists are multi-string text values.  CSV is
+supported for flat exports: empty cells are ndf and columns are sniffed as
+numeric when every non-empty value parses as a number.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import SchemaError
+from repro.model.values import is_text_value
+from repro.storage.table import SparseWideTable
+
+PathOrStr = Union[str, Path]
+
+
+def load_jsonl(table: SparseWideTable, source: Union[PathOrStr, Iterable[str]]) -> int:
+    """Insert one tuple per JSON line; returns the number inserted.
+
+    Values: numbers → numeric cells; strings → single-string text values;
+    lists of strings → multi-string text values; ``null`` → ndf (dropped).
+    Empty objects are rejected (a tuple must define something).
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = source
+    inserted = 0
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"line {line_no}: invalid JSON ({exc})") from exc
+        if not isinstance(obj, dict):
+            raise SchemaError(f"line {line_no}: expected a JSON object")
+        try:
+            table.insert(obj)
+        except SchemaError as exc:
+            raise SchemaError(f"line {line_no}: {exc}") from exc
+        inserted += 1
+    return inserted
+
+
+def dump_jsonl(table: SparseWideTable, path: PathOrStr) -> int:
+    """Write every live tuple as one JSON object per line; returns count.
+
+    Single-string text values serialise as strings, multi-string values as
+    lists, so ``dump → load`` round-trips exactly.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in table.scan():
+            obj: Dict[str, object] = {}
+            for attr_id, value in sorted(record.cells.items()):
+                name = table.catalog.by_id(attr_id).name
+                if is_text_value(value):
+                    obj[name] = value[0] if len(value) == 1 else list(value)
+                else:
+                    obj[name] = value
+            fh.write(json.dumps(obj, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def _parses_as_number(text: str) -> bool:
+    try:
+        value = float(text)
+    except ValueError:
+        return False
+    return value == value and value not in (float("inf"), float("-inf"))
+
+
+def sniff_numeric_columns(rows: List[Dict[str, str]]) -> List[str]:
+    """Column names whose every non-empty value parses as a finite number."""
+    candidates: Optional[set] = None
+    seen: set = set()
+    for row in rows:
+        for name, raw in row.items():
+            if raw is None or raw == "":
+                continue
+            seen.add(name)
+            if not _parses_as_number(raw):
+                if candidates is None:
+                    candidates = set()
+                candidates.add(name)
+    non_numeric = candidates or set()
+    return sorted(name for name in seen if name not in non_numeric)
+
+
+def load_csv(
+    table: SparseWideTable,
+    source: PathOrStr,
+    numeric_columns: Optional[Iterable[str]] = None,
+) -> int:
+    """Insert one tuple per CSV row; returns the number inserted.
+
+    Empty cells are ndf.  *numeric_columns* picks the columns stored as
+    numbers; by default they are sniffed (a column is numeric when every
+    non-empty value parses as a finite number).
+    """
+    with open(source, newline="", encoding="utf-8") as fh:
+        rows = list(csv.DictReader(fh))
+    if numeric_columns is None:
+        numeric = set(sniff_numeric_columns(rows))
+    else:
+        numeric = set(numeric_columns)
+    inserted = 0
+    for row_no, row in enumerate(rows, start=1):
+        values: Dict[str, object] = {}
+        for name, raw in row.items():
+            if raw is None or raw == "":
+                continue
+            if name in numeric:
+                try:
+                    values[name] = float(raw)
+                except ValueError as exc:
+                    raise SchemaError(
+                        f"row {row_no}: column {name!r} declared numeric but "
+                        f"holds {raw!r}"
+                    ) from exc
+            else:
+                values[name] = raw
+        if not values:
+            continue
+        table.insert(values)
+        inserted += 1
+    return inserted

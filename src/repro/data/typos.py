@@ -1,0 +1,49 @@
+"""Community-style typo injection.
+
+"In CWMSs, strings are typically short, and typos are very common because
+of the participation of large groups of people. For instance, 'Cannon' …
+should be 'Canon'." (paper Sec. I-B.)  The generator perturbs a fraction of
+strings with one of the four classic single-character edit operations —
+doubling, deletion, substitution, transposition — so typo'd values sit at
+edit distance 1–2 from their clean forms, exactly the regime edit-distance
+ranking is meant to handle.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_LETTERS = string.ascii_lowercase
+
+
+def introduce_typo(s: str, rng: random.Random) -> str:
+    """Return *s* with one random single-character typo (never empty)."""
+    if not s:
+        return s
+    kind = rng.randrange(4)
+    pos = rng.randrange(len(s))
+    if kind == 0:
+        # Doubled character ("Canon" -> "Cannon").
+        return s[: pos + 1] + s[pos] + s[pos + 1 :]
+    if kind == 1 and len(s) > 1:
+        # Dropped character.
+        return s[:pos] + s[pos + 1 :]
+    if kind == 2:
+        # Substituted character.
+        replacement = rng.choice(_LETTERS)
+        if replacement == s[pos]:
+            replacement = rng.choice(_LETTERS.replace(replacement, "a" if replacement != "a" else "b"))
+        return s[:pos] + replacement + s[pos + 1 :]
+    # Transposed adjacent characters.
+    if len(s) > 1:
+        pos = min(pos, len(s) - 2)
+        return s[:pos] + s[pos + 1] + s[pos] + s[pos + 2 :]
+    return s + s[0]
+
+
+def maybe_typo(s: str, rate: float, rng: random.Random) -> str:
+    """Apply a typo with probability *rate*."""
+    if rate > 0 and rng.random() < rate:
+        return introduce_typo(s, rng)
+    return s

@@ -1,0 +1,113 @@
+"""A product-domain vocabulary for synthesising CWMS strings.
+
+Google Base items were user-submitted product/classified listings (the
+paper's Fig. 1: digital cameras, job positions, music albums …), so the
+generator draws short phrases from the word pools below.  Phrase lengths
+are tuned so the corpus-wide average string length lands near the paper's
+16.8 bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+CATEGORIES = [
+    "Digital Camera", "Music Album", "Job Position", "Notebook", "Phone",
+    "Camera Lens", "Hard Drive", "Monitor", "Printer", "Router", "Keyboard",
+    "Graphics Card", "Memory Card", "Game Console", "Headphones", "Tablet",
+    "Projector", "Scanner", "Speaker", "Smart Watch", "Car Part", "Book",
+    "Movie", "Apartment", "Bicycle", "Guitar", "Sofa", "Desk Lamp",
+]
+
+BRANDS = [
+    "Canon", "Sony", "Nikon", "Apple", "Google", "Samsung", "Toshiba",
+    "Lenovo", "Dell", "Asus", "Acer", "Philips", "Panasonic", "Olympus",
+    "Kodak", "Fujifilm", "Epson", "Logitech", "Benz", "Toyota", "Honda",
+    "Yamaha", "Fender", "Gibson", "Ikea", "Casio", "Seiko", "Pentax",
+]
+
+ADJECTIVES = [
+    "new", "used", "compact", "wide-angle", "telephoto", "portable",
+    "wireless", "digital", "vintage", "professional", "slim", "ultra",
+    "classic", "deluxe", "standard", "premium", "budget", "refurbished",
+    "black", "white", "silver", "red", "blue", "brown", "green", "golden",
+]
+
+NOUNS = [
+    "camera", "lens", "album", "position", "battery", "charger", "cable",
+    "case", "stand", "adapter", "kit", "bundle", "edition", "series",
+    "model", "player", "drive", "card", "screen", "panel", "engine",
+    "wheel", "frame", "cover", "strap", "mount", "filter", "tripod",
+    "sensor", "remote", "dock", "hub", "sleeve", "pack", "set", "unit",
+]
+
+INDUSTRIES = [
+    "Computer", "Software", "Hardware", "Music", "Retail", "Finance",
+    "Education", "Media", "Travel", "Health", "Energy", "Design",
+]
+
+FIRST_NAMES = [
+    "Michael", "John", "David", "Maria", "Anna", "James", "Robert",
+    "Linda", "Sarah", "Peter", "Laura", "Kevin", "Nancy", "Brian",
+]
+
+LAST_NAMES = [
+    "Jackson", "Smith", "Johnson", "Brown", "Miller", "Davis", "Wilson",
+    "Taylor", "Clark", "Lewis", "Walker", "Young", "King", "Hill",
+]
+
+
+class Vocabulary:
+    """Deterministic phrase sampler over the word pools."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def category(self) -> str:
+        """A random product category."""
+        return self._rng.choice(CATEGORIES)
+
+    def brand(self) -> str:
+        """A random brand name."""
+        return self._rng.choice(BRANDS)
+
+    def industry(self) -> str:
+        """A random industry name."""
+        return self._rng.choice(INDUSTRIES)
+
+    def person(self) -> str:
+        """A random person name."""
+        return f"{self._rng.choice(FIRST_NAMES)} {self._rng.choice(LAST_NAMES)}"
+
+    def phrase(self, min_words: int = 1, max_words: int = 3) -> str:
+        """A short noun phrase, optionally with adjectives."""
+        rng = self._rng
+        words: List[str] = []
+        count = rng.randint(min_words, max_words)
+        for _ in range(count - 1):
+            words.append(rng.choice(ADJECTIVES))
+        words.append(rng.choice(NOUNS))
+        return " ".join(words)
+
+    def value_string(self) -> str:
+        """One data string, drawn from the mixture of pools.
+
+        The mixture weights keep the mean length near the Google Base
+        statistic (≈ 16.8 bytes).
+        """
+        rng = self._rng
+        roll = rng.random()
+        if roll < 0.25:
+            return self.category()
+        if roll < 0.35:
+            return self.brand()
+        if roll < 0.40:
+            return self.industry()
+        if roll < 0.55:
+            return self.person()
+        return self.phrase(min_words=2, max_words=4)
+
+    def strings(self, count: int) -> Sequence[str]:
+        """*count* random value strings."""
+        return tuple(self.value_string() for _ in range(count))

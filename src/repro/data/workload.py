@@ -1,0 +1,134 @@
+"""Query workload generation (paper Sec. V-A).
+
+"To simulate the actual workload in real applications, we generate several
+sets of queries by randomly selecting values in the dataset so that the
+distribution of queries follows the data distribution of the dataset.  Each
+selected value and its attribute id form one value in a structured query.
+Each query set has 50 queries with the first 10 queries used for warming
+the file cache and the other 40 for experiment evaluation.  The number of
+defined values per query is fixed in one query set."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.model.values import is_text_value
+from repro.query import Query, QueryTerm
+from repro.storage.table import SparseWideTable
+
+DEFAULT_QUERIES_PER_SET = 50
+DEFAULT_WARMUP_QUERIES = 10
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """A fixed-arity query set with the paper's warm-up split."""
+
+    values_per_query: int
+    queries: Tuple[Query, ...]
+    warmup_count: int = DEFAULT_WARMUP_QUERIES
+
+    @property
+    def warmup(self) -> Tuple[Query, ...]:
+        """The cache-warming prefix of the set."""
+        return self.queries[: self.warmup_count]
+
+    @property
+    def measured(self) -> Tuple[Query, ...]:
+        """The measured queries (after warm-up)."""
+        return self.queries[self.warmup_count :]
+
+
+class WorkloadGenerator:
+    """Samples structured queries from a table's own value distribution.
+
+    Two sampling modes:
+
+    * ``single_tuple=True`` (default) — all of a query's values come from
+      one randomly chosen tuple, i.e. the query describes one real item
+      (the paper's Fig. 2 query mirrors tuple 8).  This is the natural
+      reading of "each selected value and its attribute id form one value
+      in a structured query" for a user searching for something specific.
+    * ``single_tuple=False`` — each value comes from an independently
+      chosen tuple; queries rarely have a good overall match.
+
+    Either way the query distribution follows the data distribution.
+    """
+
+    def __init__(
+        self, table: SparseWideTable, seed: int = 7, single_tuple: bool = True
+    ) -> None:
+        self.table = table
+        self.single_tuple = single_tuple
+        self._rng = random.Random(seed)
+        self._live_tids: List[int] = table.live_tids()
+
+    def sample_query(self, values_per_query: int) -> Query:
+        """One query of fixed arity sampled from the live data."""
+        if values_per_query < 1:
+            raise ValueError("a query needs at least one value")
+        if self.single_tuple:
+            return self._sample_from_one_tuple(values_per_query)
+        return self._sample_independently(values_per_query)
+
+    def _term(self, attr_id: int, value) -> QueryTerm:
+        attr = self.table.catalog.by_id(attr_id)
+        if is_text_value(value):
+            return QueryTerm(attr=attr, value=self._rng.choice(value))
+        return QueryTerm(attr=attr, value=float(value))
+
+    def _sample_from_one_tuple(self, values_per_query: int) -> Query:
+        rng = self._rng
+        for _ in range(10000):
+            tid = rng.choice(self._live_tids)
+            record = self.table.read(tid)
+            attr_ids = record.defined_attributes()
+            if len(attr_ids) < values_per_query:
+                continue
+            chosen = rng.sample(attr_ids, values_per_query)
+            terms = tuple(self._term(a, record.value(a)) for a in chosen)
+            return Query(terms=terms)
+        raise RuntimeError(
+            f"no tuple defines {values_per_query} attributes; cannot build queries"
+        )
+
+    def _sample_independently(self, values_per_query: int) -> Query:
+        rng = self._rng
+        terms = {}
+        attempts = 0
+        while len(terms) < values_per_query:
+            attempts += 1
+            if attempts > 1000 * values_per_query:
+                raise RuntimeError(
+                    "could not assemble a query; is the table non-empty?"
+                )
+            tid = rng.choice(self._live_tids)
+            record = self.table.read(tid)
+            attr_id = rng.choice(record.defined_attributes())
+            if attr_id in terms:
+                continue
+            terms[attr_id] = self._term(attr_id, record.value(attr_id))
+        return Query(terms=tuple(terms.values()))
+
+    def query_set(
+        self,
+        values_per_query: int,
+        count: int = DEFAULT_QUERIES_PER_SET,
+        warmup_count: int = DEFAULT_WARMUP_QUERIES,
+    ) -> QuerySet:
+        """A full query set (warm-up + measured) of fixed arity."""
+        if warmup_count >= count:
+            raise ValueError("warmup_count must be smaller than count")
+        queries = tuple(self.sample_query(values_per_query) for _ in range(count))
+        return QuerySet(
+            values_per_query=values_per_query,
+            queries=queries,
+            warmup_count=warmup_count,
+        )
+
+    def random_tuples(self, count: int) -> List[int]:
+        """Random live tids (used by the update experiments)."""
+        return [self._rng.choice(self._live_tids) for _ in range(count)]

@@ -1,0 +1,193 @@
+"""Scatter/gather top-k over horizontally partitioned iVA-files.
+
+Each partition is a complete single-node stack — simulated disk, sparse
+wide table, iVA-file — and all partitions share one attribute catalog so
+attribute ids (and therefore queries) mean the same thing everywhere.
+Inserts route round-robin (the paper's community workload is append-heavy
+and uniform routing keeps partitions balanced); a global id encodes
+``(partition, local tid)``.
+
+A query runs Algorithm 1 independently on every partition with the same
+``k`` and merges the per-partition pools.  Correctness is immediate: the
+global top-k is a subset of the union of per-partition top-k's.  Modeled
+latency is the slowest partition (they run in parallel); modeled work is
+the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Union
+
+from repro.core.engine import IVAEngine, SearchReport
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.errors import QueryError, StorageError
+from repro.metrics.distance import DistanceFunction
+from repro.query import Query
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskParameters, SimulatedDisk
+from repro.storage.table import SparseWideTable
+
+
+@dataclass(frozen=True)
+class GlobalResult:
+    """One answer tuple addressed globally."""
+
+    partition: int
+    tid: int
+    distance: float
+
+    @property
+    def global_id(self) -> str:
+        """Stable textual address: ``p<partition>:<tid>``."""
+        return f"p{self.partition}:{self.tid}"
+
+
+@dataclass
+class PartitionedSearchReport:
+    """Merged answer plus parallel-execution cost summary."""
+
+    results: List[GlobalResult] = field(default_factory=list)
+    per_partition: List[SearchReport] = field(default_factory=list)
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Modeled latency: partitions execute in parallel."""
+        if not self.per_partition:
+            return 0.0
+        return max(r.query_time_ms for r in self.per_partition)
+
+    @property
+    def total_work_ms(self) -> float:
+        """Modeled aggregate machine time across partitions."""
+        return sum(r.query_time_ms for r in self.per_partition)
+
+    @property
+    def table_accesses(self) -> int:
+        """Random table-file accesses across partitions."""
+        return sum(r.table_accesses for r in self.per_partition)
+
+    @property
+    def tuples_scanned(self) -> int:
+        """Tuples filtered across partitions."""
+        return sum(r.tuples_scanned for r in self.per_partition)
+
+
+class PartitionedSystem:
+    """A horizontally partitioned sparse wide table with per-partition iVA-files."""
+
+    def __init__(
+        self,
+        num_partitions: int,
+        disk_params: Optional[DiskParameters] = None,
+        iva_config: Optional[IVAConfig] = None,
+        distance: Optional[DistanceFunction] = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise QueryError("need at least one partition")
+        self.catalog = Catalog()
+        self.distance = distance or DistanceFunction()
+        self._iva_config = iva_config or IVAConfig()
+        self.disks: List[SimulatedDisk] = []
+        self.tables: List[SparseWideTable] = []
+        self.indexes: List[Optional[IVAFile]] = []
+        for _ in range(num_partitions):
+            disk = SimulatedDisk(disk_params)
+            self.disks.append(disk)
+            self.tables.append(SparseWideTable(disk, catalog=self.catalog))
+            self.indexes.append(None)
+        self._next_route = 0
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions in the system."""
+        return len(self.tables)
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+    # --------------------------------------------------------------- loading
+
+    def insert(self, values: Mapping[str, object]) -> GlobalResult:
+        """Round-robin insert; returns the tuple's global address."""
+        partition = self._next_route % self.num_partitions
+        self._next_route += 1
+        table = self.tables[partition]
+        cells = table.prepare_cells(values)
+        tid = table.insert_record(cells)
+        index = self.indexes[partition]
+        if index is not None:
+            index.insert(tid, cells)
+        return GlobalResult(partition=partition, tid=tid, distance=0.0)
+
+    def delete(self, partition: int, tid: int) -> None:
+        """Tombstone the tuple with this tid."""
+        self._check_partition(partition)
+        self.tables[partition].delete(tid)
+        index = self.indexes[partition]
+        if index is not None:
+            index.delete(tid)
+
+    def build_indexes(self) -> None:
+        """(Re)build every partition's iVA-file; call after bulk loading."""
+        for partition, table in enumerate(self.tables):
+            self.indexes[partition] = IVAFile.build(table, self._iva_config)
+
+    def rebuild(self) -> None:
+        """Periodic cleaning (Sec. IV-B) on every partition."""
+        for partition, table in enumerate(self.tables):
+            table.rebuild()
+            index = self.indexes[partition]
+            if index is not None:
+                index.rebuild()
+
+    def total_index_bytes(self) -> int:
+        """Combined index bytes across all shards."""
+        return sum(
+            index.total_bytes() for index in self.indexes if index is not None
+        )
+
+    def total_table_bytes(self) -> int:
+        """Combined table-file bytes across all shards."""
+        return sum(table.file_bytes for table in self.tables)
+
+    # --------------------------------------------------------------- queries
+
+    def search(
+        self,
+        query: Union[Query, Mapping[str, object]],
+        k: int = 10,
+        distance: Optional[DistanceFunction] = None,
+    ) -> PartitionedSearchReport:
+        """Scatter the query to every partition and merge the top-k."""
+        if isinstance(query, Mapping):
+            query = Query.from_dict(self.catalog, query)
+        elif not isinstance(query, Query):
+            raise QueryError(f"cannot interpret {query!r} as a query")
+        dist = distance or self.distance
+        report = PartitionedSearchReport()
+        merged: List[GlobalResult] = []
+        for partition, table in enumerate(self.tables):
+            index = self.indexes[partition]
+            if index is None:
+                raise StorageError(
+                    f"partition {partition} has no index; call build_indexes()"
+                )
+            local = IVAEngine(table, index, dist).search(query, k=k)
+            report.per_partition.append(local)
+            merged.extend(
+                GlobalResult(partition=partition, tid=r.tid, distance=r.distance)
+                for r in local.results
+            )
+        merged.sort(key=lambda r: (r.distance, r.partition, r.tid))
+        report.results = merged[:k]
+        return report
+
+    def read(self, partition: int, tid: int):
+        """Read one tuple by address."""
+        self._check_partition(partition)
+        return self.tables[partition].read(tid)
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.num_partitions:
+            raise QueryError(f"no partition {partition}")

@@ -1,0 +1,209 @@
+"""Vertically partitioned iVA-files: attribute groups on separate nodes.
+
+The second half of the paper's Sec. VI remark: because the iVA-file keeps
+one independent vector list per attribute, the lists shard naturally *by
+attribute*.  Each scan node owns the vector lists (and a small shadow
+tuple list) of one attribute group; the full table file stays on the
+storage node.  A query touches only the nodes owning its attributes: each
+runs its part of the synchronized scan and streams per-tuple lower bounds;
+the coordinator combines them with the metric, keeps the top-k pool, and
+refines against the storage node — Algorithm 1, distributed along its
+attribute axis.
+
+Construction snapshots the base table: shadow row *i* on every node
+corresponds to the *i*-th live base tuple (``_base_tids[i]``).  Tuples
+deleted from the base table afterwards are skipped at query time; after
+heavy churn, rebuild the partitioning.
+
+Costs are per node (each has its own simulated disk); the report's
+modeled latency takes the max of the scan nodes (parallel) plus the
+storage node's refine I/O.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.core.engine import QueryResult
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.core.pool import ResultPool
+from repro.core.signature import QueryStringEncoder
+from repro.errors import QueryError
+from repro.metrics.distance import DistanceFunction
+from repro.query import Query
+from repro.storage.disk import DiskParameters, SimulatedDisk
+from repro.storage.table import SparseWideTable
+
+
+@dataclass
+class VerticalSearchReport:
+    """Answers plus per-node cost accounting."""
+
+    results: List[QueryResult] = field(default_factory=list)
+    tuples_scanned: int = 0
+    table_accesses: int = 0
+    #: Modeled scan I/O per participating node (node id -> ms).
+    scan_io_ms: Dict[int, float] = field(default_factory=dict)
+    refine_io_ms: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Scan nodes run in parallel; refine is serial on the storage node."""
+        scan = max(self.scan_io_ms.values()) if self.scan_io_ms else 0.0
+        return scan + self.refine_io_ms + self.wall_s * 1000.0
+
+
+class VerticallyPartitionedIVA:
+    """Attribute-group sharding of one table's iVA-file."""
+
+    def __init__(
+        self,
+        table: SparseWideTable,
+        num_nodes: int,
+        config: Optional[IVAConfig] = None,
+        disk_params: Optional[DiskParameters] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise QueryError("need at least one scan node")
+        self.table = table
+        self.config = config or IVAConfig()
+        self.num_nodes = num_nodes
+        self._assignment: Dict[int, int] = {}
+        for attr in table.catalog:
+            if assignment is not None and attr.name in assignment:
+                node = assignment[attr.name]
+                if not 0 <= node < num_nodes:
+                    raise QueryError(
+                        f"attribute {attr.name!r} assigned to bad node {node}"
+                    )
+            else:
+                node = attr.attr_id % num_nodes
+            self._assignment[attr.attr_id] = node
+
+        #: Shadow row i on every node ↔ base tuple _base_tids[i].
+        self._base_tids = table.live_tids()
+        self.node_disks = [SimulatedDisk(disk_params) for _ in range(num_nodes)]
+        self.node_indexes: List[IVAFile] = []
+        records = list(table.scan())
+        for node, disk in enumerate(self.node_disks):
+            shadow = SparseWideTable(disk, name=f"shadow{node}", catalog=table.catalog)
+            for record in records:
+                cells = {
+                    attr_id: value
+                    for attr_id, value in record.cells.items()
+                    if self._assignment[attr_id] == node
+                }
+                # Alignment row even when this node owns none of the
+                # tuple's attributes (the interpreted codec allows empty
+                # rows; queries see them as all-ndf).
+                shadow.insert_record(cells)
+            self.node_indexes.append(IVAFile.build(shadow, self._node_config(node)))
+
+    def _node_config(self, node: int) -> IVAConfig:
+        return IVAConfig(
+            alpha=self.config.alpha,
+            n=self.config.n,
+            name=f"{self.config.name}_n{node}",
+            alpha_overrides=self.config.alpha_overrides,
+        )
+
+    def node_of(self, attribute: str) -> int:
+        """Which scan node owns an attribute's vector list."""
+        attr = self.table.catalog.require(attribute)
+        return self._assignment[attr.attr_id]
+
+    def total_index_bytes(self) -> int:
+        """Combined index bytes across all shards."""
+        return sum(index.total_bytes() for index in self.node_indexes)
+
+    def search(
+        self,
+        query: Union[Query, Mapping[str, object]],
+        k: int = 10,
+        distance: Optional[DistanceFunction] = None,
+    ) -> VerticalSearchReport:
+        """Distributed Algorithm 1 across the attribute shards."""
+        if isinstance(query, Mapping):
+            query = Query.from_dict(self.table.catalog, query)
+        elif not isinstance(query, Query):
+            raise QueryError(f"cannot interpret {query!r} as a query")
+        dist = distance or DistanceFunction()
+        report = VerticalSearchReport()
+        started = time.perf_counter()
+
+        by_node: Dict[int, List[int]] = {}
+        for term in query.terms:
+            node = self._assignment[term.attr.attr_id]
+            by_node.setdefault(node, []).append(term.attr.attr_id)
+        scans = {
+            node: self.node_indexes[node].open_scan(attr_ids)
+            for node, attr_ids in by_node.items()
+        }
+        scan_io_start = {
+            node: self.node_disks[node].stats.io_time_ms for node in by_node
+        }
+
+        n = self.config.n
+        encoders = {
+            term.attr.attr_id: QueryStringEncoder(str(term.value), n)
+            for term in query.terms
+            if term.attr.is_text
+        }
+        ndf_penalty = dist.ndf_penalty
+        pool = ResultPool(k)
+        storage_disk = self.table.disk
+        refine_io = 0.0
+        iterators = {node: iter(scan) for node, scan in scans.items()}
+
+        for position, base_tid in enumerate(self._base_tids):
+            payload_by_attr: Dict[int, object] = {}
+            for node, scan in scans.items():
+                local_tid, _ = next(iterators[node])
+                assert local_tid == position
+                for attr_id, payload in zip(scan.attr_ids, scan.payloads(local_tid)):
+                    payload_by_attr[attr_id] = payload
+            if not self.table.is_live(base_tid):
+                continue
+            report.tuples_scanned += 1
+            diffs: List[float] = []
+            exact = True
+            for term in query.terms:
+                payload = payload_by_attr[term.attr.attr_id]
+                if payload is None:
+                    diffs.append(ndf_penalty)
+                    continue
+                exact = False
+                if term.attr.is_text:
+                    diffs.append(
+                        min(encoders[term.attr.attr_id].lower_bound(s) for s in payload)
+                    )
+                else:
+                    entry = self.node_indexes[
+                        self._assignment[term.attr.attr_id]
+                    ].entry(term.attr.attr_id)
+                    diffs.append(entry.quantizer.lower_bound(float(term.value), payload))
+            estimated = dist.combine_bounds(query, diffs)
+            if exact:
+                pool.insert(base_tid, estimated)
+                continue
+            if pool.is_candidate(estimated):
+                io_before = storage_disk.stats.io_time_ms
+                record = self.table.read(base_tid)
+                pool.insert(base_tid, dist.actual(query, record))
+                refine_io += storage_disk.stats.io_time_ms - io_before
+                report.table_accesses += 1
+
+        for node in by_node:
+            report.scan_io_ms[node] = (
+                self.node_disks[node].stats.io_time_ms - scan_io_start[node]
+            )
+        report.refine_io_ms = refine_io
+        report.wall_s = time.perf_counter() - started
+        report.results = [
+            QueryResult(tid=e.tid, distance=e.distance) for e in pool.results()
+        ]
+        return report

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """An attribute was used inconsistently with its registered type."""
+
+
+class StorageError(ReproError):
+    """The storage layer was asked to do something impossible.
+
+    Examples: reading past the end of a file, referencing an unknown file,
+    or decoding a corrupted row.
+    """
+
+
+class IndexError_(ReproError):
+    """The index is inconsistent with the table it claims to cover."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (empty, unknown attribute, wrong value type)."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be encoded into an approximation vector."""

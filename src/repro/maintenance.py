@@ -1,0 +1,109 @@
+"""Keeping table and indices consistent under updates (Sec. IV-B).
+
+The paper's update protocol: inserts append to the table file, the tuple
+list and the affected vector-list tails; deletes tombstone the tuple list
+only; an update is a delete plus an insert under a fresh tid.  Deleted data
+is physically removed by periodically rebuilding the table file and the
+index ("cleaning"), triggered when the deleted fraction reaches the
+threshold β.
+
+An *index* here is anything exposing ``insert(tid, cells)``,
+``delete(tid)`` and ``rebuild()`` — the iVA-file, the SII baseline and the
+VA-file all qualify (SII ignores the cell values and looks only at the
+keys; VAFile.rebuild re-derives everything, and its insert/delete are
+rebuild-based).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Mapping, Optional, Sequence
+
+from repro.storage.table import SparseWideTable
+
+logger = logging.getLogger(__name__)
+
+
+class MaintainedSystem:
+    """A table plus the indices that must track it."""
+
+    def __init__(self, table: SparseWideTable, indices: Sequence[object]) -> None:
+        self.table = table
+        self.indices = list(indices)
+
+    def insert(self, values: Mapping[str, object]) -> int:
+        """Insert into the table and every index; returns the new tid."""
+        cells = self.table.prepare_cells(values)
+        tid = self.table.insert_record(cells)
+        for index in self.indices:
+            index.insert(tid, cells)
+        return tid
+
+    def delete(self, tid: int) -> None:
+        """Tombstone in the table and every index."""
+        self.table.delete(tid)
+        for index in self.indices:
+            index.delete(tid)
+
+    def update(self, tid: int, values: Mapping[str, object]) -> int:
+        """The paper's update: delete + insert under a fresh tid."""
+        self.delete(tid)
+        return self.insert(values)
+
+    def rebuild(self) -> None:
+        """Periodic cleaning: compact the table file, then every index."""
+        self.table.rebuild()
+        for index in self.indices:
+            index.rebuild()
+
+    @property
+    def deleted_fraction(self) -> float:
+        """Dead tuples as a fraction of all stored tuples."""
+        total = len(self.table) + self.table.dead_tuples
+        if total == 0:
+            return 0.0
+        return self.table.dead_tuples / total
+
+    def maybe_clean(self, beta: float) -> bool:
+        """Rebuild iff the deleted fraction has reached β; True if it ran."""
+        if beta <= 0:
+            raise ValueError("cleaning trigger threshold β must be positive")
+        if self.deleted_fraction >= beta:
+            logger.info(
+                "cleaning triggered: deleted fraction %.3f >= beta %.3f",
+                self.deleted_fraction,
+                beta,
+            )
+            self.rebuild()
+            return True
+        return False
+
+
+def amortized_update_times(
+    td_ms: float, ti_ms: float, tr_ms: float, beta: float, total_tuples: int
+) -> dict:
+    """The paper's amortised per-operation costs under cleaning threshold β.
+
+    Returns deletion, insertion and update times in ms:
+    ``td + tr/(β|T|)``, ``ti + tr/(β|T|)``, ``td + ti + tr/(β|T|)``.
+    """
+    if total_tuples <= 0:
+        raise ValueError("total_tuples must be positive")
+    if beta <= 0:
+        raise ValueError("β must be positive")
+    cleaning = tr_ms / (beta * total_tuples)
+    return {
+        "deletion_ms": td_ms + cleaning,
+        "insertion_ms": ti_ms + cleaning,
+        "update_ms": td_ms + ti_ms + cleaning,
+    }
+
+
+def build_iva_system(
+    table: SparseWideTable, config: Optional[object] = None
+) -> MaintainedSystem:
+    """Convenience: a table maintained together with a fresh iVA-file."""
+    from repro.core.iva_file import IVAFile
+
+    index = IVAFile.build(table, config)
+    return MaintainedSystem(table, [index])

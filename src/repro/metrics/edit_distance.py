@@ -1,0 +1,89 @@
+"""Levenshtein edit distance.
+
+"The minimum number of edit operations (insertions, deletions, and
+substitutions) of single characters needed to transform the first string
+into the second" (paper Sec. III-A, after Gravano et al.).
+
+Two entry points: the plain distance, and a banded variant used by the
+refine step which gives up early once the distance provably exceeds a
+threshold — the common optimisation for top-k search where only distances
+below the current pool maximum matter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def edit_distance(s1: str, s2: str) -> int:
+    """Classic two-row dynamic-programming Levenshtein distance."""
+    if s1 == s2:
+        return 0
+    if not s1:
+        return len(s2)
+    if not s2:
+        return len(s1)
+    if len(s1) < len(s2):
+        s1, s2 = s2, s1
+    previous = list(range(len(s2) + 1))
+    for i, c1 in enumerate(s1, start=1):
+        current = [i]
+        append = current.append
+        for j, c2 in enumerate(s2, start=1):
+            if c1 == c2:
+                append(previous[j - 1])
+            else:
+                left = current[j - 1]
+                up = previous[j]
+                diag = previous[j - 1]
+                best = diag if diag < up else up
+                if left < best:
+                    best = left
+                append(best + 1)
+        previous = current
+    return previous[-1]
+
+
+def edit_distance_within(s1: str, s2: str, threshold: int) -> Optional[int]:
+    """Edit distance if it is ``<= threshold``, else ``None``.
+
+    Runs the DP inside a diagonal band of half-width *threshold*, which is
+    both sufficient for correctness and O(threshold · max(len)) time.
+    """
+    if threshold < 0:
+        return None
+    if s1 == s2:
+        return 0
+    len1, len2 = len(s1), len(s2)
+    if abs(len1 - len2) > threshold:
+        return None
+    if len1 < len2:
+        s1, s2, len1, len2 = s2, s1, len2, len1
+    if not s2:
+        return len1 if len1 <= threshold else None
+    big = threshold + 1
+    previous = [j if j <= threshold else big for j in range(len2 + 1)]
+    for i in range(1, len1 + 1):
+        lo = max(1, i - threshold)
+        hi = min(len2, i + threshold)
+        current = [big] * (len2 + 1)
+        row_best = big
+        if lo == 1 and i <= threshold:
+            current[0] = i
+            row_best = i
+        c1 = s1[i - 1]
+        for j in range(lo, hi + 1):
+            if c1 == s2[j - 1]:
+                cost = previous[j - 1]
+            else:
+                cost = min(previous[j - 1], previous[j], current[j - 1]) + 1
+            if cost > big:
+                cost = big
+            current[j] = cost
+            if cost < row_best:
+                row_best = cost
+        if row_best > threshold:
+            return None
+        previous = current
+    result = previous[len2]
+    return result if result <= threshold else None

@@ -1,0 +1,37 @@
+"""Attribute importance weights (paper Sec. V-B.3).
+
+Two schemes are evaluated in the paper:
+
+* EQU — every queried attribute weighs 1;
+* ITF — inverse tuple frequency, ``ln((1 + |T|) / (1 + |T|_A))`` where
+  ``|T|_A`` is the number of tuples defining attribute ``A``; rare
+  attributes count more.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.model.schema import AttributeDef
+from repro.storage.table import SparseWideTable
+
+#: A weighting scheme maps an attribute to its importance weight λ > 0.
+WeightScheme = Callable[[AttributeDef], float]
+
+
+def equal_weights(_: AttributeDef) -> float:
+    """EQU: all attributes weigh 1."""
+    return 1.0
+
+
+def itf_weights(table: SparseWideTable) -> WeightScheme:
+    """ITF weights derived from the table's live statistics."""
+
+    def weight(attr: AttributeDef) -> float:
+        """The importance weight λ of one attribute."""
+        total = len(table)
+        defined = table.stats.attr(attr.attr_id).df
+        return math.log((1 + total) / (1 + defined))
+
+    return weight

@@ -1,0 +1,32 @@
+"""Data model for sparse wide tables.
+
+This subpackage defines the logical data model of the paper's Sec. III-A:
+attributes are either *text* or *numeric*; a cell value ``v(T, A)`` is the
+special undefined marker :data:`NDF`, a numeric value, or a non-empty
+collection of finite-length strings.
+"""
+
+from repro.model.values import (
+    NDF,
+    NdfType,
+    TextValue,
+    coerce_value,
+    is_ndf,
+    is_numeric_value,
+    is_text_value,
+)
+from repro.model.schema import AttributeDef, AttributeType
+from repro.model.record import Record
+
+__all__ = [
+    "NDF",
+    "NdfType",
+    "TextValue",
+    "coerce_value",
+    "is_ndf",
+    "is_numeric_value",
+    "is_text_value",
+    "AttributeDef",
+    "AttributeType",
+    "Record",
+]

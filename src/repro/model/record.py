@@ -1,0 +1,45 @@
+"""Logical tuples (records) of the sparse wide table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.model.values import NDF, CellValue, is_ndf
+
+
+@dataclass
+class Record:
+    """A tuple of the wide table: a tid plus its *defined* cells.
+
+    Undefined attributes are simply absent from :attr:`cells`; reading one
+    through :meth:`value` returns :data:`NDF`.  This mirrors the interpreted
+    storage format where only defined (attribute, value) pairs are stored.
+    """
+
+    tid: int
+    cells: Dict[int, CellValue] = field(default_factory=dict)
+
+    def value(self, attr_id: int) -> CellValue:
+        """Return ``v(T, A)`` — the cell value, or NDF when undefined."""
+        return self.cells.get(attr_id, NDF)
+
+    def defined_attributes(self) -> Tuple[int, ...]:
+        """Ids of the attributes this tuple defines, in ascending order."""
+        return tuple(sorted(self.cells))
+
+    def __contains__(self, attr_id: int) -> bool:
+        return attr_id in self.cells
+
+    def __iter__(self) -> Iterator[Tuple[int, CellValue]]:
+        return iter(sorted(self.cells.items()))
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def set(self, attr_id: int, value: CellValue) -> None:
+        """Set a cell; setting NDF removes the cell."""
+        if is_ndf(value):
+            self.cells.pop(attr_id, None)
+        else:
+            self.cells[attr_id] = value

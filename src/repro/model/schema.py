@@ -1,0 +1,50 @@
+"""Attribute definitions for the sparse wide table.
+
+The table is schema-free from the user's perspective: inserting a tuple with
+a never-before-seen attribute name registers the attribute on the fly (the
+Google Base behaviour the paper targets).  Internally every attribute gets a
+stable integer id and a type, tracked by :class:`repro.storage.catalog.Catalog`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AttributeType(enum.Enum):
+    """The two attribute types of the paper's data model (Sec. III-A)."""
+
+    TEXT = "text"
+    NUMERIC = "numeric"
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """An attribute of the wide table.
+
+    Attributes
+    ----------
+    attr_id:
+        Stable integer id; also the attribute's position in the iVA-file's
+        attribute list (the paper eliminates explicit ids by positional
+        mapping, Sec. III-D).
+    name:
+        The user-facing attribute name, e.g. ``"Company"``.
+    kind:
+        TEXT or NUMERIC.
+    """
+
+    attr_id: int
+    name: str
+    kind: AttributeType
+
+    @property
+    def is_text(self) -> bool:
+        """True for text attributes."""
+        return self.kind is AttributeType.TEXT
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for numeric attributes."""
+        return self.kind is AttributeType.NUMERIC

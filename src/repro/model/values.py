@@ -1,0 +1,110 @@
+"""Cell values of a sparse wide table.
+
+A cell ``v(T, A)`` is one of:
+
+* :data:`NDF` — the attribute is undefined in the tuple (paper Sec. III-A);
+* a numeric value — stored as a ``float``;
+* a text value — a non-empty tuple of finite-length strings (a real example
+  from the paper is tuple 1's ``Industry = ("Computer", "Software")``).
+
+User input is normalised through :func:`coerce_value`, which accepts plain
+strings, numbers, and iterables of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+from repro.errors import SchemaError
+
+#: Maximum string length representable in an nG-signature's length field
+#: (one byte).  Longer strings are legal in the table; only the *stored*
+#: length saturates, which keeps the edit-distance estimate a lower bound.
+MAX_ENCODED_STRING_LENGTH = 255
+
+
+class NdfType:
+    """Singleton marker for an undefined cell (the paper's ``ndf``)."""
+
+    _instance = None
+
+    def __new__(cls) -> "NdfType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NDF"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (NdfType, ())
+
+
+#: The undefined-value marker.  Compare with ``is`` or :func:`is_ndf`.
+NDF = NdfType()
+
+#: A text value: a non-empty tuple of strings.
+TextValue = Tuple[str, ...]
+
+#: Any value that can live in a cell.
+CellValue = Union[NdfType, float, TextValue]
+
+
+def is_ndf(value: object) -> bool:
+    """Return True if *value* is the undefined marker."""
+    return value is NDF or isinstance(value, NdfType)
+
+
+def is_numeric_value(value: object) -> bool:
+    """Return True if *value* is a (coerced) numeric cell value."""
+    return isinstance(value, float)
+
+
+def is_text_value(value: object) -> bool:
+    """Return True if *value* is a (coerced) text cell value."""
+    return (
+        isinstance(value, tuple)
+        and len(value) > 0
+        and all(isinstance(s, str) for s in value)
+    )
+
+
+def coerce_value(raw: object) -> CellValue:
+    """Normalise user input into a canonical cell value.
+
+    Accepts: :data:`NDF` / ``None`` (→ NDF), ``int``/``float`` (→ float),
+    ``str`` (→ 1-tuple of str), or an iterable of strings (→ tuple of str).
+
+    Raises :class:`SchemaError` for anything else, for empty text values,
+    for empty strings, and for non-finite numbers.
+    """
+    if raw is None or is_ndf(raw):
+        return NDF
+    if isinstance(raw, bool):
+        raise SchemaError("boolean cell values are not supported")
+    if isinstance(raw, (int, float)):
+        value = float(raw)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SchemaError("numeric cell values must be finite")
+        return value
+    if isinstance(raw, str):
+        if not raw:
+            raise SchemaError("text cell values must be non-empty strings")
+        return (raw,)
+    if isinstance(raw, Iterable):
+        strings = tuple(raw)
+        if not strings:
+            raise SchemaError("a text value must contain at least one string")
+        for s in strings:
+            if not isinstance(s, str):
+                raise SchemaError(
+                    "a multi-string text value may only contain strings, "
+                    f"got {type(s).__name__}"
+                )
+            if not s:
+                raise SchemaError("text cell values must be non-empty strings")
+        return strings
+    raise SchemaError(f"unsupported cell value type: {type(raw).__name__}")

@@ -1,0 +1,83 @@
+"""Structured similarity queries.
+
+A query names values on a few attributes ("Type: Digital Camera,
+Company: Canon, Price: 200" — paper Fig. 2); the system returns the top-k
+tuples under a monotone similarity metric.  Text terms carry a single query
+string; numeric terms carry a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple, Union
+
+from repro.errors import QueryError
+from repro.model.schema import AttributeDef
+from repro.storage.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class QueryTerm:
+    """One defined value of a query: an attribute plus the expected value."""
+
+    attr: AttributeDef
+    value: Union[str, float]
+
+    def __post_init__(self) -> None:
+        if self.attr.is_text and not isinstance(self.value, str):
+            raise QueryError(
+                f"attribute {self.attr.name!r} is text; query value "
+                f"{self.value!r} is not a string"
+            )
+        if self.attr.is_numeric and not isinstance(self.value, (int, float)):
+            raise QueryError(
+                f"attribute {self.attr.name!r} is numeric; query value "
+                f"{self.value!r} is not a number"
+            )
+        if self.attr.is_text and not self.value:
+            raise QueryError("query strings must be non-empty")
+        if self.attr.is_numeric:
+            object.__setattr__(self, "value", float(self.value))
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable structured query: terms sorted by attribute id."""
+
+    terms: Tuple[QueryTerm, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError("a query must define at least one value")
+        ids = [t.attr.attr_id for t in self.terms]
+        if len(set(ids)) != len(ids):
+            raise QueryError("a query may define each attribute at most once")
+        object.__setattr__(
+            self, "terms", tuple(sorted(self.terms, key=lambda t: t.attr.attr_id))
+        )
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    @classmethod
+    def from_dict(cls, catalog: Catalog, values: Mapping[str, Union[str, float]]) -> "Query":
+        """Build a query from ``{attribute name: value}`` against a catalog."""
+        terms = []
+        for name, value in values.items():
+            attr = catalog.get(name)
+            if attr is None:
+                raise QueryError(f"query names unknown attribute {name!r}")
+            terms.append(QueryTerm(attr=attr, value=value))
+        return cls(terms=tuple(terms))
+
+    def attribute_ids(self) -> Tuple[int, ...]:
+        """The queried attribute ids, ascending."""
+        return tuple(t.attr.attr_id for t in self.terms)
+
+    def describe(self) -> str:
+        """Human-readable rendering."""
+        parts = [f"{t.attr.name}={t.value!r}" for t in self.terms]
+        return ", ".join(parts)

@@ -1,0 +1,29 @@
+"""Storage substrate: simulated disk, cache, row codec, wide table.
+
+The paper's evaluation (Sec. V) runs on a 2009-era machine with a spinning
+disk and a 10 MB file cache.  We reproduce the *behavioural* substrate with
+:class:`~repro.storage.disk.SimulatedDisk` — a byte-addressable, page-grained
+store with an explicit seek/transfer cost model and full I/O accounting — so
+the paper's I/O-bound comparisons (sequential index scans vs. random table
+accesses) can be regenerated deterministically on any machine.
+"""
+
+from repro.storage.cache import LRUCache
+from repro.storage.disk import DiskParameters, DiskStats, SimulatedDisk
+from repro.storage.catalog import Catalog
+from repro.storage.interpreted import decode_record, encode_record
+from repro.storage.pager import BufferedReader
+from repro.storage.table import SparseWideTable, TableStats
+
+__all__ = [
+    "LRUCache",
+    "DiskParameters",
+    "DiskStats",
+    "SimulatedDisk",
+    "Catalog",
+    "encode_record",
+    "decode_record",
+    "BufferedReader",
+    "SparseWideTable",
+    "TableStats",
+]

@@ -1,0 +1,96 @@
+"""A page-grained LRU cache.
+
+Models the 10 MB file cache the paper places in front of the index and table
+files (Sec. V-A: "We set a 10 MB file cache in memory for the index and the
+table file operations. The cache is warmed before each experiment.").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class LRUCache:
+    """Fixed-capacity LRU set of page keys.
+
+    The cache tracks *which* pages are resident, not their bytes — the
+    simulated disk keeps all data in memory anyway; the cache only decides
+    whether an access costs simulated I/O.
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._pages
+
+    def touch(self, key: Hashable) -> bool:
+        """Access a page.  Returns True on a hit (page already resident).
+
+        On a miss the page is brought in, evicting the least-recently-used
+        page if the cache is full.
+        """
+        if self.capacity_pages == 0:
+            self.misses += 1
+            return False
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._insert(key)
+        return False
+
+    def insert(self, key: Hashable) -> None:
+        """Bring a page in (e.g. after a write) without counting a hit/miss."""
+        if self.capacity_pages == 0:
+            return
+        if key in self._pages:
+            self._pages.move_to_end(key)
+        else:
+            self._insert(key)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop a page if resident (e.g. the file was deleted)."""
+        self._pages.pop(key, None)
+
+    def invalidate_prefix(self, prefix: object) -> None:
+        """Drop every resident page whose key's first element equals *prefix*.
+
+        Page keys are ``(file_name, page_no)`` tuples; this drops a whole
+        file, used when a file is deleted or truncated.
+        """
+        doomed = [k for k in self._pages if isinstance(k, tuple) and k and k[0] == prefix]
+        for key in doomed:
+            del self._pages[key]
+
+    def clear(self) -> None:
+        """Drop every cached page."""
+        self._pages.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits / (hits + misses), or None before any access."""
+        total = self.hits + self.misses
+        if total == 0:
+            return None
+        return self.hits / total
+
+    def _insert(self, key: Hashable) -> None:
+        self._pages[key] = None
+        while len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)

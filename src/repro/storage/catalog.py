@@ -1,0 +1,85 @@
+"""Attribute catalog: names → stable ids and types.
+
+The SWT is schema-free for users; the catalog grows as tuples arrive.  The
+attribute id doubles as the attribute's position in the iVA-file's attribute
+list (the paper's positional mapping, Sec. III-D: "Since attributes are
+rarely deleted, we eliminate the attribute id in the element, and adopt the
+positional way").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SchemaError
+from repro.model.schema import AttributeDef, AttributeType
+from repro.model.values import CellValue, is_numeric_value, is_text_value
+
+
+class Catalog:
+    """Registry of the table's attributes."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, AttributeDef] = {}
+        self._by_id: List[AttributeDef] = []
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[AttributeDef]:
+        return iter(self._by_id)
+
+    def get(self, name: str) -> Optional[AttributeDef]:
+        """Look up by name; None when absent."""
+        return self._by_name.get(name)
+
+    def require(self, name: str) -> AttributeDef:
+        """Look up by name; raises SchemaError when absent."""
+        attr = self._by_name.get(name)
+        if attr is None:
+            raise SchemaError(f"unknown attribute: {name!r}")
+        return attr
+
+    def by_id(self, attr_id: int) -> AttributeDef:
+        """Look up by attribute id; raises SchemaError when absent."""
+        if 0 <= attr_id < len(self._by_id):
+            return self._by_id[attr_id]
+        raise SchemaError(f"unknown attribute id: {attr_id}")
+
+    def register(self, name: str, kind: AttributeType) -> AttributeDef:
+        """Register an attribute, or return it if already registered.
+
+        Registering an existing name with a different type is a
+        :class:`SchemaError` — the table does not support heterogeneous
+        attributes.
+        """
+        existing = self._by_name.get(name)
+        if existing is not None:
+            if existing.kind is not kind:
+                raise SchemaError(
+                    f"attribute {name!r} is {existing.kind.value}, "
+                    f"cannot store a {kind.value} value in it"
+                )
+            return existing
+        attr = AttributeDef(attr_id=len(self._by_id), name=name, kind=kind)
+        self._by_name[name] = attr
+        self._by_id.append(attr)
+        return attr
+
+    def register_for_value(self, name: str, value: CellValue) -> AttributeDef:
+        """Register an attribute with the type inferred from *value*."""
+        if is_numeric_value(value):
+            return self.register(name, AttributeType.NUMERIC)
+        if is_text_value(value):
+            return self.register(name, AttributeType.TEXT)
+        raise SchemaError(
+            f"cannot infer attribute type for {name!r} from value {value!r}"
+        )
+
+    def text_attributes(self) -> List[AttributeDef]:
+        """All text attributes in id order."""
+        return [a for a in self._by_id if a.is_text]
+
+    def numeric_attributes(self) -> List[AttributeDef]:
+        """All numeric attributes in id order."""
+        return [a for a in self._by_id if a.is_numeric]

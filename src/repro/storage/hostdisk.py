@@ -1,0 +1,182 @@
+"""A real-filesystem backend with the simulated disk's interface.
+
+Everything above the storage layer (tables, indices, engines) talks to a
+*disk* through the same handful of methods; :class:`HostDisk` implements
+them over an actual directory, so the library runs as a real embedded
+database — no cost modeling, just genuine OS I/O.  The stats object keeps
+the logical counters (calls, bytes); modeled time stays zero.
+
+Notes:
+
+* file names are mapped to safe host names (``/`` and odd characters are
+  percent-escaped) inside the root directory;
+* the ``cache`` attribute is a zero-capacity LRU so code poking cache
+  counters keeps working;
+* durability is the host filesystem's (writes go straight through).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.errors import StorageError
+from repro.storage.cache import LRUCache
+from repro.storage.disk import DiskParameters, DiskStats
+
+_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _host_name(name: str) -> str:
+    out = []
+    for ch in name:
+        if ch in _SAFE:
+            out.append(ch)
+        else:
+            out.append(f"%{ord(ch):04x}")
+    return "".join(out)
+
+
+class HostDisk:
+    """Disk interface over a directory on the host filesystem."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.params = DiskParameters()
+        self.stats = DiskStats()
+        self.cache = LRUCache(0)
+        self._names: dict = {}
+        for path in self.root.iterdir():
+            if path.is_file():
+                self._names[self._logical_name(path.name)] = path.name
+
+    @staticmethod
+    def _logical_name(host: str) -> str:
+        out = []
+        i = 0
+        while i < len(host):
+            if host[i] == "%" and i + 4 < len(host):
+                out.append(chr(int(host[i + 1 : i + 5], 16)))
+                i += 5
+            else:
+                out.append(host[i])
+                i += 1
+        return "".join(out)
+
+    def _path(self, name: str) -> Path:
+        host = self._names.get(name)
+        if host is None:
+            raise StorageError(f"no such file: {name!r}")
+        return self.root / host
+
+    # ------------------------------------------------------------------ files
+
+    def create(self, name: str, *, overwrite: bool = False) -> None:
+        """Create an empty file (overwrite optional)."""
+        if name in self._names and not overwrite:
+            raise StorageError(f"file already exists: {name!r}")
+        host = _host_name(name)
+        (self.root / host).write_bytes(b"")
+        self._names[name] = host
+
+    def delete(self, name: str) -> None:
+        """Tombstone the tuple with this tid."""
+        path = self._path(name)
+        path.unlink()
+        del self._names[name]
+
+    def exists(self, name: str) -> bool:
+        """True if the file exists."""
+        return name in self._names
+
+    def size(self, name: str) -> int:
+        """Current number of members."""
+        return self._path(name).stat().st_size
+
+    def list_files(self) -> Tuple[str, ...]:
+        """All file names, sorted."""
+        return tuple(sorted(self._names))
+
+    def total_bytes(self) -> int:
+        """Total serialized footprint in bytes."""
+        return sum(self.size(name) for name in self._names)
+
+    # ------------------------------------------------------------------- I/O
+
+    def read(self, name: str, offset: int, length: int) -> bytes:
+        """Read one tuple by address."""
+        if offset < 0 or length < 0:
+            raise StorageError("negative offset or length")
+        path = self._path(name)
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(length)
+        if len(data) != length:
+            raise StorageError(
+                f"read past EOF on {name!r}: offset={offset} length={length}"
+            )
+        self.stats.read_calls += 1
+        self.stats.bytes_read += length
+        self.stats.per_file_reads[name] = self.stats.per_file_reads.get(name, 0) + 1
+        return data
+
+    def write(self, name: str, offset: int, payload: bytes) -> None:
+        """Write bytes at an offset (may extend the file)."""
+        if offset < 0:
+            raise StorageError("negative offset")
+        path = self._path(name)
+        size = path.stat().st_size
+        if offset > size:
+            raise StorageError(
+                f"write would leave a hole in {name!r}: offset={offset} size={size}"
+            )
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            fh.write(payload)
+        self.stats.write_calls += 1
+        self.stats.bytes_written += len(payload)
+
+    def append(self, name: str, payload: bytes) -> int:
+        """Append bytes; returns the offset written at."""
+        path = self._path(name)
+        with open(path, "ab") as fh:
+            offset = fh.tell()
+            fh.write(payload)
+        self.stats.write_calls += 1
+        self.stats.bytes_written += len(payload)
+        return offset
+
+    def truncate(self, name: str, size: int) -> None:
+        """Shrink the file to *size* bytes."""
+        path = self._path(name)
+        current = path.stat().st_size
+        if size < 0 or size > current:
+            raise StorageError(f"bad truncate size {size} for {name!r}")
+        with open(path, "r+b") as fh:
+            fh.truncate(size)
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename a file, replacing the target if present."""
+        path = self._path(old)
+        new_host = _host_name(new)
+        if new in self._names:
+            (self.root / self._names[new]).unlink()
+            del self._names[new]
+        path.rename(self.root / new_host)
+        del self._names[old]
+        self._names[new] = new_host
+
+    # ------------------------------------------------------------- cache ops
+
+    def warm_file(self, name: str) -> None:
+        """No-op: the OS page cache is in charge here."""
+        self._path(name)
+
+    def drop_cache(self) -> None:
+        """Empty the page cache."""
+        pass
+
+    def reset_stats(self) -> None:
+        """Zero every I/O counter."""
+        self.stats = DiskStats()

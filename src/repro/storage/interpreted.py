@@ -1,0 +1,139 @@
+"""The interpreted row format of the table file.
+
+The paper stores the SWT "horizontally in an interpreted format" (Beckmann
+et al. [6], adopted in Sec. V-A): each row carries only its *defined*
+(attribute id, value) pairs, self-describing enough to be parsed without a
+fixed schema.  Our wire format:
+
+```
+row      := u32 total_length   # including this header, enables fwd scan
+            u32 tid
+            u16 num_entries
+            entry*
+entry    := u32 attr_id
+            u8  type_tag       # 0 = numeric, 1 = text
+            payload
+numeric  := f64
+text     := u8 num_strings, ( u16 byte_length, utf8 bytes )*
+```
+
+All integers little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Tuple
+
+from repro.errors import StorageError
+from repro.model.record import Record
+from repro.model.values import is_numeric_value, is_text_value
+
+_HEADER = struct.Struct("<IIH")
+_ENTRY_HEAD = struct.Struct("<IB")
+_F64 = struct.Struct("<d")
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+
+TAG_NUMERIC = 0
+TAG_TEXT = 1
+
+MAX_STRINGS_PER_VALUE = 255
+MAX_STRING_BYTES = 65535
+
+
+def encode_record(record: Record) -> bytes:
+    """Serialise a record into the interpreted row format."""
+    body = bytearray()
+    entries = sorted(record.cells.items())
+    for attr_id, value in entries:
+        if is_numeric_value(value):
+            body += _ENTRY_HEAD.pack(attr_id, TAG_NUMERIC)
+            body += _F64.pack(value)
+        elif is_text_value(value):
+            if len(value) > MAX_STRINGS_PER_VALUE:
+                raise StorageError(
+                    f"text value on attribute {attr_id} has {len(value)} "
+                    f"strings; max is {MAX_STRINGS_PER_VALUE}"
+                )
+            body += _ENTRY_HEAD.pack(attr_id, TAG_TEXT)
+            body += _U8.pack(len(value))
+            for s in value:
+                raw = s.encode("utf-8")
+                if len(raw) > MAX_STRING_BYTES:
+                    raise StorageError(
+                        f"string of {len(raw)} bytes exceeds the "
+                        f"{MAX_STRING_BYTES}-byte row-format limit"
+                    )
+                body += _U16.pack(len(raw))
+                body += raw
+        else:
+            raise StorageError(
+                f"record {record.tid} holds an unencodable value on "
+                f"attribute {attr_id}: {value!r}"
+            )
+    total = _HEADER.size + len(body)
+    return _HEADER.pack(total, record.tid, len(entries)) + bytes(body)
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> Tuple[Record, int]:
+    """Parse one row at *offset*; returns (record, offset_after_row)."""
+    if offset + _HEADER.size > len(buffer):
+        raise StorageError("truncated row header")
+    total, tid, num_entries = _HEADER.unpack_from(buffer, offset)
+    end = offset + total
+    if total < _HEADER.size or end > len(buffer):
+        raise StorageError(f"corrupt row length {total} at offset {offset}")
+    pos = offset + _HEADER.size
+    record = Record(tid=tid)
+    for _ in range(num_entries):
+        if pos + _ENTRY_HEAD.size > end:
+            raise StorageError("truncated row entry")
+        attr_id, tag = _ENTRY_HEAD.unpack_from(buffer, pos)
+        pos += _ENTRY_HEAD.size
+        if tag == TAG_NUMERIC:
+            if pos + _F64.size > end:
+                raise StorageError("truncated numeric payload")
+            (value,) = _F64.unpack_from(buffer, pos)
+            pos += _F64.size
+            record.cells[attr_id] = value
+        elif tag == TAG_TEXT:
+            if pos + 1 > end:
+                raise StorageError("truncated text payload")
+            (count,) = _U8.unpack_from(buffer, pos)
+            pos += 1
+            strings = []
+            for _ in range(count):
+                if pos + 2 > end:
+                    raise StorageError("truncated string length")
+                (byte_len,) = _U16.unpack_from(buffer, pos)
+                pos += 2
+                if pos + byte_len > end:
+                    raise StorageError("truncated string bytes")
+                strings.append(buffer[pos : pos + byte_len].decode("utf-8"))
+                pos += byte_len
+            record.cells[attr_id] = tuple(strings)
+        else:
+            raise StorageError(f"unknown entry type tag {tag}")
+    if pos != end:
+        raise StorageError(
+            f"row at offset {offset} declares {total} bytes but entries "
+            f"consumed {pos - offset}"
+        )
+    return record, end
+
+
+def row_length(buffer: bytes, offset: int = 0) -> int:
+    """Total byte length of the row starting at *offset*."""
+    if offset + 4 > len(buffer):
+        raise StorageError("truncated row header")
+    (total,) = struct.unpack_from("<I", buffer, offset)
+    return total
+
+
+def iter_rows(buffer: bytes) -> Iterator[Record]:
+    """Parse a concatenation of rows front to back."""
+    offset = 0
+    while offset < len(buffer):
+        record, offset = decode_record(buffer, offset)
+        yield record

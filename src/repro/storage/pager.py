@@ -1,0 +1,105 @@
+"""Buffered sequential reading on top of the simulated disk.
+
+Scan-based indices read their lists front-to-back.  Issuing one simulated
+read per element would distort the cost model (every tiny read touching the
+same page would be a cache hit anyway, but the call overhead in Python is
+real), so scans go through :class:`BufferedReader`, which fetches large
+sequential chunks and serves small slices out of them — exactly what a real
+buffered file reader does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+
+class BufferedReader:
+    """Read-forward cursor over a byte range of a simulated file."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        name: str,
+        start: int,
+        end: Optional[int] = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self._disk = disk
+        self._name = name
+        self._end = disk.size(name) if end is None else end
+        if start < 0 or start > self._end:
+            raise StorageError(
+                f"bad reader range on {name!r}: start={start} end={self._end}"
+            )
+        self._pos = start
+        self._chunk_bytes = chunk_bytes
+        self._buffer = b""
+        self._buffer_start = start
+
+    @property
+    def position(self) -> int:
+        """Absolute offset of the next byte to be returned."""
+        return self._pos
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset of the readable range."""
+        return self._end
+
+    def exhausted(self) -> bool:
+        """True when the cursor reached the range end."""
+        return self._pos >= self._end
+
+    def remaining(self) -> int:
+        """Bytes left before the range end."""
+        return self._end - self._pos
+
+    def read(self, length: int) -> bytes:
+        """Read exactly *length* bytes; raises StorageError past the range."""
+        if length < 0:
+            raise StorageError("negative read length")
+        if self._pos + length > self._end:
+            raise StorageError(
+                f"read past range end on {self._name!r}: pos={self._pos} "
+                f"length={length} end={self._end}"
+            )
+        out = bytearray()
+        while length:
+            available = self._buffer_start + len(self._buffer) - self._pos
+            if available <= 0:
+                self._fill()
+                continue
+            take = min(length, available)
+            at = self._pos - self._buffer_start
+            out += self._buffer[at : at + take]
+            self._pos += take
+            length -= take
+        return bytes(out)
+
+    def skip(self, length: int) -> None:
+        """Advance without materialising bytes (still bounded by the range).
+
+        Skipped bytes that fall inside the current buffer cost nothing extra;
+        larger skips simply move the cursor — the next :meth:`read` fetches
+        from the new position (a forward seek within a sequential scan).
+        """
+        if length < 0:
+            raise StorageError("negative skip length")
+        if self._pos + length > self._end:
+            raise StorageError("skip past range end")
+        self._pos += length
+
+    def _fill(self) -> None:
+        start = self._pos
+        length = min(self._chunk_bytes, self._end - start)
+        if length <= 0:
+            raise StorageError("buffered reader exhausted")
+        self._buffer = self._disk.read(self._name, start, length)
+        self._buffer_start = start

@@ -1,0 +1,70 @@
+"""Shared fixtures: disks, tables, and a small populated dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulatedDisk, SparseWideTable
+from repro.data import DatasetConfig, DatasetGenerator
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    return SimulatedDisk()
+
+
+@pytest.fixture
+def table(disk: SimulatedDisk) -> SparseWideTable:
+    return SparseWideTable(disk)
+
+
+@pytest.fixture
+def camera_table(table: SparseWideTable) -> SparseWideTable:
+    """The running example of the paper's figures 1/2/6."""
+    table.insert(
+        {
+            "Type": "Job Position",
+            "Industry": ("Computer", "Software"),
+            "Company": "Google",
+            "Salary": 1000.0,
+        }
+    )
+    table.insert(
+        {
+            "Type": "Digital Camera",
+            "Price": 230.0,
+            "Company": "Canon",
+            "Pixel": 10000000.0,
+        }
+    )
+    table.insert(
+        {
+            "Type": "Music Album",
+            "Year": 1996.0,
+            "Price": 20.0,
+            "Artist": "Michael Jackson",
+        }
+    )
+    table.insert({"Type": "Digital Camera", "Price": 240.0, "Company": "Sony"})
+    table.insert({"Type": "Digital Camera", "Price": 230.0, "Company": "Cannon"})
+    return table
+
+
+SMALL_DATASET = DatasetConfig(
+    num_tuples=300,
+    num_attributes=40,
+    mean_attrs_per_tuple=6.0,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> SparseWideTable:
+    """A session-scoped synthetic table for integration tests.
+
+    Treat as read-only; update tests build their own tables.
+    """
+    disk = SimulatedDisk()
+    table = SparseWideTable(disk)
+    DatasetGenerator(SMALL_DATASET).populate(table)
+    return table

@@ -1,0 +1,46 @@
+"""Shared test helpers: brute-force ground truth for top-k queries."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.metrics.distance import DistanceFunction
+from repro.query import Query
+from repro.storage.table import SparseWideTable
+
+
+def brute_force_topk(
+    table: SparseWideTable,
+    query: Query,
+    k: int,
+    distance: DistanceFunction = None,
+) -> List[Tuple[int, float]]:
+    """Exact (tid, distance) top-k by scanning everything, ties by tid."""
+    dist = distance or DistanceFunction()
+    scored = [(dist.actual(query, record), record.tid) for record in table.scan()]
+    scored.sort()
+    return [(tid, d) for d, tid in scored[:k]]
+
+
+def assert_topk_matches_bruteforce(
+    engine,
+    table: SparseWideTable,
+    query: Query,
+    k: int,
+) -> None:
+    """The engine's answer must match ground truth up to distance ties.
+
+    The paper leaves the order of equal-distance tuples unspecified, so we
+    compare the sorted distance multisets and verify each returned tid's
+    distance is its true distance.
+    """
+    dist = engine.distance
+    expected = brute_force_topk(table, query, k, dist)
+    report = engine.search(query, k=k)
+    got = [(r.tid, r.distance) for r in report.results]
+    assert len(got) == len(expected)
+    assert [d for _, d in got] == pytest.approx([d for _, d in expected])
+    for tid, reported in got:
+        assert reported == pytest.approx(dist.actual(query, table.read(tid)))

@@ -1,0 +1,67 @@
+"""Tests for the empirical α advisor."""
+
+import pytest
+
+from repro.analysis.advisor import recommend_alpha
+from repro.data import WorkloadGenerator
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def queries(small_dataset):
+    workload = WorkloadGenerator(small_dataset, seed=44)
+    return [workload.sample_query(2) for _ in range(4)]
+
+
+class TestAdvisor:
+    def test_recommends_a_candidate(self, small_dataset, queries):
+        recommendation = recommend_alpha(
+            small_dataset, queries, alphas=(0.1, 0.3), sample_tuples=100
+        )
+        assert recommendation.best_alpha in (0.1, 0.3)
+        assert len(recommendation.candidates) == 2
+
+    def test_candidates_are_measured(self, small_dataset, queries):
+        recommendation = recommend_alpha(
+            small_dataset, queries, alphas=(0.1, 0.3), sample_tuples=100
+        )
+        for candidate in recommendation.candidates:
+            assert candidate.index_bytes > 0
+            assert candidate.mean_query_time_ms >= 0
+            assert candidate.mean_table_accesses >= 0
+        by_alpha = {c.alpha: c for c in recommendation.candidates}
+        # Bigger vectors -> bigger (extrapolated) index.
+        assert by_alpha[0.3].index_bytes > by_alpha[0.1].index_bytes
+
+    def test_best_is_minimal_cost(self, small_dataset, queries):
+        recommendation = recommend_alpha(
+            small_dataset, queries, alphas=(0.1, 0.2, 0.3), sample_tuples=100
+        )
+        best = min(
+            recommendation.candidates,
+            key=lambda c: (c.mean_query_time_ms, c.index_bytes),
+        )
+        assert recommendation.best_alpha == best.alpha
+
+    def test_describe(self, small_dataset, queries):
+        recommendation = recommend_alpha(
+            small_dataset, queries, alphas=(0.1, 0.3), sample_tuples=100
+        )
+        text = recommendation.describe()
+        assert "<- best" in text
+        assert "alpha" in text
+
+    def test_small_table_uses_everything(self, camera_table):
+        workload = WorkloadGenerator(camera_table, seed=1)
+        queries = [workload.sample_query(1)]
+        recommendation = recommend_alpha(
+            camera_table, queries, alphas=(0.2,), sample_tuples=100
+        )
+        # Scale factor is 1.0 when the sample covers the table.
+        assert recommendation.candidates[0].index_bytes > 0
+
+    def test_validation(self, small_dataset, queries):
+        with pytest.raises(QueryError):
+            recommend_alpha(small_dataset, [], alphas=(0.2,))
+        with pytest.raises(QueryError):
+            recommend_alpha(small_dataset, queries, alphas=())

@@ -1,0 +1,93 @@
+"""Tests for per-attribute relative vector lengths (α overrides)."""
+
+import pytest
+
+from repro import IVAConfig, IVAEngine, IVAFile
+from repro.errors import IndexError_
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+class TestConfig:
+    def test_alpha_for_defaults(self):
+        config = IVAConfig(alpha=0.2, alpha_overrides={"Company": 0.5})
+        assert config.alpha_for("Company") == 0.5
+        assert config.alpha_for("Type") == 0.2
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(IndexError_):
+            IVAConfig(alpha_overrides={"X": 0.0})
+        with pytest.raises(IndexError_):
+            IVAConfig(alpha_overrides={"X": 1.5})
+
+
+class TestBuild:
+    def test_override_changes_entry_alpha(self, camera_table):
+        index = IVAFile.build(
+            camera_table,
+            IVAConfig(alpha=0.2, alpha_overrides={"Company": 0.6}),
+        )
+        company = camera_table.catalog.require("Company")
+        type_ = camera_table.catalog.require("Type")
+        assert index.entry(company.attr_id).alpha == 0.6
+        assert index.entry(type_.attr_id).alpha == 0.2
+
+    def test_override_grows_only_that_list(self, camera_table):
+        base = IVAFile.build(camera_table, IVAConfig(alpha=0.2, name="iva_b"))
+        boosted = IVAFile.build(
+            camera_table,
+            IVAConfig(alpha=0.2, name="iva_o", alpha_overrides={"Company": 0.8}),
+        )
+        company = camera_table.catalog.require("Company").attr_id
+        type_ = camera_table.catalog.require("Type").attr_id
+        assert boosted.entry(company).list_size > base.entry(company).list_size
+        assert boosted.entry(type_).list_size == base.entry(type_).list_size
+
+    def test_numeric_override_changes_code_width(self, camera_table):
+        index = IVAFile.build(
+            camera_table,
+            IVAConfig(alpha=0.2, name="iva_n", alpha_overrides={"Price": 0.5}),
+        )
+        price = camera_table.catalog.require("Price").attr_id
+        assert index.entry(price).vector_bytes == 4  # ceil(0.5 * 8)
+
+    def test_queries_stay_exact(self, camera_table):
+        index = IVAFile.build(
+            camera_table,
+            IVAConfig(
+                alpha=0.15,
+                name="iva_q",
+                alpha_overrides={"Company": 0.7, "Price": 0.4},
+            ),
+        )
+        engine = IVAEngine(camera_table, index)
+        query = engine.prepare_query(
+            {"Type": "Digital Camera", "Company": "Canon", "Price": 230.0}
+        )
+        assert_topk_matches_bruteforce(engine, camera_table, query, k=4)
+
+    def test_boosted_attribute_filters_no_worse(self, small_dataset):
+        """A longer vector can only tighten the edit-distance bound."""
+        from repro.data import WorkloadGenerator
+
+        base = IVAFile.build(small_dataset, IVAConfig(alpha=0.15, name="iva_lo"))
+        workload = WorkloadGenerator(small_dataset, seed=30)
+        query = workload.sample_query(1)
+        term_attr = query.terms[0].attr
+        boosted = IVAFile.build(
+            small_dataset,
+            IVAConfig(alpha=0.15, name="iva_hi", alpha_overrides={term_attr.name: 0.9}),
+        )
+        accesses_base = IVAEngine(small_dataset, base).search(query, k=10).table_accesses
+        accesses_boost = IVAEngine(small_dataset, boosted).search(query, k=10).table_accesses
+        assert accesses_boost <= accesses_base
+
+    def test_inserts_respect_overrides(self, camera_table):
+        index = IVAFile.build(
+            camera_table,
+            IVAConfig(alpha=0.2, name="iva_i", alpha_overrides={"NewAttr": 0.5}),
+        )
+        cells = camera_table.prepare_cells({"NewAttr": "fresh value"})
+        tid = camera_table.insert_record(cells)
+        index.insert(tid, cells)
+        new_attr = camera_table.catalog.require("NewAttr").attr_id
+        assert index.entry(new_attr).alpha == 0.5

@@ -1,0 +1,81 @@
+"""Tests for the closed-form size/error models and stats helpers."""
+
+import pytest
+
+from repro import IVAConfig, IVAFile
+from repro.analysis.error_model import (
+    empirical_relative_error,
+    predicted_relative_error,
+)
+from repro.analysis.size_model import predict_iva_size
+from repro.analysis.stats import mean, population_stddev, summarize
+
+
+class TestSizeModel:
+    @pytest.mark.parametrize("alpha", [0.1, 0.2, 0.3])
+    def test_prediction_matches_built_index(self, small_dataset, alpha):
+        predicted = predict_iva_size(small_dataset, alpha=alpha, n=2)
+        index = IVAFile.build(
+            small_dataset, IVAConfig(alpha=alpha, n=2, name=f"iva_size_{alpha}")
+        )
+        assert predicted.total_bytes == index.total_bytes()
+
+    def test_predicted_types_match_built_index(self, small_dataset):
+        predicted = predict_iva_size(small_dataset, alpha=0.2, n=2)
+        index = IVAFile.build(small_dataset, IVAConfig(alpha=0.2, n=2, name="iva_types"))
+        for entry in index.entries():
+            assert predicted.chosen_types[entry.attr.attr_id] is entry.list_type
+
+    def test_size_grows_with_alpha(self, small_dataset):
+        small = predict_iva_size(small_dataset, alpha=0.1, n=2)
+        large = predict_iva_size(small_dataset, alpha=0.3, n=2)
+        assert large.total_bytes > small.total_bytes
+
+
+class TestErrorModel:
+    def test_prediction_in_unit_interval(self):
+        for alpha in [0.1, 0.2, 0.3]:
+            for length in [3, 10, 16, 40]:
+                assert 0.0 <= predicted_relative_error(alpha, 2, length) <= 1.0
+
+    def test_longer_vectors_predict_less_error(self):
+        assert predicted_relative_error(0.3, 2, 16) < predicted_relative_error(0.1, 2, 16)
+
+    def test_empirical_error_nonnegative_and_bounded(self):
+        pairs = [
+            ("Canon", "Sony"), ("Canon", "Cannon"), ("camera", "album"),
+            ("digital", "digtal"), ("wide-angle", "telephoto"),
+        ]
+        error = empirical_relative_error(pairs, alpha=0.2, n=2)
+        assert 0.0 <= error <= 1.0
+
+    def test_more_bits_reduce_empirical_error(self):
+        pairs = [("abcdefgh", "zyxwvuts"), ("hello world", "goodbye moon"),
+                 ("sparse table", "wide column"), ("canon", "nikon")] * 3
+        loose = empirical_relative_error(pairs, alpha=0.1, n=2)
+        tight = empirical_relative_error(pairs, alpha=0.9, n=2)
+        assert tight <= loose
+
+    def test_empty_input(self):
+        assert empirical_relative_error([], alpha=0.2, n=2) == 0.0
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_population_stddev(self):
+        assert population_stddev([2.0, 2.0]) == 0.0
+        assert population_stddev([1.0, 3.0]) == 1.0
+
+    def test_summary(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert (s.count, s.mean, s.minimum, s.maximum) == (3, 2.0, 1.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            population_stddev([])
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,112 @@
+"""Tests for the benchmark harness and reporting utilities."""
+
+import csv
+
+import pytest
+
+from repro.bench.harness import (
+    DEFAULTS,
+    Environment,
+    build_environment,
+    run_queries,
+    run_query_set,
+)
+from repro.bench.reporting import emit_table, format_table, results_dir
+from repro.data.generator import DatasetConfig
+from repro.storage.disk import DiskParameters
+
+TINY = DatasetConfig(num_tuples=150, num_attributes=30, mean_attrs_per_tuple=5.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def env() -> Environment:
+    return build_environment(dataset=TINY, disk_params=DiskParameters(cache_bytes=8192))
+
+
+class TestEnvironment:
+    def test_builds_table_and_indices(self, env):
+        assert len(env.table) == 150
+        assert env.iva.total_bytes() > 0
+        assert env.sii.total_bytes() > 0
+
+    def test_engines_share_state(self, env):
+        assert env.iva_engine().index is env.iva
+        assert env.sii_engine().index is env.sii
+        assert env.dst_engine().table is env.table
+
+    def test_query_sets_cached(self, env):
+        assert env.query_set(2) is env.query_set(2)
+        assert env.query_set(2) is not env.query_set(3)
+
+    def test_query_set_arity(self, env):
+        assert all(len(q) == 2 for q in env.query_set(2).queries)
+
+    def test_iva_variant_caching(self, env):
+        a = env.iva_variant(alpha=0.10, n=2)
+        assert env.iva_variant(alpha=0.10, n=2) is a
+        assert env.iva_variant(alpha=DEFAULTS.alpha, n=DEFAULTS.n) is env.iva
+
+    def test_cached_helper(self, env):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert env.cached("the-answer", compute) == 42
+        assert env.cached("the-answer", compute) == 42
+        assert len(calls) == 1
+
+    def test_distance_settings(self, env):
+        assert env.distance().metric.name == "L2"
+        assert env.distance(metric="L1").metric.name == "L1"
+        itf = env.distance(weights="ITF")
+        attr = env.table.catalog.by_id(0)
+        assert itf.weights(attr) > 0
+
+
+class TestRunQuerySet:
+    def test_aggregates(self, env):
+        stats = run_query_set(env.iva_engine(), env.query_set(2), k=5)
+        assert stats.engine == "iVA"
+        assert len(stats.reports) == len(env.query_set(2).measured)
+        assert stats.mean_query_time_ms >= 0
+        assert stats.stddev_query_time_ms >= 0
+        assert stats.mean_table_accesses >= 0
+        assert stats.mean_tuples_scanned == 150
+
+    def test_phase_means_sum_to_total(self, env):
+        stats = run_query_set(env.iva_engine(), env.query_set(2), k=5)
+        assert stats.mean_filter_time_ms + stats.mean_refine_time_ms == pytest.approx(
+            stats.mean_query_time_ms
+        )
+
+    def test_run_queries_bare(self, env):
+        reports = run_queries(env.iva_engine(), env.query_set(2).measured[:3], k=5)
+        assert len(reports) == 3
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bbbb"], [[1, 2.5], ["xx", 10000.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbbb" in lines[2]
+        assert "10,000" in text
+
+    def test_emit_table_writes_files(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+        emit_table("unit", "Unit Test Table", ["x", "y"], [[1, 2.0], [3, 4.0]])
+        out = capsys.readouterr().out
+        assert "Unit Test Table" in out
+        assert (tmp_path / "unit.txt").exists()
+        with open(tmp_path / "unit.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "2.000"]
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path / "deep" / "dir"))
+        path = results_dir()
+        assert path.exists()
+        assert path == tmp_path / "deep" / "dir"

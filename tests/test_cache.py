@@ -1,0 +1,82 @@
+"""Unit tests for the LRU page cache."""
+
+from repro.storage.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.touch(("f", 0)) is False
+        assert cache.touch(("f", 0)) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(2)
+        cache.touch(("f", 0))
+        cache.touch(("f", 1))
+        cache.touch(("f", 0))  # 1 is now LRU
+        cache.touch(("f", 2))  # evicts 1
+        assert ("f", 0) in cache
+        assert ("f", 1) not in cache
+        assert ("f", 2) in cache
+
+    def test_zero_capacity_never_caches(self):
+        cache = LRUCache(0)
+        assert cache.touch("x") is False
+        assert cache.touch("x") is False
+        assert len(cache) == 0
+
+    def test_insert_does_not_count(self):
+        cache = LRUCache(2)
+        cache.insert(("f", 0))
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.touch(("f", 0)) is True
+
+    def test_insert_respects_capacity(self):
+        cache = LRUCache(1)
+        cache.insert(("f", 0))
+        cache.insert(("f", 1))
+        assert len(cache) == 1
+        assert ("f", 1) in cache
+
+    def test_invalidate(self):
+        cache = LRUCache(4)
+        cache.insert(("f", 0))
+        cache.invalidate(("f", 0))
+        assert ("f", 0) not in cache
+        cache.invalidate(("f", 0))  # idempotent
+
+    def test_invalidate_prefix_drops_only_that_file(self):
+        cache = LRUCache(8)
+        cache.insert(("a", 0))
+        cache.insert(("a", 1))
+        cache.insert(("b", 0))
+        cache.invalidate_prefix("a")
+        assert ("a", 0) not in cache and ("a", 1) not in cache
+        assert ("b", 0) in cache
+
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        assert cache.hit_rate is None
+        cache.touch("x")
+        cache.touch("x")
+        assert cache.hit_rate == 0.5
+
+    def test_reset_counters_keeps_contents(self):
+        cache = LRUCache(4)
+        cache.touch("x")
+        cache.reset_counters()
+        assert cache.hits == 0 and cache.misses == 0
+        assert "x" in cache
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.touch("x")
+        cache.clear()
+        assert "x" not in cache
+
+    def test_negative_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LRUCache(-1)

@@ -1,0 +1,76 @@
+"""Unit tests for the attribute catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.schema import AttributeType
+from repro.storage.catalog import Catalog
+
+
+class TestRegistration:
+    def test_register_assigns_sequential_ids(self):
+        catalog = Catalog()
+        a = catalog.register("Type", AttributeType.TEXT)
+        b = catalog.register("Price", AttributeType.NUMERIC)
+        assert (a.attr_id, b.attr_id) == (0, 1)
+
+    def test_register_is_idempotent(self):
+        catalog = Catalog()
+        first = catalog.register("Type", AttributeType.TEXT)
+        second = catalog.register("Type", AttributeType.TEXT)
+        assert first is second
+        assert len(catalog) == 1
+
+    def test_type_conflict_raises(self):
+        catalog = Catalog()
+        catalog.register("Price", AttributeType.NUMERIC)
+        with pytest.raises(SchemaError):
+            catalog.register("Price", AttributeType.TEXT)
+
+    def test_register_for_value_infers_types(self):
+        catalog = Catalog()
+        text = catalog.register_for_value("Company", ("Canon",))
+        numeric = catalog.register_for_value("Price", 230.0)
+        assert text.is_text and not text.is_numeric
+        assert numeric.is_numeric and not numeric.is_text
+
+    def test_register_for_value_rejects_ndf(self):
+        from repro.model.values import NDF
+
+        catalog = Catalog()
+        with pytest.raises(SchemaError):
+            catalog.register_for_value("X", NDF)
+
+
+class TestLookup:
+    def test_get_and_require(self):
+        catalog = Catalog()
+        catalog.register("Type", AttributeType.TEXT)
+        assert catalog.get("Type").name == "Type"
+        assert catalog.get("Missing") is None
+        with pytest.raises(SchemaError):
+            catalog.require("Missing")
+
+    def test_by_id(self):
+        catalog = Catalog()
+        attr = catalog.register("Type", AttributeType.TEXT)
+        assert catalog.by_id(0) is attr
+        with pytest.raises(SchemaError):
+            catalog.by_id(5)
+        with pytest.raises(SchemaError):
+            catalog.by_id(-1)
+
+    def test_kind_partitions(self):
+        catalog = Catalog()
+        catalog.register("A", AttributeType.TEXT)
+        catalog.register("B", AttributeType.NUMERIC)
+        catalog.register("C", AttributeType.TEXT)
+        assert [a.name for a in catalog.text_attributes()] == ["A", "C"]
+        assert [a.name for a in catalog.numeric_attributes()] == ["B"]
+
+    def test_iteration_in_id_order(self):
+        catalog = Catalog()
+        names = ["Z", "A", "M"]
+        for name in names:
+            catalog.register(name, AttributeType.TEXT)
+        assert [a.name for a in catalog] == names

@@ -1,0 +1,78 @@
+"""Tests for the diagnostic CLI commands: explain, advise, compare."""
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = str(tmp_path / "db.ivadb")
+    assert cli_main(["generate", "--tuples", "400", "--attributes", "50",
+                     "--snapshot", path]) == 0
+    assert cli_main(["build", "--snapshot", path]) == 0
+    return path
+
+
+class TestExplainCommand:
+    def test_prints_plan(self, snapshot, capsys):
+        assert cli_main(["explain", "--snapshot", snapshot,
+                         "--term", "Category0=Digital Camera"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel filter-and-refine plan" in out
+        assert "tuple list" in out
+        assert "Category0" in out
+
+    def test_unknown_attribute(self, snapshot, capsys):
+        assert cli_main(["explain", "--snapshot", snapshot,
+                         "--term", "Nope=1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    def test_races_three_engines(self, snapshot, capsys):
+        assert cli_main(["compare", "--snapshot", snapshot,
+                         "--queries", "2", "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "iVA" in out
+        assert "SII" in out
+        assert "DST" in out
+
+
+class TestAdviseCommand:
+    def test_recommends_alpha(self, snapshot, capsys):
+        assert cli_main(["advise", "--snapshot", snapshot,
+                         "--queries", "2", "--sample-tuples", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "<- best" in out
+        assert "recommended: --alpha" in out
+
+
+class TestFsckCommand:
+    def test_clean_snapshot(self, snapshot, capsys):
+        assert cli_main(["fsck", "--snapshot", snapshot]) == 0
+        assert "is consistent" in capsys.readouterr().out
+
+    def test_reports_errors(self, snapshot, tmp_path, capsys):
+        from repro.storage.snapshot import load_disk, save_disk
+        from repro.storage.table import SparseWideTable
+
+        disk = load_disk(snapshot)
+        table = SparseWideTable.attach(disk)
+        table.insert({"Category0": "orphan"})  # index not told
+        save_disk(disk, snapshot)
+        assert cli_main(["fsck", "--snapshot", snapshot]) == 2
+        out = capsys.readouterr().out
+        assert "error" in out
+        assert "finding(s)" in out
+
+
+class TestWorkloadCommand:
+    def test_save_and_replay(self, snapshot, tmp_path, capsys):
+        out = str(tmp_path / "queries.json")
+        assert cli_main(["workload", "--snapshot", snapshot, "--out", out,
+                         "--queries", "4", "--warmup", "1"]) == 0
+        assert "saved 4 queries" in capsys.readouterr().out
+        assert cli_main(["compare", "--snapshot", snapshot,
+                         "--queries-file", out, "-k", "3"]) == 0
+        assert "4 queries" in capsys.readouterr().out

@@ -1,0 +1,165 @@
+"""Tests for the readers-writer lock and the concurrent system facade."""
+
+import threading
+import time
+
+import pytest
+
+from repro import IVAEngine, IVAFile, SimulatedDisk, SparseWideTable
+from repro.concurrency import ConcurrentSystem, ReadWriteLock
+from repro.maintenance import MaintainedSystem
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = []
+        barrier = threading.Barrier(3)
+
+        def reader():
+            with lock.reading():
+                barrier.wait(timeout=5)  # all three must be inside at once
+                inside.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 3
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+
+        def writer():
+            with lock.writing():
+                order.append("w-start")
+                time.sleep(0.05)
+                order.append("w-end")
+
+        def reader():
+            time.sleep(0.01)  # let the writer in first
+            with lock.reading():
+                order.append("r")
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        r.start()
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert order == ["w-start", "w-end", "r"]
+
+    def test_writers_exclude_each_other(self):
+        lock = ReadWriteLock()
+        counter = {"value": 0, "max": 0}
+
+        def writer():
+            for _ in range(50):
+                with lock.writing():
+                    counter["value"] += 1
+                    counter["max"] = max(counter["max"], counter["value"])
+                    counter["value"] -= 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert counter["max"] == 1
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        events = []
+        reader_started = threading.Event()
+        release_first_reader = threading.Event()
+
+        def first_reader():
+            with lock.reading():
+                reader_started.set()
+                release_first_reader.wait(timeout=5)
+            events.append("r1-out")
+
+        def writer():
+            reader_started.wait(timeout=5)
+            lock.acquire_write()
+            events.append("w")
+            lock.release_write()
+
+        def second_reader():
+            reader_started.wait(timeout=5)
+            time.sleep(0.05)  # ensure the writer is already queued
+            with lock.reading():
+                events.append("r2")
+
+        threads = [
+            threading.Thread(target=first_reader),
+            threading.Thread(target=writer),
+            threading.Thread(target=second_reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        release_first_reader.set()
+        for t in threads:
+            t.join(timeout=5)
+        # The queued writer goes before the late reader.
+        assert events.index("w") < events.index("r2")
+
+
+class TestConcurrentSystem:
+    @pytest.fixture
+    def concurrent(self):
+        table = SparseWideTable(SimulatedDisk())
+        for i in range(40):
+            table.insert({"Name": f"item {i:02d}", "Rank": float(i)})
+        index = IVAFile.build(table)
+        system = MaintainedSystem(table, [index])
+        return ConcurrentSystem(system, IVAEngine(table, index)), table
+
+    def test_queries_exact_under_concurrent_updates(self, concurrent):
+        wrapper, table = concurrent
+        stop = threading.Event()
+        failures = []
+
+        def churn():
+            i = 100
+            while not stop.is_set():
+                tid = wrapper.insert({"Name": f"item {i}", "Rank": float(i)})
+                wrapper.delete(tid)
+                wrapper.maybe_clean(beta=0.2)
+                i += 1
+
+        def query():
+            while not stop.is_set():
+                try:
+                    report = wrapper.search({"Name": "item 07"}, k=3)
+                    if report.results[0].distance != 0.0:
+                        failures.append(report.results[0])
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+
+        threads = [threading.Thread(target=churn)] + [
+            threading.Thread(target=query) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.8)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert failures == []
+
+    def test_update_returns_new_tid(self, concurrent):
+        wrapper, table = concurrent
+        new_tid = wrapper.update(3, {"Name": "renamed", "Rank": 3.0})
+        assert new_tid != 3
+        report = wrapper.search({"Name": "renamed"}, k=1)
+        assert report.results[0].tid == new_tid
+
+    def test_rebuild_through_wrapper(self, concurrent):
+        wrapper, table = concurrent
+        wrapper.delete(0)
+        wrapper.rebuild()
+        assert table.dead_tuples == 0

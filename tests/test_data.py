@@ -1,0 +1,151 @@
+"""Tests for the synthetic dataset and workload generators."""
+
+import random
+
+import pytest
+
+from repro import SimulatedDisk, SparseWideTable
+from repro.data.generator import DatasetConfig, DatasetGenerator, generate_dataset
+from repro.data.typos import introduce_typo, maybe_typo
+from repro.data.vocab import Vocabulary
+from repro.data.workload import WorkloadGenerator
+from repro.metrics.edit_distance import edit_distance
+from repro.model.values import is_numeric_value, is_text_value
+
+CONFIG = DatasetConfig(
+    num_tuples=400, num_attributes=60, mean_attrs_per_tuple=8.0, seed=99
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(CONFIG)
+
+
+class TestVocabulary:
+    def test_strings_nonempty(self):
+        vocab = Vocabulary(random.Random(1))
+        for _ in range(200):
+            assert vocab.value_string()
+
+    def test_mean_length_near_paper(self):
+        vocab = Vocabulary(random.Random(2))
+        strings = [vocab.value_string() for _ in range(3000)]
+        mean_len = sum(len(s) for s in strings) / len(strings)
+        assert 10.0 <= mean_len <= 24.0  # paper: 16.8 bytes
+
+    def test_deterministic(self):
+        a = Vocabulary(random.Random(3)).strings(20)
+        b = Vocabulary(random.Random(3)).strings(20)
+        assert a == b
+
+
+class TestTypos:
+    def test_typo_is_one_edit_away(self):
+        rng = random.Random(4)
+        for s in ["Canon", "Digital Camera", "ok", "a"]:
+            for _ in range(50):
+                typo = introduce_typo(s, rng)
+                assert typo
+                assert 0 <= edit_distance(s, typo) <= 1 or s != typo
+
+    def test_typo_changes_string_usually(self):
+        rng = random.Random(5)
+        changed = sum(introduce_typo("Canon", rng) != "Canon" for _ in range(100))
+        assert changed >= 90
+
+    def test_empty_string_passthrough(self):
+        assert introduce_typo("", random.Random(6)) == ""
+
+    def test_maybe_typo_rates(self):
+        rng = random.Random(7)
+        never = [maybe_typo("Canon", 0.0, rng) for _ in range(50)]
+        assert all(s == "Canon" for s in never)
+        always = [maybe_typo("Canon", 1.0, rng) for _ in range(50)]
+        assert any(s != "Canon" for s in always)
+
+
+class TestGenerator:
+    def test_row_count(self, dataset):
+        assert len(dataset) == CONFIG.num_tuples
+
+    def test_attribute_budget(self, dataset):
+        assert len(dataset.catalog) <= CONFIG.num_attributes
+
+    def test_mean_attrs_per_tuple(self, dataset):
+        total_cells = sum(len(r) for r in dataset.scan())
+        mean = total_cells / len(dataset)
+        assert CONFIG.mean_attrs_per_tuple * 0.6 <= mean <= CONFIG.mean_attrs_per_tuple * 1.4
+
+    def test_text_numeric_mix(self, dataset):
+        text = len(dataset.catalog.text_attributes())
+        numeric = len(dataset.catalog.numeric_attributes())
+        assert text > numeric  # paper: ~94 % text
+
+    def test_popularity_is_skewed(self, dataset):
+        dfs = sorted(
+            (dataset.stats.attr(a.attr_id).df for a in dataset.catalog), reverse=True
+        )
+        # The head attribute should dwarf the median one.
+        assert dfs[0] >= 5 * max(1, dfs[len(dfs) // 2])
+
+    def test_values_well_typed(self, dataset):
+        for record in dataset.scan():
+            for attr_id, value in record.cells.items():
+                attr = dataset.catalog.by_id(attr_id)
+                if attr.is_text:
+                    assert is_text_value(value)
+                else:
+                    assert is_numeric_value(value)
+
+    def test_deterministic(self):
+        a = generate_dataset(CONFIG)
+        b = generate_dataset(CONFIG)
+        rows_a = [(r.tid, sorted(r.cells.items())) for r in a.scan()]
+        rows_b = [(r.tid, sorted(r.cells.items())) for r in b.scan()]
+        assert rows_a == rows_b
+
+    def test_populate_explicit_count(self):
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+        DatasetGenerator(CONFIG).populate(table, num_tuples=25)
+        assert len(table) == 25
+
+
+class TestWorkload:
+    def test_query_arity(self, dataset):
+        workload = WorkloadGenerator(dataset, seed=1)
+        for arity in [1, 3, 5]:
+            query = workload.sample_query(arity)
+            assert len(query) == arity
+
+    def test_query_values_come_from_data(self, dataset):
+        workload = WorkloadGenerator(dataset, seed=2)
+        query = workload.sample_query(3)
+        for term in query.terms:
+            stats = dataset.stats.attr(term.attr.attr_id)
+            assert stats.df > 0  # queried attributes exist in the data
+
+    def test_query_set_split(self, dataset):
+        workload = WorkloadGenerator(dataset, seed=3)
+        qs = workload.query_set(3, count=50, warmup_count=10)
+        assert len(qs.warmup) == 10
+        assert len(qs.measured) == 40
+        assert qs.values_per_query == 3
+
+    def test_query_set_validation(self, dataset):
+        workload = WorkloadGenerator(dataset, seed=3)
+        with pytest.raises(ValueError):
+            workload.query_set(3, count=10, warmup_count=10)
+        with pytest.raises(ValueError):
+            workload.sample_query(0)
+
+    def test_deterministic(self, dataset):
+        a = WorkloadGenerator(dataset, seed=4).sample_query(3)
+        b = WorkloadGenerator(dataset, seed=4).sample_query(3)
+        assert a.describe() == b.describe()
+
+    def test_random_tuples_live(self, dataset):
+        workload = WorkloadGenerator(dataset, seed=5)
+        for tid in workload.random_tuples(20):
+            assert dataset.is_live(tid)

@@ -1,0 +1,52 @@
+"""Tests for the direct-scan baseline."""
+
+import pytest
+
+from repro.baselines.dst import DirectScanEngine
+from repro.data import WorkloadGenerator
+from repro.errors import QueryError
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+@pytest.fixture
+def engine(camera_table):
+    return DirectScanEngine(camera_table)
+
+
+class TestDirectScan:
+    def test_correct_topk(self, camera_table, engine):
+        query = engine.prepare_query({"Type": "Digital Camera", "Price": 230.0})
+        assert_topk_matches_bruteforce(engine, camera_table, query, k=3)
+
+    def test_correct_topk_synthetic(self, small_dataset):
+        engine = DirectScanEngine(small_dataset)
+        workload = WorkloadGenerator(small_dataset, seed=8)
+        query = workload.sample_query(3)
+        assert_topk_matches_bruteforce(engine, small_dataset, query, k=10)
+
+    def test_no_random_table_accesses(self, engine):
+        report = engine.search({"Type": "Digital Camera"}, k=2)
+        assert report.table_accesses == 0
+        assert report.refine_io_ms == 0.0
+
+    def test_scans_every_live_tuple(self, camera_table, engine):
+        report = engine.search({"Type": "Digital Camera"}, k=2)
+        assert report.tuples_scanned == 5
+        camera_table.delete(0)
+        report = engine.search({"Type": "Digital Camera"}, k=2)
+        assert report.tuples_scanned == 4
+
+    def test_bad_query(self, engine):
+        with pytest.raises(QueryError):
+            engine.search(42, k=1)
+
+    def test_cost_dominated_by_sequential_read(self, small_dataset):
+        """DST's I/O is one sequential pass over the table file."""
+        engine = DirectScanEngine(small_dataset)
+        workload = WorkloadGenerator(small_dataset, seed=8)
+        disk = small_dataset.disk
+        disk.drop_cache()
+        before = disk.stats.snapshot()
+        engine.search(workload.sample_query(1), k=10)
+        delta = disk.stats - before
+        assert delta.bytes_read >= small_dataset.file_bytes

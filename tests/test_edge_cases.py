@@ -1,0 +1,131 @@
+"""End-to-end edge cases: unicode, very long strings, many strings,
+padding symbols inside data, distance overrides, ITF staleness."""
+
+import pytest
+
+from repro import (
+    DistanceFunction,
+    IVAEngine,
+    IVAFile,
+    SimulatedDisk,
+    SparseWideTable,
+    itf_weights,
+)
+from repro.metrics.edit_distance import edit_distance
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+@pytest.fixture
+def table():
+    return SparseWideTable(SimulatedDisk())
+
+
+class TestUnicode:
+    def test_unicode_values_and_queries(self, table):
+        table.insert({"Name": "東京カメラ"})
+        table.insert({"Name": "東京カメラ店"})
+        table.insert({"Name": "café équipement"})
+        index = IVAFile.build(table)
+        engine = IVAEngine(table, index)
+        query = engine.prepare_query({"Name": "東京カメラ"})
+        assert_topk_matches_bruteforce(engine, table, query, k=3)
+        report = engine.search(query, k=2)
+        assert report.results[0].distance == 0.0
+        assert report.results[1].distance == 1.0
+
+
+class TestPaddingSymbolsInData:
+    def test_hash_and_dollar_inside_strings(self, table):
+        """The n-gram padding symbols may legally occur in user data; the
+        no-false-negative guarantee must survive the collisions."""
+        strings = ["#1 seller", "price $20", "##$$", "$#mix#$", "normal"]
+        for s in strings:
+            table.insert({"Tag": s})
+        index = IVAFile.build(table)
+        engine = IVAEngine(table, index)
+        for s in strings:
+            query = engine.prepare_query({"Tag": s})
+            assert_topk_matches_bruteforce(engine, table, query, k=3)
+            assert engine.search(query, k=1).results[0].distance == 0.0
+
+
+class TestLongStrings:
+    def test_strings_beyond_length_byte(self, table):
+        """Stored lengths saturate at 255; answers stay exact."""
+        long_a = "a" * 300
+        long_b = "a" * 280 + "b" * 20
+        table.insert({"Blob": long_a})
+        table.insert({"Blob": long_b})
+        table.insert({"Blob": "short"})
+        index = IVAFile.build(table)
+        engine = IVAEngine(table, index)
+        query = engine.prepare_query({"Blob": long_a})
+        assert_topk_matches_bruteforce(engine, table, query, k=3)
+        report = engine.search(query, k=2)
+        assert report.results[0].distance == 0.0
+        assert report.results[1].distance == float(edit_distance(long_a, long_b))
+
+
+class TestManyStrings:
+    def test_value_with_many_strings(self, table):
+        words = tuple(f"word{i:03d}" for i in range(200))
+        table.insert({"Tags": words})
+        table.insert({"Tags": ("other",)})
+        index = IVAFile.build(table)
+        engine = IVAEngine(table, index)
+        report = engine.search({"Tags": "word150"}, k=1)
+        assert report.results[0].tid == 0
+        assert report.results[0].distance == 0.0
+
+
+class TestEngineParameters:
+    def test_distance_override_per_search(self, camera_table):
+        index = IVAFile.build(camera_table)
+        engine = IVAEngine(camera_table, index)
+        query = engine.prepare_query({"Type": "Digital Camera", "Price": 230.0})
+        l1 = engine.search(query, k=1, distance=DistanceFunction(metric="L1"))
+        l2 = engine.search(query, k=1, distance=DistanceFunction(metric="L2"))
+        # Same winner, metric-specific distances.
+        assert l1.results[0].tid == l2.results[0].tid
+        assert l1.results[0].distance != l2.results[0].distance or (
+            l1.results[0].distance == 0.0
+        )
+
+    def test_invalid_k(self, camera_table):
+        index = IVAFile.build(camera_table)
+        engine = IVAEngine(camera_table, index)
+        with pytest.raises(ValueError):
+            engine.search({"Type": "Camera"}, k=0)
+
+    def test_filter_reads_only_related_files(self, camera_table):
+        """The partial-scan promise: unrelated vector lists stay untouched."""
+        index = IVAFile.build(camera_table)
+        engine = IVAEngine(camera_table, index)
+        disk = camera_table.disk
+        disk.reset_stats()
+        engine.search({"Company": "Canon"}, k=2)
+        touched = set(disk.stats.per_file_reads)
+        company_id = camera_table.catalog.require("Company").attr_id
+        artist_id = camera_table.catalog.require("Artist").attr_id
+        assert index.vector_file(company_id) in touched
+        assert index.vector_file(artist_id) not in touched
+        assert index.tuples_file in touched
+
+
+class TestItfStaleness:
+    def test_reset_weight_cache(self, camera_table):
+        distance = DistanceFunction(weights=itf_weights(camera_table))
+        index = IVAFile.build(camera_table)
+        engine = IVAEngine(camera_table, index, distance)
+        query = engine.prepare_query({"Artist": "Michael Jackson"})
+        engine.search(query, k=1)  # caches the Artist weight
+        artist = camera_table.catalog.require("Artist")
+        before = distance.weight(artist.attr_id, query)
+        # Make Artist much more common; the cached weight is stale.
+        for i in range(20):
+            cells = camera_table.prepare_cells({"Artist": f"Artist {i}"})
+            tid = camera_table.insert_record(cells)
+            index.insert(tid, cells)
+        assert distance.weight(artist.attr_id, query) == before
+        distance.reset_weight_cache()
+        assert distance.weight(artist.attr_id, query) < before

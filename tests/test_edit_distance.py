@@ -1,0 +1,79 @@
+"""Unit tests for Levenshtein edit distance."""
+
+import pytest
+
+from repro.metrics.edit_distance import edit_distance, edit_distance_within
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "s1, s2, expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("abc", "abc", 0),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("Canon", "Cannon", 1),
+            ("Canon", "Sony", 4),
+            ("yes", "yse", 2),
+            ("book", "back", 2),
+        ],
+    )
+    def test_known_distances(self, s1, s2, expected):
+        assert edit_distance(s1, s2) == expected
+
+    def test_symmetry(self):
+        assert edit_distance("digital", "camera") == edit_distance("camera", "digital")
+
+    def test_triangle_inequality_samples(self):
+        words = ["canon", "cannon", "canyon", "cane"]
+        for a in words:
+            for b in words:
+                for c in words:
+                    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    def test_unicode(self):
+        assert edit_distance("café", "cafe") == 1
+
+
+class TestBandedEditDistance:
+    @pytest.mark.parametrize(
+        "s1, s2, threshold",
+        [
+            ("kitten", "sitting", 3),
+            ("Canon", "Cannon", 1),
+            ("abc", "abc", 0),
+            ("", "ab", 2),
+        ],
+    )
+    def test_within_threshold_matches_exact(self, s1, s2, threshold):
+        assert edit_distance_within(s1, s2, threshold) == edit_distance(s1, s2)
+
+    def test_above_threshold_returns_none(self):
+        assert edit_distance_within("kitten", "sitting", 2) is None
+
+    def test_length_gap_shortcut(self):
+        assert edit_distance_within("a", "abcdefgh", 3) is None
+
+    def test_negative_threshold(self):
+        assert edit_distance_within("a", "a", -1) is None
+
+    def test_zero_threshold_equal_strings(self):
+        assert edit_distance_within("same", "same", 0) == 0
+
+    def test_zero_threshold_different_strings(self):
+        assert edit_distance_within("same", "sane", 0) is None
+
+    def test_agreement_with_exact_on_corpus(self):
+        words = ["canon", "cannon", "camera", "cam", "digital", "digtal", ""]
+        for a in words:
+            for b in words:
+                exact = edit_distance(a, b)
+                for threshold in range(0, 8):
+                    banded = edit_distance_within(a, b, threshold)
+                    if exact <= threshold:
+                        assert banded == exact
+                    else:
+                        assert banded is None

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run end to end.
+
+The heavier examples are scaled through monkeypatched configs where
+needed; the goal is to guarantee the documented entry points never rot.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> None:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "query:" in out
+        assert "no false negatives" in out
+
+    def test_marketplace_updates(self, capsys):
+        _run("marketplace_updates.py")
+        out = capsys.readouterr().out
+        assert "identical top-10 distances" in out
+        assert "amortised per-update cost" in out
+
+    def test_tuning(self, capsys):
+        _run("tuning.py")
+        out = capsys.readouterr().out
+        assert "closed-form preview" in out
+        assert "racing them" in out
+
+    @pytest.mark.slow
+    def test_product_search(self, capsys):
+        _run("product_search.py")
+        out = capsys.readouterr().out
+        assert "same distances" in out
+
+    def test_load_real_data(self, capsys):
+        _run("load_real_data.py")
+        out = capsys.readouterr().out
+        assert "fsck: clean" in out
+        assert "brands within 2 edits" in out
+
+    @pytest.mark.slow
+    def test_distributed_search(self, capsys):
+        _run("distributed_search.py")
+        out = capsys.readouterr().out
+        assert "range search" in out
+
+
+def test_examples_all_have_mains():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        source = script.read_text(encoding="utf-8")
+        assert '__name__ == "__main__"' in source, script.name
+        assert source.lstrip().startswith('"""'), f"{script.name} lacks a docstring"

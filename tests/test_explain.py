@@ -1,0 +1,85 @@
+"""Tests for the EXPLAIN plan preview."""
+
+import pytest
+
+from repro import IVAConfig, IVAFile
+from repro.core.explain import explain
+from repro.core.tuple_list import ELEMENT
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def index(camera_table):
+    return IVAFile.build(camera_table, IVAConfig(alpha=0.25))
+
+
+class TestExplain:
+    def test_covers_every_query_attribute(self, camera_table, index):
+        plan = explain(camera_table, index, {"Type": "Camera", "Price": 100.0})
+        assert [p.name for p in plan.attributes] == ["Type", "Price"]
+
+    def test_reports_actual_layouts_and_sizes(self, camera_table, index):
+        plan = explain(camera_table, index, {"Type": "Camera"})
+        entry = index.entry(camera_table.catalog.require("Type").attr_id)
+        (attr_plan,) = plan.attributes
+        assert attr_plan.layout == entry.list_type.name
+        assert attr_plan.list_bytes == entry.list_size
+        assert attr_plan.defined_tuples == entry.df
+        assert attr_plan.alpha == entry.alpha
+
+    def test_total_scan_bytes(self, camera_table, index):
+        plan = explain(camera_table, index, {"Type": "Camera", "Company": "Canon"})
+        expected = ELEMENT.size * index.tuple_elements
+        for name in ("Type", "Company"):
+            expected += index.entry(camera_table.catalog.require(name).attr_id).list_size
+        assert plan.total_scan_bytes == expected
+        assert plan.tuple_list_bytes == ELEMENT.size * index.tuple_elements
+
+    def test_modeled_scan_time_positive(self, camera_table, index):
+        plan = explain(camera_table, index, {"Type": "Camera"})
+        assert plan.modeled_scan_ms > 0
+
+    def test_density(self, camera_table, index):
+        plan = explain(camera_table, index, {"Type": "Camera", "Artist": "X"})
+        by_name = {p.name: p for p in plan.attributes}
+        assert by_name["Type"].density == 1.0
+        assert by_name["Artist"].density == pytest.approx(0.2)
+
+    def test_unindexed_attribute(self, camera_table, index):
+        camera_table.insert({"Brand": "Fresh"})  # registers a new attribute
+        plan = explain(camera_table, index, {"Brand": "Fresh"})
+        (attr_plan,) = plan.attributes
+        assert "not indexed" in attr_plan.layout
+        assert attr_plan.list_bytes == 0
+
+    def test_describe_is_readable(self, camera_table, index):
+        plan = explain(camera_table, index, {"Type": "Camera", "Price": 10.0})
+        text = plan.describe()
+        assert "tuple list" in text
+        assert "Type" in text and "Price" in text
+        assert "filter phase streams" in text
+
+    def test_query_object_accepted(self, camera_table, index):
+        from repro.query import Query
+
+        query = Query.from_dict(camera_table.catalog, {"Type": "Camera"})
+        assert explain(camera_table, index, query).attributes[0].name == "Type"
+
+    def test_bad_query_rejected(self, camera_table, index):
+        with pytest.raises(QueryError):
+            explain(camera_table, index, 42)
+
+    def test_scan_estimate_tracks_filter_io(self, small_dataset):
+        """The modeled scan time is the right order of magnitude for the
+        measured cold-cache filter I/O."""
+        from repro.core.engine import IVAEngine
+        from repro.data import WorkloadGenerator
+
+        index = IVAFile.build(small_dataset, IVAConfig(name="iva_ex"))
+        engine = IVAEngine(small_dataset, index)
+        workload = WorkloadGenerator(small_dataset, seed=2)
+        query = workload.sample_query(3)
+        plan = explain(small_dataset, index, query)
+        small_dataset.disk.drop_cache()
+        report = engine.search(query, k=10)
+        assert report.filter_io_ms >= plan.modeled_scan_ms * 0.5

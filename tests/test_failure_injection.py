@@ -1,0 +1,114 @@
+"""Failure injection: corruption and inconsistency must fail loudly.
+
+A scan-based index silently returning wrong answers is the worst failure
+mode; these tests corrupt bytes and desynchronise structures to check the
+library surfaces :class:`StorageError` / :class:`IndexError_` instead of
+garbage.
+"""
+
+import pytest
+
+from repro import IVAConfig, IVAEngine, IVAFile, SimulatedDisk, SparseWideTable
+from repro.core.tuple_list import TupleList
+from repro.core.vector_lists import ListType
+from repro.errors import IndexError_, StorageError
+
+
+@pytest.fixture
+def setup(camera_table):
+    index = IVAFile.build(camera_table, IVAConfig(alpha=0.25))
+    return camera_table, index
+
+
+class TestTableCorruption:
+    def test_corrupt_row_length_detected_on_read(self, camera_table):
+        offset, _ = camera_table.locate(0)
+        camera_table.disk.write(camera_table.file_name, offset, (3).to_bytes(4, "little"))
+        with pytest.raises(StorageError):
+            camera_table.read(0)
+
+    def test_corrupt_row_detected_on_scan(self, camera_table):
+        offset, _ = camera_table.locate(2)
+        camera_table.disk.write(camera_table.file_name, offset, (2).to_bytes(4, "little"))
+        with pytest.raises(StorageError):
+            list(camera_table.scan())
+
+    def test_corrupt_entry_tag_detected(self, camera_table):
+        offset, _ = camera_table.locate(0)
+        # Header is 10 bytes, entry head is attr_id(4) + tag(1).
+        camera_table.disk.write(camera_table.file_name, offset + 14, b"\x63")
+        with pytest.raises(StorageError):
+            camera_table.read(0)
+
+    def test_truncated_file_detected(self, camera_table):
+        camera_table.disk.truncate(camera_table.file_name, camera_table.file_bytes - 3)
+        with pytest.raises(StorageError):
+            list(camera_table.scan())
+
+
+class TestIndexInconsistency:
+    def test_positional_list_shorter_than_tuple_list(self, setup):
+        """A Type III/IV list missing elements is an integrity error."""
+        table, index = setup
+        type_id = table.catalog.require("Type").attr_id
+        entry = index.entry(type_id)
+        assert entry.list_type is ListType.TYPE_III
+        file_name = index.vector_file(type_id)
+        index.disk.truncate(file_name, index.disk.size(file_name) // 2)
+        engine = IVAEngine(table, index)
+        with pytest.raises((IndexError_, StorageError)):
+            engine.search({"Type": "Digital Camera"}, k=2)
+
+    def test_tuple_list_tid_mismatch_on_delete(self, setup):
+        table, index = setup
+        # Corrupt the stored tid of element 1 in the tuple list.
+        index.disk.write(index.tuples_file, 12, (99).to_bytes(4, "little"))
+        with pytest.raises(IndexError_):
+            index.delete(1)
+
+    def test_attach_kind_mismatch(self, setup):
+        """Attribute-list kind disagreeing with the catalog is detected."""
+        table, index = setup
+        # Flip the kind byte of attribute 0 (offset 1 of its element).
+        raw = bytearray(index.disk.read(index.attrs_file, 0, 2))
+        raw[1] ^= 1
+        index.disk.write(index.attrs_file, 0, bytes(raw))
+        reopened = SparseWideTable.attach(table.disk)
+        with pytest.raises(IndexError_):
+            IVAFile.attach(reopened, IVAConfig(alpha=0.25))
+
+    def test_deleting_unknown_tid(self, setup):
+        _, index = setup
+        with pytest.raises(IndexError_):
+            index.delete(12345)
+
+
+class TestTupleListIntegrity:
+    def test_attach_recovers_after_crash_like_state(self):
+        """attach() rebuilds counts from bytes, tombstones included."""
+        disk = SimulatedDisk()
+        original = TupleList(disk, "x.tuples")
+        original.rebuild([(0, 10), (1, 20), (2, 30)])
+        original.mark_deleted(1)
+        # Simulate a restart: new object over the same file.
+        recovered = TupleList(disk, "x.tuples")
+        recovered.attach()
+        assert recovered.element_count == 3
+        assert recovered.deleted_count == 1
+        with pytest.raises(IndexError_):
+            recovered.mark_deleted(1)  # still marked after recovery
+        recovered.mark_deleted(2)
+        assert recovered.deleted_count == 2
+
+
+class TestDiskMisuse:
+    def test_reader_rejects_ranges_beyond_file(self, camera_table):
+        from repro.storage.pager import BufferedReader
+
+        with pytest.raises(StorageError):
+            BufferedReader(camera_table.disk, camera_table.file_name,
+                           camera_table.file_bytes + 1)
+
+    def test_double_create_without_overwrite(self, camera_table):
+        with pytest.raises(StorageError):
+            camera_table.disk.create(camera_table.file_name)

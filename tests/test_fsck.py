@@ -1,0 +1,96 @@
+"""Tests for the integrity checker."""
+
+import pytest
+
+from repro import IVAConfig, IVAFile
+from repro.storage.fsck import check_all, check_index, check_table
+
+
+@pytest.fixture
+def setup(camera_table):
+    index = IVAFile.build(camera_table, IVAConfig(alpha=0.25))
+    return camera_table, index
+
+
+class TestCleanState:
+    def test_fresh_build_is_clean(self, setup):
+        table, index = setup
+        assert check_all(table, index) == []
+
+    def test_clean_after_updates(self, setup):
+        table, index = setup
+        cells = table.prepare_cells({"Type": "Tablet", "Company": "Apple"})
+        tid = table.insert_record(cells)
+        index.insert(tid, cells)
+        table.delete(0)
+        index.delete(0)
+        assert check_all(table, index) == []
+
+    def test_clean_after_rebuild(self, setup):
+        table, index = setup
+        table.delete(1)
+        index.delete(1)
+        table.rebuild()
+        index.rebuild()
+        assert check_all(table, index) == []
+
+
+class TestTableFindings:
+    def test_corrupt_row_detected(self, setup):
+        table, _ = setup
+        offset, _ = table.locate(0)
+        table.disk.write(table.file_name, offset, (3).to_bytes(4, "little"))
+        findings = check_table(table)
+        assert any(f.severity == "error" and "corrupt row" in f.message
+                   for f in findings)
+
+    def test_orphan_tombstone_is_warning(self, setup):
+        table, _ = setup
+        table.disk.append(table.tombstone_file, (999).to_bytes(4, "little"))
+        findings = check_table(table)
+        assert any(f.severity == "warning" and "999" in f.message for f in findings)
+
+    def test_truncated_tombstones(self, setup):
+        table, _ = setup
+        table.disk.append(table.tombstone_file, b"\x01\x02")
+        findings = check_table(table)
+        assert any("truncated tombstone" in f.message for f in findings)
+
+
+class TestIndexFindings:
+    def test_truncated_vector_list(self, setup):
+        table, index = setup
+        type_id = table.catalog.require("Type").attr_id
+        file_name = index.vector_file(type_id)
+        index.disk.truncate(file_name, index.disk.size(file_name) - 1)
+        findings = check_index(index)
+        assert any(f.severity == "error" and file_name in f.location
+                   for f in findings)
+
+    def test_stale_tuple_list_after_unindexed_delete(self, setup):
+        """Deleting from the table but not the index is caught."""
+        table, index = setup
+        table.delete(2)  # index NOT told
+        findings = check_index(index)
+        assert any("considers dead" in f.message for f in findings)
+
+    def test_missing_tuple_after_unindexed_insert(self, setup):
+        table, index = setup
+        table.insert({"Type": "Fresh"})  # index NOT told
+        findings = check_index(index)
+        assert any("missing from the tuple list" in f.message for f in findings)
+
+    def test_attribute_list_size_mismatch(self, setup):
+        table, index = setup
+        entry = index.entries()[0]
+        entry.list_size += 7  # corrupt the in-memory mirror
+        findings = check_index(index)
+        assert any("bytes, file has" in f.message for f in findings)
+
+    def test_findings_render(self, setup):
+        table, index = setup
+        table.insert({"Type": "Fresh"})
+        findings = check_index(index)
+        assert findings
+        text = str(findings[0])
+        assert text.startswith("[error]") or text.startswith("[warning]")

@@ -1,0 +1,76 @@
+"""Tests for dataset-generator calibration knobs and harness env overrides."""
+
+from repro import SimulatedDisk, SparseWideTable
+from repro.bench.harness import _env_int
+from repro.data.generator import DatasetConfig, DatasetGenerator
+
+
+def _numeric_df_share(config: DatasetConfig) -> float:
+    """Fraction of defined cells that land on numeric attributes."""
+    table = SparseWideTable(SimulatedDisk())
+    DatasetGenerator(config).populate(table)
+    numeric = sum(
+        table.stats.attr(a.attr_id).df for a in table.catalog.numeric_attributes()
+    )
+    total = sum(table.stats.attr(a.attr_id).df for a in table.catalog)
+    return numeric / total
+
+
+class TestNumericHeadBias:
+    def test_bias_increases_numeric_usage(self):
+        base = DatasetConfig(
+            num_tuples=600, num_attributes=80, mean_attrs_per_tuple=8.0, seed=5
+        )
+        unbiased = _numeric_df_share(
+            DatasetConfig(**{**base.__dict__, "numeric_head_bias": 0.0})
+        )
+        biased = _numeric_df_share(
+            DatasetConfig(**{**base.__dict__, "numeric_head_bias": 1.0})
+        )
+        assert biased > unbiased
+
+    def test_text_fraction_controls_schema(self):
+        config = DatasetConfig(
+            num_tuples=50, num_attributes=50, text_fraction=0.5, seed=6
+        )
+        generator = DatasetGenerator(config)
+        names = generator.attribute_names
+        numeric_stems = ("Price", "Year", "Count", "Weight", "Pixel", "Salary")
+        numeric = sum(1 for n in names if n.startswith(numeric_stems))
+        assert numeric == 25
+
+    def test_typo_rate_zero_is_clean(self):
+        from repro.data.vocab import BRANDS, CATEGORIES, INDUSTRIES
+
+        config = DatasetConfig(
+            num_tuples=300,
+            num_attributes=30,
+            mean_attrs_per_tuple=5.0,
+            typo_rate=0.0,
+            multi_string_prob=0.0,
+            seed=7,
+        )
+        table = SparseWideTable(SimulatedDisk())
+        DatasetGenerator(config).populate(table)
+        known = set(CATEGORIES) | set(BRANDS) | set(INDUSTRIES)
+        # Category/Brand/Industry pools must appear verbatim (no typos).
+        for record in table.scan():
+            for attr_id, value in record.cells.items():
+                attr = table.catalog.by_id(attr_id)
+                if attr.name.startswith(("Category", "Brand", "Industry")):
+                    for s in value:
+                        assert s in known
+
+
+class TestHarnessEnv:
+    def test_env_int_parses(self, monkeypatch):
+        monkeypatch.setenv("X_TEST_INT", "123")
+        assert _env_int("X_TEST_INT", 5) == 123
+
+    def test_env_int_default(self, monkeypatch):
+        monkeypatch.delenv("X_TEST_INT", raising=False)
+        assert _env_int("X_TEST_INT", 5) == 5
+
+    def test_env_int_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("X_TEST_INT", "not-a-number")
+        assert _env_int("X_TEST_INT", 5) == 5

@@ -1,0 +1,119 @@
+"""Tests for the real-filesystem disk backend."""
+
+import pytest
+
+from repro import IVAConfig, IVAEngine, IVAFile, SparseWideTable
+from repro.errors import StorageError
+from repro.storage.hostdisk import HostDisk, _host_name
+
+
+@pytest.fixture
+def disk(tmp_path):
+    return HostDisk(tmp_path / "db")
+
+
+class TestHostDiskFiles:
+    def test_roundtrip(self, disk):
+        disk.create("f")
+        disk.write("f", 0, b"hello world")
+        assert disk.read("f", 6, 5) == b"world"
+        assert disk.size("f") == 11
+
+    def test_append(self, disk):
+        disk.create("f")
+        assert disk.append("f", b"abc") == 0
+        assert disk.append("f", b"de") == 3
+        assert disk.read("f", 0, 5) == b"abcde"
+
+    def test_create_conflicts(self, disk):
+        disk.create("f")
+        with pytest.raises(StorageError):
+            disk.create("f")
+        disk.create("f", overwrite=True)
+        assert disk.size("f") == 0
+
+    def test_read_past_eof(self, disk):
+        disk.create("f")
+        disk.append("f", b"ab")
+        with pytest.raises(StorageError):
+            disk.read("f", 0, 3)
+
+    def test_write_hole_rejected(self, disk):
+        disk.create("f")
+        with pytest.raises(StorageError):
+            disk.write("f", 5, b"x")
+
+    def test_truncate(self, disk):
+        disk.create("f")
+        disk.append("f", b"abcdef")
+        disk.truncate("f", 2)
+        assert disk.size("f") == 2
+        with pytest.raises(StorageError):
+            disk.truncate("f", 10)
+
+    def test_rename_replaces(self, disk):
+        disk.create("a")
+        disk.append("a", b"A")
+        disk.create("b")
+        disk.append("b", b"BB")
+        disk.rename("a", "b")
+        assert not disk.exists("a")
+        assert disk.read("b", 0, 1) == b"A"
+
+    def test_delete(self, disk):
+        disk.create("f")
+        disk.delete("f")
+        assert not disk.exists("f")
+        with pytest.raises(StorageError):
+            disk.read("f", 0, 0)
+
+    def test_odd_names_escaped(self, disk):
+        disk.create("table/with:odd name.dat")
+        disk.append("table/with:odd name.dat", b"x")
+        assert disk.read("table/with:odd name.dat", 0, 1) == b"x"
+        assert "/" not in _host_name("table/with:odd name.dat")
+
+    def test_reopen_discovers_files(self, tmp_path):
+        first = HostDisk(tmp_path / "db")
+        first.create("weird/name")
+        first.append("weird/name", b"persist")
+        second = HostDisk(tmp_path / "db")
+        assert second.exists("weird/name")
+        assert second.read("weird/name", 0, 7) == b"persist"
+
+    def test_stats_counters(self, disk):
+        disk.create("f")
+        disk.append("f", b"abc")
+        disk.read("f", 0, 2)
+        assert disk.stats.bytes_written == 3
+        assert disk.stats.bytes_read == 2
+        disk.reset_stats()
+        assert disk.stats.bytes_read == 0
+
+
+class TestFullStackOnHostDisk:
+    def test_table_and_index_work(self, tmp_path):
+        disk = HostDisk(tmp_path / "db")
+        table = SparseWideTable(disk)
+        table.insert({"Type": "Digital Camera", "Company": "Canon", "Price": 230})
+        table.insert({"Type": "Digital Camera", "Company": "Cannon", "Price": 230})
+        table.insert({"Type": "Music Album", "Artist": "Michael Jackson"})
+        index = IVAFile.build(table, IVAConfig(alpha=0.3))
+        engine = IVAEngine(table, index)
+        report = engine.search({"Company": "Canon"}, k=2)
+        assert [r.tid for r in report.results] == [0, 1]
+
+    def test_reopen_across_processes(self, tmp_path):
+        disk = HostDisk(tmp_path / "db")
+        table = SparseWideTable(disk)
+        table.insert({"Name": "alpha", "Rank": 1.0})
+        table.insert({"Name": "beta", "Rank": 2.0})
+        IVAFile.build(table)
+        # "Restart": fresh objects over the same directory.
+        disk2 = HostDisk(tmp_path / "db")
+        table2 = SparseWideTable.attach(disk2)
+        index2 = IVAFile.attach(table2)
+        engine = IVAEngine(table2, index2)
+        report = engine.search({"Name": "beta"}, k=1)
+        assert report.results[0].tid == 1
+        assert report.results[0].distance == 0.0

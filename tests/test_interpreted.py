@@ -1,0 +1,99 @@
+"""Unit tests for the interpreted row codec."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.model.record import Record
+from repro.storage.interpreted import (
+    decode_record,
+    encode_record,
+    iter_rows,
+    row_length,
+)
+
+
+class TestRoundtrip:
+    def test_numeric_only(self):
+        record = Record(tid=7, cells={3: 230.0, 1: -1.5})
+        decoded, end = decode_record(encode_record(record))
+        assert decoded.tid == 7
+        assert decoded.cells == {3: 230.0, 1: -1.5}
+        assert end == len(encode_record(record))
+
+    def test_text_only(self):
+        record = Record(tid=1, cells={0: ("Canon",), 2: ("Computer", "Software")})
+        decoded, _ = decode_record(encode_record(record))
+        assert decoded.cells == record.cells
+
+    def test_mixed(self):
+        record = Record(tid=0, cells={0: ("Digital Camera",), 5: 230.0})
+        decoded, _ = decode_record(encode_record(record))
+        assert decoded.cells == record.cells
+
+    def test_unicode_strings(self):
+        record = Record(tid=9, cells={0: ("日本語テキスト", "naïve café")})
+        decoded, _ = decode_record(encode_record(record))
+        assert decoded.cells == record.cells
+
+    def test_empty_record(self):
+        record = Record(tid=4)
+        decoded, _ = decode_record(encode_record(record))
+        assert decoded.tid == 4
+        assert decoded.cells == {}
+
+    def test_offset_parsing(self):
+        first = encode_record(Record(tid=1, cells={0: 1.0}))
+        second = encode_record(Record(tid=2, cells={0: 2.0}))
+        buffer = first + second
+        record, end = decode_record(buffer, len(first))
+        assert record.tid == 2
+        assert end == len(buffer)
+
+    def test_iter_rows(self):
+        records = [Record(tid=i, cells={0: float(i)}) for i in range(5)]
+        buffer = b"".join(encode_record(r) for r in records)
+        assert [r.tid for r in iter_rows(buffer)] == [0, 1, 2, 3, 4]
+
+    def test_row_length(self):
+        payload = encode_record(Record(tid=1, cells={0: 1.0}))
+        assert row_length(payload) == len(payload)
+
+
+class TestValidation:
+    def test_truncated_header(self):
+        with pytest.raises(StorageError):
+            decode_record(b"\x01\x02")
+
+    def test_corrupt_length(self):
+        payload = bytearray(encode_record(Record(tid=1, cells={0: 1.0})))
+        payload[0:4] = (1).to_bytes(4, "little")  # absurdly short
+        with pytest.raises(StorageError):
+            decode_record(bytes(payload))
+
+    def test_declared_length_beyond_buffer(self):
+        payload = bytearray(encode_record(Record(tid=1, cells={0: 1.0})))
+        payload[0:4] = (10000).to_bytes(4, "little")
+        with pytest.raises(StorageError):
+            decode_record(bytes(payload))
+
+    def test_unknown_type_tag(self):
+        payload = bytearray(encode_record(Record(tid=1, cells={0: 1.0})))
+        # entry head = header(10) + attr_id(4), tag at offset 14
+        payload[14] = 77
+        with pytest.raises(StorageError):
+            decode_record(bytes(payload))
+
+    def test_too_many_strings_rejected(self):
+        record = Record(tid=1, cells={0: tuple(f"s{i}" for i in range(256))})
+        with pytest.raises(StorageError):
+            encode_record(record)
+
+    def test_unencodable_value_rejected(self):
+        record = Record(tid=1, cells={0: object()})  # type: ignore[dict-item]
+        with pytest.raises(StorageError):
+            encode_record(record)
+
+    def test_oversized_string_rejected(self):
+        record = Record(tid=1, cells={0: ("x" * 70000,)})
+        with pytest.raises(StorageError):
+            encode_record(record)

@@ -1,0 +1,164 @@
+"""Tests for JSONL/CSV import and export."""
+
+import json
+
+import pytest
+
+from repro import SimulatedDisk, SparseWideTable
+from repro.data.io_utils import (
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    sniff_numeric_columns,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def table(disk):
+    return SparseWideTable(disk)
+
+
+class TestLoadJsonl:
+    def test_basic_load(self, table):
+        lines = [
+            json.dumps({"Type": "Digital Camera", "Price": 230}),
+            json.dumps({"Type": "Music Album", "Artist": "Michael Jackson"}),
+        ]
+        assert load_jsonl(table, lines) == 2
+        assert len(table) == 2
+        assert table.value(0, "Type") == ("Digital Camera",)
+        assert table.value(0, "Price") == 230.0
+
+    def test_list_becomes_multi_string(self, table):
+        load_jsonl(table, [json.dumps({"Industry": ["Computer", "Software"]})])
+        assert table.value(0, "Industry") == ("Computer", "Software")
+
+    def test_null_is_ndf(self, table):
+        load_jsonl(table, [json.dumps({"Type": "Camera", "Price": None})])
+        assert table.catalog.get("Price") is None
+
+    def test_blank_lines_skipped(self, table):
+        assert load_jsonl(table, ["", json.dumps({"A": "x"}), "   "]) == 1
+
+    def test_invalid_json_reports_line(self, table):
+        with pytest.raises(SchemaError, match="line 2"):
+            load_jsonl(table, [json.dumps({"A": "x"}), "{broken"])
+
+    def test_non_object_rejected(self, table):
+        with pytest.raises(SchemaError, match="JSON object"):
+            load_jsonl(table, ["[1, 2]"])
+
+    def test_empty_object_rejected(self, table):
+        with pytest.raises(SchemaError, match="line 1"):
+            load_jsonl(table, ["{}"])
+
+    def test_load_from_file(self, table, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text(json.dumps({"A": "x"}) + "\n", encoding="utf-8")
+        assert load_jsonl(table, path) == 1
+
+
+class TestDumpJsonl:
+    def test_roundtrip(self, camera_table, tmp_path):
+        path = tmp_path / "out.jsonl"
+        count = dump_jsonl(camera_table, path)
+        assert count == 5
+        clone = SparseWideTable(SimulatedDisk(), name="clone")
+        load_jsonl(clone, path)
+        original = sorted(
+            sorted((camera_table.catalog.by_id(a).name, v) for a, v in r.cells.items())
+            for r in camera_table.scan()
+        )
+        restored = sorted(
+            sorted((clone.catalog.by_id(a).name, v) for a, v in r.cells.items())
+            for r in clone.scan()
+        )
+        assert restored == original
+
+    def test_skips_deleted(self, camera_table, tmp_path):
+        camera_table.delete(0)
+        path = tmp_path / "out.jsonl"
+        assert dump_jsonl(camera_table, path) == 4
+
+    def test_multi_string_serialises_as_list(self, camera_table, tmp_path):
+        path = tmp_path / "out.jsonl"
+        dump_jsonl(camera_table, path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        industry_rows = [r for r in rows if "Industry" in r]
+        assert industry_rows[0]["Industry"] == ["Computer", "Software"]
+
+
+class TestCsv:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "data.csv"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_sniffing(self):
+        rows = [
+            {"name": "a", "price": "10.5", "year": "1999"},
+            {"name": "b", "price": "20", "year": ""},
+            {"name": "3", "price": "", "year": "2001"},
+        ]
+        # "name" holds "a" -> text even though one value is "3".
+        assert sniff_numeric_columns(rows) == ["price", "year"]
+
+    def test_load_with_sniffing(self, table, tmp_path):
+        path = self._write(tmp_path, "name,price\ncamera,230\nalbum,20\n")
+        assert load_csv(table, path) == 2
+        assert table.catalog.require("price").is_numeric
+        assert table.catalog.require("name").is_text
+        assert table.value(0, "price") == 230.0
+
+    def test_empty_cells_are_ndf(self, table, tmp_path):
+        path = self._write(tmp_path, "a,b\nx,\n,2\n")
+        assert load_csv(table, path) == 2
+        assert table.read(0).defined_attributes() == (
+            table.catalog.require("a").attr_id,
+        )
+
+    def test_explicit_numeric_columns(self, table, tmp_path):
+        path = self._write(tmp_path, "code\n123\n456\n")
+        load_csv(table, path, numeric_columns=[])
+        assert table.catalog.require("code").is_text
+
+    def test_declared_numeric_with_bad_value(self, table, tmp_path):
+        path = self._write(tmp_path, "price\ncheap\n")
+        with pytest.raises(SchemaError, match="declared numeric"):
+            load_csv(table, path, numeric_columns=["price"])
+
+    def test_all_empty_rows_skipped(self, table, tmp_path):
+        path = self._write(tmp_path, "a,b\nx,y\n,\n")
+        assert load_csv(table, path) == 1
+
+
+class TestCliLoadExport:
+    def test_load_jsonl_and_export(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        data = tmp_path / "in.jsonl"
+        data.write_text(
+            json.dumps({"Type": "Digital Camera", "Price": 230}) + "\n"
+            + json.dumps({"Type": "Music Album"}) + "\n",
+            encoding="utf-8",
+        )
+        snapshot = str(tmp_path / "db.ivadb")
+        assert cli_main(["load", "--snapshot", snapshot, "--jsonl", str(data),
+                         "--create"]) == 0
+        assert cli_main(["build", "--snapshot", snapshot]) == 0
+        assert cli_main(["query", "--snapshot", snapshot,
+                         "--term", "Type=Digital Camera", "-k", "1"]) == 0
+        out_file = tmp_path / "out.jsonl"
+        assert cli_main(["export", "--snapshot", snapshot,
+                         "--jsonl", str(out_file)]) == 0
+        exported = [json.loads(line) for line in out_file.read_text().splitlines()]
+        assert len(exported) == 2
+        capsys.readouterr()
+
+    def test_load_requires_exactly_one_source(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        snapshot = str(tmp_path / "db.ivadb")
+        assert cli_main(["load", "--snapshot", snapshot, "--create"]) == 1
+        assert "exactly one" in capsys.readouterr().err

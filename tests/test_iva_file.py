@@ -1,0 +1,170 @@
+"""Unit and integration tests for the iVA-file index structure."""
+
+import pytest
+
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.core.tuple_list import DELETED_PTR
+from repro.core.vector_lists import ListType
+from repro.errors import IndexError_
+
+
+@pytest.fixture
+def index(camera_table):
+    return IVAFile.build(camera_table, IVAConfig(alpha=0.25, n=2))
+
+
+class TestBuild:
+    def test_entries_cover_catalog(self, camera_table, index):
+        assert len(index.entries()) == len(camera_table.catalog)
+
+    def test_df_and_str_statistics(self, camera_table, index):
+        type_id = camera_table.catalog.require("Type").attr_id
+        industry_id = camera_table.catalog.require("Industry").attr_id
+        assert index.entry(type_id).df == 5
+        assert index.entry(industry_id).df == 1
+        assert index.entry(industry_id).str_count == 2
+
+    def test_numeric_domains(self, camera_table, index):
+        price_id = camera_table.catalog.require("Price").attr_id
+        entry = index.entry(price_id)
+        assert (entry.lo, entry.hi) == (20.0, 240.0)
+
+    def test_dense_attribute_uses_positional_layout(self, camera_table, index):
+        # Type is defined on every tuple -> positional Type III is smallest.
+        type_id = camera_table.catalog.require("Type").attr_id
+        assert index.entry(type_id).list_type is ListType.TYPE_III
+
+    def test_rare_attribute_uses_tid_based_layout(self, camera_table, index):
+        artist_id = camera_table.catalog.require("Artist").attr_id
+        assert index.entry(artist_id).list_type in (ListType.TYPE_I, ListType.TYPE_II)
+
+    def test_vector_list_sizes_recorded(self, camera_table, index):
+        for entry in index.entries():
+            assert entry.list_size == index.disk.size(
+                index.vector_file(entry.attr.attr_id)
+            )
+
+    def test_total_bytes_counts_all_files(self, index):
+        total = index.total_bytes()
+        assert total > 0
+        parts = index.disk.size(index.tuples_file) + index.disk.size(index.attrs_file)
+        for entry in index.entries():
+            parts += entry.list_size
+        assert total == parts
+
+    def test_tuple_list_matches_table(self, camera_table, index):
+        tids = [tid for tid, _ in index._tuples.scan()]
+        assert tids == camera_table.live_tids()
+
+    def test_unknown_attr_entry_is_none(self, index):
+        assert index.entry(999) is None
+
+
+class TestScan:
+    def test_payloads_track_definitions(self, camera_table, index):
+        company_id = camera_table.catalog.require("Company").attr_id
+        price_id = camera_table.catalog.require("Price").attr_id
+        scan = index.open_scan([company_id, price_id])
+        seen = {}
+        for tid, ptr in scan:
+            company, price = scan.payloads(tid)
+            seen[tid] = (company is not None, price is not None)
+        assert seen == {
+            0: (True, False),
+            1: (True, True),
+            2: (False, True),
+            3: (True, True),
+            4: (True, True),
+        }
+
+    def test_scan_of_unindexed_attribute_yields_ndf(self, camera_table, index):
+        scan = index.open_scan([999])
+        for tid, _ in scan:
+            assert scan.payloads(tid) == [None]
+
+
+class TestUpdates:
+    def test_insert_appends_everywhere(self, camera_table, index):
+        cells = camera_table.prepare_cells(
+            {"Type": "Notebook", "Company": "Lenovo", "Price": 700.0}
+        )
+        tid = camera_table.insert_record(cells)
+        index.insert(tid, cells)
+        assert index.tuple_elements == 6
+        type_id = camera_table.catalog.require("Type").attr_id
+        scan = index.open_scan([type_id])
+        payload_by_tid = {t: scan.payloads(t)[0] for t, _ in scan}
+        assert payload_by_tid[tid] is not None
+
+    def test_insert_with_new_attribute(self, camera_table, index):
+        cells = camera_table.prepare_cells({"Type": "Guitar", "Maker": "Fender"})
+        tid = camera_table.insert_record(cells)
+        index.insert(tid, cells)
+        maker_id = camera_table.catalog.require("Maker").attr_id
+        entry = index.entry(maker_id)
+        assert entry is not None
+        assert entry.df == 1
+        scan = index.open_scan([maker_id])
+        payloads = {t: scan.payloads(t)[0] for t, _ in scan}
+        assert payloads[tid] is not None
+        assert all(p is None for t, p in payloads.items() if t != tid)
+
+    def test_insert_maintains_positional_alignment(self, camera_table, index):
+        """Positional lists must get an element even for ndf inserts."""
+        type_id = camera_table.catalog.require("Type").attr_id
+        assert index.entry(type_id).list_type is ListType.TYPE_III
+        # New tuple with no Type value.
+        cells = camera_table.prepare_cells({"Company": "Asus"})
+        tid = camera_table.insert_record(cells)
+        index.insert(tid, cells)
+        scan = index.open_scan([type_id])
+        payloads = {t: scan.payloads(t)[0] for t, _ in scan}
+        assert payloads[tid] is None
+        assert payloads[0] is not None  # earlier tuples unharmed
+
+    def test_delete_marks_tuple_list(self, camera_table, index):
+        camera_table.delete(2)
+        index.delete(2)
+        ptrs = dict(index._tuples.scan())
+        assert ptrs[2] == DELETED_PTR
+        assert index.deleted_elements == 1
+
+    def test_delete_unknown_tid(self, index):
+        with pytest.raises(IndexError_):
+            index.delete(77)
+
+    def test_rebuild_drops_tombstones(self, camera_table, index):
+        camera_table.delete(1)
+        index.delete(1)
+        camera_table.rebuild()
+        index.rebuild()
+        tids = [tid for tid, _ in index._tuples.scan()]
+        assert tids == [0, 2, 3, 4]
+        assert index.deleted_elements == 0
+
+    def test_rebuild_after_domain_widening(self, camera_table, index):
+        """Out-of-domain inserts clamp; rebuild re-derives tight domains."""
+        price_id = camera_table.catalog.require("Price").attr_id
+        cells = camera_table.prepare_cells({"Type": "Car", "Price": 90000.0})
+        tid = camera_table.insert_record(cells)
+        index.insert(tid, cells)
+        assert index.entry(price_id).hi == 240.0  # stale until rebuild
+        index.rebuild()
+        assert index.entry(price_id).hi == 90000.0
+
+
+class TestConfig:
+    def test_alpha_validation(self):
+        with pytest.raises(IndexError_):
+            IVAConfig(alpha=0.0)
+        with pytest.raises(IndexError_):
+            IVAConfig(alpha=1.5)
+
+    def test_n_validation(self):
+        with pytest.raises(IndexError_):
+            IVAConfig(n=0)
+
+    def test_larger_alpha_larger_index(self, camera_table):
+        small = IVAFile.build(camera_table, IVAConfig(alpha=0.1, name="iva_small"))
+        large = IVAFile.build(camera_table, IVAConfig(alpha=0.5, name="iva_large"))
+        assert large.total_bytes() > small.total_bytes()

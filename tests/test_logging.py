@@ -1,0 +1,32 @@
+"""Maintenance operations announce themselves through the logging module."""
+
+import logging
+
+from repro import IVAFile
+from repro.maintenance import MaintainedSystem
+
+
+class TestLogging:
+    def test_index_rebuild_logs(self, camera_table, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.core.iva_file"):
+            IVAFile.build(camera_table)
+        assert any("rebuilt iVA-file" in r.message for r in caplog.records)
+
+    def test_table_compaction_logs(self, camera_table, caplog):
+        camera_table.delete(0)
+        with caplog.at_level(logging.INFO, logger="repro.storage.table"):
+            camera_table.rebuild()
+        assert any("compacted table" in r.message for r in caplog.records)
+
+    def test_cleaning_trigger_logs(self, camera_table, caplog):
+        index = IVAFile.build(camera_table)
+        system = MaintainedSystem(camera_table, [index])
+        system.delete(0)
+        with caplog.at_level(logging.INFO, logger="repro.maintenance"):
+            assert system.maybe_clean(beta=0.01)
+        assert any("cleaning triggered" in r.message for r in caplog.records)
+
+    def test_quiet_by_default(self, camera_table, capsys):
+        """No handler configured -> nothing printed (library etiquette)."""
+        IVAFile.build(camera_table)
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,91 @@
+"""Tests for coordinated table + index maintenance (Sec. IV-B)."""
+
+import pytest
+
+from repro import IVAConfig, IVAEngine, IVAFile, SimulatedDisk, SparseWideTable
+from repro.baselines.sii import SIIEngine, SparseInvertedIndex
+from repro.maintenance import MaintainedSystem, amortized_update_times
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+@pytest.fixture
+def system(camera_table):
+    iva = IVAFile.build(camera_table, IVAConfig())
+    sii = SparseInvertedIndex.build(camera_table)
+    return MaintainedSystem(camera_table, [iva, sii]), iva, sii
+
+
+class TestMaintainedSystem:
+    def test_insert_reaches_all_indices(self, camera_table, system):
+        sys_, iva, sii = system
+        tid = sys_.insert({"Type": "Tablet", "Company": "Apple"})
+        assert IVAEngine(camera_table, iva).search({"Company": "Apple"}, k=1).results[0].tid == tid
+        assert SIIEngine(camera_table, sii).search({"Company": "Apple"}, k=1).results[0].tid == tid
+
+    def test_delete_reaches_all_indices(self, camera_table, system):
+        sys_, iva, sii = system
+        sys_.delete(1)
+        assert not camera_table.is_live(1)
+        assert iva.deleted_elements == 1
+        assert sii._tuples.deleted_count == 1
+
+    def test_update_is_delete_plus_insert(self, camera_table, system):
+        sys_, iva, _ = system
+        new_tid = sys_.update(1, {"Type": "Film Camera", "Company": "Kodak"})
+        assert new_tid == 5
+        report = IVAEngine(camera_table, iva).search({"Company": "Kodak"}, k=1)
+        assert report.results[0].tid == new_tid
+
+    def test_deleted_fraction_and_cleaning(self, camera_table, system):
+        sys_, iva, sii = system
+        assert sys_.deleted_fraction == 0.0
+        sys_.delete(0)
+        assert sys_.deleted_fraction == pytest.approx(0.2)
+        assert not sys_.maybe_clean(beta=0.5)
+        assert sys_.maybe_clean(beta=0.2)
+        assert sys_.deleted_fraction == 0.0
+        assert camera_table.dead_tuples == 0
+        assert iva.deleted_elements == 0
+
+    def test_bad_beta(self, system):
+        sys_, _, _ = system
+        with pytest.raises(ValueError):
+            sys_.maybe_clean(beta=0.0)
+
+    def test_queries_correct_after_update_storm(self, small_dataset_factory=None):
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+        for i in range(30):
+            table.insert({"Name": f"item {i}", "Rank": float(i)})
+        iva = IVAFile.build(table)
+        system = MaintainedSystem(table, [iva])
+        engine = IVAEngine(table, iva)
+        for i in range(0, 30, 3):
+            system.delete(i)
+        for i in range(10):
+            system.insert({"Name": f"fresh {i}", "Rank": float(100 + i)})
+        system.rebuild()
+        query = engine.prepare_query({"Name": "fresh 3", "Rank": 103.0})
+        assert_topk_matches_bruteforce(engine, table, query, k=5)
+
+
+class TestAmortizedCosts:
+    def test_paper_formulas(self):
+        times = amortized_update_times(
+            td_ms=3.89, ti_ms=0.5, tr_ms=1000.0, beta=0.02, total_tuples=10000
+        )
+        cleaning = 1000.0 / (0.02 * 10000)
+        assert times["deletion_ms"] == pytest.approx(3.89 + cleaning)
+        assert times["insertion_ms"] == pytest.approx(0.5 + cleaning)
+        assert times["update_ms"] == pytest.approx(3.89 + 0.5 + cleaning)
+
+    def test_larger_beta_amortizes_better(self):
+        low = amortized_update_times(1.0, 1.0, 100.0, beta=0.01, total_tuples=1000)
+        high = amortized_update_times(1.0, 1.0, 100.0, beta=0.05, total_tuples=1000)
+        assert high["update_ms"] < low["update_ms"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amortized_update_times(1.0, 1.0, 1.0, beta=0.0, total_tuples=10)
+        with pytest.raises(ValueError):
+            amortized_update_times(1.0, 1.0, 1.0, beta=0.1, total_tuples=0)

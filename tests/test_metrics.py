@@ -1,0 +1,204 @@
+"""Unit tests for distances, metrics and weights."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryError
+from repro.metrics.distance import (
+    DistanceFunction,
+    L1Metric,
+    L2Metric,
+    LInfMetric,
+    metric_by_name,
+    numeric_difference,
+    text_difference,
+)
+from repro.metrics.weights import equal_weights, itf_weights
+from repro.model.values import NDF
+from repro.query import Query, QueryTerm
+
+
+class TestTermDifferences:
+    def test_text_difference_min_over_strings(self):
+        assert text_difference("Canon", ("Cannon", "Sony"), 20.0) == 1.0
+
+    def test_text_difference_exact_match(self):
+        assert text_difference("Canon", ("Canon",), 20.0) == 0.0
+
+    def test_text_difference_ndf(self):
+        assert text_difference("Canon", NDF, 20.0) == 20.0
+
+    def test_text_difference_wrong_type(self):
+        with pytest.raises(QueryError):
+            text_difference("Canon", 5.0, 20.0)
+
+    def test_numeric_difference(self):
+        assert numeric_difference(200.0, 230.0, 20.0) == 30.0
+
+    def test_numeric_difference_ndf(self):
+        assert numeric_difference(200.0, NDF, 20.0) == 20.0
+
+    def test_numeric_difference_wrong_type(self):
+        with pytest.raises(QueryError):
+            numeric_difference(200.0, ("x",), 20.0)
+
+
+class TestMetrics:
+    def test_l1(self):
+        assert L1Metric().combine([1.0, 2.0, 3.0]) == 6.0
+
+    def test_l2(self):
+        assert L2Metric().combine([3.0, 4.0]) == 5.0
+
+    def test_linf(self):
+        assert LInfMetric().combine([1.0, 9.0, 3.0]) == 9.0
+
+    @pytest.mark.parametrize("name, cls", [("L1", L1Metric), ("l2", L2Metric),
+                                           ("Linf", LInfMetric), ("euclidean", L2Metric)])
+    def test_lookup(self, name, cls):
+        assert isinstance(metric_by_name(name), cls)
+
+    def test_lookup_unknown(self):
+        with pytest.raises(QueryError):
+            metric_by_name("L3")
+
+    @pytest.mark.parametrize("metric", [L1Metric(), L2Metric(), LInfMetric()])
+    def test_monotonicity_samples(self, metric):
+        # Property 3.1: raising any component cannot lower the metric.
+        base = [1.0, 2.0, 3.0]
+        for i in range(3):
+            bigger = list(base)
+            bigger[i] += 1.0
+            assert metric.combine(bigger) >= metric.combine(base)
+
+
+class TestWeights:
+    def test_equal(self, camera_table):
+        attr = camera_table.catalog.require("Type")
+        assert equal_weights(attr) == 1.0
+
+    def test_itf_prefers_rare_attributes(self, camera_table):
+        weight = itf_weights(camera_table)
+        common = camera_table.catalog.require("Type")      # df = 5
+        rare = camera_table.catalog.require("Artist")      # df = 1
+        assert weight(rare) > weight(common)
+
+    def test_itf_formula(self, camera_table):
+        weight = itf_weights(camera_table)
+        artist = camera_table.catalog.require("Artist")
+        expected = math.log((1 + 5) / (1 + 1))
+        assert weight(artist) == pytest.approx(expected)
+
+
+class TestDistanceFunction:
+    def _query(self, table):
+        return Query.from_dict(
+            table.catalog, {"Type": "Digital Camera", "Price": 200.0}
+        )
+
+    def test_actual_distance_l2(self, camera_table):
+        dist = DistanceFunction(metric="L2")
+        query = self._query(camera_table)
+        record = camera_table.read(1)  # Canon camera, price 230
+        assert dist.actual(query, record) == pytest.approx(30.0)
+
+    def test_actual_distance_with_ndf(self, camera_table):
+        dist = DistanceFunction(metric="L1", ndf_penalty=20.0)
+        query = self._query(camera_table)
+        record = camera_table.read(0)  # Job Position, no Price
+        # ed("Digital Camera", "Job Position") weighted + ndf penalty
+        type_id = camera_table.catalog.require("Type").attr_id
+        expected = (
+            text_difference("Digital Camera", record.value(type_id), 20.0) + 20.0
+        )
+        assert dist.actual(query, record) == pytest.approx(expected)
+
+    def test_combine_bounds_is_metric_on_weighted_diffs(self, camera_table):
+        dist = DistanceFunction(metric="L2")
+        query = self._query(camera_table)
+        assert dist.combine_bounds(query, [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_string_metric_argument(self, camera_table):
+        dist = DistanceFunction(metric="linf")
+        assert isinstance(dist.metric, LInfMetric)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(QueryError):
+            DistanceFunction(ndf_penalty=-1.0)
+
+    def test_nonpositive_weight_rejected(self, camera_table):
+        dist = DistanceFunction(weights=lambda attr: 0.0)
+        query = self._query(camera_table)
+        with pytest.raises(QueryError):
+            dist.actual(query, camera_table.read(1))
+
+    def test_weight_for_attr_not_in_query(self, camera_table):
+        dist = DistanceFunction()
+        query = self._query(camera_table)
+        with pytest.raises(QueryError):
+            dist.weight(999, query)
+
+    def test_estimate_lower_bounds_actual(self, camera_table):
+        """Monotonicity turns per-attribute bounds into distance bounds."""
+        dist = DistanceFunction(metric="L2")
+        query = self._query(camera_table)
+        for record in camera_table.scan():
+            actual = dist.actual(query, record)
+            exact_diffs = [
+                dist.term_difference(i, query, record.value(t.attr.attr_id))
+                for i, t in enumerate(query.terms)
+            ]
+            lowered = [d * 0.5 for d in exact_diffs]
+            assert dist.combine_bounds(query, lowered) <= actual + 1e-9
+
+
+class TestQueryTermValidation:
+    def test_text_term_needs_string(self, camera_table):
+        attr = camera_table.catalog.require("Type")
+        with pytest.raises(QueryError):
+            QueryTerm(attr=attr, value=3.0)
+
+    def test_numeric_term_needs_number(self, camera_table):
+        attr = camera_table.catalog.require("Price")
+        with pytest.raises(QueryError):
+            QueryTerm(attr=attr, value="cheap")
+
+    def test_numeric_term_coerces_int(self, camera_table):
+        attr = camera_table.catalog.require("Price")
+        term = QueryTerm(attr=attr, value=200)
+        assert term.value == 200.0
+        assert isinstance(term.value, float)
+
+    def test_empty_query_string_rejected(self, camera_table):
+        attr = camera_table.catalog.require("Type")
+        with pytest.raises(QueryError):
+            QueryTerm(attr=attr, value="")
+
+
+class TestQuery:
+    def test_terms_sorted_by_attr_id(self, camera_table):
+        query = Query.from_dict(
+            camera_table.catalog, {"Price": 100.0, "Type": "Camera"}
+        )
+        ids = [t.attr.attr_id for t in query.terms]
+        assert ids == sorted(ids)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            Query(terms=())
+
+    def test_duplicate_attribute_rejected(self, camera_table):
+        attr = camera_table.catalog.require("Type")
+        with pytest.raises(QueryError):
+            Query(terms=(QueryTerm(attr, "a"), QueryTerm(attr, "b")))
+
+    def test_unknown_attribute_rejected(self, camera_table):
+        with pytest.raises(QueryError):
+            Query.from_dict(camera_table.catalog, {"Nope": "x"})
+
+    def test_len_iter_describe(self, camera_table):
+        query = Query.from_dict(camera_table.catalog, {"Type": "Camera"})
+        assert len(query) == 1
+        assert [t.value for t in query] == ["Camera"]
+        assert "Type" in query.describe()

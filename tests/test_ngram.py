@@ -1,0 +1,82 @@
+"""Unit tests for n-gram extraction and the exact estimate est'."""
+
+import pytest
+
+from repro.core.ngram import (
+    common_gram_count,
+    exact_estimate,
+    extend,
+    gram_multiset,
+    multiset_size,
+    ngrams,
+)
+from repro.metrics.edit_distance import edit_distance
+
+
+class TestGramExtraction:
+    def test_paper_example_3_1(self):
+        # "To obtain all the 3-grams of 'yes', first extend it to '##yes$$'."
+        assert extend("yes", 3) == "##yes$$"
+        assert ngrams("yes", 3) == ["##y", "#ye", "yes", "es$", "s$$"]
+
+    def test_gram_count_formula(self):
+        for s in ["a", "ok", "yes", "digital camera"]:
+            for n in [1, 2, 3, 4]:
+                assert len(ngrams(s, n)) == len(s) + n - 1
+
+    def test_2grams_of_ok(self):
+        # Example 3.2: "The 2-grams are '#o', 'ok' and 'k$'."
+        assert ngrams("ok", 2) == ["#o", "ok", "k$"]
+
+    def test_n_equals_1_has_no_padding(self):
+        assert ngrams("abc", 1) == ["a", "b", "c"]
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+
+class TestGramMultiset:
+    def test_paper_example_3_3(self):
+        # "The 2-gram set of 'www' is {(1,'#w'), (2,'ww'), (1,'w$')}. Size 4."
+        counts = gram_multiset("www", 2)
+        assert counts == {"#w": 1, "ww": 2, "w$": 1}
+        assert multiset_size(counts) == 4
+
+    def test_common_gram_count_uses_min_of_counts(self):
+        # "wwww" has ww x3; "www" has ww x2 -> common ww count is 2.
+        assert common_gram_count("www", "wwww", 2) == 1 + 2 + 1
+
+    def test_common_gram_count_symmetric(self):
+        assert common_gram_count("canon", "cannon", 2) == common_gram_count(
+            "cannon", "canon", 2
+        )
+
+    def test_disjoint_strings(self):
+        assert common_gram_count("abc", "xyz", 3) == 0
+
+
+class TestExactEstimate:
+    def test_identical_strings_estimate_zero_or_less(self):
+        assert exact_estimate("canon", "canon", 2) <= 0
+
+    @pytest.mark.parametrize(
+        "sq, sd",
+        [
+            ("Canon", "Cannon"),
+            ("yes", "yse"),
+            ("digital", "digtal"),
+            ("kitten", "sitting"),
+            ("a", "abcdef"),
+            ("", ""),
+            ("short", "a much longer string here"),
+        ],
+    )
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_never_exceeds_edit_distance(self, sq, sd, n):
+        # Eq. 2 (Gravano et al.): est' <= ed.
+        assert exact_estimate(sq, sd, n) <= edit_distance(sq, sd) + 1e-12
+
+    def test_empty_vs_empty(self):
+        # max(0,0) - |cg| = 0 - (n-1 shared padding-free grams)... just check bound
+        assert exact_estimate("", "", 2) <= 0

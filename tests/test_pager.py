@@ -1,0 +1,76 @@
+"""Unit tests for the buffered sequential reader."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import BufferedReader
+
+
+@pytest.fixture
+def disk():
+    d = SimulatedDisk()
+    d.create("f")
+    d.write("f", 0, bytes(range(256)) * 10)
+    return d
+
+
+class TestBufferedReader:
+    def test_reads_in_order(self, disk):
+        reader = BufferedReader(disk, "f", 0, chunk_bytes=64)
+        assert reader.read(3) == bytes([0, 1, 2])
+        assert reader.read(2) == bytes([3, 4])
+        assert reader.position == 5
+
+    def test_reads_across_chunk_boundary(self, disk):
+        reader = BufferedReader(disk, "f", 0, chunk_bytes=4)
+        assert reader.read(10) == bytes(range(10))
+
+    def test_range_limits(self, disk):
+        reader = BufferedReader(disk, "f", 10, end=20)
+        assert reader.read(10) == bytes(range(10, 20))
+        assert reader.exhausted()
+        with pytest.raises(StorageError):
+            reader.read(1)
+
+    def test_skip(self, disk):
+        reader = BufferedReader(disk, "f", 0)
+        reader.skip(100)
+        assert reader.read(2) == bytes([100, 101])
+
+    def test_skip_past_end_fails(self, disk):
+        reader = BufferedReader(disk, "f", 0, end=10)
+        with pytest.raises(StorageError):
+            reader.skip(11)
+
+    def test_remaining(self, disk):
+        reader = BufferedReader(disk, "f", 0, end=10)
+        reader.read(4)
+        assert reader.remaining() == 6
+
+    def test_start_beyond_end_fails(self, disk):
+        with pytest.raises(StorageError):
+            BufferedReader(disk, "f", 100, end=10)
+
+    def test_negative_read_fails(self, disk):
+        reader = BufferedReader(disk, "f", 0)
+        with pytest.raises(StorageError):
+            reader.read(-1)
+
+    def test_zero_length_file(self):
+        disk = SimulatedDisk()
+        disk.create("empty")
+        reader = BufferedReader(disk, "empty", 0)
+        assert reader.exhausted()
+        assert reader.read(0) == b""
+
+    def test_buffering_reduces_read_calls(self, disk):
+        disk.reset_stats()
+        reader = BufferedReader(disk, "f", 0, chunk_bytes=1024)
+        for _ in range(512):
+            reader.read(2)
+        assert disk.stats.read_calls == 1
+
+    def test_bad_chunk_size(self, disk):
+        with pytest.raises(ValueError):
+            BufferedReader(disk, "f", 0, chunk_bytes=0)

@@ -1,0 +1,65 @@
+"""Unit tests for the Eq. 5 error model and optimal-t selection."""
+
+import pytest
+
+from repro.core.params import (
+    expected_relative_error,
+    false_hit_probability,
+    optimal_t,
+)
+
+
+class TestFalseHitProbability:
+    def test_in_unit_interval(self):
+        for l_bits in [8, 16, 32, 64]:
+            for t in range(1, l_bits):
+                p = false_hit_probability(l_bits, t, 10)
+                assert 0.0 <= p <= 1.0
+
+    def test_more_bits_lowers_error_at_optimum(self):
+        grams = 17  # |sd| = 16, n = 2
+        small = expected_relative_error(16, optimal_t(16, grams), grams)
+        large = expected_relative_error(64, optimal_t(64, grams), grams)
+        assert large < small
+
+    def test_more_grams_raises_error(self):
+        # A fuller signature makes false hits likelier.
+        assert false_hit_probability(32, 2, 30) > false_hit_probability(32, 2, 5)
+
+    def test_zero_grams_is_zero_error(self):
+        assert false_hit_probability(32, 2, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            false_hit_probability(0, 1, 5)
+        with pytest.raises(ValueError):
+            false_hit_probability(8, 0, 5)
+        with pytest.raises(ValueError):
+            false_hit_probability(8, 8, 5)
+        with pytest.raises(ValueError):
+            false_hit_probability(8, 1, -1)
+
+
+class TestOptimalT:
+    def test_is_argmin(self):
+        for l_bits in [8, 16, 24, 40]:
+            for grams in [3, 10, 17, 30]:
+                best = optimal_t(l_bits, grams)
+                best_error = expected_relative_error(l_bits, best, grams)
+                for t in range(1, l_bits):
+                    assert best_error <= expected_relative_error(l_bits, t, grams) + 1e-15
+
+    def test_within_valid_range(self):
+        for l_bits in [2, 8, 64, 256]:
+            t = optimal_t(l_bits, 17)
+            assert 1 <= t < max(l_bits, 2)
+
+    def test_degenerate_signature_length(self):
+        assert optimal_t(1, 10) == 1
+
+    def test_deterministic_and_cached(self):
+        assert optimal_t(32, 17) == optimal_t(32, 17)
+
+    def test_longer_signature_allows_larger_t(self):
+        grams = 10
+        assert optimal_t(128, grams) >= optimal_t(16, grams)

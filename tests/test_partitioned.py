@@ -1,0 +1,126 @@
+"""Tests for the horizontally partitioned iVA-file system."""
+
+import pytest
+
+from repro import DistanceFunction, SimulatedDisk, SparseWideTable
+from repro.data import DatasetConfig, DatasetGenerator
+from repro.distributed import PartitionedSystem
+from repro.errors import QueryError, StorageError
+from repro.metrics.distance import DistanceFunction as DF
+from repro.query import Query
+from tests.helpers import brute_force_topk
+
+
+def _mirror_tables(system):
+    """A single-node table with the same rows, for ground truth."""
+    disk = SimulatedDisk()
+    table = SparseWideTable(disk, catalog=system.catalog)
+    for partition_table in system.tables:
+        for record in partition_table.scan():
+            table.insert_record(dict(record.cells))
+    return table
+
+
+@pytest.fixture
+def system():
+    sys_ = PartitionedSystem(num_partitions=3)
+    generator = DatasetGenerator(
+        DatasetConfig(num_tuples=1, num_attributes=50, mean_attrs_per_tuple=6.0, seed=77)
+    )
+    for _ in range(120):
+        sys_.insert(generator.tuple_values())
+    sys_.build_indexes()
+    return sys_
+
+
+class TestRouting:
+    def test_round_robin_balances(self, system):
+        sizes = [len(table) for table in system.tables]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == len(system) == 120
+
+    def test_shared_catalog(self, system):
+        for table in system.tables:
+            assert table.catalog is system.catalog
+
+    def test_insert_returns_address(self, system):
+        address = system.insert({"Color": "red"})
+        record = system.read(address.partition, address.tid)
+        attr = system.catalog.require("Color")
+        assert record.value(attr.attr_id) == ("red",)
+        assert address.global_id == f"p{address.partition}:{address.tid}"
+
+
+class TestSearch:
+    def test_merged_topk_matches_single_node(self, system):
+        mirror = _mirror_tables(system)
+        distance = DF()
+        attr = system.catalog.text_attributes()[0]
+        query = Query.from_dict(system.catalog, {attr.name: "Digital Camera"})
+        expected = [d for _, d in brute_force_topk(mirror, query, 10, distance)]
+        report = system.search(query, k=10)
+        assert [r.distance for r in report.results] == pytest.approx(expected)
+
+    def test_merged_results_sorted(self, system):
+        attr = system.catalog.text_attributes()[0]
+        report = system.search({attr.name: "Phone"}, k=10)
+        distances = [r.distance for r in report.results]
+        assert distances == sorted(distances)
+
+    def test_cost_summary(self, system):
+        attr = system.catalog.text_attributes()[0]
+        report = system.search({attr.name: "Phone"}, k=5)
+        assert len(report.per_partition) == 3
+        assert report.elapsed_ms <= report.total_work_ms
+        assert report.tuples_scanned == len(system)
+        assert report.table_accesses == sum(
+            r.table_accesses for r in report.per_partition
+        )
+
+    def test_search_before_build_fails(self):
+        sys_ = PartitionedSystem(num_partitions=2)
+        sys_.insert({"A": "x"})
+        with pytest.raises(StorageError):
+            sys_.search({"A": "x"}, k=1)
+
+    def test_bad_query(self, system):
+        with pytest.raises(QueryError):
+            system.search(42, k=1)
+
+
+class TestUpdates:
+    def test_insert_after_build_is_searchable(self, system):
+        address = system.insert({"Category0": "Unicorn Scooter"})
+        report = system.search({"Category0": "Unicorn Scooter"}, k=1)
+        assert report.results[0].partition == address.partition
+        assert report.results[0].tid == address.tid
+        assert report.results[0].distance == 0.0
+
+    def test_delete_removes_from_answers(self, system):
+        address = system.insert({"Category0": "Unicorn Scooter"})
+        system.delete(address.partition, address.tid)
+        report = system.search({"Category0": "Unicorn Scooter"}, k=1)
+        top = report.results[0]
+        assert (top.partition, top.tid) != (address.partition, address.tid)
+
+    def test_rebuild_compacts_all_partitions(self, system):
+        for table in system.tables:
+            system.delete(0, table.live_tids()[0]) if False else None
+        # Delete one tuple per partition, then clean.
+        for partition, table in enumerate(system.tables):
+            system.delete(partition, table.live_tids()[0])
+        before = system.total_table_bytes()
+        system.rebuild()
+        assert system.total_table_bytes() < before
+        for table in system.tables:
+            assert table.dead_tuples == 0
+
+    def test_bad_partition(self, system):
+        with pytest.raises(QueryError):
+            system.delete(9, 0)
+
+
+class TestValidation:
+    def test_needs_a_partition(self):
+        with pytest.raises(QueryError):
+            PartitionedSystem(num_partitions=0)

@@ -1,0 +1,211 @@
+"""Tests for durability: attach(), snapshots, and the CLI on top of them."""
+
+import pytest
+
+from repro import (
+    IVAConfig,
+    IVAEngine,
+    IVAFile,
+    SimulatedDisk,
+    SparseWideTable,
+)
+from repro.cli import main as cli_main
+from repro.errors import IndexError_, StorageError
+from repro.storage.snapshot import load_disk, save_disk
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+@pytest.fixture
+def populated(camera_table):
+    index = IVAFile.build(camera_table, IVAConfig(alpha=0.25))
+    return camera_table, index
+
+
+class TestTableAttach:
+    def test_attach_rebuilds_state(self, populated):
+        table, _ = populated
+        reopened = SparseWideTable.attach(table.disk)
+        assert len(reopened) == len(table)
+        assert reopened.live_tids() == table.live_tids()
+        assert len(reopened.catalog) == len(table.catalog)
+        for attr in table.catalog:
+            twin = reopened.catalog.require(attr.name)
+            assert twin.attr_id == attr.attr_id
+            assert twin.kind == attr.kind
+
+    def test_attach_preserves_rows(self, populated):
+        table, _ = populated
+        reopened = SparseWideTable.attach(table.disk)
+        for tid in table.live_tids():
+            assert reopened.read(tid).cells == table.read(tid).cells
+
+    def test_attach_preserves_tombstones(self, populated):
+        table, _ = populated
+        table.delete(2)
+        reopened = SparseWideTable.attach(table.disk)
+        assert not reopened.is_live(2)
+        assert reopened.dead_tuples == 1
+        assert len(reopened) == len(table)
+
+    def test_attach_preserves_statistics(self, populated):
+        table, _ = populated
+        reopened = SparseWideTable.attach(table.disk)
+        for attr in table.catalog:
+            original = table.stats.attr(attr.attr_id)
+            restored = reopened.stats.attr(attr.attr_id)
+            assert restored.df == original.df
+            assert restored.str_count == original.str_count
+            assert restored.min_value == original.min_value
+            assert restored.max_value == original.max_value
+
+    def test_attach_continues_tid_sequence(self, populated):
+        table, _ = populated
+        reopened = SparseWideTable.attach(table.disk)
+        tid = reopened.insert({"Type": "Fresh"})
+        assert tid == 5
+
+    def test_attach_missing_files(self):
+        disk = SimulatedDisk()
+        with pytest.raises(StorageError):
+            SparseWideTable.attach(disk)
+
+
+class TestIndexAttach:
+    def test_attach_answers_queries(self, populated):
+        table, index = populated
+        reopened_table = SparseWideTable.attach(table.disk)
+        reopened = IVAFile.attach(reopened_table, IVAConfig(alpha=0.25))
+        engine = IVAEngine(reopened_table, reopened)
+        query = engine.prepare_query({"Type": "Digital Camera", "Price": 230.0})
+        assert_topk_matches_bruteforce(engine, reopened_table, query, k=3)
+
+    def test_attach_restores_entries(self, populated):
+        table, index = populated
+        reopened = IVAFile.attach(SparseWideTable.attach(table.disk), IVAConfig(alpha=0.25))
+        assert len(reopened.entries()) == len(index.entries())
+        for old, new in zip(index.entries(), reopened.entries()):
+            assert new.list_type is old.list_type
+            assert new.df == old.df
+            assert new.str_count == old.str_count
+            assert new.alpha == pytest.approx(old.alpha)
+            assert new.list_size == old.list_size
+
+    def test_attach_restores_tombstones(self, populated):
+        table, index = populated
+        table.delete(1)
+        index.delete(1)
+        reopened = IVAFile.attach(SparseWideTable.attach(table.disk), IVAConfig(alpha=0.25))
+        assert reopened.deleted_elements == 1
+        assert reopened.tuple_elements == index.tuple_elements
+
+    def test_attach_supports_further_updates(self, populated):
+        table, index = populated
+        reopened_table = SparseWideTable.attach(table.disk)
+        reopened = IVAFile.attach(reopened_table, IVAConfig(alpha=0.25))
+        cells = reopened_table.prepare_cells({"Type": "Tablet", "Company": "Apple"})
+        tid = reopened_table.insert_record(cells)
+        reopened.insert(tid, cells)
+        engine = IVAEngine(reopened_table, reopened)
+        assert engine.search({"Company": "Apple"}, k=1).results[0].tid == tid
+
+    def test_attach_missing_index_files(self, camera_table):
+        with pytest.raises(IndexError_):
+            IVAFile.attach(camera_table, IVAConfig(name="ghost"))
+
+
+class TestSnapshots:
+    def test_roundtrip(self, populated, tmp_path):
+        table, index = populated
+        path = tmp_path / "db.ivadb"
+        save_disk(table.disk, path)
+        disk = load_disk(path)
+        assert disk.list_files() == table.disk.list_files()
+        for name in disk.list_files():
+            assert disk.size(name) == table.disk.size(name)
+            assert disk.read(name, 0, disk.size(name)) == table.disk.read(
+                name, 0, table.disk.size(name)
+            )
+
+    def test_roundtrip_preserves_parameters(self, tmp_path):
+        from repro.storage.disk import DiskParameters
+
+        disk = SimulatedDisk(DiskParameters(page_size=1024, seek_ms=3.0,
+                                            transfer_mb_per_s=5.0, cache_bytes=2048))
+        disk.create("f")
+        disk.write("f", 0, b"payload")
+        path = tmp_path / "p.ivadb"
+        save_disk(disk, path)
+        restored = load_disk(path)
+        assert restored.params == disk.params
+
+    def test_queries_survive_roundtrip(self, populated, tmp_path):
+        table, index = populated
+        path = tmp_path / "db.ivadb"
+        save_disk(table.disk, path)
+        disk = load_disk(path)
+        reopened_table = SparseWideTable.attach(disk)
+        reopened = IVAFile.attach(reopened_table, IVAConfig(alpha=0.25))
+        engine = IVAEngine(reopened_table, reopened)
+        report = engine.search({"Company": "Canon"}, k=1)
+        assert report.results[0].tid == 1
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a snapshot")
+        with pytest.raises(StorageError):
+            load_disk(path)
+
+    def test_truncated_snapshot(self, populated, tmp_path):
+        table, _ = populated
+        path = tmp_path / "db.ivadb"
+        save_disk(table.disk, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(StorageError):
+            load_disk(path)
+
+
+class TestCLI:
+    def test_full_workflow(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "shop.ivadb")
+        assert cli_main(["generate", "--tuples", "300", "--attributes", "40",
+                         "--snapshot", snapshot]) == 0
+        assert cli_main(["build", "--snapshot", snapshot, "--alpha", "0.2"]) == 0
+        assert cli_main(["info", "--snapshot", snapshot]) == 0
+        out = capsys.readouterr().out
+        assert "300 live tuples" in out
+        assert "vector-list layouts" in out
+
+    def test_query_command(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "shop.ivadb")
+        cli_main(["generate", "--tuples", "300", "--attributes", "40",
+                  "--snapshot", snapshot])
+        cli_main(["build", "--snapshot", snapshot])
+        # Category0 exists in every generated schema of this size.
+        assert cli_main(["query", "--snapshot", snapshot, "-k", "3",
+                         "--term", "Category0=Digital Camera"]) == 0
+        out = capsys.readouterr().out
+        assert "#1" in out
+        assert "table-file accesses" in out
+
+    def test_query_bad_term(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "shop.ivadb")
+        cli_main(["generate", "--tuples", "100", "--attributes", "30",
+                  "--snapshot", snapshot])
+        cli_main(["build", "--snapshot", snapshot])
+        assert cli_main(["query", "--snapshot", snapshot,
+                         "--term", "NoSuchAttr=1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_numeric_term_validation(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "shop.ivadb")
+        cli_main(["generate", "--tuples", "200", "--attributes", "40",
+                  "--snapshot", snapshot])
+        cli_main(["build", "--snapshot", snapshot])
+        # Find a numeric attribute name from the info output.
+        disk = load_disk(snapshot)
+        table = SparseWideTable.attach(disk)
+        numeric = table.catalog.numeric_attributes()[0].name
+        assert cli_main(["query", "--snapshot", snapshot,
+                         "--term", f"{numeric}=not-a-number"]) == 1
+        assert "is not a number" in capsys.readouterr().err

@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for the core invariants of DESIGN.md."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DistanceFunction,
+    IVAConfig,
+    IVAEngine,
+    IVAFile,
+    SimulatedDisk,
+    SparseWideTable,
+)
+from repro.baselines.sii import SIIEngine, SparseInvertedIndex
+from repro.core.ngram import exact_estimate
+from repro.core.numeric import NumericQuantizer
+from repro.core.pool import ResultPool
+from repro.core.signature import QueryStringEncoder, SignatureScheme
+from repro.core.vector_lists import ListType, build_text_list
+from repro.core.scan import TextTypeIScanner, TextTypeIIScanner, TextTypeIIIScanner
+from repro.metrics.edit_distance import edit_distance, edit_distance_within
+from repro.model.record import Record
+from repro.query import Query
+from repro.storage.interpreted import decode_record, encode_record
+from repro.storage.pager import BufferedReader
+from tests.helpers import brute_force_topk
+
+TEXT = st.text(alphabet=string.ascii_lowercase + " #$", min_size=1, max_size=30)
+SHORT_TEXT = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+
+
+class TestStringEstimates:
+    @given(sq=TEXT, sd=TEXT, n=st.integers(2, 4))
+    def test_exact_estimate_lower_bounds_edit_distance(self, sq, sd, n):
+        """Eq. 2: est'(sq, sd) <= ed(sq, sd)."""
+        assert exact_estimate(sq, sd, n) <= edit_distance(sq, sd) + 1e-9
+
+    @given(
+        sq=TEXT,
+        sd=TEXT,
+        n=st.integers(2, 3),
+        alpha=st.sampled_from([0.1, 0.2, 0.3, 0.5]),
+    )
+    def test_signature_estimate_never_false_negative(self, sq, sd, n, alpha):
+        """Prop. 3.3: est(sq, c(sd)) <= ed(sq, sd) — the core guarantee."""
+        scheme = SignatureScheme(alpha=alpha, n=n)
+        encoder = QueryStringEncoder(sq, n)
+        assert encoder.estimate(scheme.encode(sd)) <= edit_distance(sq, sd) + 1e-9
+
+    @given(sq=TEXT, sd=TEXT, n=st.integers(2, 3))
+    def test_signature_estimate_below_exact_estimate(self, sq, sd, n):
+        """False hits only inflate |hg|, so est <= est'."""
+        scheme = SignatureScheme(alpha=0.2, n=n)
+        encoder = QueryStringEncoder(sq, n)
+        assert encoder.estimate(scheme.encode(sd)) <= exact_estimate(sq, sd, n) + 1e-9
+
+    @given(s=TEXT, n=st.integers(2, 3), alpha=st.sampled_from([0.1, 0.3]))
+    def test_self_estimate_never_positive(self, s, n, alpha):
+        scheme = SignatureScheme(alpha=alpha, n=n)
+        encoder = QueryStringEncoder(s, n)
+        assert encoder.estimate(scheme.encode(s)) <= 1e-9
+
+
+class TestEditDistanceProperties:
+    @given(s1=TEXT, s2=TEXT)
+    def test_symmetry(self, s1, s2):
+        assert edit_distance(s1, s2) == edit_distance(s2, s1)
+
+    @given(s1=SHORT_TEXT, s2=SHORT_TEXT, s3=SHORT_TEXT)
+    def test_triangle_inequality(self, s1, s2, s3):
+        assert edit_distance(s1, s3) <= edit_distance(s1, s2) + edit_distance(s2, s3)
+
+    @given(s1=TEXT, s2=TEXT, threshold=st.integers(0, 12))
+    def test_banded_agrees_with_exact(self, s1, s2, threshold):
+        exact = edit_distance(s1, s2)
+        banded = edit_distance_within(s1, s2, threshold)
+        if exact <= threshold:
+            assert banded == exact
+        else:
+            assert banded is None
+
+
+class TestQuantizerProperties:
+    @given(
+        lo=st.floats(-1e6, 1e6),
+        span=st.floats(0.0, 1e6),
+        value=st.floats(-2e6, 2e6),
+        query=st.floats(-2e6, 2e6),
+        width=st.integers(1, 2),
+        reserve=st.booleans(),
+    )
+    def test_lower_bound_is_a_lower_bound(self, lo, span, value, query, width, reserve):
+        """Holds for in-domain AND clamped out-of-domain values."""
+        quantizer = NumericQuantizer(
+            lo=lo, hi=lo + span, vector_bytes=width, reserve_ndf=reserve
+        )
+        code = quantizer.encode(value)
+        assert quantizer.lower_bound(query, code) <= abs(query - value) + 1e-6
+
+    @given(
+        lo=st.floats(-1e3, 1e3),
+        span=st.floats(0.001, 1e3),
+        values=st.lists(st.floats(-2e3, 2e3), min_size=2, max_size=10),
+    )
+    def test_encoding_monotone(self, lo, span, values):
+        quantizer = NumericQuantizer(lo=lo, hi=lo + span, vector_bytes=2)
+        ordered = sorted(values)
+        codes = [quantizer.encode(v) for v in ordered]
+        assert codes == sorted(codes)
+
+    @given(value=st.floats(-1e6, 1e6))
+    def test_roundtrip_bytes(self, value):
+        quantizer = NumericQuantizer(lo=-1e6, hi=1e6, vector_bytes=2)
+        assert quantizer.decode_bytes(quantizer.encode_bytes(value)) == quantizer.encode(value)
+
+
+RECORDS = st.builds(
+    Record,
+    tid=st.integers(0, 2**32 - 1),
+    cells=st.dictionaries(
+        keys=st.integers(0, 1000),
+        values=st.one_of(
+            st.floats(allow_nan=False, allow_infinity=False, width=32).map(float),
+            st.lists(SHORT_TEXT, min_size=1, max_size=4).map(tuple),
+        ),
+        max_size=8,
+    ),
+)
+
+
+class TestCodecProperties:
+    @given(record=RECORDS)
+    def test_row_roundtrip(self, record):
+        decoded, end = decode_record(encode_record(record))
+        assert decoded.tid == record.tid
+        assert decoded.cells == record.cells
+        assert end == len(encode_record(record))
+
+
+class TestPoolProperties:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 10**6), st.floats(0, 1e9)),
+            min_size=0,
+            max_size=60,
+            unique_by=lambda pair: pair[0],
+        ),
+        k=st.integers(1, 10),
+    )
+    def test_pool_keeps_k_smallest_distances(self, entries, k):
+        pool = ResultPool(k)
+        for tid, dist in entries:
+            pool.insert(tid, dist)
+        kept = [e.distance for e in pool.results()]
+        expected = sorted(d for _, d in entries)[:k]
+        assert kept == expected
+
+
+TEXT_LIST_ENTRIES = st.lists(
+    st.tuples(st.integers(0, 50), st.lists(SHORT_TEXT, min_size=1, max_size=3).map(tuple)),
+    min_size=0,
+    max_size=10,
+    unique_by=lambda pair: pair[0],
+).map(lambda pairs: sorted(pairs))
+
+
+class TestVectorListProperties:
+    @given(entries=TEXT_LIST_ENTRIES)
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_all_text_layouts_roundtrip(self, entries):
+        scheme = SignatureScheme(alpha=0.25, n=2)
+        all_tids = sorted({tid for tid, _ in entries} | set(range(0, 51, 7)))
+        expected = dict(entries)
+        for list_type, scanner_cls in [
+            (ListType.TYPE_I, TextTypeIScanner),
+            (ListType.TYPE_II, TextTypeIIScanner),
+            (ListType.TYPE_III, TextTypeIIIScanner),
+        ]:
+            payload = build_text_list(list_type, scheme, entries, all_tids)
+            disk = SimulatedDisk()
+            disk.create("x")
+            disk.append("x", payload)
+            scanner = scanner_cls(BufferedReader(disk, "x", 0), scheme)
+            for tid in all_tids:
+                got = scanner.move_to(tid)
+                if tid in expected:
+                    assert got is not None
+                    assert [s.length for s in got] == [
+                        min(len(s), 255) for s in expected[tid]
+                    ]
+                else:
+                    assert got is None
+
+
+SMALL_TABLES = st.lists(
+    st.dictionaries(
+        keys=st.sampled_from(["A", "B", "C", "D"]),
+        values=SHORT_TEXT,
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestEngineExactness:
+    @given(rows=SMALL_TABLES, query_value=SHORT_TEXT, k=st.integers(1, 5))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_iva_and_sii_match_bruteforce(self, rows, query_value, k):
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+        for row in rows:
+            table.insert(row)
+        query = Query.from_dict(
+            table.catalog, {table.catalog.by_id(0).name: query_value}
+        )
+        distance = DistanceFunction()
+        expected = [d for _, d in brute_force_topk(table, query, k, distance)]
+
+        iva = IVAFile.build(table, IVAConfig(alpha=0.2, n=2))
+        got_iva = IVAEngine(table, iva, distance).search(query, k=k).results
+        assert [r.distance for r in got_iva] == expected
+
+        sii = SparseInvertedIndex.build(table)
+        got_sii = SIIEngine(table, sii, distance).search(query, k=k).results
+        assert [r.distance for r in got_sii] == expected

@@ -1,0 +1,121 @@
+"""Tests for single-attribute range similarity search."""
+
+import pytest
+
+from repro import IVAConfig, IVAFile
+from repro.core.range_search import RangeSearcher
+from repro.errors import QueryError
+from repro.metrics.edit_distance import edit_distance
+from repro.model.values import is_ndf, is_numeric_value
+
+
+@pytest.fixture
+def searcher(camera_table):
+    index = IVAFile.build(camera_table, IVAConfig(alpha=0.3))
+    return RangeSearcher(camera_table, index)
+
+
+class TestEditDistanceRange:
+    def test_exact_match_threshold_zero(self, searcher):
+        report = searcher.within_edit_distance("Company", "Canon", 0)
+        assert [m.tid for m in report.matches] == [1]
+        assert report.matches[0].difference == 0.0
+
+    def test_typo_tolerance(self, searcher):
+        report = searcher.within_edit_distance("Company", "Canon", 1)
+        assert [m.tid for m in report.matches] == [1, 4]  # Canon, Cannon
+
+    def test_matches_bruteforce(self, searcher, camera_table):
+        attr = camera_table.catalog.require("Company")
+        for threshold in range(0, 6):
+            report = searcher.within_edit_distance("Canon", "Canon", threshold) \
+                if False else searcher.within_edit_distance("Company", "Canon", threshold)
+            expected = set()
+            for record in camera_table.scan():
+                value = record.value(attr.attr_id)
+                if is_ndf(value):
+                    continue
+                if min(edit_distance("Canon", s) for s in value) <= threshold:
+                    expected.add(record.tid)
+            assert {m.tid for m in report.matches} == expected
+
+    def test_multi_string_values(self, searcher):
+        report = searcher.within_edit_distance("Industry", "Software", 0)
+        assert [m.tid for m in report.matches] == [0]
+
+    def test_no_false_negatives_on_synthetic(self, small_dataset):
+        index = IVAFile.build(small_dataset, IVAConfig(name="iva_rs"))
+        searcher = RangeSearcher(small_dataset, index)
+        attr = small_dataset.catalog.text_attributes()[0]
+        # Take a real value and perturb expectations by brute force.
+        sample = None
+        for record in small_dataset.scan():
+            value = record.value(attr.attr_id)
+            if not is_ndf(value):
+                sample = value[0]
+                break
+        assert sample is not None
+        report = searcher.within_edit_distance(attr.name, sample, 2)
+        expected = set()
+        for record in small_dataset.scan():
+            value = record.value(attr.attr_id)
+            if is_ndf(value):
+                continue
+            if min(edit_distance(sample, s) for s in value) <= 2:
+                expected.add(record.tid)
+        assert {m.tid for m in report.matches} == expected
+
+    def test_filtering_skips_candidates(self, small_dataset):
+        index = IVAFile.build(small_dataset, IVAConfig(name="iva_rs2", alpha=0.4))
+        searcher = RangeSearcher(small_dataset, index)
+        attr = small_dataset.catalog.text_attributes()[0]
+        report = searcher.within_edit_distance(attr.name, "zzzzqqqqxxxx", 1)
+        assert report.candidates < report.tuples_scanned
+
+    def test_validation(self, searcher):
+        with pytest.raises(QueryError):
+            searcher.within_edit_distance("Price", "x", 1)
+        with pytest.raises(QueryError):
+            searcher.within_edit_distance("Company", "Canon", -1)
+        with pytest.raises(QueryError):
+            searcher.within_edit_distance("Company", "", 1)
+
+
+class TestNumericRange:
+    def test_radius_query(self, searcher):
+        report = searcher.within_radius("Price", 230.0, 10.0)
+        assert {m.tid for m in report.matches} == {1, 3, 4}
+
+    def test_radius_zero(self, searcher):
+        report = searcher.within_radius("Price", 20.0, 0.0)
+        assert [m.tid for m in report.matches] == [2]
+
+    def test_matches_bruteforce(self, searcher, camera_table):
+        attr = camera_table.catalog.require("Price")
+        for radius in (0.0, 5.0, 50.0, 500.0):
+            report = searcher.within_radius("Price", 100.0, radius)
+            expected = set()
+            for record in camera_table.scan():
+                value = record.value(attr.attr_id)
+                if is_numeric_value(value) and abs(100.0 - value) <= radius:
+                    expected.add(record.tid)
+            assert {m.tid for m in report.matches} == expected
+
+    def test_results_sorted_by_difference(self, searcher):
+        report = searcher.within_radius("Price", 230.0, 300.0)
+        diffs = [m.difference for m in report.matches]
+        assert diffs == sorted(diffs)
+
+    def test_validation(self, searcher):
+        with pytest.raises(QueryError):
+            searcher.within_radius("Company", 1.0, 1.0)
+        with pytest.raises(QueryError):
+            searcher.within_radius("Price", 1.0, -1.0)
+
+    def test_deleted_tuples_excluded(self, camera_table):
+        index = IVAFile.build(camera_table, IVAConfig(name="iva_rsd"))
+        searcher = RangeSearcher(camera_table, index)
+        camera_table.delete(1)
+        index.delete(1)
+        report = searcher.within_radius("Price", 230.0, 10.0)
+        assert 1 not in {m.tid for m in report.matches}

@@ -1,0 +1,40 @@
+"""Unit tests for logical records."""
+
+from repro.model.record import Record
+from repro.model.values import NDF
+
+
+class TestRecord:
+    def test_value_of_defined_cell(self):
+        record = Record(tid=1, cells={0: ("Canon",), 3: 230.0})
+        assert record.value(0) == ("Canon",)
+        assert record.value(3) == 230.0
+
+    def test_value_of_undefined_cell_is_ndf(self):
+        record = Record(tid=1, cells={0: ("Canon",)})
+        assert record.value(99) is NDF
+
+    def test_defined_attributes_sorted(self):
+        record = Record(tid=1, cells={5: 1.0, 2: 2.0, 9: 3.0})
+        assert record.defined_attributes() == (2, 5, 9)
+
+    def test_contains(self):
+        record = Record(tid=1, cells={2: 1.0})
+        assert 2 in record
+        assert 3 not in record
+
+    def test_len(self):
+        assert len(Record(tid=0)) == 0
+        assert len(Record(tid=0, cells={1: 1.0, 2: 2.0})) == 2
+
+    def test_iter_sorted(self):
+        record = Record(tid=1, cells={5: 1.0, 2: 2.0})
+        assert list(record) == [(2, 2.0), (5, 1.0)]
+
+    def test_set_and_unset(self):
+        record = Record(tid=1)
+        record.set(4, 7.0)
+        assert record.value(4) == 7.0
+        record.set(4, NDF)
+        assert record.value(4) is NDF
+        assert 4 not in record

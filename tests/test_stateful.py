@@ -1,0 +1,139 @@
+"""Stateful property test: the maintained system vs a dictionary model.
+
+A hypothesis rule-based machine drives a table + iVA-file + SII through
+random inserts, deletes, updates and cleanings, holding a plain-Python
+model of the live data.  After every step the invariant is checked: both
+engines' top-k answers match brute force over the model.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import (
+    DistanceFunction,
+    IVAConfig,
+    IVAEngine,
+    IVAFile,
+    SimulatedDisk,
+    SparseWideTable,
+)
+from repro.baselines.sii import SIIEngine, SparseInvertedIndex
+from repro.maintenance import MaintainedSystem
+from repro.query import Query, QueryTerm
+
+NAMES = ["Alpha", "Beta", "Gamma"]
+WORDS = ["canon", "cannon", "sony", "nikon", "camera", "album", "ok"]
+
+VALUE = st.one_of(
+    st.sampled_from(WORDS),
+    st.floats(min_value=0, max_value=1000, allow_nan=False).map(lambda v: round(v, 2)),
+)
+ROW = st.dictionaries(st.sampled_from(NAMES), VALUE, min_size=1, max_size=3)
+
+
+class MaintainedSystemMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        disk = SimulatedDisk()
+        self.table = SparseWideTable(disk)
+        # Pre-register the attributes with known kinds so random rows
+        # cannot flip a name between text and numeric mid-run.
+        self.table.insert({"Alpha": "seed", "Beta": "seed"})
+        self.table.insert({"Gamma": 1.0})
+        self.index = IVAFile.build(self.table, IVAConfig(alpha=0.25))
+        self.sii = SparseInvertedIndex.build(self.table)
+        self.system = MaintainedSystem(self.table, [self.index, self.sii])
+        self.model = {
+            0: {"Alpha": ("seed",), "Beta": ("seed",)},
+            1: {"Gamma": 1.0},
+        }
+        self.distance = DistanceFunction()
+
+    def _coerce(self, values):
+        out = {}
+        for name, value in values.items():
+            attr = self.table.catalog.get(name)
+            if isinstance(value, str):
+                if attr is not None and attr.is_numeric:
+                    continue
+                out[name] = (value,)
+            else:
+                if attr is not None and attr.is_text:
+                    continue
+                out[name] = float(value)
+        return out
+
+    @rule(values=ROW)
+    def insert(self, values):
+        coerced = self._coerce(values)
+        if not coerced:
+            return
+        tid = self.system.insert(
+            {k: (v[0] if isinstance(v, tuple) else v) for k, v in coerced.items()}
+        )
+        self.model[tid] = coerced
+
+    @precondition(lambda self: len(self.model) > 1)
+    @rule(seed=st.integers(0, 10**6))
+    def delete(self, seed):
+        tids = sorted(self.model)
+        victim = tids[seed % len(tids)]
+        self.system.delete(victim)
+        del self.model[victim]
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule(seed=st.integers(0, 10**6), values=ROW)
+    def update(self, seed, values):
+        coerced = self._coerce(values)
+        if not coerced:
+            return
+        tids = sorted(self.model)
+        victim = tids[seed % len(tids)]
+        new_tid = self.system.update(
+            victim,
+            {k: (v[0] if isinstance(v, tuple) else v) for k, v in coerced.items()},
+        )
+        del self.model[victim]
+        self.model[new_tid] = coerced
+
+    @rule()
+    def clean(self):
+        self.system.maybe_clean(beta=0.01)
+
+    @invariant()
+    def engines_match_model(self):
+        if not self.model:
+            return
+        attr = self.table.catalog.get("Alpha")
+        if attr is None:
+            return
+        from repro.metrics.distance import text_difference
+        from repro.model.values import NDF
+
+        query = Query(terms=(QueryTerm(attr=attr, value="canon"),))
+        # Single equal-weight term: D(T, Q) reduces to d[Alpha](T, Q).
+        expected = sorted(
+            text_difference(
+                "canon", cells.get("Alpha", NDF), self.distance.ndf_penalty
+            )
+            for cells in self.model.values()
+        )[:5]
+        iva = IVAEngine(self.table, self.index, self.distance).search(query, k=5)
+        sii = SIIEngine(self.table, self.sii, self.distance).search(query, k=5)
+        got_iva = [round(r.distance, 6) for r in iva.results]
+        got_sii = [round(r.distance, 6) for r in sii.results]
+        assert got_iva == [round(d, 6) for d in expected]
+        assert got_sii == got_iva
+
+
+MaintainedSystemMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestMaintainedSystem = MaintainedSystemMachine.TestCase

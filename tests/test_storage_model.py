@@ -1,0 +1,54 @@
+"""Tests for the dense-vs-interpreted storage comparison (Sec. II-A)."""
+
+from repro import SimulatedDisk, SparseWideTable
+from repro.analysis.storage_model import compare_storage
+from repro.data import DatasetConfig, DatasetGenerator
+
+
+class TestCompareStorage:
+    def test_counts(self, camera_table):
+        comparison = compare_storage(camera_table)
+        assert comparison.total_cells == 5 * len(camera_table.catalog)
+        assert comparison.defined_cells == sum(
+            len(r.cells) for r in camera_table.scan()
+        )
+        assert 0.0 <= comparison.sparsity <= 1.0
+
+    def test_dense_loses_on_sparse_tables(self):
+        """The sparser the table, the bigger the dense layout's ndf tax."""
+        table = SparseWideTable(SimulatedDisk())
+        DatasetGenerator(
+            DatasetConfig(
+                num_tuples=400, num_attributes=200, mean_attrs_per_tuple=6.0, seed=9
+            )
+        ).populate(table)
+        comparison = compare_storage(table)
+        assert comparison.sparsity > 0.9
+        assert comparison.dense_overhead > 2.0  # interpreted wins big
+
+    def test_dense_competitive_on_dense_tables(self):
+        """With every cell defined, the layouts are within a small factor."""
+        table = SparseWideTable(SimulatedDisk())
+        for i in range(50):
+            table.insert({"a": float(i), "b": float(i), "c": f"v{i}"})
+        comparison = compare_storage(table)
+        assert comparison.sparsity == 0.0
+        assert comparison.dense_overhead < 1.0  # no per-cell ids to pay for
+
+    def test_overhead_grows_with_attribute_count(self):
+        """Widening the schema (more unused attributes) only hurts dense."""
+        def build(num_attributes):
+            table = SparseWideTable(SimulatedDisk())
+            DatasetGenerator(
+                DatasetConfig(
+                    num_tuples=200,
+                    num_attributes=num_attributes,
+                    mean_attrs_per_tuple=5.0,
+                    seed=3,
+                )
+            ).populate(table)
+            return compare_storage(table)
+
+        narrow = build(50)
+        wide = build(300)
+        assert wide.dense_overhead > narrow.dense_overhead

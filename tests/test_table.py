@@ -1,0 +1,135 @@
+"""Unit tests for the sparse wide table."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.model.values import NDF
+
+
+class TestInsertRead:
+    def test_insert_assigns_increasing_tids(self, table):
+        t0 = table.insert({"Type": "Camera"})
+        t1 = table.insert({"Type": "Album"})
+        assert (t0, t1) == (0, 1)
+        assert len(table) == 2
+
+    def test_read_roundtrip(self, table):
+        tid = table.insert({"Type": "Digital Camera", "Price": 230})
+        record = table.read(tid)
+        type_attr = table.catalog.require("Type")
+        price_attr = table.catalog.require("Price")
+        assert record.value(type_attr.attr_id) == ("Digital Camera",)
+        assert record.value(price_attr.attr_id) == 230.0
+
+    def test_value_convenience(self, table):
+        tid = table.insert({"Company": "Canon"})
+        assert table.value(tid, "Company") == ("Canon",)
+
+    def test_ndf_entries_dropped(self, table):
+        tid = table.insert({"Type": "Camera", "Price": None, "Note": NDF})
+        record = table.read(tid)
+        assert len(record) == 1
+        assert table.catalog.get("Price") is None
+
+    def test_all_ndf_tuple_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"Price": None})
+
+    def test_type_conflict_rejected(self, table):
+        table.insert({"Price": 230})
+        with pytest.raises(SchemaError):
+            table.insert({"Price": "expensive"})
+
+    def test_multi_string_values(self, table):
+        tid = table.insert({"Industry": ("Computer", "Software")})
+        assert table.value(tid, "Industry") == ("Computer", "Software")
+
+    def test_read_missing_tid_fails(self, table):
+        with pytest.raises(StorageError):
+            table.read(99)
+
+
+class TestScan:
+    def test_scan_returns_all_live_in_order(self, camera_table):
+        tids = [r.tid for r in camera_table.scan()]
+        assert tids == [0, 1, 2, 3, 4]
+
+    def test_scan_skips_deleted(self, camera_table):
+        camera_table.delete(2)
+        tids = [r.tid for r in camera_table.scan()]
+        assert tids == [0, 1, 3, 4]
+
+    def test_scan_contents_match_reads(self, camera_table):
+        for record in camera_table.scan():
+            assert camera_table.read(record.tid).cells == record.cells
+
+
+class TestDeleteUpdate:
+    def test_delete_tombstones(self, camera_table):
+        camera_table.delete(1)
+        assert not camera_table.is_live(1)
+        assert camera_table.dead_tuples == 1
+        assert len(camera_table) == 4
+        with pytest.raises(StorageError):
+            camera_table.read(1)
+
+    def test_double_delete_fails(self, camera_table):
+        camera_table.delete(1)
+        with pytest.raises(StorageError):
+            camera_table.delete(1)
+
+    def test_update_gets_fresh_tid(self, camera_table):
+        new_tid = camera_table.update(1, {"Type": "Film Camera", "Price": 99})
+        assert new_tid == 5
+        assert not camera_table.is_live(1)
+        assert camera_table.value(new_tid, "Type") == ("Film Camera",)
+
+    def test_file_grows_until_rebuild(self, camera_table):
+        before = camera_table.file_bytes
+        camera_table.delete(0)
+        assert camera_table.file_bytes == before
+        camera_table.rebuild()
+        assert camera_table.file_bytes < before
+        assert camera_table.dead_tuples == 0
+
+    def test_rebuild_preserves_live_data(self, camera_table):
+        camera_table.delete(1)
+        camera_table.delete(3)
+        snapshot = {r.tid: r.cells for r in camera_table.scan()}
+        camera_table.rebuild()
+        assert {r.tid: r.cells for r in camera_table.scan()} == snapshot
+        for tid, cells in snapshot.items():
+            assert camera_table.read(tid).cells == cells
+
+    def test_insert_after_rebuild(self, camera_table):
+        camera_table.delete(0)
+        camera_table.rebuild()
+        tid = camera_table.insert({"Type": "Bicycle"})
+        assert camera_table.value(tid, "Type") == ("Bicycle",)
+
+
+class TestStatistics:
+    def test_df_tracking(self, camera_table):
+        type_id = camera_table.catalog.require("Type").attr_id
+        price_id = camera_table.catalog.require("Price").attr_id
+        assert camera_table.stats.attr(type_id).df == 5
+        assert camera_table.stats.attr(price_id).df == 4
+
+    def test_str_count_tracking(self, camera_table):
+        industry_id = camera_table.catalog.require("Industry").attr_id
+        assert camera_table.stats.attr(industry_id).str_count == 2
+
+    def test_numeric_domain_tracking(self, camera_table):
+        price_id = camera_table.catalog.require("Price").attr_id
+        stats = camera_table.stats.attr(price_id)
+        assert stats.min_value == 20.0
+        assert stats.max_value == 240.0
+
+    def test_delete_updates_df(self, camera_table):
+        type_id = camera_table.catalog.require("Type").attr_id
+        camera_table.delete(0)
+        assert camera_table.stats.attr(type_id).df == 4
+
+    def test_live_tids(self, camera_table):
+        camera_table.delete(2)
+        assert camera_table.live_tids() == [0, 1, 3, 4]

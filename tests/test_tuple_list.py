@@ -1,0 +1,63 @@
+"""Unit tests for the shared tuple list."""
+
+import pytest
+
+from repro.core.tuple_list import DELETED_PTR, TupleList
+from repro.errors import IndexError_
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def tuples():
+    disk = SimulatedDisk()
+    tl = TupleList(disk, "t.tuples")
+    tl.rebuild([(0, 100), (1, 200), (3, 300)])
+    return tl
+
+
+class TestTupleList:
+    def test_scan_returns_elements_in_order(self, tuples):
+        assert list(tuples.scan()) == [(0, 100), (1, 200), (3, 300)]
+
+    def test_append(self, tuples):
+        tuples.append(7, 400)
+        assert list(tuples.scan())[-1] == (7, 400)
+        assert tuples.element_count == 4
+
+    def test_append_duplicate_rejected(self, tuples):
+        with pytest.raises(IndexError_):
+            tuples.append(1, 999)
+
+    def test_mark_deleted_rewrites_ptr(self, tuples):
+        tuples.mark_deleted(1)
+        assert list(tuples.scan()) == [(0, 100), (1, DELETED_PTR), (3, 300)]
+        assert tuples.deleted_count == 1
+
+    def test_double_delete_rejected(self, tuples):
+        tuples.mark_deleted(1)
+        with pytest.raises(IndexError_):
+            tuples.mark_deleted(1)
+
+    def test_delete_unknown_rejected(self, tuples):
+        with pytest.raises(IndexError_):
+            tuples.mark_deleted(42)
+
+    def test_rebuild_resets(self, tuples):
+        tuples.mark_deleted(1)
+        tuples.rebuild([(0, 111), (3, 333)])
+        assert list(tuples.scan()) == [(0, 111), (3, 333)]
+        assert tuples.deleted_count == 0
+        assert tuples.element_count == 2
+
+    def test_rebuild_requires_increasing_tids(self, tuples):
+        with pytest.raises(IndexError_):
+            tuples.rebuild([(3, 1), (1, 2)])
+
+    def test_byte_size(self, tuples):
+        assert tuples.byte_size == 12 * 3
+
+    def test_empty_list(self):
+        disk = SimulatedDisk()
+        tl = TupleList(disk, "e.tuples")
+        assert list(tl.scan()) == []
+        assert tl.element_count == 0

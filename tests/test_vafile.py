@@ -1,0 +1,79 @@
+"""Tests for the classic VA-file baseline and its exclusion argument."""
+
+import pytest
+
+from repro import SimulatedDisk, SparseWideTable
+from repro.baselines.vafile import VAFile, VAFileEngine
+from repro.errors import QueryError
+from tests.helpers import assert_topk_matches_bruteforce
+
+
+@pytest.fixture
+def numeric_table():
+    disk = SimulatedDisk()
+    table = SparseWideTable(disk)
+    table.insert({"Price": 230.0, "Year": 2008.0})
+    table.insert({"Price": 20.0, "Weight": 1.5})
+    table.insert({"Year": 1996.0, "Weight": 3.0})
+    table.insert({"Price": 240.0, "Year": 2009.0, "Weight": 2.0})
+    return table
+
+
+class TestVAFile:
+    def test_row_covers_all_numeric_dims(self, numeric_table):
+        index = VAFile.build(numeric_table)
+        assert len(index.dimensions) == 3
+        assert index.row_bytes == 3 * index.bytes_per_dim
+        assert index.disk.size(index.vectors_file) == 4 * index.row_bytes
+
+    def test_correct_topk(self, numeric_table):
+        index = VAFile.build(numeric_table)
+        engine = VAFileEngine(numeric_table, index)
+        query = engine.prepare_query({"Price": 225.0, "Year": 2008.0})
+        assert_topk_matches_bruteforce(engine, numeric_table, query, k=3)
+
+    def test_rejects_text_queries(self, camera_table):
+        index = VAFile.build(camera_table, name="va_cam")
+        engine = VAFileEngine(camera_table, index)
+        with pytest.raises(QueryError):
+            engine.search({"Company": "Canon"}, k=1)
+
+    def test_rejects_uncovered_attribute(self, numeric_table):
+        index = VAFile.build(numeric_table)
+        engine = VAFileEngine(numeric_table, index)
+        numeric_table.insert({"NewDim": 1.0})
+        index._tuples.append(4, numeric_table.locate(4)[0])
+        with pytest.raises(QueryError):
+            engine.search({"NewDim": 1.0}, k=1)
+
+    def test_insert_and_delete(self, numeric_table):
+        index = VAFile.build(numeric_table)
+        engine = VAFileEngine(numeric_table, index)
+        cells = numeric_table.prepare_cells({"Price": 500.0})
+        tid = numeric_table.insert_record(cells)
+        index.insert(tid, cells)
+        report = engine.search({"Price": 500.0}, k=1)
+        assert report.results[0].tid == tid
+        numeric_table.delete(tid)
+        index.delete(tid)
+        report = engine.search({"Price": 500.0}, k=1)
+        assert report.results[0].tid != tid
+
+    def test_full_dimensional_blowup_on_sparse_data(self):
+        """The paper's exclusion argument: on a sparse table the VA-file
+        dwarfs the compact table file."""
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+        # 100 numeric attributes, each tuple defines exactly one.
+        for i in range(100):
+            table.insert({f"Dim{i}": float(i)})
+        index = VAFile.build(table)
+        assert index.total_bytes() > table.file_bytes
+
+    def test_absolute_domain_bounds_are_loose(self, numeric_table):
+        """Everyday values collapse into one absolute-domain slice, so the
+        filter learns nothing — the Sec. III-C motivation."""
+        index = VAFile.build(numeric_table)
+        quantizer = index.quantizer
+        assert quantizer.encode(20.0) == quantizer.encode(240.0)
+        assert quantizer.lower_bound(20.0, quantizer.encode(240.0)) == 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for the cell value model."""
+
+import pickle
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.values import (
+    NDF,
+    NdfType,
+    coerce_value,
+    is_ndf,
+    is_numeric_value,
+    is_text_value,
+)
+
+
+class TestNdf:
+    def test_singleton(self):
+        assert NdfType() is NDF
+
+    def test_repr(self):
+        assert repr(NDF) == "NDF"
+
+    def test_falsy(self):
+        assert not NDF
+
+    def test_is_ndf(self):
+        assert is_ndf(NDF)
+        assert not is_ndf(0.0)
+        assert not is_ndf(("a",))
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NDF)) is NDF
+
+
+class TestCoerce:
+    def test_none_becomes_ndf(self):
+        assert coerce_value(None) is NDF
+
+    def test_ndf_passthrough(self):
+        assert coerce_value(NDF) is NDF
+
+    def test_int_becomes_float(self):
+        value = coerce_value(42)
+        assert value == 42.0
+        assert is_numeric_value(value)
+
+    def test_float_passthrough(self):
+        assert coerce_value(3.5) == 3.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_value(True)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            coerce_value(bad)
+
+    def test_string_becomes_singleton_tuple(self):
+        value = coerce_value("Canon")
+        assert value == ("Canon",)
+        assert is_text_value(value)
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_value("")
+
+    def test_iterable_of_strings(self):
+        value = coerce_value(["Computer", "Software"])
+        assert value == ("Computer", "Software")
+
+    def test_tuple_passthrough(self):
+        assert coerce_value(("a", "b")) == ("a", "b")
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_value([])
+
+    def test_iterable_with_empty_string_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_value(["ok", ""])
+
+    def test_iterable_with_non_string_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_value(["ok", 3])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_value(object())
+
+
+class TestPredicates:
+    def test_text_value_requires_nonempty_tuple(self):
+        assert not is_text_value(())
+        assert not is_text_value(("a", 1))
+        assert is_text_value(("a",))
+
+    def test_numeric_value_is_float_only(self):
+        assert is_numeric_value(1.0)
+        assert not is_numeric_value(1)
+        assert not is_numeric_value("1")

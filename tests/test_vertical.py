@@ -1,0 +1,108 @@
+"""Tests for the vertically partitioned iVA-file."""
+
+import pytest
+
+from repro import DistanceFunction, IVAConfig
+from repro.data import WorkloadGenerator
+from repro.distributed.vertical import VerticallyPartitionedIVA
+from repro.errors import QueryError
+from tests.helpers import brute_force_topk
+
+
+@pytest.fixture
+def vertical(camera_table):
+    return VerticallyPartitionedIVA(camera_table, num_nodes=3, config=IVAConfig(alpha=0.25))
+
+
+class TestConstruction:
+    def test_attributes_assigned_round_robin(self, camera_table, vertical):
+        nodes = {vertical.node_of(attr.name) for attr in camera_table.catalog}
+        assert nodes <= {0, 1, 2}
+        assert len(nodes) > 1
+
+    def test_explicit_assignment(self, camera_table):
+        mapping = {"Type": 1, "Price": 0}
+        vertical = VerticallyPartitionedIVA(
+            camera_table, num_nodes=2, assignment=mapping
+        )
+        assert vertical.node_of("Type") == 1
+        assert vertical.node_of("Price") == 0
+
+    def test_bad_assignment(self, camera_table):
+        with pytest.raises(QueryError):
+            VerticallyPartitionedIVA(camera_table, num_nodes=2, assignment={"Type": 5})
+
+    def test_needs_a_node(self, camera_table):
+        with pytest.raises(QueryError):
+            VerticallyPartitionedIVA(camera_table, num_nodes=0)
+
+    def test_storage_is_distributed(self, camera_table, vertical):
+        assert vertical.total_index_bytes() > 0
+        per_node = [disk.total_bytes() for disk in vertical.node_disks]
+        assert all(size > 0 for size in per_node)
+
+
+class TestQueries:
+    def test_matches_bruteforce(self, camera_table, vertical):
+        distance = DistanceFunction()
+        for values in [
+            {"Type": "Digital Camera"},
+            {"Type": "Digital Camera", "Price": 230.0},
+            {"Company": "Canon", "Pixel": 1000.0, "Type": "Camera"},
+        ]:
+            from repro.query import Query
+
+            query = Query.from_dict(camera_table.catalog, values)
+            expected = [d for _, d in brute_force_topk(camera_table, query, 3, distance)]
+            report = vertical.search(query, k=3, distance=distance)
+            assert [r.distance for r in report.results] == pytest.approx(expected)
+
+    def test_matches_bruteforce_synthetic(self, small_dataset):
+        vertical = VerticallyPartitionedIVA(small_dataset, num_nodes=4)
+        workload = WorkloadGenerator(small_dataset, seed=19)
+        distance = DistanceFunction()
+        for arity in (1, 3):
+            query = workload.sample_query(arity)
+            expected = [
+                d for _, d in brute_force_topk(small_dataset, query, 10, distance)
+            ]
+            report = vertical.search(query, k=10, distance=distance)
+            assert [r.distance for r in report.results] == pytest.approx(expected)
+
+    def test_only_owning_nodes_scan(self, camera_table, vertical):
+        report = vertical.search({"Type": "Digital Camera"}, k=2)
+        owner = vertical.node_of("Type")
+        assert set(report.scan_io_ms) == {owner}
+
+    def test_multi_node_query_scans_each_owner(self, camera_table):
+        vertical = VerticallyPartitionedIVA(
+            camera_table, num_nodes=2, assignment={"Type": 0, "Price": 1}
+        )
+        report = vertical.search({"Type": "Camera", "Price": 100.0}, k=2)
+        assert set(report.scan_io_ms) == {0, 1}
+
+    def test_elapsed_model(self, camera_table, vertical):
+        report = vertical.search({"Type": "Digital Camera", "Price": 230.0}, k=2)
+        assert report.elapsed_ms >= max(report.scan_io_ms.values())
+        assert report.elapsed_ms >= report.refine_io_ms
+
+    def test_deletes_after_construction_are_skipped(self, camera_table, vertical):
+        camera_table.delete(1)
+        report = vertical.search({"Company": "Canon"}, k=2)
+        assert all(r.tid != 1 for r in report.results)
+        assert report.tuples_scanned == 4
+
+    def test_bad_query(self, vertical):
+        with pytest.raises(QueryError):
+            vertical.search(7, k=1)
+
+
+class TestNonContiguousTids:
+    def test_alignment_with_gaps(self, camera_table):
+        """Shadow rows map back to the right base tids despite gaps."""
+        camera_table.delete(2)
+        camera_table.rebuild()  # live tids: 0, 1, 3, 4
+        vertical = VerticallyPartitionedIVA(camera_table, num_nodes=2)
+        report = vertical.search({"Company": "Cannon"}, k=1)
+        assert report.results[0].tid == 4
+        assert report.results[0].distance == 0.0

@@ -1,0 +1,81 @@
+"""Tests for query-set serialisation and replay."""
+
+import json
+
+import pytest
+
+from repro.bench.workload_io import dump_query_set, load_query_set
+from repro.data import WorkloadGenerator
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def query_set(small_dataset):
+    workload = WorkloadGenerator(small_dataset, seed=41)
+    return workload.query_set(3, count=8, warmup_count=2)
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_queries(self, small_dataset, query_set, tmp_path):
+        path = tmp_path / "queries.json"
+        dump_query_set(query_set, path)
+        loaded = load_query_set(path, small_dataset.catalog)
+        assert loaded.values_per_query == query_set.values_per_query
+        assert loaded.warmup_count == query_set.warmup_count
+        assert len(loaded.queries) == len(query_set.queries)
+        for a, b in zip(loaded.queries, query_set.queries):
+            assert a.describe() == b.describe()
+
+    def test_replay_gives_same_answers(self, small_dataset, query_set, tmp_path):
+        from repro import IVAConfig, IVAEngine, IVAFile
+
+        index = IVAFile.build(small_dataset, IVAConfig(name="iva_wio"))
+        engine = IVAEngine(small_dataset, index)
+        path = tmp_path / "queries.json"
+        dump_query_set(query_set, path)
+        loaded = load_query_set(path, small_dataset.catalog)
+        for original, replayed in zip(query_set.measured, loaded.measured):
+            a = engine.search(original, k=5)
+            b = engine.search(replayed, k=5)
+            assert [r.tid for r in a.results] == [r.tid for r in b.results]
+
+    def test_document_is_readable_json(self, query_set, tmp_path):
+        path = tmp_path / "queries.json"
+        dump_query_set(query_set, path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "iva-repro-queryset-v1"
+        assert len(document["queries"]) == 8
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, small_dataset, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(QueryError):
+            load_query_set(path, small_dataset.catalog)
+
+    def test_invalid_json_rejected(self, small_dataset, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{broken")
+        with pytest.raises(QueryError):
+            load_query_set(path, small_dataset.catalog)
+
+    def test_unknown_attribute_rejected(self, small_dataset, query_set, tmp_path):
+        path = tmp_path / "queries.json"
+        dump_query_set(query_set, path)
+        document = json.loads(path.read_text())
+        document["queries"][0][0]["attribute"] = "NoSuchAttribute"
+        path.write_text(json.dumps(document))
+        with pytest.raises(QueryError, match="NoSuchAttribute"):
+            load_query_set(path, small_dataset.catalog)
+
+    def test_kind_mismatch_rejected(self, small_dataset, query_set, tmp_path):
+        path = tmp_path / "queries.json"
+        dump_query_set(query_set, path)
+        document = json.loads(path.read_text())
+        first = document["queries"][0][0]
+        first["kind"] = "numeric" if first["kind"] == "text" else "text"
+        first["value"] = 1.0 if first["kind"] == "numeric" else "x"
+        path.write_text(json.dumps(document))
+        with pytest.raises(QueryError, match="is"):
+            load_query_set(path, small_dataset.catalog)
