@@ -1,12 +1,17 @@
 # Convenience targets for the iVA-file reproduction.
 
-.PHONY: install test test-all bench experiments examples clean
+.PHONY: install test test-all smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Tier-1 suite plus a metrics sanity check on a tiny benchmark run.
+smoke:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python scripts/check_bench_metrics.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

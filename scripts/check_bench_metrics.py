@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Smoke-check the telemetry pipeline against a tiny benchmark run.
+
+Runs a scaled-down bench environment (300 tuples), emits a result table —
+which writes the registry snapshot to ``<name>.metrics.json`` exactly as
+every real benchmark does — then loads that JSON back and fails if any
+expected metric family is missing, empty, or carries a non-finite value.
+
+Exit status 0 on success, 1 on any problem, so it can gate `make smoke`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import tempfile
+
+#: Metric families a query benchmark must always produce.
+REQUIRED_COUNTERS = (
+    "repro_queries_total",
+    "repro_tuples_scanned_total",
+    "repro_table_accesses_total",
+)
+REQUIRED_HISTOGRAMS = (
+    "repro_query_time_ms",
+    "repro_filter_time_ms",
+    "repro_refine_time_ms",
+)
+REQUIRED_GAUGES = (
+    "repro_disk_bytes_read",
+    "repro_disk_io_time_ms",
+    "repro_cache_hit_rate",
+)
+
+
+def _finite(value: object) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def _names(snapshot: dict, kind: str) -> set:
+    return {inst["name"] for inst in snapshot.get(kind, ())}
+
+
+def check_snapshot(snapshot: dict) -> list:
+    """Return a list of problem strings (empty means healthy)."""
+    problems = []
+    for kind, required in (
+        ("counters", REQUIRED_COUNTERS),
+        ("histograms", REQUIRED_HISTOGRAMS),
+        ("gauges", REQUIRED_GAUGES),
+    ):
+        present = _names(snapshot, kind)
+        for name in required:
+            if name not in present:
+                problems.append(f"missing {kind[:-1]} {name!r}")
+    for counter in snapshot.get("counters", ()):
+        if not _finite(counter["value"]) or counter["value"] < 0:
+            problems.append(f"counter {counter['name']!r} = {counter['value']!r}")
+    for gauge in snapshot.get("gauges", ()):
+        if not _finite(gauge["value"]):
+            problems.append(f"gauge {gauge['name']!r} = {gauge['value']!r}")
+    for hist in snapshot.get("histograms", ()):
+        if hist["count"] < 0 or not _finite(hist["sum"]):
+            problems.append(f"histogram {hist['name']!r} sum = {hist['sum']!r}")
+        if hist["name"] in REQUIRED_HISTOGRAMS and hist["count"] == 0:
+            problems.append(f"histogram {hist['name']!r} has no observations")
+        for key in ("p50", "p95", "p99"):
+            value = hist.get(key)
+            if value is not None and not _finite(value):
+                problems.append(f"histogram {hist['name']!r} {key} = {value!r}")
+    return problems
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        os.environ["REPRO_BENCH_RESULTS"] = tmp
+
+        from repro.bench.harness import build_environment, run_query_set
+        from repro.bench.reporting import emit_table
+        from repro.data import DatasetConfig
+        from repro.obs.metrics import get_registry
+
+        get_registry().reset()
+        env = build_environment(
+            dataset=DatasetConfig(num_tuples=300, num_attributes=40, seed=7)
+        )
+        stats = run_query_set(env.iva_engine(), env.query_set(3), k=10)
+        emit_table(
+            "smoke_metrics",
+            "Smoke: tiny bench run",
+            ["engine", "mean query ms"],
+            [[stats.engine, stats.mean_query_time_ms]],
+        )
+
+        path = os.path.join(tmp, "smoke_metrics.metrics.json")
+        if not os.path.exists(path):
+            print(f"FAIL: bench did not emit {path}", file=sys.stderr)
+            return 1
+        with open(path, encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+
+    problems = check_snapshot(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    counters = len(snapshot["counters"])
+    histograms = len(snapshot["histograms"])
+    gauges = len(snapshot["gauges"])
+    print(
+        f"metrics OK: {counters} counters, {gauges} gauges, "
+        f"{histograms} histograms, all finite"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,19 @@ from repro.baselines import (
     VAFileEngine,
 )
 from repro.maintenance import MaintainedSystem, amortized_update_times
+from repro.obs import (
+    JsonlSpanSink,
+    MetricsRegistry,
+    SlowQueryLog,
+    Span,
+    Tracer,
+    get_registry,
+    get_tracer,
+    render_json,
+    render_prometheus,
+    set_registry,
+    set_tracer,
+)
 
 __version__ = "0.1.0"
 
@@ -149,5 +162,16 @@ __all__ = [
     "VerticallyPartitionedIVA",
     "save_disk",
     "load_disk",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "Tracer",
+    "JsonlSpanSink",
+    "SlowQueryLog",
+    "get_tracer",
+    "set_tracer",
+    "render_prometheus",
+    "render_json",
     "__version__",
 ]

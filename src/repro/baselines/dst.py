@@ -11,10 +11,17 @@ from __future__ import annotations
 import time
 from typing import Mapping, Optional, Union
 
-from repro.core.engine import QueryResult, SearchReport
+from repro.core.engine import (
+    QueryResult,
+    SearchReport,
+    observe_search,
+    trace_phases,
+)
 from repro.core.pool import ResultPool
 from repro.errors import QueryError
 from repro.metrics.distance import DistanceFunction
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
 from repro.query import Query
 from repro.storage.table import SparseWideTable
 
@@ -25,10 +32,17 @@ class DirectScanEngine:
     name = "DST"
 
     def __init__(
-        self, table: SparseWideTable, distance: Optional[DistanceFunction] = None
+        self,
+        table: SparseWideTable,
+        distance: Optional[DistanceFunction] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.table = table
         self.distance = distance or DistanceFunction()
+        self.registry = registry
+        self.tracer = tracer
 
     def prepare_query(self, query: Union[Query, Mapping[str, object]]) -> Query:
         """Coerce a mapping into a validated :class:`Query`."""
@@ -50,18 +64,25 @@ class DirectScanEngine:
         pool = ResultPool(k)
         report = SearchReport()
         disk = self.table.disk
+        tracer = self.tracer if self.tracer is not None else get_tracer()
 
-        io_before = disk.stats.io_time_ms
-        wall_before = time.perf_counter()
-        for record in self.table.scan():
-            report.tuples_scanned += 1
-            pool.insert(record.tid, dist.actual(query, record))
-        # All work is one sequential pass: report it as filter cost (there
-        # is no separate refine phase and no random table access).
-        report.filter_io_ms = disk.stats.io_time_ms - io_before
-        report.filter_wall_s = time.perf_counter() - wall_before
-        report.results = [
-            QueryResult(tid=entry.tid, distance=entry.distance)
-            for entry in pool.results()
-        ]
+        with tracer.span(
+            "query", engine=self.name, k=k, attr_ids=list(query.attribute_ids())
+        ) as span:
+            io_before = disk.stats.io_time_ms
+            wall_before = time.perf_counter()
+            for record in self.table.scan():
+                report.tuples_scanned += 1
+                pool.insert(record.tid, dist.actual(query, record))
+            # All work is one sequential pass: report it as filter cost (there
+            # is no separate refine phase and no random table access).
+            report.filter_io_ms = disk.stats.io_time_ms - io_before
+            report.filter_wall_s = time.perf_counter() - wall_before
+            report.results = [
+                QueryResult(tid=entry.tid, distance=entry.distance)
+                for entry in pool.results()
+            ]
+            trace_phases(tracer, span, report)
+        registry = self.registry if self.registry is not None else get_registry()
+        observe_search(registry, self.name, report)
         return report

@@ -23,6 +23,7 @@ bench run in minutes — override with ``REPRO_BENCH_QUERIES`` /
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -40,6 +41,8 @@ from repro.metrics.weights import equal_weights, itf_weights
 from repro.query import Query
 from repro.storage.disk import DiskParameters, SimulatedDisk
 from repro.storage.table import SparseWideTable
+
+logger = logging.getLogger(__name__)
 
 
 def _env_int(name: str, default: int) -> int:
@@ -162,6 +165,11 @@ def build_environment(
     DatasetGenerator(dataset).populate(table)
     iva = IVAFile.build(table, iva_config or IVAConfig(alpha=DEFAULTS.alpha, n=DEFAULTS.n))
     sii = SparseInvertedIndex.build(table)
+    disk.publish_metrics(label="bench")
+    logger.info(
+        "bench environment: %d tuples, %d attributes, %d-byte table file",
+        len(table), len(table.catalog), table.file_bytes,
+    )
     return Environment(disk=disk, table=table, iva=iva, sii=sii, dataset=dataset)
 
 
@@ -228,6 +236,12 @@ def run_query_set(
     started = time.perf_counter()
     reports = [engine.search(query, k=k) for query in query_set.measured]
     wall = time.perf_counter() - started
+    logger.debug(
+        "%s: %d measured queries in %.2f s wall",
+        label or getattr(engine, "name", type(engine).__name__),
+        len(reports),
+        wall,
+    )
     return QuerySetStats(
         engine=label or getattr(engine, "name", type(engine).__name__),
         values_per_query=query_set.values_per_query,

@@ -4,14 +4,25 @@ Every benchmark emits its figure/table as (a) stdout (visible with
 ``pytest -s``), (b) a fixed-width ``.txt`` and (c) a ``.csv`` under
 ``bench_results/`` (override with ``REPRO_BENCH_RESULTS``), so the series
 survive pytest's output capture and feed EXPERIMENTS.md.
+
+Since the observability layer landed, (d): every emit also snapshots the
+process-global metrics registry to ``<name>.metrics.json`` next to the
+table, so each bench result carries the full counter/histogram state that
+produced it (``scripts/check_bench_metrics.py`` gates on this artifact).
 """
 
 from __future__ import annotations
 
 import csv
+import logging
 import os
 from pathlib import Path
 from typing import Sequence
+
+from repro.obs.export import write_snapshot
+from repro.obs.metrics import get_registry
+
+logger = logging.getLogger(__name__)
 
 
 def results_dir() -> Path:
@@ -52,6 +63,8 @@ def emit_table(
         writer.writerow(headers)
         for row in rows:
             writer.writerow([_cell(value) for value in row])
+    write_snapshot(get_registry(), str(out / f"{name}.metrics.json"))
+    logger.debug("emitted %s (.txt/.csv/.metrics.json) under %s", name, out)
     return text
 
 

@@ -8,6 +8,12 @@ a database built once can be queried across invocations::
     python -m repro info     --snapshot shop.ivadb
     python -m repro query    --snapshot shop.ivadb -k 5 \
         --term Category0="Digital Camera" --term Price290=200
+
+Observability: commands that execute queries (``query``, ``compare``,
+``workload``) write a metrics sidecar (``<snapshot>.metrics.json``) that a
+later ``repro stats --snapshot shop.ivadb --format prometheus|json``
+re-renders; ``--trace FILE`` on ``query``/``workload`` writes the nested
+``query -> filter/refine`` spans as JSON lines.
 """
 
 from __future__ import annotations
@@ -21,10 +27,40 @@ from repro.core.iva_file import IVAConfig, IVAFile
 from repro.data.generator import DatasetConfig, DatasetGenerator
 from repro.errors import ReproError
 from repro.metrics.distance import DistanceFunction
+from repro.obs.export import load_snapshot, render_json, render_prometheus, write_snapshot
+from repro.obs.metrics import get_registry
+from repro.obs.trace import JsonlSpanSink, SlowQueryLog, Tracer
 from repro.query import Query, QueryTerm
 from repro.storage.disk import SimulatedDisk
 from repro.storage.snapshot import load_disk, save_disk
 from repro.storage.table import SparseWideTable
+
+
+def _metrics_sidecar(snapshot_path: str) -> str:
+    """Where query-running commands persist the metrics registry."""
+    return snapshot_path + ".metrics.json"
+
+
+def _save_metrics(snapshot_path: str) -> str:
+    """Snapshot the process registry next to the database snapshot."""
+    return write_snapshot(get_registry(), _metrics_sidecar(snapshot_path))
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """A tracer wired to --trace / --slow-ms, or None when neither is set."""
+    trace_file = getattr(args, "trace", None)
+    slow_ms = getattr(args, "slow_ms", None)
+    if trace_file is None and slow_ms is None:
+        return None
+    try:
+        sink = JsonlSpanSink(trace_file) if trace_file else None
+    except OSError as exc:
+        raise ReproError(f"cannot open trace file {trace_file!r}: {exc}")
+    try:
+        slow = SlowQueryLog(slow_ms) if slow_ms is not None else None
+    except ValueError as exc:
+        raise ReproError(f"bad --slow-ms: {exc}")
+    return Tracer(sink=sink, slow_query_log=slow)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--metric", default="L2", choices=["L1", "L2", "Linf"])
     query.add_argument("--ndf-penalty", type=float, default=20.0)
     query.add_argument("--name", default="iva", help="index name inside the snapshot")
+    query.add_argument("--trace", metavar="FILE",
+                       help="write query/filter/refine spans as JSON lines")
+    query.add_argument("--slow-ms", type=float, metavar="MS",
+                       help="log queries whose modeled time crosses MS")
     query.add_argument(
         "--term",
         action="append",
@@ -105,6 +145,14 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--warmup", type=int, default=5)
     workload.add_argument("--values-per-query", type=int, default=3)
     workload.add_argument("--seed", type=int, default=7)
+    workload.add_argument("--name", default="iva",
+                          help="index to measure the sampled queries against")
+    workload.add_argument("--trace", metavar="FILE",
+                          help="write spans of the measurement runs as JSON lines")
+    workload.add_argument("--slow-ms", type=float, metavar="MS",
+                          help="log queries whose modeled time crosses MS")
+    workload.add_argument("--no-run", action="store_true",
+                          help="only sample and save; skip the measurement pass")
 
     fsck = sub.add_parser("fsck", help="check table and index integrity")
     fsck.add_argument("--snapshot", required=True)
@@ -113,6 +161,13 @@ def _build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="show table and index statistics")
     info.add_argument("--snapshot", required=True)
     info.add_argument("--name", default="iva")
+
+    stats = sub.add_parser(
+        "stats", help="dump the metrics snapshot of the last query run"
+    )
+    stats.add_argument("--snapshot", required=True)
+    stats.add_argument("--format", default="prometheus",
+                       choices=["prometheus", "json"])
     return parser
 
 
@@ -173,12 +228,15 @@ def _open(args: argparse.Namespace):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    _, table, index = _open(args)
+    disk, table, index = _open(args)
+    disk.publish_metrics(label="cli")
     query = _parse_terms(table, args.term)
+    tracer = _make_tracer(args)
     engine = IVAEngine(
         table,
         index,
         DistanceFunction(metric=args.metric, ndf_penalty=args.ndf_penalty),
+        tracer=tracer,
     )
     report = engine.search(query, k=args.k)
     print(f"query: {query.describe()}  (k={args.k}, {args.metric})")
@@ -194,6 +252,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{report.table_accesses} table-file accesses, "
         f"{report.query_time_ms:.1f} ms modeled"
     )
+    if tracer is not None and tracer.sink is not None:
+        tracer.sink.close()
+        print(f"wrote {tracer.sink.spans_written} trace span(s) to {args.trace}")
+    sidecar = _save_metrics(args.snapshot)
+    print(f"metrics snapshot: {sidecar} (render with `repro stats`)")
     return 0
 
 
@@ -285,6 +348,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.data.workload import WorkloadGenerator
 
     disk = load_disk(args.snapshot)
+    disk.publish_metrics(label="cli")
     table = SparseWideTable.attach(disk)
     generator = WorkloadGenerator(table, seed=args.seed)
     query_set = generator.query_set(
@@ -295,6 +359,33 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         f"saved {args.queries} queries ({args.warmup} warm-up, "
         f"{args.values_per_query} values each) to {args.out}"
     )
+    if not args.no_run:
+        try:
+            index = IVAFile.attach(table, IVAConfig(name=args.name))
+        except ReproError:
+            print(
+                f"note: no index {args.name!r} in the snapshot; skipping the "
+                "measurement pass (run `build` first, or pass --no-run)"
+            )
+        else:
+            tracer = _make_tracer(args)
+            engine = IVAEngine(table, index, tracer=tracer)
+            for query in query_set.warmup:
+                engine.search(query, k=10)
+            reports = [engine.search(query, k=10) for query in query_set.measured]
+            mean_ms = sum(r.query_time_ms for r in reports) / len(reports)
+            print(
+                f"measured {len(reports)} queries against index {args.name!r}: "
+                f"{mean_ms:.1f} ms modeled per query"
+            )
+            if tracer is not None and tracer.sink is not None:
+                tracer.sink.close()
+                print(
+                    f"wrote {tracer.sink.spans_written} trace span(s) "
+                    f"to {args.trace}"
+                )
+    sidecar = _save_metrics(args.snapshot)
+    print(f"metrics snapshot: {sidecar} (render with `repro stats`)")
     return 0
 
 
@@ -327,6 +418,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         mean_ms = sum(r.query_time_ms for r in reports) / len(reports)
         mean_acc = sum(r.table_accesses for r in reports) / len(reports)
         print(f"{engine.name:>6}  {mean_ms:>16.1f}  {mean_acc:>14.1f}")
+    _save_metrics(args.snapshot)
     return 0
 
 
@@ -346,6 +438,23 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 2 if errors else 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import os
+
+    sidecar = _metrics_sidecar(args.snapshot)
+    if not os.path.exists(sidecar):
+        raise ReproError(
+            f"no metrics snapshot at {sidecar}; run `repro query`, "
+            "`repro workload` or `repro compare` against this snapshot first"
+        )
+    registry = load_snapshot(sidecar)
+    if args.format == "prometheus":
+        sys.stdout.write(render_prometheus(registry))
+    else:
+        print(render_json(registry))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -358,6 +467,7 @@ _COMMANDS = {
     "workload": _cmd_workload,
     "fsck": _cmd_fsck,
     "info": _cmd_info,
+    "stats": _cmd_stats,
 }
 
 

@@ -14,11 +14,16 @@ plus any number of engines with that discipline.
 
 from __future__ import annotations
 
+import logging
 import threading
-from typing import Mapping
+import time
+from typing import Mapping, Optional
 
 from repro.core.engine import SearchReport
 from repro.maintenance import MaintainedSystem
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+logger = logging.getLogger(__name__)
 
 
 class ReadWriteLock:
@@ -100,39 +105,84 @@ class ReadWriteLock:
 
 
 class ConcurrentSystem:
-    """Thread-safe facade over a maintained system and its query engine."""
+    """Thread-safe facade over a maintained system and its query engine.
 
-    def __init__(self, system: MaintainedSystem, engine) -> None:
+    Every entry point measures how long it waited for the lock and lands it
+    in ``repro_lock_wait_ms{mode=read|write}`` — the first number to look at
+    when p99 query time degrades under a maintenance-heavy workload.
+    """
+
+    def __init__(
+        self,
+        system: MaintainedSystem,
+        engine,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.system = system
         self.engine = engine
         self.lock = ReadWriteLock()
+        self.registry = registry
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def _observe_wait(self, mode: str, waited_s: float) -> None:
+        registry = self._registry()
+        registry.histogram(
+            "repro_lock_wait_ms",
+            labels={"mode": mode},
+            help="Wall-clock time spent waiting for the readers-writer lock.",
+        ).observe(waited_s * 1000.0)
+        registry.counter(
+            "repro_lock_acquisitions_total",
+            labels={"mode": mode},
+            help="Readers-writer lock acquisitions.",
+        ).inc()
 
     def search(self, query, k: int = 10, distance=None) -> SearchReport:
         """Run a top-k structured similarity query; returns a report."""
+        requested = time.perf_counter()
         with self.lock.reading():
+            self._observe_wait("read", time.perf_counter() - requested)
             return self.engine.search(query, k=k, distance=distance)
 
     def insert(self, values: Mapping[str, object]) -> int:
         """Insert a tuple under the write lock; returns its id."""
+        requested = time.perf_counter()
         with self.lock.writing():
+            self._observe_wait("write", time.perf_counter() - requested)
             return self.system.insert(values)
 
     def delete(self, tid: int) -> None:
         """Tombstone the tuple with this tid."""
+        requested = time.perf_counter()
         with self.lock.writing():
+            self._observe_wait("write", time.perf_counter() - requested)
             self.system.delete(tid)
 
     def update(self, tid: int, values: Mapping[str, object]) -> int:
         """Delete + insert under the write lock; returns the new tid."""
+        requested = time.perf_counter()
         with self.lock.writing():
+            self._observe_wait("write", time.perf_counter() - requested)
             return self.system.update(tid, values)
 
     def maybe_clean(self, beta: float) -> bool:
         """Run the β-triggered cleaning under the write lock."""
+        requested = time.perf_counter()
         with self.lock.writing():
+            waited = time.perf_counter() - requested
+            self._observe_wait("write", waited)
+            if waited > 0.001:
+                logger.info(
+                    "cleaning waited %.1f ms for the write lock", waited * 1000.0
+                )
             return self.system.maybe_clean(beta)
 
     def rebuild(self) -> None:
         """Rebuild from the table's current live contents."""
+        requested = time.perf_counter()
         with self.lock.writing():
+            self._observe_wait("write", time.perf_counter() - requested)
             self.system.rebuild()

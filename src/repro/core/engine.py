@@ -13,8 +13,11 @@ the comparison the paper makes.
 
 Instrumentation: every search reports the counters behind the paper's
 figures — table-file accesses (Fig. 8), filter vs. refine modeled I/O time
-and measured CPU time (Figs. 9/15), and the overall per-query time
-(Figs. 10–14, 16).
+and measured wall-clock time (Figs. 9/15), and the overall per-query time
+(Figs. 10–14, 16).  The same numbers feed the observability layer
+(:mod:`repro.obs`): each search runs inside a ``query`` span with
+``filter``/``refine`` children and lands per-engine counters and
+latency histograms in the metrics registry.
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError
 from repro.metrics.distance import DistanceFunction
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
 from repro.query import Query
 
 #: What a filter yields per live tuple: (tid, per-term lower bounds, exact).
@@ -60,9 +65,12 @@ class SearchReport:
     filter_io_ms: float = 0.0
     #: Modeled I/O milliseconds spent on table-file random accesses.
     refine_io_ms: float = 0.0
-    #: Measured CPU seconds in the filter (scan + estimate) phase.
+    #: Measured wall-clock seconds (``time.perf_counter``) in the filter
+    #: (scan + estimate) phase.  Wall time, not CPU time: it includes any
+    #: time this thread spends off-CPU.
     filter_wall_s: float = 0.0
-    #: Measured CPU seconds in the refine (fetch + exact distance) phase.
+    #: Measured wall-clock seconds (``time.perf_counter``) in the refine
+    #: (fetch + exact distance) phase.
     refine_wall_s: float = 0.0
 
     @property
@@ -72,17 +80,17 @@ class SearchReport:
 
     @property
     def total_wall_s(self) -> float:
-        """Measured CPU total across both phases."""
+        """Measured wall-clock total across both phases."""
         return self.filter_wall_s + self.refine_wall_s
 
     @property
     def filter_time_ms(self) -> float:
-        """Modeled filter time: simulated I/O plus measured CPU."""
+        """Modeled filter time: simulated I/O plus measured wall-clock."""
         return self.filter_io_ms + self.filter_wall_s * 1000.0
 
     @property
     def refine_time_ms(self) -> float:
-        """Modeled refine time: simulated I/O plus measured CPU."""
+        """Modeled refine time: simulated I/O plus measured wall-clock."""
         return self.refine_io_ms + self.refine_wall_s * 1000.0
 
     @property
@@ -91,19 +99,106 @@ class SearchReport:
         return self.filter_time_ms + self.refine_time_ms
 
 
+def observe_search(
+    registry: MetricsRegistry, engine_name: str, report: SearchReport
+) -> None:
+    """Land one finished report's numbers in the metrics registry.
+
+    Every engine (template subclasses, DST, the distributed wrappers' inner
+    engines) funnels through here so the registry speaks one vocabulary:
+    per-engine query/filter/refine latency histograms plus the paper's
+    counters (tuples scanned, table accesses, exact shortcuts).
+    """
+    labels = {"engine": engine_name}
+    registry.counter(
+        "repro_queries_total", labels=labels, help="Completed top-k searches."
+    ).inc()
+    registry.counter(
+        "repro_tuples_scanned_total",
+        labels=labels,
+        help="Live tuples considered by the filter phase.",
+    ).inc(report.tuples_scanned)
+    registry.counter(
+        "repro_table_accesses_total",
+        labels=labels,
+        help="Random table-file accesses during refinement (paper Fig. 8).",
+    ).inc(report.table_accesses)
+    registry.counter(
+        "repro_exact_shortcuts_total",
+        labels=labels,
+        help="Tuples resolved exactly from the index (all-ndf shortcut).",
+    ).inc(report.exact_shortcuts)
+    registry.histogram(
+        "repro_query_time_ms",
+        labels=labels,
+        help="Modeled per-query time: simulated I/O plus wall-clock CPU.",
+    ).observe(report.query_time_ms)
+    registry.histogram(
+        "repro_filter_time_ms",
+        labels=labels,
+        help="Modeled filter-phase time per query (paper Figs. 9/15).",
+    ).observe(report.filter_time_ms)
+    registry.histogram(
+        "repro_refine_time_ms",
+        labels=labels,
+        help="Modeled refine-phase time per query (paper Figs. 9/15).",
+    ).observe(report.refine_time_ms)
+
+
+def trace_phases(tracer: Tracer, span, report: SearchReport) -> None:
+    """Attach ``filter``/``refine`` child spans for a finished report.
+
+    The two phases interleave during the scan ("refining happens from time
+    to time during the filtering process"), so they are recorded as
+    synthetic spans whose durations are the accumulated per-phase wall
+    totals — they reconcile exactly with the report.
+    """
+    tracer.record(
+        "filter",
+        report.filter_wall_s * 1000.0,
+        io_ms=report.filter_io_ms,
+        tuples_scanned=report.tuples_scanned,
+        exact_shortcuts=report.exact_shortcuts,
+    )
+    tracer.record(
+        "refine",
+        report.refine_wall_s * 1000.0,
+        io_ms=report.refine_io_ms,
+        table_accesses=report.table_accesses,
+    )
+    span.attrs["modeled_ms"] = report.query_time_ms
+    span.attrs["results"] = len(report.results)
+
+
 class FilterAndRefineEngine(ABC):
     """Template for scan-based engines: Algorithm 1 around a filter source."""
 
     #: Engine label used in benchmark tables.
     name = "engine"
 
-    def __init__(self, table, distance: Optional[DistanceFunction] = None) -> None:
+    def __init__(
+        self,
+        table,
+        distance: Optional[DistanceFunction] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.table = table
         self.distance = distance or DistanceFunction()
         #: When the filter's bounds are exact (all queried attributes ndf),
         #: insert the distance directly instead of fetching the tuple.  The
         #: answer set is identical; only the access count changes.
         self.skip_exact = True
+        #: Observability destinations; None means the process-global ones.
+        self.registry = registry
+        self.tracer = tracer
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
 
     @abstractmethod
     def _filter(self, query: Query, distance: DistanceFunction) -> Iterator[FilterItem]:
@@ -129,40 +224,49 @@ class FilterAndRefineEngine(ABC):
         pool = ResultPool(k)
         report = SearchReport()
         disk = self.table.disk
+        tracer = self._tracer()
 
-        start_io = disk.stats.io_time_ms
-        start_wall = time.perf_counter()
-        refine_io = 0.0
-        refine_wall = 0.0
+        with tracer.span(
+            "query",
+            engine=self.name,
+            k=k,
+            attr_ids=list(query.attribute_ids()),
+        ) as span:
+            start_io = disk.stats.io_time_ms
+            start_wall = time.perf_counter()
+            refine_io = 0.0
+            refine_wall = 0.0
 
-        for tid, diffs, exact in self._filter(query, dist):
-            report.tuples_scanned += 1
-            estimated = dist.combine_bounds(query, diffs)
-            if exact and self.skip_exact:
-                pool.insert(tid, estimated)
-                report.exact_shortcuts += 1
-                continue
-            if not pool.is_candidate(estimated):
-                continue
-            refine_io_before = disk.stats.io_time_ms
-            refine_wall_before = time.perf_counter()
-            record = self.table.read(tid)
-            actual = dist.actual(query, record)
-            pool.insert(tid, actual)
-            refine_io += disk.stats.io_time_ms - refine_io_before
-            refine_wall += time.perf_counter() - refine_wall_before
-            report.table_accesses += 1
+            for tid, diffs, exact in self._filter(query, dist):
+                report.tuples_scanned += 1
+                estimated = dist.combine_bounds(query, diffs)
+                if exact and self.skip_exact:
+                    pool.insert(tid, estimated)
+                    report.exact_shortcuts += 1
+                    continue
+                if not pool.is_candidate(estimated):
+                    continue
+                refine_io_before = disk.stats.io_time_ms
+                refine_wall_before = time.perf_counter()
+                record = self.table.read(tid)
+                actual = dist.actual(query, record)
+                pool.insert(tid, actual)
+                refine_io += disk.stats.io_time_ms - refine_io_before
+                refine_wall += time.perf_counter() - refine_wall_before
+                report.table_accesses += 1
 
-        total_io = disk.stats.io_time_ms - start_io
-        total_wall = time.perf_counter() - start_wall
-        report.refine_io_ms = refine_io
-        report.refine_wall_s = refine_wall
-        report.filter_io_ms = total_io - refine_io
-        report.filter_wall_s = total_wall - refine_wall
-        report.results = [
-            QueryResult(tid=entry.tid, distance=entry.distance)
-            for entry in pool.results()
-        ]
+            total_io = disk.stats.io_time_ms - start_io
+            total_wall = time.perf_counter() - start_wall
+            report.refine_io_ms = refine_io
+            report.refine_wall_s = refine_wall
+            report.filter_io_ms = total_io - refine_io
+            report.filter_wall_s = total_wall - refine_wall
+            report.results = [
+                QueryResult(tid=entry.tid, distance=entry.distance)
+                for entry in pool.results()
+            ]
+            trace_phases(tracer, span, report)
+        observe_search(self._registry(), self.name, report)
         return report
 
 
@@ -176,8 +280,11 @@ class IVAEngine(FilterAndRefineEngine):
         table,
         index: IVAFile,
         distance: Optional[DistanceFunction] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        super().__init__(table, distance)
+        super().__init__(table, distance, registry=registry, tracer=tracer)
         self.index = index
 
     def _filter(self, query: Query, distance: DistanceFunction) -> Iterator[FilterItem]:

@@ -30,7 +30,13 @@ import math
 import time
 from typing import List, Optional, Tuple
 
-from repro.core.engine import FilterAndRefineEngine, QueryResult, SearchReport
+from repro.core.engine import (
+    FilterAndRefineEngine,
+    QueryResult,
+    SearchReport,
+    observe_search,
+    trace_phases,
+)
 from repro.core.iva_file import DELETED_PTR, IVAFile
 from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
@@ -114,33 +120,39 @@ class SequentialPlanEngine(FilterAndRefineEngine):
         dist = distance or self.distance
         report = SearchReport()
         disk = self.table.disk
+        tracer = self._tracer()
 
-        io_before = disk.stats.io_time_ms
-        wall_before = time.perf_counter()
-        bounds = self._bounds(query, dist)
-        report.tuples_scanned = len(bounds)
-        report.filter_io_ms = disk.stats.io_time_ms - io_before
-        report.filter_wall_s = time.perf_counter() - wall_before
+        with tracer.span(
+            "query", engine=self.name, k=k, attr_ids=list(query.attribute_ids())
+        ) as span:
+            io_before = disk.stats.io_time_ms
+            wall_before = time.perf_counter()
+            bounds = self._bounds(query, dist)
+            report.tuples_scanned = len(bounds)
+            report.filter_io_ms = disk.stats.io_time_ms - io_before
+            report.filter_wall_s = time.perf_counter() - wall_before
 
-        # The pruning threshold: the k-th smallest upper bound.  With any
-        # text term every upper bound is infinite and nothing is pruned.
-        uppers = sorted(upper for _, _, upper in bounds)
-        threshold = uppers[k - 1] if len(uppers) >= k else math.inf
-        candidates = [tid for tid, lower, _ in bounds if lower <= threshold]
+            # The pruning threshold: the k-th smallest upper bound.  With any
+            # text term every upper bound is infinite and nothing is pruned.
+            uppers = sorted(upper for _, _, upper in bounds)
+            threshold = uppers[k - 1] if len(uppers) >= k else math.inf
+            candidates = [tid for tid, lower, _ in bounds if lower <= threshold]
 
-        io_before = disk.stats.io_time_ms
-        wall_before = time.perf_counter()
-        pool = ResultPool(k)
-        for tid in candidates:
-            record = self.table.read(tid)
-            pool.insert(tid, dist.actual(query, record))
-            report.table_accesses += 1
-        report.refine_io_ms = disk.stats.io_time_ms - io_before
-        report.refine_wall_s = time.perf_counter() - wall_before
-        report.results = [
-            QueryResult(tid=entry.tid, distance=entry.distance)
-            for entry in pool.results()
-        ]
+            io_before = disk.stats.io_time_ms
+            wall_before = time.perf_counter()
+            pool = ResultPool(k)
+            for tid in candidates:
+                record = self.table.read(tid)
+                pool.insert(tid, dist.actual(query, record))
+                report.table_accesses += 1
+            report.refine_io_ms = disk.stats.io_time_ms - io_before
+            report.refine_wall_s = time.perf_counter() - wall_before
+            report.results = [
+                QueryResult(tid=entry.tid, distance=entry.distance)
+                for entry in pool.results()
+            ]
+            trace_phases(tracer, span, report)
+        observe_search(self._registry(), self.name, report)
         return report
 
 

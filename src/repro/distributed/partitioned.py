@@ -16,6 +16,7 @@ the sum.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Mapping, Optional, Union
 
@@ -23,10 +24,13 @@ from repro.core.engine import IVAEngine, SearchReport
 from repro.core.iva_file import IVAConfig, IVAFile
 from repro.errors import QueryError, StorageError
 from repro.metrics.distance import DistanceFunction
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query import Query
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskParameters, SimulatedDisk
 from repro.storage.table import SparseWideTable
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -82,9 +86,11 @@ class PartitionedSystem:
         disk_params: Optional[DiskParameters] = None,
         iva_config: Optional[IVAConfig] = None,
         distance: Optional[DistanceFunction] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_partitions < 1:
             raise QueryError("need at least one partition")
+        self.registry = registry
         self.catalog = Catalog()
         self.distance = distance or DistanceFunction()
         self._iva_config = iva_config or IVAConfig()
@@ -181,7 +187,34 @@ class PartitionedSystem:
             )
         merged.sort(key=lambda r: (r.distance, r.partition, r.tid))
         report.results = merged[:k]
+        self._observe(report)
         return report
+
+    def _observe(self, report: PartitionedSearchReport) -> None:
+        """Per-partition rollups: where in the fleet does query time go?"""
+        registry = self.registry if self.registry is not None else get_registry()
+        for partition, local in enumerate(report.per_partition):
+            labels = {"partition": str(partition)}
+            registry.histogram(
+                "repro_partition_query_time_ms",
+                labels=labels,
+                help="Modeled per-partition query time (straggler detection).",
+            ).observe(local.query_time_ms)
+            registry.counter(
+                "repro_partition_table_accesses_total",
+                labels=labels,
+                help="Random table-file accesses per partition.",
+            ).inc(local.table_accesses)
+        registry.histogram(
+            "repro_scatter_gather_ms",
+            help="Modeled scatter/gather latency (slowest partition).",
+        ).observe(report.elapsed_ms)
+        logger.debug(
+            "scatter/gather over %d partition(s): %.1f ms latency, %.1f ms work",
+            len(report.per_partition),
+            report.elapsed_ms,
+            report.total_work_ms,
+        )
 
     def read(self, partition: int, tid: int):
         """Read one tuple by address."""

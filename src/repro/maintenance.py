@@ -17,8 +17,11 @@ rebuild-based).
 from __future__ import annotations
 
 import logging
+import time
 from typing import Mapping, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
 from repro.storage.table import SparseWideTable
 
 logger = logging.getLogger(__name__)
@@ -27,9 +30,33 @@ logger = logging.getLogger(__name__)
 class MaintainedSystem:
     """A table plus the indices that must track it."""
 
-    def __init__(self, table: SparseWideTable, indices: Sequence[object]) -> None:
+    def __init__(
+        self,
+        table: SparseWideTable,
+        indices: Sequence[object],
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.table = table
         self.indices = list(indices)
+        self.registry = registry
+        self.tracer = tracer
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def _count(self, op: str) -> None:
+        registry = self._registry()
+        registry.counter(
+            "repro_maintenance_ops_total",
+            labels={"op": op},
+            help="Table/index mutations by kind (insert/delete/update/clean).",
+        ).inc()
+        registry.gauge(
+            "repro_deleted_fraction",
+            help="Dead tuples as a fraction of all stored tuples.",
+        ).set(self.deleted_fraction)
 
     def insert(self, values: Mapping[str, object]) -> int:
         """Insert into the table and every index; returns the new tid."""
@@ -37,6 +64,7 @@ class MaintainedSystem:
         tid = self.table.insert_record(cells)
         for index in self.indices:
             index.insert(tid, cells)
+        self._count("insert")
         return tid
 
     def delete(self, tid: int) -> None:
@@ -44,17 +72,35 @@ class MaintainedSystem:
         self.table.delete(tid)
         for index in self.indices:
             index.delete(tid)
+        self._count("delete")
 
     def update(self, tid: int, values: Mapping[str, object]) -> int:
         """The paper's update: delete + insert under a fresh tid."""
         self.delete(tid)
-        return self.insert(values)
+        tid = self.insert(values)
+        self._count("update")
+        return tid
 
     def rebuild(self) -> None:
         """Periodic cleaning: compact the table file, then every index."""
-        self.table.rebuild()
-        for index in self.indices:
-            index.rebuild()
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        dead_before = self.table.dead_tuples
+        started = time.perf_counter()
+        with tracer.span(
+            "maintenance.clean",
+            dead_tuples=dead_before,
+            live_tuples=len(self.table),
+            indices=len(self.indices),
+        ):
+            self.table.rebuild()
+            for index in self.indices:
+                index.rebuild()
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        self._registry().histogram(
+            "repro_maintenance_clean_ms",
+            help="Wall-clock duration of cleaning (table + index rebuilds).",
+        ).observe(duration_ms)
+        self._count("clean")
 
     @property
     def deleted_fraction(self) -> float:

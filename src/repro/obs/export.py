@@ -1,0 +1,118 @@
+"""Exporters: Prometheus text exposition and JSON-lines snapshots.
+
+Two machine-readable views of a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`render_prometheus` — the text exposition format (version 0.0.4)
+  scraped by Prometheus-compatible collectors.  Histograms export the
+  standard cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+  from which p50/p95/p99 are derivable with ``histogram_quantile``.
+* :func:`write_snapshot` / :func:`load_snapshot` — a JSON snapshot file,
+  the interchange format between CLI invocations (``repro query`` writes a
+  sidecar, ``repro stats`` re-renders it) and the artifact the bench
+  harness drops next to every result table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Mapping, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels, extra: Optional[Mapping[str, str]] = None) -> str:
+    items = list(labels)
+    if extra:
+        items.extend(extra.items())
+    if not items:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in items
+    )
+    return "{" + rendered + "}"
+
+
+def _number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (collectors refreshed)."""
+    registry.collect()
+    lines = []
+    seen_headers = set()
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for instrument in registry.instruments():
+        if isinstance(instrument, Counter):
+            header(instrument.name, "counter", instrument.help)
+            lines.append(
+                f"{instrument.name}{_label_str(instrument.labels)} "
+                f"{_number(instrument.value)}"
+            )
+        elif isinstance(instrument, Gauge):
+            header(instrument.name, "gauge", instrument.help)
+            lines.append(
+                f"{instrument.name}{_label_str(instrument.labels)} "
+                f"{_number(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            header(instrument.name, "histogram", instrument.help)
+            cumulative = instrument.cumulative_counts()
+            for bound, count in zip(instrument.bounds, cumulative):
+                le = _label_str(instrument.labels, {"le": _number(bound)})
+                lines.append(f"{instrument.name}_bucket{le} {count}")
+            le_inf = _label_str(instrument.labels, {"le": "+Inf"})
+            lines.append(f"{instrument.name}_bucket{le_inf} {cumulative[-1]}")
+            plain = _label_str(instrument.labels)
+            lines.append(f"{instrument.name}_sum{plain} {_number(instrument.sum)}")
+            lines.append(f"{instrument.name}_count{plain} {instrument.count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_snapshot(registry: MetricsRegistry, path: str) -> str:
+    """Persist the snapshot to *path*; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_json(registry))
+        fh.write("\n")
+    return path
+
+
+def load_snapshot(source: Union[str, Mapping[str, object]]) -> MetricsRegistry:
+    """Rebuild a registry from a snapshot file path or parsed dict."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    else:
+        data = source
+    return MetricsRegistry.from_snapshot(data)

@@ -1,0 +1,414 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The paper's entire evaluation is built on counting — table-file accesses
+(Fig. 8), filter vs. refine time (Figs. 9/15), per-query time
+(Figs. 10-14, 16) — but production operation needs those counts
+*aggregated*: totals, rates and percentiles across millions of queries,
+not one :class:`~repro.core.engine.SearchReport` at a time.  This module
+is the aggregation substrate: a process-global default registry that every
+instrumented layer (engine, storage, maintenance, distributed) feeds, plus
+injectable instances so tests observe their own deltas in isolation.
+
+Design notes:
+
+* Instruments are identified by ``(name, labels)``; :meth:`MetricsRegistry.counter`
+  et al. are get-or-create, so call sites never coordinate registration.
+* Histograms use fixed bucket upper bounds (Prometheus-style cumulative
+  export) and answer p50/p95/p99 by linear interpolation inside the
+  winning bucket — the standard fixed-bucket estimator.
+* Gauges for expensive-to-maintain values (disk counters, cache hit rate)
+  are refreshed lazily through *collectors* — callbacks run at snapshot
+  time — so the hot I/O path pays nothing for observability.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_MS_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Label sets are stored canonically as sorted (key, value) tuples.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default buckets for millisecond-valued histograms: half-decade spacing
+#: from sub-millisecond (cache-hit queries) to tens of seconds (cold full
+#: sweeps on the modeled 2009 drive).
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+def _canonical_labels(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = (), help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        """Current cumulative count."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+
+class Gauge:
+    """A value that can go up and down (or be overwritten wholesale)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = (), help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by *amount* (either sign)."""
+        with self._lock:
+            self._value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    Buckets are *upper bounds* in ascending order; an implicit +inf bucket
+    catches the tail.  Export is cumulative (Prometheus ``le`` semantics);
+    percentiles interpolate linearly inside the winning bucket, clamped to
+    the observed min/max so tiny samples don't report bucket-edge fiction.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bucket bounds must strictly increase")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; last slot is the +inf bucket.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            idx = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    idx = i
+                    break
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest observation, or None before any."""
+        return self._min if self._count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest observation, or None before any."""
+        return self._max if self._count else None
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean, or None before any observation."""
+        return self._sum / self._count if self._count else None
+
+    def bucket_counts(self) -> List[int]:
+        """Non-cumulative per-bucket counts (last slot = +inf bucket)."""
+        return list(self._counts)
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative counts per bound plus the +inf total (``le`` export)."""
+        out: List[int] = []
+        running = 0
+        for count in self._counts:
+            running += count
+            out.append(running)
+        return out
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (q in [0, 1]); None before any data.
+
+        Finds the bucket holding the target rank, interpolates linearly
+        between the bucket's bounds, and clamps to observed min/max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return None
+        rank = q * self._count
+        running = 0
+        lower = 0.0
+        for i, count in enumerate(self._counts):
+            upper = self.bounds[i] if i < len(self.bounds) else self._max
+            if running + count >= rank and count > 0:
+                within = (rank - running) / count
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, within))
+                return max(self._min, min(self._max, estimate))
+            running += count
+            lower = upper
+        return self._max
+
+    @property
+    def p50(self) -> Optional[float]:
+        """Median estimate."""
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        """95th-percentile estimate."""
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        """99th-percentile estimate."""
+        return self.percentile(0.99)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument, plus snapshot support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelItems], object] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------ factories
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Counter:
+        """The counter with this name and label set (created on first use)."""
+        return self._get(Counter, name, labels, help)
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Gauge:
+        """The gauge with this name and label set (created on first use)."""
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+    ) -> Histogram:
+        """The histogram with this name and label set (created on first use)."""
+        key = (name, _canonical_labels(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = Histogram(name, key[1], help=help, buckets=buckets)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+
+    def _get(self, cls, name, labels, help):
+        key = (name, _canonical_labels(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], help=help)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+
+    # ----------------------------------------------------------- collectors
+
+    def register_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Add a callback refreshing lazy gauges before each snapshot."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Run every registered collector (snapshot/export call this)."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            fn(self)
+
+    # ------------------------------------------------------------ iteration
+
+    def instruments(self) -> List[object]:
+        """Every instrument, sorted by (name, labels) for stable export."""
+        with self._lock:
+            return [
+                self._instruments[key] for key in sorted(self._instruments)
+            ]
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict:
+        """A JSON-able dump of every instrument (collectors refreshed)."""
+        self.collect()
+        counters = []
+        gauges = []
+        histograms = []
+        for instrument in self.instruments():
+            entry = {
+                "name": instrument.name,
+                "labels": dict(instrument.labels),
+                "help": instrument.help,
+            }
+            if isinstance(instrument, Counter):
+                entry["value"] = instrument.value
+                counters.append(entry)
+            elif isinstance(instrument, Gauge):
+                entry["value"] = instrument.value
+                gauges.append(entry)
+            elif isinstance(instrument, Histogram):
+                entry.update(
+                    bounds=list(instrument.bounds),
+                    counts=instrument.bucket_counts(),
+                    sum=instrument.sum,
+                    count=instrument.count,
+                    min=instrument.min,
+                    max=instrument.max,
+                    p50=instrument.p50,
+                    p95=instrument.p95,
+                    p99=instrument.p99,
+                )
+                histograms.append(entry)
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (e.g. a sidecar
+        file written by a previous process) so exporters can re-render it."""
+        registry = cls()
+        for entry in data.get("counters", ()):  # type: ignore[union-attr]
+            counter = registry.counter(
+                entry["name"], labels=entry.get("labels"), help=entry.get("help", "")
+            )
+            counter.inc(float(entry.get("value", 0.0)))
+        for entry in data.get("gauges", ()):  # type: ignore[union-attr]
+            gauge = registry.gauge(
+                entry["name"], labels=entry.get("labels"), help=entry.get("help", "")
+            )
+            gauge.set(float(entry.get("value", 0.0)))
+        for entry in data.get("histograms", ()):  # type: ignore[union-attr]
+            histogram = registry.histogram(
+                entry["name"],
+                labels=entry.get("labels"),
+                help=entry.get("help", ""),
+                buckets=entry["bounds"],
+            )
+            histogram._counts = [int(c) for c in entry["counts"]]
+            histogram._sum = float(entry["sum"])
+            histogram._count = int(entry["count"])
+            histogram._min = (
+                float(entry["min"]) if entry.get("min") is not None else math.inf
+            )
+            histogram._max = (
+                float(entry["max"]) if entry.get("max") is not None else -math.inf
+            )
+        return registry
+
+    def reset(self) -> None:
+        """Drop every instrument and collector (test isolation)."""
+        with self._lock:
+            self._instruments.clear()
+            self._collectors.clear()
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

@@ -7,8 +7,11 @@ table file operations. The cache is warmed before each experiment.").
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from typing import Hashable, Optional
+
+logger = logging.getLogger(__name__)
 
 
 class LRUCache:
@@ -26,6 +29,10 @@ class LRUCache:
         self._pages: "OrderedDict[Hashable, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`repro.obs.trace.Tracer`; when set, every touch
+        #: records a ``cache.lookup`` span.  Strictly opt-in — this is the
+        #: hottest path in the system.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -41,14 +48,18 @@ class LRUCache:
         """
         if self.capacity_pages == 0:
             self.misses += 1
-            return False
-        if key in self._pages:
+            hit = False
+        elif key in self._pages:
             self._pages.move_to_end(key)
             self.hits += 1
-            return True
-        self.misses += 1
-        self._insert(key)
-        return False
+            hit = True
+        else:
+            self.misses += 1
+            self._insert(key)
+            hit = False
+        if self.tracer is not None:
+            self.tracer.record("cache.lookup", 0.0, key=str(key), hit=hit)
+        return hit
 
     def insert(self, key: Hashable) -> None:
         """Bring a page in (e.g. after a write) without counting a hit/miss."""
@@ -75,6 +86,7 @@ class LRUCache:
 
     def clear(self) -> None:
         """Drop every cached page."""
+        logger.debug("cache cleared: %d page(s) dropped", len(self._pages))
         self._pages.clear()
 
     def reset_counters(self) -> None:

@@ -22,11 +22,14 @@ accessed page; anything else pays a seek.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.storage.cache import LRUCache
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_PAGE_SIZE = 4096
 DEFAULT_CACHE_BYTES = 10 * 1024 * 1024
@@ -116,6 +119,10 @@ class SimulatedDisk:
         self.stats = DiskStats()
         #: Last page touched by any physical access, mimicking the disk arm.
         self._head: Optional[Tuple[str, int]] = None
+        #: Optional :class:`repro.obs.trace.Tracer`; when set, every read
+        #: call records a ``disk.read`` span (duration = modeled I/O ms).
+        #: Off by default — per-read spans are strictly opt-in.
+        self.tracer = None
 
     # ------------------------------------------------------------------ files
 
@@ -162,11 +169,21 @@ class SimulatedDisk:
                 f"read past EOF on {name!r}: offset={offset} length={length} "
                 f"size={len(data)}"
             )
+        io_before = self.stats.io_time_ms
+        hits_before = self.stats.cache_hits
         if length:
             self._charge(name, offset, length, write=False)
         self.stats.read_calls += 1
         self.stats.bytes_read += length
         self.stats.per_file_reads[name] = self.stats.per_file_reads.get(name, 0) + 1
+        if self.tracer is not None:
+            self.tracer.record(
+                "disk.read",
+                self.stats.io_time_ms - io_before,
+                file=name,
+                bytes=length,
+                cache_hits=self.stats.cache_hits - hits_before,
+            )
         return bytes(data[offset : offset + length])
 
     def write(self, name: str, offset: int, payload: bytes) -> None:
@@ -236,6 +253,59 @@ class SimulatedDisk:
         """Zero every I/O counter."""
         self.stats = DiskStats()
         self.cache.reset_counters()
+
+    # -------------------------------------------------------------- metrics
+
+    def publish_metrics(self, registry=None, label: str = "disk0") -> None:
+        """Mirror :class:`DiskStats` and cache state into a metrics registry.
+
+        Registers a *collector* — a callback run at snapshot/export time —
+        so the hot I/O path pays nothing.  Counters are exported as gauges
+        holding the cumulative values (they reset with :meth:`reset_stats`,
+        which a monotonic counter could not express).
+        """
+        from repro.obs.metrics import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        labels = {"disk": label}
+
+        def collect(reg) -> None:
+            stats = self.stats
+            pairs = (
+                ("repro_disk_pages_read", stats.pages_read,
+                 "Pages physically read (cache misses)."),
+                ("repro_disk_pages_written", stats.pages_written,
+                 "Pages physically written."),
+                ("repro_disk_bytes_read", stats.bytes_read,
+                 "Bytes returned by read calls."),
+                ("repro_disk_bytes_written", stats.bytes_written,
+                 "Bytes accepted by write calls."),
+                ("repro_disk_seeks", stats.seeks,
+                 "Full-cost head repositionings (paper's random accesses)."),
+                ("repro_disk_read_calls", stats.read_calls,
+                 "read() invocations."),
+                ("repro_disk_write_calls", stats.write_calls,
+                 "write() invocations."),
+                ("repro_disk_io_time_ms", stats.io_time_ms,
+                 "Modeled I/O milliseconds charged by the cost model."),
+                ("repro_disk_cache_hits", stats.cache_hits,
+                 "Page touches served from the LRU cache."),
+                ("repro_disk_total_bytes", self.total_bytes(),
+                 "Serialized footprint of every stored file."),
+                ("repro_cache_resident_pages", len(self.cache),
+                 "Pages currently resident in the LRU cache."),
+            )
+            for name, value, help_text in pairs:
+                reg.gauge(name, labels=labels, help=help_text).set(value)
+            hit_rate = self.cache.hit_rate
+            reg.gauge(
+                "repro_cache_hit_rate",
+                labels=labels,
+                help="LRU hits / (hits + misses) since the last reset.",
+            ).set(hit_rate if hit_rate is not None else 0.0)
+
+        registry.register_collector(collect)
+        logger.debug("disk %s publishing metrics as disk=%s", id(self), label)
 
     # --------------------------------------------------------------- private
 

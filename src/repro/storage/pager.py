@@ -10,10 +10,14 @@ buffered file reader does.
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 from repro.errors import StorageError
+from repro.obs.metrics import get_registry
 from repro.storage.disk import SimulatedDisk
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_CHUNK_BYTES = 64 * 1024
 
@@ -103,3 +107,12 @@ class BufferedReader:
             raise StorageError("buffered reader exhausted")
         self._buffer = self._disk.read(self._name, start, length)
         self._buffer_start = start
+        registry = get_registry()
+        registry.counter(
+            "repro_pager_fills_total",
+            help="Chunk fetches issued by buffered sequential readers.",
+        ).inc()
+        registry.counter(
+            "repro_pager_bytes_total",
+            help="Bytes fetched by buffered sequential readers.",
+        ).inc(length)

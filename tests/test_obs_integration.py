@@ -1,0 +1,260 @@
+"""The telemetry layer observed end-to-end through real components.
+
+The contract under test: one ``IVAEngine.search`` produces a
+:class:`SearchReport` and registry observations that agree exactly, and a
+``query`` span whose ``filter``/``refine`` children reconcile with the
+report's phase totals.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    IVAEngine,
+    IVAFile,
+    MaintainedSystem,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+)
+from repro.cli import main as cli_main
+from repro.data import WorkloadGenerator
+from repro.obs.trace import JsonlSpanSink
+
+
+@pytest.fixture
+def query(small_dataset):
+    """A 3-value query drawn from the dataset's own value distribution."""
+    return WorkloadGenerator(small_dataset, seed=44).sample_query(3)
+
+
+@pytest.fixture
+def setup(small_dataset):
+    registry = MetricsRegistry()
+    sink = JsonlSpanSink(io.StringIO())
+    tracer = Tracer(registry=registry, sink=sink)
+    index = IVAFile.build(small_dataset, None)
+    engine = IVAEngine(small_dataset, index, registry=registry, tracer=tracer)
+    return registry, tracer, engine
+
+
+class TestSearchTelemetry:
+    def test_report_and_registry_agree(self, setup, query):
+        registry, _, engine = setup
+        report = engine.search(query, k=5)
+        labels = {"engine": "iVA"}
+        assert registry.counter("repro_queries_total", labels=labels).value == 1
+        assert (
+            registry.counter("repro_tuples_scanned_total", labels=labels).value
+            == report.tuples_scanned
+        )
+        assert (
+            registry.counter("repro_table_accesses_total", labels=labels).value
+            == report.table_accesses
+        )
+        assert (
+            registry.counter("repro_exact_shortcuts_total", labels=labels).value
+            == report.exact_shortcuts
+        )
+        h = registry.histogram("repro_query_time_ms", labels=labels)
+        assert h.count == 1
+        assert h.sum == pytest.approx(report.query_time_ms)
+
+    def test_observations_accumulate_across_queries(self, setup, query):
+        registry, _, engine = setup
+        reports = [engine.search(query, k=5) for _ in range(3)]
+        labels = {"engine": "iVA"}
+        assert registry.counter("repro_queries_total", labels=labels).value == 3
+        h = registry.histogram("repro_query_time_ms", labels=labels)
+        assert h.count == 3
+        assert h.sum == pytest.approx(sum(r.query_time_ms for r in reports))
+        assert h.p50 is not None and h.p99 is not None
+
+    def test_spans_reconcile_with_report(self, setup, query):
+        registry, tracer, engine = setup
+        report = engine.search(query, k=5)
+        line = tracer.sink._fh.getvalue().strip().splitlines()[-1]
+        span = json.loads(line)
+        assert span["name"] == "query"
+        children = {c["name"]: c for c in span["children"]}
+        assert set(children) == {"filter", "refine"}
+        # Synthetic phase spans carry the report's wall totals exactly.
+        assert children["filter"]["duration_ms"] == pytest.approx(
+            report.filter_wall_s * 1000.0
+        )
+        assert children["refine"]["duration_ms"] == pytest.approx(
+            report.refine_wall_s * 1000.0
+        )
+        # And their sum reconciles with the enclosing query span (±5%);
+        # the root only adds loop scaffolding around the two phases.
+        summed = children["filter"]["duration_ms"] + children["refine"]["duration_ms"]
+        assert summed <= span["duration_ms"]
+        assert summed == pytest.approx(span["duration_ms"], rel=0.05)
+        assert span["attrs"]["modeled_ms"] == pytest.approx(report.query_time_ms)
+        assert children["filter"]["attrs"]["tuples_scanned"] == report.tuples_scanned
+        assert children["refine"]["attrs"]["table_accesses"] == report.table_accesses
+
+    def test_disk_read_spans_nest_under_refine_phase_query(self, small_dataset, query):
+        registry = MetricsRegistry()
+        sink = JsonlSpanSink(io.StringIO())
+        tracer = Tracer(registry=registry, sink=sink)
+        index = IVAFile.build(small_dataset, None)
+        engine = IVAEngine(small_dataset, index, registry=registry, tracer=tracer)
+        small_dataset.disk.tracer = tracer
+        try:
+            report = engine.search(query, k=5)
+        finally:
+            small_dataset.disk.tracer = None
+        span = json.loads(sink._fh.getvalue().strip().splitlines()[-1])
+        reads = [c for c in span["children"] if c["name"] == "disk.read"]
+        assert reads, "expected disk.read spans inside the query span"
+        table_reads = [
+            r for r in reads if r["attrs"]["file"] == small_dataset.file_name
+        ]
+        assert len(table_reads) >= report.table_accesses
+
+
+class TestMaintenanceTelemetry:
+    def test_clean_span_and_counters(self, camera_table):
+        registry = MetricsRegistry()
+        sink = JsonlSpanSink(io.StringIO())
+        tracer = Tracer(registry=registry, sink=sink)
+        index = IVAFile.build(camera_table)
+        system = MaintainedSystem(
+            camera_table, [index], registry=registry, tracer=tracer
+        )
+        system.insert({"Type": "Phone", "Price": 99.0})
+        system.delete(0)
+        assert system.maybe_clean(beta=0.01)
+        ops = {
+            op: registry.counter(
+                "repro_maintenance_ops_total", labels={"op": op}
+            ).value
+            for op in ("insert", "delete", "clean")
+        }
+        assert ops == {"insert": 1, "delete": 1, "clean": 1}
+        assert registry.gauge("repro_deleted_fraction").value == 0.0
+        assert registry.histogram("repro_maintenance_clean_ms").count == 1
+        spans = [
+            json.loads(line) for line in sink._fh.getvalue().strip().splitlines()
+        ]
+        clean = [s for s in spans if s["name"] == "maintenance.clean"]
+        assert len(clean) == 1
+        assert clean[0]["attrs"]["dead_tuples"] == 1
+
+
+class TestConcurrencyTelemetry:
+    def test_lock_wait_metrics(self, camera_table):
+        from repro.concurrency import ConcurrentSystem
+
+        registry = MetricsRegistry()
+        index = IVAFile.build(camera_table)
+        engine = IVAEngine(camera_table, index, registry=registry)
+        system = ConcurrentSystem(
+            MaintainedSystem(camera_table, [index], registry=registry),
+            engine,
+            registry=registry,
+        )
+        system.search({"Type": "Digital Camera"}, k=2)
+        system.insert({"Type": "Phone", "Price": 99.0})
+        reads = registry.counter(
+            "repro_lock_acquisitions_total", labels={"mode": "read"}
+        )
+        writes = registry.counter(
+            "repro_lock_acquisitions_total", labels={"mode": "write"}
+        )
+        assert reads.value == 1
+        assert writes.value == 1
+        assert (
+            registry.histogram("repro_lock_wait_ms", labels={"mode": "read"}).count
+            == 1
+        )
+
+
+class TestPartitionedTelemetry:
+    def test_per_partition_rollups(self):
+        from repro.distributed import PartitionedSystem
+
+        registry = MetricsRegistry()
+        system = PartitionedSystem(num_partitions=2, registry=registry)
+        for i in range(40):
+            system.insert({"Type": f"Thing{i % 5}", "Price": float(i)})
+        system.build_indexes()
+        report = system.search({"Type": "Thing1"}, k=3)
+        for partition in ("0", "1"):
+            h = registry.histogram(
+                "repro_partition_query_time_ms", labels={"partition": partition}
+            )
+            assert h.count == 1
+        assert registry.histogram("repro_scatter_gather_ms").count == 1
+        total = sum(
+            registry.counter(
+                "repro_partition_table_accesses_total", labels={"partition": p}
+            ).value
+            for p in ("0", "1")
+        )
+        assert total == report.table_accesses
+
+
+class TestCliStats:
+    @pytest.fixture(autouse=True)
+    def fresh_global_registry(self):
+        get_registry().reset()
+        yield
+        get_registry().reset()
+
+    @pytest.fixture
+    def snapshot(self, tmp_path):
+        path = str(tmp_path / "db.ivadb")
+        assert cli_main(["generate", "--tuples", "300", "--attributes", "40",
+                         "--snapshot", path]) == 0
+        assert cli_main(["build", "--snapshot", path]) == 0
+        return path
+
+    def test_stats_requires_a_prior_run(self, snapshot, capsys):
+        assert cli_main(["stats", "--snapshot", snapshot]) == 1
+        assert "no metrics snapshot" in capsys.readouterr().err
+
+    def test_workload_then_stats_prometheus(self, snapshot, tmp_path, capsys):
+        out = str(tmp_path / "queries.json")
+        assert cli_main(["workload", "--snapshot", snapshot, "--out", out,
+                         "--queries", "3", "--warmup", "1"]) == 0
+        capsys.readouterr()
+        assert cli_main(["stats", "--snapshot", snapshot,
+                         "--format", "prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_query_time_ms histogram" in text
+        assert 'repro_query_time_ms_bucket{engine="iVA",le="+Inf"} 3' in text
+        assert 'repro_query_time_ms_count{engine="iVA"} 3' in text
+        assert "repro_queries_total" in text
+
+    def test_stats_json_format(self, snapshot, tmp_path, capsys):
+        out = str(tmp_path / "queries.json")
+        assert cli_main(["workload", "--snapshot", snapshot, "--out", out,
+                         "--queries", "2", "--warmup", "1"]) == 0
+        capsys.readouterr()
+        assert cli_main(["stats", "--snapshot", snapshot,
+                         "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        hist_names = {h["name"] for h in data["histograms"]}
+        assert "repro_query_time_ms" in hist_names
+
+    def test_query_trace_writes_nested_spans(self, snapshot, tmp_path, capsys):
+        trace = str(tmp_path / "out.jsonl")
+        assert cli_main(["query", "--snapshot", snapshot, "-k", "3",
+                         "--trace", trace,
+                         "--term", "Category0=Digital Camera"]) == 0
+        capsys.readouterr()
+        lines = [json.loads(line) for line in open(trace, encoding="utf-8")]
+        assert len(lines) == 1
+        span = lines[0]
+        assert span["name"] == "query"
+        names = {c["name"] for c in span["children"]}
+        assert {"filter", "refine"} <= names
+        summed = sum(
+            c["duration_ms"] for c in span["children"]
+            if c["name"] in ("filter", "refine")
+        )
+        assert summed == pytest.approx(span["duration_ms"], rel=0.05)

@@ -1,0 +1,186 @@
+"""Registry instruments: counter/gauge semantics and histogram math."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("hits")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", labels={"engine": "iVA"})
+        b = registry.counter("x", labels={"engine": "SII"})
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", labels={"a": "1", "b": "2"})
+        b = registry.counter("x", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(10)
+        gauge.add(-3.5)
+        assert gauge.value == 6.5
+
+
+class TestHistogram:
+    def test_bucket_assignment_boundaries(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 1.5, 10.0, 99.0, 100.0, 1000.0):
+            h.observe(value)
+        # le=1 gets 0.5 and 1.0; le=10 gets 1.5 and 10.0; le=100 gets 99
+        # and 100; +inf gets 1000.
+        assert h.bucket_counts() == [2, 2, 2, 1]
+        assert h.cumulative_counts() == [2, 4, 6, 7]
+        assert h.count == 7
+        assert h.sum == pytest.approx(0.5 + 1 + 1.5 + 10 + 99 + 100 + 1000)
+        assert h.min == 0.5
+        assert h.max == 1000.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5.0, 1.0))
+
+    def test_percentiles_uniform(self):
+        h = Histogram("h", buckets=tuple(float(b) for b in range(10, 110, 10)))
+        for value in range(1, 101):  # 1..100 uniformly
+            h.observe(float(value))
+        # Uniform data: pXX should land near XX.
+        assert h.p50 == pytest.approx(50.0, abs=5.0)
+        assert h.p95 == pytest.approx(95.0, abs=5.0)
+        assert h.p99 == pytest.approx(99.0, abs=5.0)
+        assert h.percentile(0.0) == 1.0  # clamped to observed min
+        assert h.percentile(1.0) == 100.0  # clamped to observed max
+
+    def test_percentiles_empty(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.p50 is None
+        assert h.mean is None
+        assert h.min is None and h.max is None
+
+    def test_percentile_range_check(self):
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_overflow_bucket_percentile_uses_observed_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        for value in (50.0, 60.0, 70.0):
+            h.observe(value)
+        assert h.p99 <= 70.0
+        assert h.p99 > 1.0
+
+    def test_single_observation(self):
+        h = Histogram("h", buckets=DEFAULT_MS_BUCKETS)
+        h.observe(42.0)
+        assert h.p50 == 42.0
+        assert h.p99 == 42.0
+        assert h.mean == 42.0
+
+
+class TestRegistry:
+    def test_instruments_sorted_for_stable_export(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        registry.gauge("a_gauge")
+        names = [i.name for i in registry.instruments()]
+        assert names == sorted(names)
+
+    def test_collector_runs_at_snapshot(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def collect(reg):
+            calls.append(1)
+            reg.gauge("lazy").set(7.0)
+
+        registry.register_collector(collect)
+        snap = registry.snapshot()
+        assert calls == [1]
+        assert [g for g in snap["gauges"] if g["name"] == "lazy"][0]["value"] == 7.0
+
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"engine": "iVA"}, help="help!").inc(3)
+        registry.gauge("g").set(1.25)
+        h = registry.histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(99.0)
+        restored = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert restored.counter("c", labels={"engine": "iVA"}).value == 3
+        assert restored.gauge("g").value == 1.25
+        h2 = restored.histogram("h", buckets=(1.0, 10.0))
+        assert h2.count == 2
+        assert h2.sum == pytest.approx(99.5)
+        assert h2.bucket_counts() == [1, 0, 1]
+        assert h2.min == 0.5 and h2.max == 99.0
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(3.0)
+        assert json.loads(json.dumps(registry.snapshot()))["histograms"]
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.register_collector(lambda reg: None)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_global_registry_swap(self):
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert get_registry() is replacement
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

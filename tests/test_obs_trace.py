@@ -1,0 +1,156 @@
+"""Span tracer: nesting, attributes, sinks and the slow-query log."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    SLOW_QUERY_LOGGER,
+    JsonlSpanSink,
+    SlowQueryLog,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, registry):
+        tracer = Tracer(registry=registry)
+        with tracer.span("query", engine="iVA") as root:
+            with tracer.span("filter"):
+                pass
+            with tracer.span("refine"):
+                pass
+        assert [c.name for c in root.children] == ["filter", "refine"]
+        assert root.attrs["engine"] == "iVA"
+        assert root.duration_ms >= 0
+
+    def test_deep_nesting(self, registry):
+        tracer = Tracer(registry=registry)
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c", depth=3):
+                    pass
+        assert a.child("b").child("c").attrs["depth"] == 3
+
+    def test_current_tracks_innermost(self, registry):
+        tracer = Tracer(registry=registry)
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_record_attaches_synthetic_child(self, registry):
+        tracer = Tracer(registry=registry)
+        with tracer.span("query") as root:
+            tracer.record("filter", 12.5, tuples_scanned=100)
+        filter_span = root.child("filter")
+        assert filter_span.duration_ms == 12.5
+        assert filter_span.attrs["tuples_scanned"] == 100
+
+    def test_record_without_parent_is_root(self, registry):
+        tracer = Tracer(registry=registry)
+        tracer.record("maintenance.clean", 40.0)
+        h = registry.histogram(
+            "repro_span_duration_ms", labels={"span": "maintenance.clean"}
+        )
+        assert h.count == 1
+
+    def test_exception_annotates_and_propagates(self, registry):
+        tracer = Tracer(registry=registry)
+        with pytest.raises(RuntimeError):
+            with tracer.span("query") as span:
+                raise RuntimeError("boom")
+        assert span.attrs["error"] == "RuntimeError"
+        assert tracer.current() is None
+
+    def test_root_span_feeds_registry(self, registry):
+        tracer = Tracer(registry=registry)
+        with tracer.span("query"):
+            with tracer.span("filter"):
+                pass
+        # Only the root lands in the duration histogram; the child is
+        # carried inside the root's tree.
+        roots = registry.histogram("repro_span_duration_ms", labels={"span": "query"})
+        assert roots.count == 1
+        children = registry.histogram(
+            "repro_span_duration_ms", labels={"span": "filter"}
+        )
+        assert children.count == 0
+
+
+class TestSink:
+    def test_jsonl_lines_nested(self, registry, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer(registry=registry, sink=JsonlSpanSink(path))
+        with tracer.span("query", k=5):
+            tracer.record("filter", 1.0)
+        with tracer.span("query", k=10):
+            pass
+        tracer.sink.close()
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert len(lines) == 2
+        assert lines[0]["name"] == "query"
+        assert lines[0]["attrs"]["k"] == 5
+        assert lines[0]["children"][0]["name"] == "filter"
+        assert "children" not in lines[1]
+
+    def test_sink_counts_writes(self, registry):
+        sink = JsonlSpanSink(io.StringIO())
+        tracer = Tracer(registry=registry, sink=sink)
+        with tracer.span("query"):
+            with tracer.span("filter"):
+                pass
+        assert sink.spans_written == 1
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self, registry, caplog):
+        slow = SlowQueryLog(threshold_ms=10.0)
+        tracer = Tracer(registry=registry, slow_query_log=slow)
+        with caplog.at_level(logging.WARNING, logger=SLOW_QUERY_LOGGER):
+            tracer.record("query", 5.0, modeled_ms=5.0)  # fast: no log
+            tracer.record("query", 3.0, modeled_ms=50.0)  # modeled slow: log
+            tracer.record("maintenance.clean", 500.0)  # not a query span
+        assert slow.emitted == 1
+        assert len(caplog.records) == 1
+        payload = json.loads(caplog.records[0].message)
+        assert payload["slow_query_ms"] == 50.0
+        assert payload["name"] == "query"
+
+    def test_uses_wall_duration_without_modeled_attr(self, registry, caplog):
+        slow = SlowQueryLog(threshold_ms=10.0)
+        tracer = Tracer(registry=registry, slow_query_log=slow)
+        with caplog.at_level(logging.WARNING, logger=SLOW_QUERY_LOGGER):
+            tracer.record("query", 25.0)
+        assert slow.emitted == 1
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+
+    def test_logger_namespace(self):
+        assert SLOW_QUERY_LOGGER.startswith("repro.obs")
+
+
+class TestGlobalTracer:
+    def test_swap_and_restore(self):
+        replacement = Tracer()
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
