@@ -1,6 +1,6 @@
 # Convenience targets for the iVA-file reproduction.
 
-.PHONY: install test test-all smoke bench experiments examples clean
+.PHONY: install test test-all smoke check-docs bench experiments examples clean
 
 install:
 	pip install -e .
@@ -8,8 +8,12 @@ install:
 test:
 	pytest tests/
 
-# Tier-1 suite plus a metrics sanity check on a tiny benchmark run.
-smoke:
+# Validate doc links and CLI examples against the real argparse tree.
+check-docs:
+	PYTHONPATH=src python scripts/check_docs.py
+
+# Tier-1 suite, docs validation, metrics sanity check on a tiny bench run.
+smoke: check-docs
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/check_bench_metrics.py
 

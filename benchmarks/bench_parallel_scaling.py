@@ -1,0 +1,39 @@
+"""Parallel filter/refine scaling — worker count vs. modeled latency.
+
+The iVA-file's filter phase is a sequential scan of compact vector lists
+(Sec. IV-A), exactly the access pattern that shards cleanly by tid range.
+This bench sweeps the worker count and checks the modeled filter-phase
+latency (critical path: planning + slowest shard) improves monotonically,
+and that the parallel engine's answers stay bit-identical to sequential.
+"""
+
+from repro.bench import DEFAULTS
+from repro.bench.parallel_scaling import (
+    WORKER_COUNTS,
+    emit_parallel_scaling,
+    parallel_scaling_sweep,
+)
+from repro.parallel import ExecutorConfig
+
+
+def test_parallel_scaling(env, benchmark):
+    sweep = parallel_scaling_sweep(env)
+    emit_parallel_scaling(sweep)
+
+    # Bit-identical answers at every worker count.
+    baseline = sweep[1]
+    for workers in WORKER_COUNTS[1:]:
+        for seq_report, par_report in zip(baseline.reports, sweep[workers].reports):
+            assert [(r.tid, r.distance) for r in seq_report.results] == [
+                (r.tid, r.distance) for r in par_report.results
+            ]
+
+    # Filter-phase latency improves monotonically 1 -> 4 workers.
+    filter_ms = [sweep[w].mean_filter_time_ms for w in WORKER_COUNTS]
+    assert all(
+        later < earlier for earlier, later in zip(filter_ms, filter_ms[1:])
+    ), f"filter latency not monotone over workers {WORKER_COUNTS}: {filter_ms}"
+
+    query = env.query_set(DEFAULTS.values_per_query).measured[0]
+    engine = env.iva_engine(executor=ExecutorConfig(workers=4))
+    benchmark(lambda: engine.search(query, k=DEFAULTS.k))

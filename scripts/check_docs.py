@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Validate the documentation against the repository it describes.
+
+Two checks, both static (nothing is executed):
+
+1. **Intra-repo links.** Every relative markdown link or image in the
+   checked files must point at a file or directory that exists (anchors
+   and external ``scheme://`` / ``mailto:`` links are ignored).
+2. **CLI examples.** Every ``repro ...`` / ``python -m repro ...`` line
+   inside a fenced ``console``/``bash``/``sh``/``shell`` block must name
+   a real subcommand and real flags.  The ground truth is the live
+   argparse tree from ``repro.cli._build_parser()`` — introspected, never
+   run — so examples can't drift from the CLI.
+
+Exit status 0 on success, 1 on any problem, so it can gate `make smoke`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import _build_parser  # noqa: E402
+
+#: Markdown files whose links and CLI examples are checked.
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md")
+DOC_GLOBS = ("docs/*.md",)
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+#: Languages whose fenced blocks are treated as shell transcripts.
+SHELL_LANGS = {"console", "bash", "sh", "shell"}
+
+
+def _doc_files() -> list:
+    files = [REPO_ROOT / name for name in DOC_FILES if (REPO_ROOT / name).exists()]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+# ------------------------------------------------------------------- links
+
+
+def check_links(path: Path, text: str) -> list:
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.name}:{lineno}: broken link {target!r}")
+    return problems
+
+
+# ------------------------------------------------------------- CLI examples
+
+
+def _subparser_map(parser: argparse.ArgumentParser) -> dict:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def _known_flags(parser: argparse.ArgumentParser) -> set:
+    flags = set()
+    for action in parser._actions:
+        flags.update(action.option_strings)
+    return flags
+
+
+def _positional_choices(parser: argparse.ArgumentParser) -> list:
+    """Allowed-value sets for the subcommand's positional arguments."""
+    return [
+        action.choices
+        for action in parser._actions
+        if not action.option_strings
+        and not isinstance(action, argparse._SubParsersAction)
+    ]
+
+
+def _extract_repro_commands(text: str) -> list:
+    """(lineno, argv-after-"repro") pairs from shell fences."""
+    commands = []
+    in_shell = False
+    continuation = False
+    buffer = ""
+    start = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        fence = FENCE_RE.match(line)
+        if fence:
+            in_shell = bool(fence.group(1)) and fence.group(1) in SHELL_LANGS
+            continue
+        if not in_shell:
+            continue
+        stripped = line.strip()
+        if continuation:
+            buffer += " " + stripped.rstrip("\\").strip()
+            continuation = stripped.endswith("\\")
+            if continuation:
+                continue
+            stripped, buffer = buffer, ""
+            lineno = start
+        elif stripped.endswith("\\"):
+            continuation, buffer, start = True, stripped.rstrip("\\").strip(), lineno
+            continue
+        stripped = stripped.lstrip("$ ").strip()
+        tokens = shlex.split(stripped) if stripped else []
+        for i, token in enumerate(tokens):
+            if token == "repro" and (i == 0 or tokens[i - 1] in ("-m", "|")):
+                commands.append((lineno, tokens[i + 1 :]))
+                break
+    return commands
+
+
+def check_cli_examples(path: Path, text: str, parser: argparse.ArgumentParser) -> list:
+    problems = []
+    subcommands = _subparser_map(parser)
+    for lineno, argv in _extract_repro_commands(text):
+        where = f"{path.name}:{lineno}"
+        if not argv or argv[0].startswith("-"):
+            if argv[:1] not in (["-h"], ["--help"], []):
+                problems.append(f"{where}: repro called without a subcommand")
+            continue
+        name = argv[0]
+        sub = subcommands.get(name)
+        if sub is None:
+            problems.append(f"{where}: unknown subcommand {name!r}")
+            continue
+        flags = _known_flags(sub)
+        choice_sets = _positional_choices(sub)
+        positionals = []
+        skip_value = False
+        for token in argv[1:]:
+            if skip_value:
+                skip_value = False
+                continue
+            if token.startswith("--") and "=" in token:
+                token = token.split("=", 1)[0]
+            if token.startswith("-") and not _is_number(token):
+                if token not in flags:
+                    problems.append(
+                        f"{where}: {name}: unknown flag {token!r}"
+                    )
+                elif _takes_value(sub, token):
+                    skip_value = True
+            else:
+                positionals.append(token)
+        for value, choices in zip(positionals, choice_sets):
+            if choices is not None and value not in choices:
+                problems.append(
+                    f"{where}: {name}: {value!r} not one of {sorted(choices)}"
+                )
+    return problems
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _takes_value(parser: argparse.ArgumentParser, flag: str) -> bool:
+    for action in parser._actions:
+        if flag in action.option_strings:
+            return action.nargs != 0
+    return False
+
+
+# -------------------------------------------------------------------- main
+
+
+def main() -> int:
+    parser = _build_parser()
+    problems = []
+    for path in _doc_files():
+        text = path.read_text()
+        problems.extend(check_links(path, text))
+        problems.extend(check_cli_examples(path, text, parser))
+    if problems:
+        for problem in problems:
+            print(f"check_docs: {problem}", file=sys.stderr)
+        print(f"check_docs: FAILED ({len(problems)} problem(s))", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(_doc_files())} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

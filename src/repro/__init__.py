@@ -83,6 +83,13 @@ from repro.baselines import (
     VAFileEngine,
 )
 from repro.maintenance import MaintainedSystem, amortized_update_times
+from repro.parallel import (
+    ExecutorConfig,
+    ParallelExecutionError,
+    ParallelSearchReport,
+    parallel_search,
+    parallel_search_batch,
+)
 from repro.obs import (
     JsonlSpanSink,
     MetricsRegistry,
@@ -143,6 +150,11 @@ __all__ = [
     "VAFileEngine",
     "MaintainedSystem",
     "amortized_update_times",
+    "ExecutorConfig",
+    "ParallelExecutionError",
+    "ParallelSearchReport",
+    "parallel_search",
+    "parallel_search_batch",
     "SequentialPlanEngine",
     "BatchIVAEngine",
     "InMemoryIVAEngine",

@@ -238,8 +238,12 @@ class SIIEngine(FilterAndRefineEngine):
         table: SparseWideTable,
         index: SparseInvertedIndex,
         distance: Optional[DistanceFunction] = None,
+        **engine_kwargs,
     ) -> None:
-        super().__init__(table, distance)
+        # ``parallelism``/``executor`` are accepted for CLI/bench parity but
+        # degrade to the sequential scan (supports_parallel stays False —
+        # posting scanners have no shard checkpoints).
+        super().__init__(table, distance, **engine_kwargs)
         self.index = index
 
     def _filter(self, query: Query, distance: DistanceFunction) -> Iterator[FilterItem]:

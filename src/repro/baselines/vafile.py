@@ -138,8 +138,11 @@ class VAFileEngine(FilterAndRefineEngine):
         table: SparseWideTable,
         index: VAFile,
         distance: Optional[DistanceFunction] = None,
+        **engine_kwargs,
     ) -> None:
-        super().__init__(table, distance)
+        # ``parallelism``/``executor`` accepted for parity; the VA-file
+        # filter is not sharded, so the knob degrades to sequential.
+        super().__init__(table, distance, **engine_kwargs)
         self.index = index
 
     def _filter(self, query: Query, distance: DistanceFunction) -> Iterator[FilterItem]:

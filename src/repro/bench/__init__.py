@@ -19,6 +19,11 @@ from repro.bench.harness import (
     run_queries,
     run_query_set,
 )
+from repro.bench.parallel_scaling import (
+    WORKER_COUNTS,
+    emit_parallel_scaling,
+    parallel_scaling_sweep,
+)
 from repro.bench.reporting import emit_table, results_dir
 
 __all__ = [
@@ -35,4 +40,7 @@ __all__ = [
     "run_query_set",
     "emit_table",
     "results_dir",
+    "WORKER_COUNTS",
+    "emit_parallel_scaling",
+    "parallel_scaling_sweep",
 ]

@@ -106,9 +106,23 @@ class Environment:
         scheme = equal_weights if (weights or DEFAULTS.weights) == "EQU" else itf_weights(self.table)
         return DistanceFunction(metric=metric or DEFAULTS.metric, weights=scheme)
 
-    def iva_engine(self, index: Optional[IVAFile] = None, **distance_kwargs) -> IVAEngine:
-        """An IVAEngine over this environment's table and index."""
-        return IVAEngine(self.table, index or self.iva, self.distance(**distance_kwargs))
+    def iva_engine(
+        self,
+        index: Optional[IVAFile] = None,
+        executor=None,
+        **distance_kwargs,
+    ) -> IVAEngine:
+        """An IVAEngine over this environment's table and index.
+
+        Pass an :class:`~repro.parallel.ExecutorConfig` as *executor* to
+        get the parallel filter/refine path (``bench parallel-scaling``).
+        """
+        return IVAEngine(
+            self.table,
+            index or self.iva,
+            self.distance(**distance_kwargs),
+            executor=executor,
+        )
 
     def sii_engine(self, **distance_kwargs) -> SIIEngine:
         """An SIIEngine over this environment's table and SII."""

@@ -1,0 +1,91 @@
+"""The ``parallel-scaling`` sweep: filter latency vs. worker count.
+
+Runs the default query set through the iVA engine at increasing worker
+counts and reports the modeled filter-phase latency (critical path:
+planning + slowest shard), refine latency, and total per-query time.
+Worker count 1 is the sequential engine — the baseline row.
+
+The sweep is exposed three ways: the benchmark suite
+(``benchmarks/bench_parallel_scaling.py``), the CLI (``repro bench
+parallel-scaling``), and directly as :func:`parallel_scaling_sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.bench.harness import DEFAULTS, Environment, QuerySetStats, run_query_set
+from repro.bench.reporting import emit_table
+from repro.parallel import ExecutorConfig
+
+#: Default worker counts of the sweep (1 = sequential baseline).
+WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+def parallel_scaling_sweep(
+    env: Environment,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+    values_per_query: int = DEFAULTS.values_per_query,
+    k: int = DEFAULTS.k,
+) -> Dict[int, QuerySetStats]:
+    """Run the fixed-arity query set once per worker count."""
+
+    def compute() -> Dict[int, QuerySetStats]:
+        query_set = env.query_set(values_per_query)
+        out: Dict[int, QuerySetStats] = {}
+        for workers in worker_counts:
+            if workers <= 1:
+                engine = env.iva_engine()
+            else:
+                engine = env.iva_engine(executor=ExecutorConfig(workers=workers))
+            out[workers] = run_query_set(
+                engine, query_set, k=k, label=f"iVA x{workers}"
+            )
+        return out
+
+    key = f"parallel_scaling_{tuple(worker_counts)}_{values_per_query}_{k}"
+    return env.cached(key, compute)
+
+
+def scaling_rows(sweep: Dict[int, QuerySetStats]) -> list:
+    """Table rows: one per worker count, latency columns in ms."""
+    baseline = sweep[min(sweep)]
+    rows = []
+    for workers in sorted(sweep):
+        stats = sweep[workers]
+        speedup = (
+            baseline.mean_filter_time_ms / stats.mean_filter_time_ms
+            if stats.mean_filter_time_ms
+            else 0.0
+        )
+        rows.append(
+            [
+                workers,
+                round(stats.mean_filter_time_ms, 1),
+                round(stats.mean_refine_time_ms, 1),
+                round(stats.mean_query_time_ms, 1),
+                round(stats.mean_table_accesses, 1),
+                round(speedup, 2),
+            ]
+        )
+    return rows
+
+
+SCALING_HEADERS = [
+    "workers",
+    "filter (ms)",
+    "refine (ms)",
+    "query (ms)",
+    "accesses",
+    "filter speedup",
+]
+
+
+def emit_parallel_scaling(sweep: Dict[int, QuerySetStats]) -> str:
+    """Print + persist the worker-count-vs-latency table."""
+    return emit_table(
+        "parallel_scaling",
+        "Parallel scaling — filter/refine latency vs. worker count",
+        SCALING_HEADERS,
+        scaling_rows(sweep),
+    )

@@ -14,6 +14,11 @@ Observability: commands that execute queries (``query``, ``compare``,
 later ``repro stats --snapshot shop.ivadb --format prometheus|json``
 re-renders; ``--trace FILE`` on ``query``/``workload`` writes the nested
 ``query -> filter/refine`` spans as JSON lines.
+
+Parallel execution: ``--workers N`` on ``query``/``compare``/``workload``
+shards the filter scan across N worker threads (see docs/parallelism.md);
+``repro bench parallel-scaling`` sweeps the worker count on the standard
+bench environment and emits a worker-count-vs-latency table.
 """
 
 from __future__ import annotations
@@ -44,6 +49,26 @@ def _metrics_sidecar(snapshot_path: str) -> str:
 def _save_metrics(snapshot_path: str) -> str:
     """Snapshot the process registry next to the database snapshot."""
     return write_snapshot(get_registry(), _metrics_sidecar(snapshot_path))
+
+
+def _executor_from(args: argparse.Namespace):
+    """An ExecutorConfig for ``--workers N`` (None when sequential)."""
+    workers = getattr(args, "workers", None)
+    if workers is None or workers <= 1:
+        return None
+    from repro.parallel import ExecutorConfig
+
+    return ExecutorConfig(workers=workers)
+
+
+def _add_workers_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="shard the filter scan across N worker threads "
+        "(parallel execution; 1 = sequential)",
+    )
 
 
 def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
@@ -100,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="ATTR=VALUE",
         help="query value; repeat for multiple attributes",
     )
+    _add_workers_flag(query)
 
     load = sub.add_parser("load", help="load tuples from JSONL or CSV")
     load.add_argument("--snapshot", required=True)
@@ -135,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-k", type=int, default=10)
     compare.add_argument("--queries-file",
                          help="replay a saved query set instead of sampling")
+    _add_workers_flag(compare)
 
     workload = sub.add_parser(
         "workload", help="sample a query set and save it for replay"
@@ -153,6 +180,24 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="log queries whose modeled time crosses MS")
     workload.add_argument("--no-run", action="store_true",
                           help="only sample and save; skip the measurement pass")
+    _add_workers_flag(workload)
+
+    bench = sub.add_parser(
+        "bench", help="run a benchmark suite on the standard bench environment"
+    )
+    bench.add_argument(
+        "suite",
+        choices=["parallel-scaling"],
+        help="benchmark suite to run",
+    )
+    bench.add_argument(
+        "--workers-list",
+        default="1,2,4",
+        metavar="N,N,...",
+        help="comma-separated worker counts to sweep (1 = sequential baseline)",
+    )
+    bench.add_argument("-k", type=int, default=10)
+    bench.add_argument("--values-per-query", type=int, default=3)
 
     fsck = sub.add_parser("fsck", help="check table and index integrity")
     fsck.add_argument("--snapshot", required=True)
@@ -237,6 +282,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         index,
         DistanceFunction(metric=args.metric, ndf_penalty=args.ndf_penalty),
         tracer=tracer,
+        executor=_executor_from(args),
     )
     report = engine.search(query, k=args.k)
     print(f"query: {query.describe()}  (k={args.k}, {args.metric})")
@@ -369,7 +415,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             )
         else:
             tracer = _make_tracer(args)
-            engine = IVAEngine(table, index, tracer=tracer)
+            engine = IVAEngine(
+                table, index, tracer=tracer, executor=_executor_from(args)
+            )
             for query in query_set.warmup:
                 engine.search(query, k=10)
             reports = [engine.search(query, k=10) for query in query_set.measured]
@@ -406,9 +454,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             workload.sample_query(args.values_per_query)
             for _ in range(args.queries)
         ]
+    executor = _executor_from(args)
     engines = [
-        IVAEngine(table, index),
-        SIIEngine(table, sii),
+        IVAEngine(table, index, executor=executor),
+        # Baselines accept the knob for parity; their filters are not
+        # sharded, so they run sequentially either way.
+        SIIEngine(table, sii, executor=executor),
         DirectScanEngine(table),
     ]
     print(f"{len(queries)} queries, k={args.k}")
@@ -419,6 +470,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         mean_acc = sum(r.table_accesses for r in reports) / len(reports)
         print(f"{engine.name:>6}  {mean_ms:>16.1f}  {mean_acc:>14.1f}")
     _save_metrics(args.snapshot)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import build_environment
+    from repro.bench.parallel_scaling import (
+        emit_parallel_scaling,
+        parallel_scaling_sweep,
+    )
+
+    try:
+        worker_counts = tuple(
+            int(part) for part in args.workers_list.split(",") if part.strip()
+        )
+    except ValueError:
+        raise ReproError(
+            f"bad --workers-list {args.workers_list!r}; expected e.g. 1,2,4"
+        ) from None
+    if not worker_counts:
+        raise ReproError("--workers-list must name at least one worker count")
+    print("building the bench environment (generated dataset + indexes)...")
+    env = build_environment()
+    sweep = parallel_scaling_sweep(
+        env,
+        worker_counts=worker_counts,
+        values_per_query=args.values_per_query,
+        k=args.k,
+    )
+    emit_parallel_scaling(sweep)
     return 0
 
 
@@ -465,6 +545,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "compare": _cmd_compare,
     "workload": _cmd_workload,
+    "bench": _cmd_bench,
     "fsck": _cmd_fsck,
     "info": _cmd_info,
     "stats": _cmd_stats,

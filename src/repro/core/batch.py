@@ -15,8 +15,9 @@ sets share their random accesses.
 
 from __future__ import annotations
 
+import logging
 import time
-from typing import List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Union
 
 from repro.core.engine import QueryResult, SearchReport
 from repro.core.iva_file import DELETED_PTR, IVAFile
@@ -24,8 +25,15 @@ from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError
 from repro.metrics.distance import DistanceFunction
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
 from repro.query import Query
 from repro.storage.table import SparseWideTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.config import ExecutorConfig
+
+logger = logging.getLogger(__name__)
 
 
 class BatchIVAEngine:
@@ -38,10 +46,40 @@ class BatchIVAEngine:
         table: SparseWideTable,
         index: IVAFile,
         distance: Optional[DistanceFunction] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        parallelism: Optional[int] = None,
+        executor: Optional["ExecutorConfig"] = None,
     ) -> None:
         self.table = table
         self.index = index
         self.distance = distance or DistanceFunction()
+        self.registry = registry
+        self.tracer = tracer
+        if executor is None and parallelism is not None:
+            from repro.parallel.config import ExecutorConfig
+
+            executor = ExecutorConfig(workers=parallelism)
+        #: Parallel-execution configuration; None means always sequential.
+        self.executor = executor
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def _prepare(self, queries: Sequence[Union[Query, Mapping[str, object]]]) -> List[Query]:
+        bound: List[Query] = []
+        for query in queries:
+            if isinstance(query, Mapping):
+                bound.append(Query.from_dict(self.table.catalog, query))
+            elif isinstance(query, Query):
+                bound.append(query)
+            else:
+                raise QueryError(f"cannot interpret {query!r} as a query")
+        return bound
 
     def search_batch(
         self,
@@ -51,24 +89,51 @@ class BatchIVAEngine:
     ) -> List[SearchReport]:
         """Run all *queries* in one pass; reports align with the input.
 
+        Dispatches the shared scan to the parallel executor when one is
+        configured; the sequential loop runs otherwise (or as the fallback
+        when the pool cannot start).  Both paths return bit-identical
+        answers.
+        """
+        if not queries:
+            return []
+        bound = self._prepare(queries)
+        config = self.executor
+        if config is not None and config.effective_workers() > 1:
+            from repro.parallel.executor import (
+                ParallelExecutionError,
+                parallel_search_batch,
+            )
+
+            try:
+                return parallel_search_batch(self, bound, k=k, distance=distance)
+            except ParallelExecutionError as exc:
+                if not config.fallback:
+                    raise
+                logger.warning(
+                    "parallel batch execution failed, running sequentially: %s", exc
+                )
+                self._registry().counter(
+                    "repro_parallel_fallbacks_total",
+                    labels={"engine": self.name},
+                    help="Searches that fell back to the sequential path.",
+                ).inc()
+        return self._sequential_search_batch(bound, k, distance)
+
+    def _sequential_search_batch(
+        self,
+        bound: Sequence[Query],
+        k: int = 10,
+        distance: Optional[DistanceFunction] = None,
+    ) -> List[SearchReport]:
+        """The inline shared-scan loop.
+
         Cost attribution: the batch's shared I/O (the single scan, the
         de-duplicated table fetches) is reported once on the *first*
         report; ``tuples_scanned`` and ``table_accesses`` stay per-query
         ("how many tuples this query refined" — several queries refining
         the same tuple share one physical fetch).
         """
-        if not queries:
-            return []
         dist = distance or self.distance
-        bound: List[Query] = []
-        for query in queries:
-            if isinstance(query, Mapping):
-                bound.append(Query.from_dict(self.table.catalog, query))
-            elif isinstance(query, Query):
-                bound.append(query)
-            else:
-                raise QueryError(f"cannot interpret {query!r} as a query")
-
         attr_ids = sorted({t.attr.attr_id for q in bound for t in q.terms})
         position = {attr_id: i for i, attr_id in enumerate(attr_ids)}
         scan = self.index.open_scan(attr_ids)
@@ -131,7 +196,7 @@ class BatchIVAEngine:
                     pool.insert(tid, estimated)
                     reports[qi].exact_shortcuts += 1
                     continue
-                if not pool.is_candidate(estimated):
+                if not pool.is_candidate(estimated, tid):
                     continue
                 if record is None:
                     io_before = disk.stats.io_time_ms

@@ -22,10 +22,11 @@ latency histograms in the metrics registry.
 
 from __future__ import annotations
 
+import logging
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterator, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.iva_file import DELETED_PTR, IVAFile
 from repro.core.pool import ResultPool
@@ -36,10 +37,90 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Tracer, get_tracer
 from repro.query import Query
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.config import ExecutorConfig
+
+logger = logging.getLogger(__name__)
+
 #: What a filter yields per live tuple: (tid, per-term lower bounds, exact).
 #: ``exact`` is True when every bound is the exact difference (e.g. the
 #: tuple is ndf on every queried attribute), so refinement is unnecessary.
 FilterItem = Tuple[int, List[float], bool]
+
+
+class BoundEvaluator:
+    """Per-query machinery turning scanner payloads into distance bounds.
+
+    Owns the query-string encoders and numeric quantizers for one query's
+    terms and converts one tuple's vector-list payloads into ``(diffs,
+    exact)`` — the per-term lower bounds of Algorithm 1 plus the all-ndf
+    shortcut flag.  Extracted from the engine's filter loop so shard
+    workers in :mod:`repro.parallel` evaluate bounds with exactly the same
+    code path as the sequential scan.
+
+    *position* maps attribute id → index into the payload row; ``None``
+    means payloads align 1:1 with the query's terms (the single-query
+    scan).  The batch engine passes the union-scan position map instead.
+
+    *cache*, when given to :meth:`evaluate`, memoizes text bounds per tuple
+    keyed ``(attr_id, query string)`` so batched queries sharing a term pay
+    the signature comparison once (the batch engine's optimization).
+    """
+
+    def __init__(
+        self,
+        index: IVAFile,
+        query: Query,
+        distance: DistanceFunction,
+        position: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self.query = query
+        n = index.config.n
+        self._encoders: List[Optional[QueryStringEncoder]] = []
+        self._quantizers = []
+        for term in query.terms:
+            if term.attr.is_text:
+                self._encoders.append(QueryStringEncoder(str(term.value), n))
+                self._quantizers.append(None)
+            else:
+                self._encoders.append(None)
+                entry = index.entry(term.attr.attr_id)
+                self._quantizers.append(entry.quantizer if entry is not None else None)
+        self._ndf_penalty = distance.ndf_penalty
+        if position is None:
+            self._slots = list(range(len(query.terms)))
+        else:
+            self._slots = [position[term.attr.attr_id] for term in query.terms]
+
+    def evaluate(
+        self,
+        payloads: Sequence[object],
+        cache: Optional[dict] = None,
+    ) -> Tuple[List[float], bool]:
+        """One tuple's per-term lower bounds plus the all-ndf flag."""
+        diffs: List[float] = []
+        exact = True
+        for idx, term in enumerate(self.query.terms):
+            payload = payloads[self._slots[idx]]
+            if payload is None:
+                diffs.append(self._ndf_penalty)
+                continue
+            exact = False
+            if term.attr.is_text:
+                if cache is None:
+                    diffs.append(
+                        min(self._encoders[idx].lower_bound(sig) for sig in payload)
+                    )
+                    continue
+                key = (term.attr.attr_id, str(term.value))
+                bound = cache.get(key)
+                if bound is None:
+                    bound = min(self._encoders[idx].lower_bound(sig) for sig in payload)
+                    cache[key] = bound
+                diffs.append(bound)
+            else:
+                diffs.append(self._quantizers[idx].lower_bound(float(term.value), payload))
+        return diffs, exact
 
 
 @dataclass(frozen=True)
@@ -176,6 +257,11 @@ class FilterAndRefineEngine(ABC):
     #: Engine label used in benchmark tables.
     name = "engine"
 
+    #: Whether this engine's filter can be sharded by :mod:`repro.parallel`.
+    #: Engines that cannot (the baselines) still accept the ``parallelism``
+    #: knob and degrade gracefully to the sequential path.
+    supports_parallel = False
+
     def __init__(
         self,
         table,
@@ -183,6 +269,8 @@ class FilterAndRefineEngine(ABC):
         *,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        parallelism: Optional[int] = None,
+        executor: Optional["ExecutorConfig"] = None,
     ) -> None:
         self.table = table
         self.distance = distance or DistanceFunction()
@@ -193,6 +281,12 @@ class FilterAndRefineEngine(ABC):
         #: Observability destinations; None means the process-global ones.
         self.registry = registry
         self.tracer = tracer
+        if executor is None and parallelism is not None:
+            from repro.parallel.config import ExecutorConfig
+
+            executor = ExecutorConfig(workers=parallelism)
+        #: Parallel-execution configuration; None means always sequential.
+        self.executor = executor
 
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()
@@ -218,8 +312,46 @@ class FilterAndRefineEngine(ABC):
         k: int = 10,
         distance: Optional[DistanceFunction] = None,
     ) -> SearchReport:
-        """Run a top-k structured similarity query."""
+        """Run a top-k structured similarity query.
+
+        Dispatches to the parallel executor when one is configured (and the
+        engine supports sharded filtering); otherwise — or when the pool
+        cannot start and fallback is enabled — runs Algorithm 1 inline.
+        Both paths return bit-identical results (see :mod:`repro.parallel`).
+        """
         query = self.prepare_query(query)
+        config = self.executor
+        if (
+            config is not None
+            and self.supports_parallel
+            and config.effective_workers() > 1
+        ):
+            from repro.parallel.executor import ParallelExecutionError, parallel_search
+
+            try:
+                return parallel_search(self, query, k=k, distance=distance)
+            except ParallelExecutionError as exc:
+                if not config.fallback:
+                    raise
+                self._note_parallel_fallback(exc)
+        return self._sequential_search(query, k, distance)
+
+    def _note_parallel_fallback(self, exc: Exception) -> None:
+        """Record an automatic degradation to the sequential path."""
+        logger.warning("parallel execution failed, running sequentially: %s", exc)
+        self._registry().counter(
+            "repro_parallel_fallbacks_total",
+            labels={"engine": self.name},
+            help="Searches that fell back to the sequential path.",
+        ).inc()
+
+    def _sequential_search(
+        self,
+        query: Query,
+        k: int = 10,
+        distance: Optional[DistanceFunction] = None,
+    ) -> SearchReport:
+        """The inline (single-threaded) Algorithm 1 loop."""
         dist = distance or self.distance
         pool = ResultPool(k)
         report = SearchReport()
@@ -244,7 +376,7 @@ class FilterAndRefineEngine(ABC):
                     pool.insert(tid, estimated)
                     report.exact_shortcuts += 1
                     continue
-                if not pool.is_candidate(estimated):
+                if not pool.is_candidate(estimated, tid):
                     continue
                 refine_io_before = disk.stats.io_time_ms
                 refine_wall_before = time.perf_counter()
@@ -274,6 +406,7 @@ class IVAEngine(FilterAndRefineEngine):
     """Algorithm 1 over the iVA-file: content-conscious filtering."""
 
     name = "iVA"
+    supports_parallel = True
 
     def __init__(
         self,
@@ -283,41 +416,27 @@ class IVAEngine(FilterAndRefineEngine):
         *,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        parallelism: Optional[int] = None,
+        executor: Optional["ExecutorConfig"] = None,
     ) -> None:
-        super().__init__(table, distance, registry=registry, tracer=tracer)
+        super().__init__(
+            table,
+            distance,
+            registry=registry,
+            tracer=tracer,
+            parallelism=parallelism,
+            executor=executor,
+        )
         self.index = index
 
     def _filter(self, query: Query, distance: DistanceFunction) -> Iterator[FilterItem]:
         attr_ids = query.attribute_ids()
         scan = self.index.open_scan(attr_ids)
-        n = self.index.config.n
-        encoders: List[Optional[QueryStringEncoder]] = []
-        quantizers = []
-        for term in query.terms:
-            if term.attr.is_text:
-                encoders.append(QueryStringEncoder(str(term.value), n))
-                quantizers.append(None)
-            else:
-                encoders.append(None)
-                entry = self.index.entry(term.attr.attr_id)
-                quantizers.append(entry.quantizer if entry is not None else None)
-        ndf_penalty = distance.ndf_penalty
+        evaluator = BoundEvaluator(self.index, query, distance)
 
         for tid, ptr in scan:
             payloads = scan.payloads(tid)
             if ptr == DELETED_PTR:
                 continue
-            diffs: List[float] = []
-            exact = True
-            for idx, term in enumerate(query.terms):
-                payload = payloads[idx]
-                if payload is None:
-                    diffs.append(ndf_penalty)
-                    continue
-                exact = False
-                if term.attr.is_text:
-                    encoder = encoders[idx]
-                    diffs.append(min(encoder.lower_bound(sig) for sig in payload))
-                else:
-                    diffs.append(quantizers[idx].lower_bound(float(term.value), payload))
+            diffs, exact = evaluator.evaluate(payloads)
             yield tid, diffs, exact

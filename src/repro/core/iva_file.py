@@ -14,6 +14,19 @@ Physical layout on the simulated disk (one index instance = one file family):
 Maintenance follows Sec. IV-B: inserts append everywhere, deletes tombstone
 the tuple list only, updates are delete + insert under a fresh tid, and
 :meth:`IVAFile.rebuild` compacts everything.
+
+Sync directory
+--------------
+
+Vector-list elements are variable width, so resuming a scan mid-list — what
+``repro.parallel`` shard workers do — needs a byte offset per list.  The
+index maintains a **checkpoint directory** as it goes: every
+:data:`SYNC_INTERVAL` tuple-list elements it records, for every attribute,
+the byte offset at which a fresh scanner resumes the synchronized scan at
+that element.  At rebuild the offsets are pure arithmetic over the entries
+being serialized; at insert they are the current list tails — either way
+the directory costs no I/O.  Attached indexes have no directory (it lives
+in memory); the shard planner falls back to a one-off charged walk.
 """
 
 from __future__ import annotations
@@ -25,6 +38,8 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.numeric import NumericQuantizer, vector_bytes_for_alpha
 from repro.core.scan import (
+    NUM_BYTES,
+    TID_BYTES,
     NumericTypeIScanner,
     NumericTypeIVScanner,
     TextTypeIScanner,
@@ -58,7 +73,55 @@ _ATTR_ELEMENT = struct.Struct("<BBdBIIddBQ")
 _KIND_TEXT = 1
 _KIND_NUMERIC = 0
 
+#: Tuple-list elements between consecutive checkpoint-directory sync points.
+SYNC_INTERVAL = 64
+
 logger = logging.getLogger(__name__)
+
+
+def _tid_prefix_offsets(
+    widths: Iterator[Tuple[int, int]],
+    all_tids: Sequence[int],
+    positions: Sequence[int],
+) -> List[int]:
+    """Offsets at *positions* for a tid-based list.
+
+    *widths* yields ``(tid, serialized_bytes)`` per element in tid order.
+    The checkpoint at tuple position ``p`` is the total width of elements
+    with ``tid < all_tids[p]`` — exactly where a fresh scanner's pending
+    element is the first one a shard starting at ``p`` may consume.
+    """
+    offsets: List[int] = []
+    current = next(widths, None)
+    acc = 0
+    for pos in positions:
+        boundary = all_tids[pos]
+        while current is not None and current[0] < boundary:
+            acc += current[1]
+            current = next(widths, None)
+        offsets.append(acc)
+    return offsets
+
+
+def _positional_prefix_offsets(
+    width_by_tid: Mapping[int, int],
+    ndf_width: int,
+    all_tids: Sequence[int],
+    positions: Sequence[int],
+) -> List[int]:
+    """Offsets at *positions* for a positional list (one element per tuple)."""
+    offsets: List[int] = []
+    next_i = 0
+    acc = 0
+    for pos, tid in enumerate(all_tids):
+        if next_i < len(positions) and pos == positions[next_i]:
+            offsets.append(acc)
+            next_i += 1
+        acc += width_by_tid.get(tid, ndf_width)
+    while next_i < len(positions):
+        offsets.append(acc)
+        next_i += 1
+    return offsets
 
 
 @dataclass(frozen=True)
@@ -159,6 +222,10 @@ class _NullScanner(VectorListScanner):
         """Advance the pointer to *tid*; see the class docstring."""
         return None
 
+    def checkpoint_offset(self) -> int:
+        """No backing list: every resume point is offset 0."""
+        return 0
+
 
 class IVAFile:
     """The inverted vector-approximation file over one sparse wide table."""
@@ -169,8 +236,24 @@ class IVAFile:
         self.config = config or IVAConfig()
         self._entries: List[AttributeEntry] = []
         self._tuples = TupleList(self.disk, self.tuples_file)
+        self._version = 0
+        # Checkpoint directory (see the module docstring): element positions
+        # and, per attribute, the vector-list byte offset at each position.
+        # Maintained by rebuild/insert; absent (inactive) on attach.
+        self._sync_positions: List[int] = []
+        self._sync_offsets: Dict[int, List[int]] = {}
+        self._sync_active = False
         if not self.disk.exists(self.attrs_file):
             self.disk.create(self.attrs_file)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every insert/delete/rebuild.
+
+        Lets ``repro.parallel`` cache shard plans per index state and
+        invalidate them when the underlying lists change.
+        """
+        return self._version
 
     # -------------------------------------------------------------- naming
 
@@ -189,6 +272,11 @@ class IVAFile:
         return f"{self.config.name}.v{attr_id}"
 
     # -------------------------------------------------------------- sizing
+
+    @property
+    def tuples(self) -> TupleList:
+        """The underlying tuple list (shared with ``repro.parallel``)."""
+        return self._tuples
 
     @property
     def tuple_elements(self) -> int:
@@ -291,6 +379,7 @@ class IVAFile:
         Re-derives relative domains, re-runs the list-type selection, and
         drops tombstones.
         """
+        self._version += 1
         table = self.table
         config = self.config
         text_entries: Dict[int, List[Tuple[int, Tuple[str, ...]]]] = {}
@@ -309,23 +398,28 @@ class IVAFile:
         for bucket in numeric_entries.values():
             bucket.sort(key=lambda pair: pair[0])
 
+        self._sync_positions = list(range(0, len(all_tids), SYNC_INTERVAL))
+        self._sync_offsets = {}
+        self._sync_active = True
+
         entries: List[AttributeEntry] = []
         schemes: Dict[float, SignatureScheme] = {}
         for attr in table.catalog:
             alpha = config.alpha_for(attr.name)
             if attr.is_text:
+                bucket: list = text_entries.get(attr.attr_id, [])
                 scheme = schemes.get(alpha)
                 if scheme is None:
                     scheme = SignatureScheme(alpha, config.n)
                     schemes[alpha] = scheme
-                entry = self._build_text_entry(
-                    attr, scheme, text_entries.get(attr.attr_id, []), all_tids
-                )
+                entry = self._build_text_entry(attr, scheme, bucket, all_tids)
             else:
-                entry = self._build_numeric_entry(
-                    attr, numeric_entries.get(attr.attr_id, []), all_tids
-                )
+                bucket = numeric_entries.get(attr.attr_id, [])
+                entry = self._build_numeric_entry(attr, bucket, all_tids)
             entries.append(entry)
+            self._sync_offsets[attr.attr_id] = self._entry_sync_offsets(
+                entry, bucket, all_tids, self._sync_positions
+            )
         self._entries = entries
 
         # Tuple list.
@@ -401,6 +495,80 @@ class IVAFile:
             _quantizer=quantizer,
         )
 
+    @staticmethod
+    def _entry_sync_offsets(
+        entry: AttributeEntry,
+        bucket: Sequence[Tuple[int, object]],
+        all_tids: Sequence[int],
+        positions: Sequence[int],
+    ) -> List[int]:
+        """Checkpoint offsets for one freshly rebuilt vector list.
+
+        Pure arithmetic over the same ``(tid, value)`` entries the builder
+        just serialized — the widths mirror the ``encode_*`` element
+        encoders exactly, so no payload parsing (and no I/O) is needed.
+        """
+        if not positions:
+            return []
+        if entry.attr.is_text:
+            scheme = entry.scheme
+            if entry.list_type is ListType.TYPE_I:
+                widths = (
+                    (
+                        tid,
+                        sum(TID_BYTES + scheme.vector_byte_size(s) for s in strings),
+                    )
+                    for tid, strings in bucket
+                )
+                return _tid_prefix_offsets(widths, all_tids, positions)
+            if entry.list_type is ListType.TYPE_II:
+                widths = (
+                    (
+                        tid,
+                        TID_BYTES
+                        + NUM_BYTES
+                        + sum(scheme.vector_byte_size(s) for s in strings),
+                    )
+                    for tid, strings in bucket
+                )
+                return _tid_prefix_offsets(widths, all_tids, positions)
+            width_by_tid = {
+                tid: NUM_BYTES + sum(scheme.vector_byte_size(s) for s in strings)
+                for tid, strings in bucket
+            }
+            return _positional_prefix_offsets(
+                width_by_tid, NUM_BYTES, all_tids, positions
+            )
+        width = entry.vector_bytes
+        if entry.list_type is ListType.TYPE_I:
+            widths = ((tid, TID_BYTES + width) for tid, _ in bucket)
+            return _tid_prefix_offsets(widths, all_tids, positions)
+        return [pos * width for pos in positions]
+
+    def sync_checkpoints(
+        self, attr_ids: Sequence[int]
+    ) -> Optional[Tuple[List[int], Dict[int, Sequence[int]]]]:
+        """The checkpoint directory restricted to *attr_ids*.
+
+        Returns ``(positions, {attr_id: offsets})`` — ascending tuple-list
+        element positions and, aligned with them, each attribute's resume
+        byte offset — or ``None`` when the directory is unavailable
+        (attached index or empty table).  Attributes the index holds no
+        list for resume at offset 0 (the null scanner).
+        """
+        if not self._sync_active or not self._sync_positions:
+            return None
+        zeros: Optional[List[int]] = None
+        offsets: Dict[int, Sequence[int]] = {}
+        for attr_id in attr_ids:
+            rows = self._sync_offsets.get(attr_id)
+            if rows is None:
+                if zeros is None:
+                    zeros = [0] * len(self._sync_positions)
+                rows = zeros
+            offsets[attr_id] = rows
+        return list(self._sync_positions), offsets
+
     # ------------------------------------------------------------- updates
 
     def insert(self, tid: int, cells: Dict[int, CellValue]) -> None:
@@ -411,8 +579,16 @@ class IVAFile:
         Attributes registered after the last rebuild get a fresh (tid-based)
         list on first sight.
         """
+        self._version += 1
         self._register_new_attributes()
         ptr, _ = self.table.locate(tid)
+        # Extend the checkpoint directory before any payload lands: the new
+        # element's position checkpoints at every list's current tail.
+        position = self._tuples.element_count
+        if self._sync_active and position % SYNC_INTERVAL == 0:
+            self._sync_positions.append(position)
+            for entry in self._entries:
+                self._sync_offsets[entry.attr.attr_id].append(entry.list_size)
         self._tuples.append(tid, ptr)
         for entry in self._entries:
             attr_id = entry.attr.attr_id
@@ -462,6 +638,7 @@ class IVAFile:
         Vector lists and the table file are untouched; scanning skips the
         tuple while positional alignment is preserved.
         """
+        self._version += 1
         self._tuples.mark_deleted(tid)
 
     def _register_new_attributes(self) -> None:
@@ -486,6 +663,9 @@ class IVAFile:
                     entry.hi = stats.max_value
             self._entries.append(entry)
             self.disk.append(self.attrs_file, entry.pack())
+            if self._sync_active:
+                # The list was empty at every earlier sync point.
+                self._sync_offsets[attr.attr_id] = [0] * len(self._sync_positions)
 
     def _rewrite_attr_element(self, attr_id: int) -> None:
         offset = attr_id * _ATTR_ELEMENT.size
@@ -497,12 +677,29 @@ class IVAFile:
         """Open a synchronized partial scan over the given attributes."""
         return IVAScan(self, attr_ids)
 
-    def make_scanner(self, attr_id: int) -> VectorListScanner:
-        """A fresh scanning pointer over one attribute's list."""
+    def read_attr_elements(self, attr_ids: Sequence[int]) -> None:
+        """Charge the attribute-list reads of Algorithm 1 (lines 2–3).
+
+        Fetches ptr1/metadata for each related attribute; shared by the
+        sequential scan and the parallel executor so both pay the same
+        per-query setup cost.
+        """
+        for attr_id in attr_ids:
+            offset = attr_id * _ATTR_ELEMENT.size
+            if offset + _ATTR_ELEMENT.size <= self.disk.size(self.attrs_file):
+                self.disk.read(self.attrs_file, offset, _ATTR_ELEMENT.size)
+
+    def make_scanner(self, attr_id: int, start: int = 0) -> VectorListScanner:
+        """A fresh scanning pointer over one attribute's list.
+
+        *start* is a byte offset into the vector list — normally 0, or a
+        checkpoint recorded by :meth:`VectorListScanner.checkpoint_offset`
+        when resuming a scan mid-list (shard workers in ``repro.parallel``).
+        """
         entry = self.entry(attr_id)
         if entry is None:
             return _NullScanner()
-        reader = BufferedReader(self.disk, self.vector_file(attr_id), 0)
+        reader = BufferedReader(self.disk, self.vector_file(attr_id), start)
         if entry.attr.is_text:
             if entry.list_type is ListType.TYPE_I:
                 return TextTypeIScanner(reader, entry.scheme)
@@ -526,10 +723,7 @@ class IVAScan:
         self.index = index
         # Reading the attribute-list elements of the queried attributes
         # (line 2-3 of Algorithm 1: fetch ptr1 for each related attribute).
-        for attr_id in attr_ids:
-            offset = attr_id * _ATTR_ELEMENT.size
-            if offset + _ATTR_ELEMENT.size <= index.disk.size(index.attrs_file):
-                index.disk.read(index.attrs_file, offset, _ATTR_ELEMENT.size)
+        index.read_attr_elements(attr_ids)
         self.attr_ids = tuple(attr_ids)
         self.scanners = [index.make_scanner(attr_id) for attr_id in attr_ids]
 

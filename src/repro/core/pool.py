@@ -3,6 +3,14 @@
 Holds at most k ``<tid, dist>`` pairs.  ``max_dist`` is the largest actual
 distance in the pool; a tuple is a candidate iff the pool is not yet full or
 its *estimated* distance beats ``max_dist``.
+
+Determinism contract (load-bearing for ``repro.parallel``): the pool's
+final contents are the k smallest entries under the total order
+``(distance, tid)`` — a pure function of the *multiset* of inserted pairs,
+independent of insertion order.  The sequential engine inserts in tid
+order, shard workers and the merge step insert in whatever order the
+scheduler produces; both converge on identical results because ties at the
+boundary are broken by tid, never by arrival time.
 """
 
 from __future__ import annotations
@@ -20,13 +28,14 @@ class PoolEntry:
 
 
 class ResultPool:
-    """Bounded max-heap of the best k tuples seen so far."""
+    """Bounded top-k pool ordered by ``(distance, tid)``."""
 
     def __init__(self, k: int) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
-        # Max-heap via negated distances; tid breaks ties deterministically.
+        # Max-heap via negated keys: the root is the worst member under the
+        # (distance, tid) order — largest distance, largest tid among ties.
         self._heap: List[Tuple[float, int]] = []
 
     def size(self) -> int:
@@ -43,28 +52,55 @@ class ResultPool:
             return None
         return -self._heap[0][0]
 
-    def is_candidate(self, estimated_distance: float) -> bool:
-        """Line 10 of Algorithm 1: worth fetching from the table file?"""
+    def worst(self) -> Optional[Tuple[float, int]]:
+        """The worst member as ``(distance, tid)``, or None when empty."""
+        if not self._heap:
+            return None
+        neg_dist, neg_tid = self._heap[0]
+        return (-neg_dist, -neg_tid)
+
+    def is_candidate(self, estimated_distance: float, tid: Optional[int] = None) -> bool:
+        """Line 10 of Algorithm 1: worth fetching from the table file?
+
+        With *tid* given, the check is tie-aware: an estimate equal to the
+        current ``max_dist`` still qualifies when the tid beats the worst
+        member's tid — required for order-independent results under
+        concurrent execution (a shard may fill the pool with a larger tid
+        first).  Without *tid* the classic strict comparison applies.
+        """
         if not self.is_full():
             return True
-        return estimated_distance < -self._heap[0][0]
+        worst_dist = -self._heap[0][0]
+        if estimated_distance < worst_dist:
+            return True
+        if tid is not None and estimated_distance == worst_dist:
+            return tid < -self._heap[0][1]
+        return False
 
     def insert(self, tid: int, distance: float) -> bool:
         """Insert a tuple with its *actual* distance.
 
         Returns True if the tuple entered the pool (and possibly evicted the
-        current worst member).
+        current worst member under the ``(distance, tid)`` order).
         """
         if not self.is_full():
-            heapq.heappush(self._heap, (-distance, tid))
+            heapq.heappush(self._heap, (-distance, -tid))
             return True
-        worst = -self._heap[0][0]
-        if distance < worst:
-            heapq.heapreplace(self._heap, (-distance, tid))
+        worst_dist, worst_tid = -self._heap[0][0], -self._heap[0][1]
+        if (distance, tid) < (worst_dist, worst_tid):
+            heapq.heapreplace(self._heap, (-distance, -tid))
             return True
         return False
 
+    def merge_from(self, other: "ResultPool") -> int:
+        """Insert every member of *other*; returns how many were admitted."""
+        admitted = 0
+        for entry in other.results():
+            if self.insert(entry.tid, entry.distance):
+                admitted += 1
+        return admitted
+
     def results(self) -> List[PoolEntry]:
         """Pool contents sorted by (distance, tid) ascending."""
-        ordered = sorted(((-neg, tid) for neg, tid in self._heap))
+        ordered = sorted((-neg_d, -neg_t) for neg_d, neg_t in self._heap)
         return [PoolEntry(tid=tid, distance=dist) for dist, tid in ordered]

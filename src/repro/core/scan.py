@@ -43,6 +43,18 @@ class VectorListScanner:
         """Advance the pointer to *tid*; see the class docstring."""
         raise NotImplementedError
 
+    def checkpoint_offset(self) -> int:
+        """Byte offset at which a fresh scanner resumes this pointer's state.
+
+        Recorded *between* ``move_to`` calls: the offset points at the start
+        of the next unconsumed list element, so a scanner constructed with
+        this offset as its reader start continues the scan exactly where
+        this one stands.  ``repro.parallel`` uses these as shard entry
+        points (one sequential planning pass records a checkpoint per shard
+        boundary; shard workers then scan only their own slice).
+        """
+        return self._reader.position
+
 
 class _TidBasedScanner(VectorListScanner):
     """Shared freeze-semantics machinery for Types I and II."""
@@ -62,6 +74,12 @@ class _TidBasedScanner(VectorListScanner):
     def pending_tid(self) -> Optional[int]:
         """The tid the pointer is frozen at (None at the list tail)."""
         return self._pending
+
+    def checkpoint_offset(self) -> int:
+        """Start of the pending element (its tid bytes are re-read on resume)."""
+        if self._pending is None:
+            return self._reader.position
+        return self._reader.position - TID_BYTES
 
 
 class TextTypeIScanner(_TidBasedScanner):

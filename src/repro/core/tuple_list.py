@@ -110,9 +110,36 @@ class TupleList:
         self._count = count
         self._deleted = deleted
 
+    def element_tids(self) -> Tuple[int, ...]:
+        """Every element's tid in list order (tombstones included).
+
+        Served from the in-memory offset map — index metadata the list
+        already maintains — so planning shard boundaries charges no I/O.
+        """
+        return tuple(self._offsets)
+
     def scan(self) -> Iterator[Tuple[int, int]]:
         """Sequentially yield ``(tid, ptr)`` for every element, in order."""
         reader = BufferedReader(self.disk, self.file_name, 0)
         size = ELEMENT.size
+        while not reader.exhausted():
+            yield ELEMENT.unpack(reader.read(size))
+
+    def scan_range(self, start_element: int, end_element: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(tid, ptr)`` for element positions ``[start, end)``.
+
+        The shard-scan entry point of :mod:`repro.parallel`: each worker
+        reads only its own contiguous slice of the list (one sequential
+        stream per shard).
+        """
+        if not 0 <= start_element <= end_element <= self._count:
+            raise IndexError_(
+                f"bad tuple-list range [{start_element}, {end_element}) "
+                f"over {self._count} elements"
+            )
+        size = ELEMENT.size
+        reader = BufferedReader(
+            self.disk, self.file_name, start_element * size, end_element * size
+        )
         while not reader.exhausted():
             yield ELEMENT.unpack(reader.read(size))

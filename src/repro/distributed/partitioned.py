@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Union
+from typing import TYPE_CHECKING, List, Mapping, Optional, Union
 
 from repro.core.engine import IVAEngine, SearchReport
 from repro.core.iva_file import IVAConfig, IVAFile
@@ -29,6 +29,9 @@ from repro.query import Query
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskParameters, SimulatedDisk
 from repro.storage.table import SparseWideTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.config import ExecutorConfig
 
 logger = logging.getLogger(__name__)
 
@@ -87,6 +90,8 @@ class PartitionedSystem:
         iva_config: Optional[IVAConfig] = None,
         distance: Optional[DistanceFunction] = None,
         registry: Optional[MetricsRegistry] = None,
+        parallelism: Optional[int] = None,
+        executor: Optional["ExecutorConfig"] = None,
     ) -> None:
         if num_partitions < 1:
             raise QueryError("need at least one partition")
@@ -94,14 +99,24 @@ class PartitionedSystem:
         self.catalog = Catalog()
         self.distance = distance or DistanceFunction()
         self._iva_config = iva_config or IVAConfig()
+        if executor is None and parallelism is not None:
+            from repro.parallel.config import ExecutorConfig
+
+            executor = ExecutorConfig(workers=parallelism)
+        #: Intra-partition parallelism: each partition's engine shards its
+        #: own filter scan, composing with the scatter-gather across
+        #: partitions.  None means sequential per-partition engines.
+        self.executor = executor
         self.disks: List[SimulatedDisk] = []
         self.tables: List[SparseWideTable] = []
         self.indexes: List[Optional[IVAFile]] = []
+        self._engines: List[Optional[IVAEngine]] = []
         for _ in range(num_partitions):
             disk = SimulatedDisk(disk_params)
             self.disks.append(disk)
             self.tables.append(SparseWideTable(disk, catalog=self.catalog))
             self.indexes.append(None)
+            self._engines.append(None)
         self._next_route = 0
 
     @property
@@ -138,6 +153,23 @@ class PartitionedSystem:
         """(Re)build every partition's iVA-file; call after bulk loading."""
         for partition, table in enumerate(self.tables):
             self.indexes[partition] = IVAFile.build(table, self._iva_config)
+            self._engines[partition] = None
+
+    def _engine(self, partition: int, dist: DistanceFunction) -> IVAEngine:
+        """The partition's cached engine (keeps shard plans warm).
+
+        Rebuilt when the index or distance changed; reusing the engine
+        lets the parallel executor serve shard plans from its cache across
+        the query stream instead of replanning per query.
+        """
+        engine = self._engines[partition]
+        index = self.indexes[partition]
+        if engine is None or engine.index is not index or engine.distance is not dist:
+            engine = IVAEngine(
+                self.tables[partition], index, dist, executor=self.executor
+            )
+            self._engines[partition] = engine
+        return engine
 
     def rebuild(self) -> None:
         """Periodic cleaning (Sec. IV-B) on every partition."""
@@ -179,7 +211,7 @@ class PartitionedSystem:
                 raise StorageError(
                     f"partition {partition} has no index; call build_indexes()"
                 )
-            local = IVAEngine(table, index, dist).search(query, k=k)
+            local = self._engine(partition, dist).search(query, k=k)
             report.per_partition.append(local)
             merged.extend(
                 GlobalResult(partition=partition, tid=r.tid, distance=r.distance)

@@ -32,3 +32,7 @@ class QueryError(ReproError):
 
 class EncodingError(ReproError):
     """A value cannot be encoded into an approximation vector."""
+
+
+class ParallelError(ReproError):
+    """The parallel executor is misconfigured or cannot run."""

@@ -1,0 +1,38 @@
+"""Parallel query execution: sharded filter, overlapped refine.
+
+See ``docs/parallelism.md`` for the execution model, determinism
+guarantees, and tuning guidance.  Public surface:
+
+* :class:`~repro.parallel.config.ExecutorConfig` — every knob;
+* :class:`~repro.parallel.executor.ParallelSearchReport` — the
+  :class:`~repro.core.engine.SearchReport` subclass parallel searches
+  return, with the per-shard breakdown;
+* :class:`~repro.parallel.executor.ParallelExecutionError` — raised when
+  the pool cannot run (engines fall back to sequential by default);
+* :class:`~repro.parallel.shards.ShardPlanner` /
+  :class:`~repro.parallel.shards.ShardRange` — the checkpointed shard
+  directory, reusable by other scan consumers.
+"""
+
+from repro.parallel.config import ExecutorConfig
+from repro.parallel.executor import (
+    ParallelExecutionError,
+    ParallelScanExecutor,
+    ParallelSearchReport,
+    SharedBound,
+    parallel_search,
+    parallel_search_batch,
+)
+from repro.parallel.shards import ShardPlanner, ShardRange
+
+__all__ = [
+    "ExecutorConfig",
+    "ParallelExecutionError",
+    "ParallelScanExecutor",
+    "ParallelSearchReport",
+    "SharedBound",
+    "ShardPlanner",
+    "ShardRange",
+    "parallel_search",
+    "parallel_search_batch",
+]

@@ -1,0 +1,91 @@
+"""Configuration of the parallel filter/refine executor.
+
+One frozen dataclass carries every knob: worker count, execution mode,
+shard granularity, candidate-queue depth, and whether a pool failure
+degrades to the sequential path or raises.  Engines accept either a full
+:class:`ExecutorConfig` (``executor=``) or just a worker count
+(``parallelism=``) which expands to ``ExecutorConfig(workers=n)``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ParallelError
+
+#: Supported execution modes.  ``"process"`` is rejected explicitly: the
+#: simulated disk, its page cache, and the I/O counters are process-local
+#: state, so worker processes would scan empty files and report nothing.
+MODES = ("thread", "serial")
+
+#: Auto mode never spawns more than this many workers, however many cores
+#: the host reports — shards beyond this add merge overhead without
+#: shortening the modeled critical path on the default workloads.
+MAX_AUTO_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Tunables of :mod:`repro.parallel` (see ``docs/parallelism.md``)."""
+
+    #: Worker threads scanning shards; 0 means auto (host cores, capped).
+    workers: int = 0
+    #: ``"thread"`` runs the pool; ``"serial"`` forces the sequential path.
+    mode: str = "thread"
+    #: Shards per worker (each worker scans a contiguous chunk of shards).
+    #: Finer granularity merges finished shards sooner, tightening the
+    #: shared pruning bound while the rest of the scan is still running.
+    shard_factor: int = 2
+    #: Bounded candidate-queue capacity (back-pressure on the scan when
+    #: the refiner falls behind).
+    queue_depth: int = 64
+    #: Never split below this many tuple-list elements per shard; tiny
+    #: tables run sequentially.
+    min_shard_elements: int = 64
+    #: Degrade to the sequential path when the pool cannot start or a
+    #: worker dies (False re-raises :class:`ParallelExecutionError`).
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode == "process":
+            raise ParallelError(
+                "mode='process' is not supported: the simulated disk and its "
+                "page cache are process-local state, so worker processes "
+                "would scan empty files; use mode='thread'"
+            )
+        if self.mode not in MODES:
+            raise ParallelError(
+                f"unknown executor mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.workers < 0:
+            raise ParallelError(f"workers must be >= 0 (0 = auto), got {self.workers}")
+        if self.shard_factor < 1:
+            raise ParallelError(f"shard_factor must be >= 1, got {self.shard_factor}")
+        if self.queue_depth < 1:
+            raise ParallelError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.min_shard_elements < 1:
+            raise ParallelError(
+                f"min_shard_elements must be >= 1, got {self.min_shard_elements}"
+            )
+
+    def effective_workers(self) -> int:
+        """The worker count this config resolves to on this host."""
+        if self.mode == "serial":
+            return 1
+        if self.workers > 0:
+            return self.workers
+        return min(MAX_AUTO_WORKERS, os.cpu_count() or 1)
+
+    def shard_count(self, total_elements: int) -> int:
+        """How many shards to split *total_elements* tuple-list elements into.
+
+        Returns 1 (run sequentially) when the table is too small to be
+        worth splitting; otherwise ``workers * shard_factor`` capped so no
+        shard drops below :attr:`min_shard_elements`.
+        """
+        workers = self.effective_workers()
+        if workers <= 1 or total_elements < 2 * self.min_shard_elements:
+            return 1
+        by_size = total_elements // self.min_shard_elements
+        return max(1, min(workers * self.shard_factor, by_size))

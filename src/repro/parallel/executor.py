@@ -1,0 +1,649 @@
+"""The parallel filter/refine executor (Algorithm 1, sharded).
+
+Execution model
+---------------
+
+The filter phase is split into tid-range shards (:mod:`.shards`); a thread
+pool scans them concurrently.  Each worker keeps a **local**
+:class:`~repro.core.pool.ResultPool` that absorbs exact-distance shortcuts
+without any lock traffic, prunes against both its local pool and a shared
+monotonically-tightening global bound, and pushes surviving candidates
+onto a bounded queue.  The calling thread is the single refiner: it drains
+the queue — overlapping table-file random reads with the ongoing scan —
+re-checks candidacy against the global pool, fetches and inserts.  When a
+shard finishes, its local pool is merged into the global pool and the
+shared bound tightens, so late shards inherit every earlier shard's
+pruning power (the bound-tightening feedback hook).
+
+Determinism
+-----------
+
+Results are bit-identical to the sequential path.  The pool's final
+contents are the k smallest entries under the total order ``(distance,
+tid)`` — a pure function of the inserted multiset (see
+:mod:`repro.core.pool`) — and no true top-k member is ever pruned: bounds
+only tighten, estimates never exceed actual distances, and every candidacy
+check is tie-aware on tid.  Workers may refine *more* tuples than the
+sequential scan (their bound lags the global pool), so cost counters can
+differ; answers cannot.
+
+Accounting
+----------
+
+Shards are assigned to workers statically — contiguous chunks, round
+lengths differing by at most one — so the modeled latency is deterministic
+and a worker's shards are adjacent tid ranges (its I/O channel continues
+sequentially across its own shard boundaries).
+
+Reports model the critical path, the convention the distributed layer
+already uses: the filter phase costs its setup (attribute-list reads plus
+the — normally cache-served — shard plan) plus the **slowest worker**
+(modeled I/O summed over the worker's shards from a thread-local meter,
+CPU via ``time.thread_time``, which is robust to GIL interleaving);
+refine costs are the refiner thread's own meters.  Each worker scans
+through its own disk I/O channel — the multi-queue-device model — so
+concurrent sequential streams do not charge artificial inter-stream
+seeks.
+
+Observability
+-------------
+
+Every search emits through :mod:`repro.obs`: ``parallel.shard_scan`` and
+``parallel.merge`` spans under the ``query`` span, per-worker shard-scan
+histograms, a candidate-queue high-water gauge, and fallback counters.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import (
+    BoundEvaluator,
+    QueryResult,
+    SearchReport,
+    observe_search,
+    trace_phases,
+)
+from repro.core.iva_file import DELETED_PTR, IVAFile
+from repro.core.pool import ResultPool
+from repro.errors import ParallelError
+from repro.metrics.distance import DistanceFunction
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
+from repro.parallel.config import ExecutorConfig
+from repro.parallel.shards import ShardPlanner, ShardRange
+from repro.query import Query
+
+
+class ParallelExecutionError(ParallelError):
+    """The worker pool failed to start or a shard died mid-scan.
+
+    Engines catch this and fall back to the sequential path when
+    ``ExecutorConfig.fallback`` is set.
+    """
+
+
+@dataclass
+class ParallelSearchReport(SearchReport):
+    """A :class:`SearchReport` plus the parallel execution breakdown."""
+
+    #: Worker threads the pool ran with.
+    workers: int = 0
+    #: Shards the scan was split into.
+    shards: int = 0
+    #: Modeled I/O of the planning pass charged to this query (0 when the
+    #: plan was served from cache).
+    planning_io_ms: float = 0.0
+    #: Per-shard modeled scan I/O milliseconds (shard order).
+    shard_io_ms: List[float] = field(default_factory=list)
+    #: Per-shard scan CPU seconds (``time.thread_time`` per worker).
+    shard_cpu_s: List[float] = field(default_factory=list)
+    #: Local-pool entries admitted into the global pool at merge time.
+    merged_candidates: int = 0
+    #: High-water mark of the bounded candidate queue.
+    max_queue_depth: int = 0
+
+
+class SharedBound:
+    """A monotonically tightening ``(distance, tid)`` pruning bound.
+
+    Workers read it lock-free (a single attribute load is atomic under the
+    GIL); :meth:`tighten` takes a lock only to keep updates monotone.
+    ``None`` means the global pool is not yet full — nothing can be pruned.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value: Optional[Tuple[float, int]] = None
+        self._lock = threading.Lock()
+
+    def get(self) -> Optional[Tuple[float, int]]:
+        """The current bound, or None while the global pool is not full."""
+        return self._value
+
+    def tighten(self, bound: Tuple[float, int]) -> None:
+        """Lower the bound; looser values than the current one are ignored."""
+        with self._lock:
+            current = self._value
+            if current is None or bound < current:
+                self._value = bound
+
+
+@dataclass
+class _ShardStats:
+    """What one worker hands back alongside its local pools."""
+
+    shard: int
+    worker: str = ""
+    tuples: int = 0
+    exact_shortcuts: List[int] = field(default_factory=list)
+    io_ms: float = 0.0
+    pages: int = 0
+    cpu_s: float = 0.0
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class _ShardDone:
+    """Queue sentinel: a shard finished (or died — see ``stats.error``)."""
+
+    stats: _ShardStats
+    local_pools: List[ResultPool]
+
+
+@dataclass
+class _QueryCtx:
+    """Per-query state shared between the refiner and the workers."""
+
+    query: Query
+    evaluator: BoundEvaluator
+    shared: SharedBound
+
+
+@dataclass
+class _RunResult:
+    """Everything :meth:`ParallelScanExecutor.run` measured."""
+
+    pools: List[ResultPool]
+    workers: int = 0
+    shards: int = 0
+    planning_io_ms: float = 0.0
+    shard_stats: List[_ShardStats] = field(default_factory=list)
+    tuples_scanned: int = 0
+    exact_shortcuts: List[int] = field(default_factory=list)
+    table_accesses: List[int] = field(default_factory=list)
+    refine_io_ms: float = 0.0
+    refine_cpu_s: float = 0.0
+    merge_cpu_s: float = 0.0
+    setup_cpu_s: float = 0.0
+    merged_candidates: int = 0
+    max_queue_depth: int = 0
+
+
+class ParallelScanExecutor:
+    """Runs one or many queries' Algorithm 1 over a sharded scan.
+
+    One instance per (table, index) pair; it owns the shard-plan cache, so
+    keep it across searches (the engines do).  ``run`` is not reentrant —
+    one search at a time per executor.
+    """
+
+    def __init__(
+        self,
+        table,
+        index: IVAFile,
+        config: ExecutorConfig,
+    ) -> None:
+        self.table = table
+        self.index = index
+        self.config = config
+        self.planner = ShardPlanner(index)
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        queries: Sequence[Query],
+        k: int,
+        dist: DistanceFunction,
+        *,
+        skip_exact: bool = True,
+    ) -> _RunResult:
+        """Execute the sharded scan; raises :class:`ParallelExecutionError`
+        when the pool cannot start or a worker dies."""
+        attr_ids = tuple(sorted({t.attr.attr_id for q in queries for t in q.terms}))
+        position = {attr_id: i for i, attr_id in enumerate(attr_ids)}
+        if len(queries) == 1 and attr_ids == queries[0].attribute_ids():
+            position_map = None  # payloads align 1:1 with the query's terms
+        else:
+            position_map = position
+
+        result = _RunResult(pools=[ResultPool(k) for _ in queries])
+        result.exact_shortcuts = [0] * len(queries)
+        result.table_accesses = [0] * len(queries)
+        disk = self.table.disk
+
+        # Per-query setup: Algorithm 1's attribute-list reads plus the
+        # (possibly cached) shard plan.  Charged to the filter phase.
+        setup_cpu0 = time.thread_time()
+        with disk.metered() as setup_meter:
+            self.index.read_attr_elements(attr_ids)
+            shard_count = self.config.shard_count(self.index.tuple_elements)
+            shards = self.planner.plan(attr_ids, shard_count)
+        result.planning_io_ms = setup_meter.io_ms
+        result.setup_cpu_s = time.thread_time() - setup_cpu0
+        result.shards = len(shards)
+        workers = min(self.config.effective_workers(), len(shards))
+        result.workers = workers
+
+        contexts = [
+            _QueryCtx(
+                query=query,
+                evaluator=BoundEvaluator(self.index, query, dist, position_map),
+                shared=SharedBound(),
+            )
+            for query in queries
+        ]
+        out_queue: "queue_module.Queue" = queue_module.Queue(
+            maxsize=self.config.queue_depth
+        )
+        abort = threading.Event()
+
+        try:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-parallel"
+            )
+        except Exception as exc:  # pool failed to start
+            raise ParallelExecutionError(f"worker pool failed to start: {exc}") from exc
+
+        # Static contiguous assignment: worker w gets shards
+        # [w·chunk, …) — deterministic critical path, adjacent tid ranges.
+        chunks: List[List[ShardRange]] = []
+        base, extra = divmod(len(shards), workers)
+        cursor = 0
+        for w in range(workers):
+            size = base + (1 if w < extra else 0)
+            chunks.append(shards[cursor : cursor + size])
+            cursor += size
+
+        try:
+            try:
+                for w, chunk in enumerate(chunks):
+                    pool.submit(
+                        self._run_worker,
+                        w,
+                        chunk,
+                        attr_ids,
+                        contexts,
+                        k,
+                        dist,
+                        skip_exact,
+                        out_queue,
+                        abort,
+                    )
+            except Exception as exc:
+                abort.set()
+                raise ParallelExecutionError(
+                    f"worker pool rejected shard submission: {exc}"
+                ) from exc
+            self._refine_loop(contexts, dist, skip_exact, out_queue, abort, result)
+        finally:
+            abort.set()
+            pool.shutdown(wait=True)
+
+        return result
+
+    # -------------------------------------------------------------- workers
+
+    def _run_worker(
+        self,
+        worker_idx: int,
+        shard_chunk: List[ShardRange],
+        attr_ids: Tuple[int, ...],
+        contexts: List[_QueryCtx],
+        k: int,
+        dist: DistanceFunction,
+        skip_exact: bool,
+        out_queue: "queue_module.Queue",
+        abort: threading.Event,
+    ) -> None:
+        """Scan this worker's contiguous shard chunk, one shard at a time.
+
+        Per-shard granularity is kept so each finished shard's local pool
+        merges (and tightens the shared bound) while the worker's next
+        shard is still scanning.
+        """
+        label = f"w{worker_idx}"
+        for shard in shard_chunk:
+            self._scan_shard(
+                shard, label, attr_ids, contexts, k, dist, skip_exact, out_queue, abort
+            )
+
+    def _scan_shard(
+        self,
+        shard: ShardRange,
+        worker: str,
+        attr_ids: Tuple[int, ...],
+        contexts: List[_QueryCtx],
+        k: int,
+        dist: DistanceFunction,
+        skip_exact: bool,
+        out_queue: "queue_module.Queue",
+        abort: threading.Event,
+    ) -> None:
+        """Scan one shard; runs on a worker thread.
+
+        Always enqueues a :class:`_ShardDone` sentinel last — the refiner
+        counts sentinels to know the queue is fully drained (FIFO order
+        guarantees every candidate this worker produced precedes it).
+        """
+        stats = _ShardStats(
+            shard=shard.index,
+            worker=worker,
+            exact_shortcuts=[0] * len(contexts),
+        )
+        local_pools = [ResultPool(k) for _ in contexts]
+        disk = self.table.disk
+        batch = len(contexts) > 1
+        try:
+            with disk.io_channel(f"parallel-{worker}"), disk.metered() as meter:
+                cpu0 = time.thread_time()
+                scanners = [
+                    self.index.make_scanner(attr_id, start=shard.checkpoints[attr_id])
+                    for attr_id in attr_ids
+                ]
+                for tid, ptr in self.index.tuples.scan_range(
+                    shard.start_element, shard.end_element
+                ):
+                    if abort.is_set():
+                        break
+                    payloads = [scanner.move_to(tid) for scanner in scanners]
+                    if ptr == DELETED_PTR:
+                        continue
+                    stats.tuples += 1
+                    cache: Optional[dict] = {} if batch else None
+                    for qi, ctx in enumerate(contexts):
+                        diffs, exact = ctx.evaluator.evaluate(payloads, cache)
+                        estimated = dist.combine_bounds(ctx.query, diffs)
+                        if exact and skip_exact:
+                            local_pools[qi].insert(tid, estimated)
+                            stats.exact_shortcuts[qi] += 1
+                            continue
+                        bound = ctx.shared.get()
+                        if bound is not None and not (estimated, tid) < bound:
+                            continue
+                        if not local_pools[qi].is_candidate(estimated, tid):
+                            continue
+                        out_queue.put((qi, tid, estimated))
+                stats.cpu_s = time.thread_time() - cpu0
+            stats.io_ms = meter.io_ms
+            stats.pages = meter.pages
+        except BaseException as exc:  # noqa: BLE001 - handed to the refiner
+            stats.error = exc
+        finally:
+            out_queue.put(_ShardDone(stats=stats, local_pools=local_pools))
+
+    # -------------------------------------------------------------- refiner
+
+    def _refine_loop(
+        self,
+        contexts: List[_QueryCtx],
+        dist: DistanceFunction,
+        skip_exact: bool,
+        out_queue: "queue_module.Queue",
+        abort: threading.Event,
+        result: _RunResult,
+    ) -> None:
+        """Drain candidates and sentinels; runs on the calling thread."""
+        disk = self.table.disk
+        pools = result.pools
+        pending = result.shards
+        records: Dict[int, object] = {}
+        failure: Optional[_ShardStats] = None
+        while pending:
+            item = out_queue.get()
+            depth = out_queue.qsize()
+            if depth > result.max_queue_depth:
+                result.max_queue_depth = depth
+            if isinstance(item, _ShardDone):
+                pending -= 1
+                if item.stats.error is not None:
+                    if failure is None:
+                        failure = item.stats
+                    abort.set()
+                    continue
+                if failure is not None:
+                    continue  # draining after a sibling shard died
+                result.shard_stats.append(item.stats)
+                result.tuples_scanned += item.stats.tuples
+                merge_cpu0 = time.thread_time()
+                for qi, local in enumerate(item.local_pools):
+                    result.exact_shortcuts[qi] += item.stats.exact_shortcuts[qi]
+                    result.merged_candidates += pools[qi].merge_from(local)
+                    self._tighten(contexts[qi], pools[qi])
+                result.merge_cpu_s += time.thread_time() - merge_cpu0
+                continue
+            if failure is not None:
+                continue
+            qi, tid, estimated = item
+            pool = pools[qi]
+            if not pool.is_candidate(estimated, tid):
+                continue
+            cpu0 = time.thread_time()
+            record = records.get(tid)
+            if record is None:
+                with disk.metered() as meter:
+                    record = self.table.read(tid)
+                records[tid] = record
+                result.refine_io_ms += meter.io_ms
+            pool.insert(tid, dist.actual(contexts[qi].query, record))
+            self._tighten(contexts[qi], pool)
+            result.refine_cpu_s += time.thread_time() - cpu0
+            result.table_accesses[qi] += 1
+        result.shard_stats.sort(key=lambda s: s.shard)
+        if failure is not None:
+            raise ParallelExecutionError(
+                f"shard {failure.shard} failed on worker {failure.worker}: "
+                f"{failure.error}"
+            ) from failure.error
+
+    @staticmethod
+    def _tighten(ctx: _QueryCtx, pool: ResultPool) -> None:
+        if pool.is_full():
+            worst = pool.worst()
+            if worst is not None:
+                ctx.shared.tighten(worst)
+
+
+# ------------------------------------------------------------------ facades
+
+
+def _runner_for(engine_like, index: IVAFile, config: ExecutorConfig) -> ParallelScanExecutor:
+    """The engine's cached executor (rebuilt if index/config changed)."""
+    runner = getattr(engine_like, "_parallel_runner", None)
+    if (
+        runner is None
+        or runner.index is not index
+        or runner.config is not config
+        or runner.table is not engine_like.table
+    ):
+        runner = ParallelScanExecutor(engine_like.table, index, config)
+        engine_like._parallel_runner = runner
+    return runner
+
+
+def _emit_parallel_obs(
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    engine_name: str,
+    run: _RunResult,
+) -> None:
+    """Spans + metrics for one parallel run (called inside the query span)."""
+    labels = {"engine": engine_name}
+    for stats in run.shard_stats:
+        tracer.record(
+            "parallel.shard_scan",
+            stats.cpu_s * 1000.0,
+            shard=stats.shard,
+            worker=stats.worker,
+            io_ms=stats.io_ms,
+            tuples=stats.tuples,
+        )
+        registry.histogram(
+            "repro_parallel_shard_scan_ms",
+            labels={"engine": engine_name, "worker": stats.worker},
+            help="Modeled per-shard scan time (I/O + CPU) by worker thread.",
+        ).observe(stats.io_ms + stats.cpu_s * 1000.0)
+    tracer.record(
+        "parallel.merge",
+        run.merge_cpu_s * 1000.0,
+        shards=run.shards,
+        admitted=run.merged_candidates,
+    )
+    registry.counter(
+        "repro_parallel_searches_total",
+        labels=labels,
+        help="Searches executed by the parallel scan executor.",
+    ).inc()
+    registry.gauge(
+        "repro_parallel_queue_depth",
+        labels=labels,
+        help="Candidate-queue high-water mark of the last parallel search.",
+    ).set(run.max_queue_depth)
+    registry.histogram(
+        "repro_parallel_merge_ms",
+        labels=labels,
+        help="CPU time merging shard-local pools into the global pool.",
+    ).observe(run.merge_cpu_s * 1000.0)
+
+
+def _fill_report(report: ParallelSearchReport, run: _RunResult) -> None:
+    """Critical-path cost model: filter = setup + slowest worker.
+
+    A worker runs its shards serially, so its cost is the *sum* over its
+    shards; workers run concurrently, so the phase costs the maximum.
+    """
+    per_worker_io: Dict[str, float] = {}
+    per_worker_cpu: Dict[str, float] = {}
+    for stats in run.shard_stats:
+        per_worker_io[stats.worker] = per_worker_io.get(stats.worker, 0.0) + stats.io_ms
+        per_worker_cpu[stats.worker] = (
+            per_worker_cpu.get(stats.worker, 0.0) + stats.cpu_s
+        )
+    report.workers = run.workers
+    report.shards = run.shards
+    report.planning_io_ms = run.planning_io_ms
+    report.shard_io_ms = [s.io_ms for s in run.shard_stats]
+    report.shard_cpu_s = [s.cpu_s for s in run.shard_stats]
+    report.merged_candidates = run.merged_candidates
+    report.max_queue_depth = run.max_queue_depth
+    report.filter_io_ms = run.planning_io_ms + max(per_worker_io.values(), default=0.0)
+    report.filter_wall_s = (
+        run.setup_cpu_s
+        + run.merge_cpu_s
+        + max(per_worker_cpu.values(), default=0.0)
+    )
+    report.refine_io_ms = run.refine_io_ms
+    report.refine_wall_s = run.refine_cpu_s
+
+
+def parallel_search(
+    engine,
+    query: Query,
+    k: int = 10,
+    distance: Optional[DistanceFunction] = None,
+) -> SearchReport:
+    """One query through the sharded executor; the engine's parallel path.
+
+    Falls through to the engine's sequential loop (without touching the
+    fallback counter) when the planner decides the table is too small to
+    shard.  Raises :class:`ParallelExecutionError` on pool failure.
+    """
+    config: ExecutorConfig = engine.executor
+    dist = distance or engine.distance
+    runner = _runner_for(engine, engine.index, config)
+    if config.shard_count(engine.index.tuple_elements) <= 1:
+        return engine._sequential_search(query, k, distance)
+
+    registry = engine._registry()
+    tracer = engine._tracer()
+    report = ParallelSearchReport()
+    with tracer.span(
+        "query",
+        engine=engine.name,
+        k=k,
+        attr_ids=list(query.attribute_ids()),
+        parallel=True,
+    ) as span:
+        run = runner.run([query], k, dist, skip_exact=engine.skip_exact)
+        report.tuples_scanned = run.tuples_scanned
+        report.exact_shortcuts = run.exact_shortcuts[0]
+        report.table_accesses = run.table_accesses[0]
+        _fill_report(report, run)
+        report.results = [
+            QueryResult(tid=entry.tid, distance=entry.distance)
+            for entry in run.pools[0].results()
+        ]
+        _emit_parallel_obs(registry, tracer, engine.name, run)
+        trace_phases(tracer, span, report)
+        span.attrs["workers"] = run.workers
+        span.attrs["shards"] = run.shards
+    observe_search(registry, engine.name, report)
+    return report
+
+
+def parallel_search_batch(
+    batch_engine,
+    queries: Sequence[Query],
+    k: int = 10,
+    distance: Optional[DistanceFunction] = None,
+) -> List[SearchReport]:
+    """A batch of queries through one sharded shared scan.
+
+    Mirrors the sequential batch engine's cost attribution: shared costs
+    (the scan, planning, deduplicated fetches) land on the first report;
+    per-query counters stay exact.  Returns None-equivalent fallthrough to
+    the sequential batch loop when the table is too small to shard.
+    """
+    config: ExecutorConfig = batch_engine.executor
+    dist = distance or batch_engine.distance
+    runner = _runner_for(batch_engine, batch_engine.index, config)
+    if config.shard_count(batch_engine.index.tuple_elements) <= 1:
+        return batch_engine._sequential_search_batch(queries, k, distance)
+
+    registry = batch_engine._registry()
+    tracer = batch_engine._tracer()
+    with tracer.span(
+        "query_batch",
+        engine=batch_engine.name,
+        k=k,
+        queries=len(queries),
+        parallel=True,
+    ) as span:
+        run = runner.run(list(queries), k, dist, skip_exact=True)
+        reports: List[SearchReport] = []
+        for qi, pool in enumerate(run.pools):
+            report: SearchReport
+            if qi == 0:
+                report = ParallelSearchReport()
+                _fill_report(report, run)
+            else:
+                report = SearchReport()
+            report.tuples_scanned = run.tuples_scanned
+            report.exact_shortcuts = run.exact_shortcuts[qi]
+            report.table_accesses = run.table_accesses[qi]
+            report.results = [
+                QueryResult(tid=entry.tid, distance=entry.distance)
+                for entry in pool.results()
+            ]
+            reports.append(report)
+        _emit_parallel_obs(registry, tracer, batch_engine.name, run)
+        span.attrs["workers"] = run.workers
+        span.attrs["shards"] = run.shards
+    return reports

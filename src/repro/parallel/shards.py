@@ -1,0 +1,163 @@
+"""Shard planning: tid-range slices of the synchronized scan.
+
+Algorithm 1's filter phase walks the tuple list and the queried
+attributes' vector lists in lockstep.  To split that walk across workers,
+each shard needs an *entry point into every list*: the tuple-list slice is
+trivial (fixed-width elements), but vector lists have variable-width
+elements, so a shard's start offsets must be discovered by walking.
+
+The planner prefers the index's build-time **sync directory**
+(:meth:`~repro.core.iva_file.IVAFile.sync_checkpoints`): checkpoint
+offsets recorded every :data:`~repro.core.iva_file.SYNC_INTERVAL`
+elements while the lists were built, costing zero planning I/O — shard
+boundaries snap to the nearest sync points.  When the directory is
+unavailable (an attached index), the planner falls back to one charged
+walk: it drives a scanning pointer per queried attribute across the
+whole list, recording
+:meth:`~repro.core.scan.VectorListScanner.checkpoint_offset` at every
+shard boundary.  Either way the plan is cached per ``(index.version,
+attribute set, shard count)``, so steady-state query traffic replans
+only after an insert/delete/rebuild.
+
+Correctness of the checkpoints:
+
+* tid-based layouts (Types I/II text, Type I numeric) freeze at the first
+  element whose tid exceeds the last consumed tuple; the checkpoint is the
+  byte offset of that frozen element, so a fresh scanner constructed there
+  re-reads it and continues the freeze semantics exactly;
+* positional layouts (Type III text, Type IV numeric) consume exactly one
+  element per tuple-list element — tombstones included — so the checkpoint
+  after ``b`` elements is the start of element ``b``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.iva_file import IVAFile
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One worker's slice of the scan: tuple-list range plus entry points."""
+
+    #: Shard ordinal (0-based, in tid order).
+    index: int
+    #: First tuple-list element position (inclusive).
+    start_element: int
+    #: Last tuple-list element position (exclusive).
+    end_element: int
+    #: Byte offset per attribute id at which a fresh scanner resumes.
+    checkpoints: Mapping[int, int]
+
+    @property
+    def element_count(self) -> int:
+        """Tuple-list elements in this shard (tombstones included)."""
+        return self.end_element - self.start_element
+
+
+class ShardPlanner:
+    """Builds and caches shard plans for one iVA-file."""
+
+    def __init__(self, index: IVAFile) -> None:
+        self.index = index
+        self._cache: Dict[Tuple[int, Tuple[int, ...], int], List[ShardRange]] = {}
+
+    def plan(self, attr_ids: Sequence[int], shard_count: int) -> List[ShardRange]:
+        """The shard list for *attr_ids*, splitting into *shard_count* ranges.
+
+        Cached per index version; only the most recent plan is retained
+        (query traffic typically repeats the same attribute sets, and a
+        single entry bounds memory).
+        """
+        key = (self.index.version, tuple(sorted(set(attr_ids))), shard_count)
+        plan = self._cache.get(key)
+        if plan is None:
+            plan = self._build(key[1], shard_count)
+            self._cache = {key: plan}
+        return plan
+
+    def _build(self, attr_ids: Tuple[int, ...], shard_count: int) -> List[ShardRange]:
+        index = self.index
+        total = index.tuple_elements
+        if shard_count <= 1 or total == 0:
+            return [
+                ShardRange(
+                    index=0,
+                    start_element=0,
+                    end_element=total,
+                    checkpoints={attr_id: 0 for attr_id in attr_ids},
+                )
+            ]
+        directory = index.sync_checkpoints(attr_ids)
+        if directory is not None:
+            return self._from_directory(attr_ids, shard_count, total, *directory)
+
+        starts = sorted({round(i * total / shard_count) for i in range(shard_count)})
+        boundaries = starts + [total]
+
+        # One planning pass: walk every tuple-list element, drive each
+        # attribute's scanning pointer, and snapshot checkpoint offsets
+        # whenever a shard boundary is crossed.
+        scanners = {attr_id: index.make_scanner(attr_id) for attr_id in attr_ids}
+        checkpoint_rows: List[Dict[int, int]] = []
+        next_boundary = 0
+        for position, tid in enumerate(index.tuples.element_tids()):
+            while next_boundary < len(starts) and position == starts[next_boundary]:
+                checkpoint_rows.append(
+                    {a: s.checkpoint_offset() for a, s in scanners.items()}
+                )
+                next_boundary += 1
+            for scanner in scanners.values():
+                scanner.move_to(tid)
+        while next_boundary < len(starts):  # trailing empty boundaries
+            checkpoint_rows.append(
+                {a: s.checkpoint_offset() for a, s in scanners.items()}
+            )
+            next_boundary += 1
+
+        return [
+            ShardRange(
+                index=i,
+                start_element=boundaries[i],
+                end_element=boundaries[i + 1],
+                checkpoints=checkpoint_rows[i],
+            )
+            for i in range(len(starts))
+        ]
+
+    @staticmethod
+    def _from_directory(
+        attr_ids: Tuple[int, ...],
+        shard_count: int,
+        total: int,
+        positions: List[int],
+        offsets: Mapping[int, Sequence[int]],
+    ) -> List[ShardRange]:
+        """Shard boundaries snapped to the index's sync points (no I/O)."""
+        pos_index = {pos: i for i, pos in enumerate(positions)}
+        starts = [0]
+        for i in range(1, shard_count):
+            want = round(i * total / shard_count)
+            j = bisect.bisect_left(positions, want)
+            candidates = positions[max(0, j - 1) : j + 1]
+            if not candidates:
+                continue
+            best = min(candidates, key=lambda pos: abs(pos - want))
+            if starts[-1] < best < total:
+                starts.append(best)
+        boundaries = starts + [total]
+        return [
+            ShardRange(
+                index=i,
+                start_element=starts[i],
+                end_element=boundaries[i + 1],
+                checkpoints={
+                    attr_id: offsets[attr_id][pos_index[starts[i]]]
+                    for attr_id in attr_ids
+                },
+            )
+            for i in range(len(starts))
+        ]

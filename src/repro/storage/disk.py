@@ -23,6 +23,8 @@ accessed page; anything else pays a seek.
 from __future__ import annotations
 
 import logging
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -109,20 +111,95 @@ class DiskStats:
         )
 
 
+@dataclass
+class IoMeter:
+    """Thread-local interval accounting opened with :meth:`SimulatedDisk.metered`.
+
+    Accumulates the modeled cost of every access *charged by the opening
+    thread* while the meter is on that thread's stack — the attribution
+    primitive behind per-shard I/O numbers in ``repro.parallel`` (the global
+    :class:`DiskStats` cannot split concurrent charges by worker).
+    """
+
+    io_ms: float = 0.0
+    pages: int = 0
+    seeks: int = 0
+    cache_hits: int = 0
+
+
 class SimulatedDisk:
-    """An in-memory file store charging accesses through a disk cost model."""
+    """An in-memory file store charging accesses through a disk cost model.
+
+    Thread safety: every access runs under one internal lock, so concurrent
+    readers (``repro.parallel`` shard scans, the overlapped refiner) keep
+    the counters and the LRU cache consistent.  Head positioning is tracked
+    **per channel** — by default every thread shares the ``"main"`` channel
+    (single disk arm, exactly the historical model); a scan that registers
+    its own channel via :meth:`io_channel` gets an independent head, which
+    models a multi-queue device where concurrent sequential streams do not
+    charge artificial inter-stream seeks against each other.
+    """
 
     def __init__(self, params: Optional[DiskParameters] = None) -> None:
         self.params = params or DiskParameters()
         self._files: Dict[str, bytearray] = {}
         self.cache = LRUCache(self.params.cache_pages)
         self.stats = DiskStats()
-        #: Last page touched by any physical access, mimicking the disk arm.
-        self._head: Optional[Tuple[str, int]] = None
+        #: Last page touched per channel, mimicking one disk arm (or one
+        #: submission queue) per concurrent sequential stream.
+        self._heads: Dict[str, Optional[Tuple[str, int]]] = {"main": None}
+        self._lock = threading.RLock()
+        self._tls = threading.local()
         #: Optional :class:`repro.obs.trace.Tracer`; when set, every read
         #: call records a ``disk.read`` span (duration = modeled I/O ms).
         #: Off by default — per-read spans are strictly opt-in.
         self.tracer = None
+
+    # ------------------------------------------------------- I/O attribution
+
+    def _channel(self) -> str:
+        return getattr(self._tls, "channel", "main")
+
+    def _meters(self):
+        meters = getattr(self._tls, "meters", None)
+        if meters is None:
+            meters = []
+            self._tls.meters = meters
+        return meters
+
+    @contextmanager
+    def io_channel(self, name: str):
+        """Route this thread's accesses through their own head channel.
+
+        Nested use restores the previous channel on exit.  The channel's
+        head state is dropped when the context closes, so short-lived shard
+        channels do not accumulate.
+        """
+        previous = getattr(self._tls, "channel", "main")
+        self._tls.channel = name
+        try:
+            yield
+        finally:
+            self._tls.channel = previous
+            if name != "main":
+                with self._lock:
+                    self._heads.pop(name, None)
+
+    @contextmanager
+    def metered(self):
+        """Yield an :class:`IoMeter` accumulating this thread's charges.
+
+        Meters nest: every open meter on the current thread's stack sees
+        each charge, so an outer whole-phase meter and an inner per-call
+        meter can run simultaneously.
+        """
+        meter = IoMeter()
+        meters = self._meters()
+        meters.append(meter)
+        try:
+            yield meter
+        finally:
+            meters.remove(meter)
 
     # ------------------------------------------------------------------ files
 
@@ -161,49 +238,53 @@ class SimulatedDisk:
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         """Read *length* bytes at *offset*, charging modeled I/O cost."""
-        data = self._file(name)
-        if offset < 0 or length < 0:
-            raise StorageError("negative offset or length")
-        if offset + length > len(data):
-            raise StorageError(
-                f"read past EOF on {name!r}: offset={offset} length={length} "
-                f"size={len(data)}"
+        with self._lock:
+            data = self._file(name)
+            if offset < 0 or length < 0:
+                raise StorageError("negative offset or length")
+            if offset + length > len(data):
+                raise StorageError(
+                    f"read past EOF on {name!r}: offset={offset} length={length} "
+                    f"size={len(data)}"
+                )
+            io_before = self.stats.io_time_ms
+            hits_before = self.stats.cache_hits
+            if length:
+                self._charge(name, offset, length, write=False)
+            self.stats.read_calls += 1
+            self.stats.bytes_read += length
+            self.stats.per_file_reads[name] = (
+                self.stats.per_file_reads.get(name, 0) + 1
             )
-        io_before = self.stats.io_time_ms
-        hits_before = self.stats.cache_hits
-        if length:
-            self._charge(name, offset, length, write=False)
-        self.stats.read_calls += 1
-        self.stats.bytes_read += length
-        self.stats.per_file_reads[name] = self.stats.per_file_reads.get(name, 0) + 1
-        if self.tracer is not None:
-            self.tracer.record(
-                "disk.read",
-                self.stats.io_time_ms - io_before,
-                file=name,
-                bytes=length,
-                cache_hits=self.stats.cache_hits - hits_before,
-            )
-        return bytes(data[offset : offset + length])
+            if self.tracer is not None:
+                self.tracer.record(
+                    "disk.read",
+                    self.stats.io_time_ms - io_before,
+                    file=name,
+                    bytes=length,
+                    cache_hits=self.stats.cache_hits - hits_before,
+                )
+            return bytes(data[offset : offset + length])
 
     def write(self, name: str, offset: int, payload: bytes) -> None:
         """Write *payload* at *offset* (may extend the file)."""
-        data = self._file(name)
-        if offset < 0:
-            raise StorageError("negative offset")
-        if offset > len(data):
-            raise StorageError(
-                f"write would leave a hole in {name!r}: offset={offset} "
-                f"size={len(data)}"
-            )
-        end = offset + len(payload)
-        if end > len(data):
-            data.extend(b"\x00" * (end - len(data)))
-        data[offset:end] = payload
-        if payload:
-            self._charge(name, offset, len(payload), write=True)
-        self.stats.write_calls += 1
-        self.stats.bytes_written += len(payload)
+        with self._lock:
+            data = self._file(name)
+            if offset < 0:
+                raise StorageError("negative offset")
+            if offset > len(data):
+                raise StorageError(
+                    f"write would leave a hole in {name!r}: offset={offset} "
+                    f"size={len(data)}"
+                )
+            end = offset + len(payload)
+            if end > len(data):
+                data.extend(b"\x00" * (end - len(data)))
+            data[offset:end] = payload
+            if payload:
+                self._charge(name, offset, len(payload), write=True)
+            self.stats.write_calls += 1
+            self.stats.bytes_written += len(payload)
 
     def append(self, name: str, payload: bytes) -> int:
         """Append *payload*; returns the offset it was written at."""
@@ -319,24 +400,34 @@ class SimulatedDisk:
         page_size = self.params.page_size
         first = offset // page_size
         last = (offset + length - 1) // page_size
+        meters = self._meters()
+        channel = self._channel()
         for page in range(first, last + 1):
             key = (name, page)
             if not write and self.cache.touch(key):
                 self.stats.cache_hits += 1
+                for meter in meters:
+                    meter.cache_hits += 1
                 continue
             if write:
                 # Write-through: page becomes resident, cost is charged.
                 self.cache.insert(key)
-            self.stats.io_time_ms += self._positioning_ms(name, page)
-            self.stats.io_time_ms += self.params.transfer_ms_per_page
+            seeks_before = self.stats.seeks
+            cost = self._positioning_ms(name, page, channel)
+            cost += self.params.transfer_ms_per_page
+            self.stats.io_time_ms += cost
             if write:
                 self.stats.pages_written += 1
             else:
                 self.stats.pages_read += 1
-            self._head = (name, page)
+            for meter in meters:
+                meter.io_ms += cost
+                meter.pages += 1
+                meter.seeks += self.stats.seeks - seeks_before
+            self._heads[channel] = (name, page)
 
-    def _positioning_ms(self, name: str, page: int) -> float:
-        """Head-movement cost of touching (name, page).
+    def _positioning_ms(self, name: str, page: int, channel: str = "main") -> float:
+        """Head-movement cost of touching (name, page) on *channel*.
 
         * same page or the next page of the same file — sequential, free;
         * a short *forward* skip within the same file — the platter simply
@@ -346,7 +437,7 @@ class SimulatedDisk:
           paper's SII refine numbers imply);
         * anything else (backward, or another file) — a full seek.
         """
-        head = self._head
+        head = self._heads.get(channel)
         if head is not None and head[0] == name:
             gap = page - head[1]
             if 0 <= gap <= 1:

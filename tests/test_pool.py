@@ -1,5 +1,8 @@
 """Unit tests for the top-k result pool."""
 
+import itertools
+import random
+
 import pytest
 
 from repro.core.pool import ResultPool
@@ -71,3 +74,70 @@ class TestResultPool:
             pool.insert(tid, float(100 - tid))
         kept = sorted(e.distance for e in pool.results())
         assert kept == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestOrderIndependence:
+    """Regression tests for the merge-order nondeterminism bug.
+
+    The pool's final contents must be a pure function of the inserted
+    multiset — the determinism contract ``repro.parallel`` builds on.
+    The old pool kept whichever equal-distance tuple arrived first, so
+    shard merge order leaked into the answer.
+    """
+
+    def test_tie_eviction_prefers_smaller_tid(self):
+        # Regression: a later-arriving equal-distance tuple with a smaller
+        # tid must replace the worst member, not be dropped.
+        pool = ResultPool(1)
+        pool.insert(9, 2.0)
+        assert pool.insert(1, 2.0)
+        assert pool.results()[0].tid == 1
+
+    def test_all_insertion_orders_converge(self):
+        entries = [(7, 3.0), (2, 3.0), (5, 1.0), (9, 3.0), (4, 2.0)]
+        expected = None
+        for order in itertools.permutations(entries):
+            pool = ResultPool(3)
+            for tid, dist in order:
+                pool.insert(tid, dist)
+            got = [(e.distance, e.tid) for e in pool.results()]
+            if expected is None:
+                expected = got
+            assert got == expected, f"order {order} diverged"
+        assert expected == [(1.0, 5), (2.0, 4), (3.0, 2)]
+
+    def test_sharded_merge_equals_sequential(self):
+        # Simulate shard-local pools merged in arbitrary order.
+        rng = random.Random(13)
+        entries = [(tid, float(rng.randrange(8))) for tid in range(60)]
+        sequential = ResultPool(10)
+        for tid, dist in entries:
+            sequential.insert(tid, dist)
+        for seed in range(10):
+            shuffled = entries[:]
+            random.Random(seed).shuffle(shuffled)
+            shards = [shuffled[i::4] for i in range(4)]
+            locals_ = []
+            for shard in shards:
+                local = ResultPool(10)
+                for tid, dist in shard:
+                    local.insert(tid, dist)
+                locals_.append(local)
+            merged = ResultPool(10)
+            for local in locals_:
+                merged.merge_from(local)
+            assert [(e.distance, e.tid) for e in merged.results()] == [
+                (e.distance, e.tid) for e in sequential.results()
+            ]
+
+    def test_tie_aware_is_candidate(self):
+        pool = ResultPool(2)
+        pool.insert(5, 3.0)
+        pool.insert(8, 3.0)
+        # Strict check (no tid): equal estimate is not a candidate.
+        assert not pool.is_candidate(3.0)
+        # Tie-aware: a smaller tid at the boundary distance still qualifies,
+        # a larger one does not.
+        assert pool.is_candidate(3.0, tid=7)
+        assert not pool.is_candidate(3.0, tid=9)
+        assert pool.is_candidate(2.9, tid=9)
