@@ -73,10 +73,37 @@ def check_snapshot(snapshot: dict) -> list:
     return problems
 
 
+def check_codec_sidecar(snapshot: dict, csv_rows: list) -> list:
+    """Validate the ``codec-compare`` sweep's emitted artifacts.
+
+    The metrics snapshot must carry the bytes-saved counter for at least
+    one non-raw codec, and every CSV row must report identical answers —
+    a compressed index that answers differently is a correctness bug the
+    smoke gate has to catch.
+    """
+    problems = check_snapshot(snapshot)
+    saved = [
+        c
+        for c in snapshot.get("counters", ())
+        if c["name"] == "repro_codec_bytes_saved_total"
+    ]
+    if not saved:
+        problems.append("missing counter 'repro_codec_bytes_saved_total'")
+    elif not any(c["value"] > 0 for c in saved):
+        problems.append("repro_codec_bytes_saved_total never incremented")
+    if len(csv_rows) < 2:
+        problems.append(f"codec-compare emitted {len(csv_rows)} codec rows, want >= 2")
+    for row in csv_rows:
+        if row and row[-1] != "yes":
+            problems.append(f"codec {row[0]!r} answers differ from raw")
+    return problems
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         os.environ["REPRO_BENCH_RESULTS"] = tmp
 
+        from repro.bench.codec_compare import codec_compare_sweep, emit_codec_compare
         from repro.bench.harness import build_environment, run_query_set
         from repro.bench.reporting import emit_table
         from repro.data import DatasetConfig
@@ -101,7 +128,22 @@ def main() -> int:
         with open(path, encoding="utf-8") as fh:
             snapshot = json.load(fh)
 
-    problems = check_snapshot(snapshot)
+        emit_codec_compare(codec_compare_sweep(env))
+        codec_json = os.path.join(tmp, "codec_compare.metrics.json")
+        codec_csv = os.path.join(tmp, "codec_compare.csv")
+        if not os.path.exists(codec_json) or not os.path.exists(codec_csv):
+            print("FAIL: codec-compare did not emit its sidecar", file=sys.stderr)
+            return 1
+        with open(codec_json, encoding="utf-8") as fh:
+            codec_snapshot = json.load(fh)
+        import csv as csv_module
+
+        with open(codec_csv, encoding="utf-8", newline="") as fh:
+            codec_rows = list(csv_module.reader(fh))[1:]  # drop the header
+
+    problems = check_snapshot(snapshot) + check_codec_sidecar(
+        codec_snapshot, codec_rows
+    )
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
@@ -111,7 +153,8 @@ def main() -> int:
     gauges = len(snapshot["gauges"])
     print(
         f"metrics OK: {counters} counters, {gauges} gauges, "
-        f"{histograms} histograms, all finite"
+        f"{histograms} histograms, all finite; codec-compare sidecar OK "
+        f"({len(codec_rows)} codecs, answers identical)"
     )
     return 0
 

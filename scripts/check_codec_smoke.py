@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Smoke-check the codec seam: one index per family, identical answers.
+
+Builds a small synthetic table, indexes it once per registered codec
+family, and cross-checks:
+
+* every codec's top-k answers are bit-identical to ``raw``'s, both
+  sequentially and through the parallel executor;
+* ``fsck`` reports every index clean (codec wire-format checks included);
+* the ``compressed`` family actually shrinks the vector lists.
+
+Exit status 0 on success, 1 on any problem, so it can gate `make smoke`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+WORKERS = 3
+QUERIES = 12
+K = 10
+
+
+def main() -> int:
+    from repro.codec import CODEC_NAMES
+    from repro.core.engine import IVAEngine
+    from repro.core.iva_file import IVAConfig, IVAFile
+    from repro.data.generator import DatasetConfig, DatasetGenerator
+    from repro.data.workload import WorkloadGenerator
+    from repro.parallel import ExecutorConfig
+    from repro.storage import SparseWideTable, simulated_backend
+    from repro.storage.fsck import check_index
+
+    table = SparseWideTable(simulated_backend())
+    DatasetGenerator(
+        DatasetConfig(
+            num_tuples=600, num_attributes=50, mean_attrs_per_tuple=7.0, seed=19
+        )
+    ).populate(table)
+    workload = WorkloadGenerator(table, seed=23)
+    queries = [workload.sample_query(arity) for arity in (1, 2, 3) for _ in range(QUERIES // 3)]
+
+    problems = []
+    answers = {}
+    vector_bytes = {}
+    for codec in CODEC_NAMES:
+        index = IVAFile.build(table, IVAConfig(name=f"smoke_{codec}", codec=codec))
+        vector_bytes[codec] = sum(e.list_size for e in index.entries())
+        findings = check_index(index)
+        for finding in findings:
+            problems.append(f"fsck[{codec}]: {finding}")
+        sequential = IVAEngine(table, index)
+        parallel = IVAEngine(
+            table, index, executor=ExecutorConfig(workers=WORKERS)
+        )
+        answers[codec] = [
+            [(r.tid, r.distance) for r in sequential.search(q, k=K).results]
+            for q in queries
+        ]
+        parallel_answers = [
+            [(r.tid, r.distance) for r in parallel.search(q, k=K).results]
+            for q in queries
+        ]
+        if parallel_answers != answers[codec]:
+            problems.append(f"{codec}: parallel answers differ from sequential")
+
+    baseline = answers[CODEC_NAMES[0]]
+    for codec in CODEC_NAMES[1:]:
+        if answers[codec] != baseline:
+            problems.append(f"{codec}: answers differ from {CODEC_NAMES[0]}")
+
+    raw_bytes = vector_bytes.get("raw", 0)
+    compressed_bytes = vector_bytes.get("compressed", 0)
+    if raw_bytes and compressed_bytes >= raw_bytes:
+        problems.append(
+            f"compressed vector lists ({compressed_bytes}) not smaller "
+            f"than raw ({raw_bytes})"
+        )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    reduction = 1 - compressed_bytes / raw_bytes if raw_bytes else 0.0
+    print(
+        f"codec smoke OK: {len(CODEC_NAMES)} codecs x {len(queries)} queries "
+        f"identical (sequential + x{WORKERS} parallel), fsck clean, "
+        f"compressed saves {reduction:.1%} of vector-list bytes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,9 +38,13 @@ from repro.storage import (
     Catalog,
     DiskParameters,
     DiskStats,
+    HostDisk,
     LRUCache,
     SimulatedDisk,
     SparseWideTable,
+    StorageBackend,
+    host_backend,
+    simulated_backend,
 )
 from repro.metrics import (
     DistanceFunction,
@@ -65,12 +69,12 @@ from repro.core import (
     Signature,
     SignatureScheme,
 )
+from repro.codec import CODEC_NAMES, VectorListCodec, codec_for_code, get_codec
 from repro.core.sequential import SequentialPlanEngine
 from repro.core.batch import BatchIVAEngine
 from repro.core.columnar import InMemoryIVAEngine
 from repro.concurrency import ConcurrentSystem, ReadWriteLock
 from repro.storage.fsck import Finding, check_all, check_index, check_table
-from repro.storage.hostdisk import HostDisk
 from repro.core.range_search import RangeMatch, RangeReport, RangeSearcher
 from repro.core.explain import QueryPlan, explain
 from repro.distributed import PartitionedSystem, VerticallyPartitionedIVA
@@ -117,12 +121,19 @@ __all__ = [
     "AttributeDef",
     "AttributeType",
     "Record",
+    "CODEC_NAMES",
     "Catalog",
     "DiskParameters",
     "DiskStats",
     "LRUCache",
     "SimulatedDisk",
     "SparseWideTable",
+    "StorageBackend",
+    "VectorListCodec",
+    "codec_for_code",
+    "get_codec",
+    "host_backend",
+    "simulated_backend",
     "DistanceFunction",
     "L1Metric",
     "L2Metric",

@@ -3,7 +3,10 @@
 * :mod:`repro.analysis.error_model` — the Eq. 5 signature error model and
   its empirical validation helpers.
 * :mod:`repro.analysis.size_model` — closed-form index size prediction
-  (the Sec. III-D formulas applied table-wide).
+  (the Sec. III-D formulas applied table-wide, evaluated by the active
+  :mod:`repro.codec` family).
+* :mod:`repro.analysis.storage_model` — dense-vs-interpreted table
+  footprints and per-codec index footprint comparison.
 * :mod:`repro.analysis.stats` — the small statistics the paper reports
   (means, standard deviations — Fig. 11).
 """
@@ -14,12 +17,22 @@ from repro.analysis.error_model import (
 )
 from repro.analysis.size_model import IndexSizeBreakdown, predict_iva_size
 from repro.analysis.stats import mean, population_stddev, summarize
+from repro.analysis.storage_model import (
+    CodecFootprint,
+    StorageComparison,
+    compare_codecs,
+    compare_storage,
+)
 
 __all__ = [
     "empirical_relative_error",
     "predicted_relative_error",
     "IndexSizeBreakdown",
     "predict_iva_size",
+    "CodecFootprint",
+    "StorageComparison",
+    "compare_codecs",
+    "compare_storage",
     "mean",
     "population_stddev",
     "summarize",

@@ -23,8 +23,7 @@ from repro.core.iva_file import IVAConfig, IVAFile
 from repro.errors import QueryError
 from repro.metrics.distance import DistanceFunction
 from repro.query import Query, QueryTerm
-from repro.storage.disk import SimulatedDisk
-from repro.storage.table import SparseWideTable
+from repro.storage import SparseWideTable, simulated_backend
 
 
 @dataclass(frozen=True)
@@ -65,9 +64,14 @@ def recommend_alpha(
     sample_tuples: int = 2000,
     distance: Optional[DistanceFunction] = None,
     seed: int = 0,
+    codec: str = "raw",
 ) -> AlphaRecommendation:
     """Measure each candidate α on a sampled copy of *table* and pick the
-    cheapest by mean modeled query time (ties broken by index size)."""
+    cheapest by mean modeled query time (ties broken by index size).
+
+    *codec* selects the vector-list wire format the candidate indexes are
+    built with (see :mod:`repro.codec`), so the measured sizes match what
+    a production build with the same codec would produce."""
     if not queries:
         raise QueryError("need at least one representative query")
     if not alphas:
@@ -81,7 +85,11 @@ def recommend_alpha(
     for alpha in alphas:
         index = IVAFile.build(
             sample_table,
-            IVAConfig(alpha=alpha, name=f"advisor_a{int(round(alpha * 1000))}"),
+            IVAConfig(
+                alpha=alpha,
+                name=f"advisor_a{int(round(alpha * 1000))}",
+                codec=codec,
+            ),
         )
         engine = IVAEngine(sample_table, index, dist)
         reports = [engine.search(query, k=k) for query in sample_queries]
@@ -115,7 +123,7 @@ def _sample_table(
         chosen = sorted(rng.sample(live, sample_tuples))
     else:
         chosen = live
-    sample = SparseWideTable(SimulatedDisk(table.disk.params), catalog=table.catalog)
+    sample = SparseWideTable(simulated_backend(table.disk.params), catalog=table.catalog)
     for tid in chosen:
         sample.insert_record(dict(table.read(tid).cells))
     return sample, len(live) / len(chosen)

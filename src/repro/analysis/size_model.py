@@ -1,31 +1,31 @@
 """Closed-form prediction of iVA-file size (the Sec. III-D formulas).
 
-Given only the table's statistics (df, str and string lengths per
-attribute), predicts what each vector list will cost under each layout and
-which layout the builder will pick — without building anything.  Tests
-check the prediction matches the built index byte-for-byte, and the sizes
-bench uses it to reproduce the paper's "82.7 MB – 116.7 MB" index-size
-range across α.
+Given only the table's contents (df, str and string lengths per attribute),
+predicts what each vector list will cost under each layout and which layout
+the builder will pick — without building anything.  The sizes are evaluated
+by the active :mod:`repro.codec` family, so the prediction matches the
+builder byte-for-byte for ``raw`` *and* ``compressed``: the fixed-width
+family needs only the aggregate statistics, the delta-coded family the
+actual tid gaps (still pure arithmetic, no serialization).  Tests check the
+prediction matches the built index exactly, and the sizes bench uses it to
+reproduce the paper's "82.7 MB – 116.7 MB" index-size range across α.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
+from repro.codec import get_codec
+from repro.core.iva_file import ATTR_ELEMENT_BYTES
 from repro.core.signature import SignatureScheme
 from repro.core.numeric import vector_bytes_for_alpha
 from repro.core.tuple_list import ELEMENT as TUPLE_ELEMENT
-from repro.core.vector_lists import (
-    ListType,
-    numeric_list_sizes,
-    text_list_sizes,
-)
+from repro.core.vector_lists import ListType
 from repro.model.values import is_text_value
 from repro.storage.table import SparseWideTable
 
-#: Byte width of one attribute-list element (mirrors iva_file._ATTR_ELEMENT).
-ATTR_ELEMENT_BYTES = 44
+__all__ = ["ATTR_ELEMENT_BYTES", "IndexSizeBreakdown", "predict_iva_size"]
 
 
 @dataclass
@@ -48,32 +48,39 @@ class IndexSizeBreakdown:
 
 
 def predict_iva_size(
-    table: SparseWideTable, alpha: float, n: int
+    table: SparseWideTable, alpha: float, n: int, codec: str = "raw"
 ) -> IndexSizeBreakdown:
-    """Predict the size of ``IVAFile.build(table, IVAConfig(alpha, n))``."""
+    """Predict the size of ``IVAFile.build(table, IVAConfig(alpha, n, codec=codec))``."""
+    codec_impl = get_codec(codec)
     scheme = SignatureScheme(alpha, n)
     breakdown = IndexSizeBreakdown()
     live = len(table)
     breakdown.tuple_list_bytes = TUPLE_ELEMENT.size * live
     breakdown.attribute_list_bytes = ATTR_ELEMENT_BYTES * len(table.catalog)
 
-    vector_totals: Dict[int, int] = {attr.attr_id: 0 for attr in table.catalog}
-    dfs: Dict[int, int] = {attr.attr_id: 0 for attr in table.catalog}
-    strs: Dict[int, int] = {attr.attr_id: 0 for attr in table.catalog}
+    text_entries: Dict[int, List[Tuple[int, tuple]]] = {}
+    numeric_entries: Dict[int, List[Tuple[int, float]]] = {}
+    all_tids: List[int] = []
     for record in table.scan():
+        all_tids.append(record.tid)
         for attr_id, value in record.cells.items():
-            dfs[attr_id] += 1
             if is_text_value(value):
-                strs[attr_id] += len(value)
-                vector_totals[attr_id] += sum(
-                    scheme.vector_byte_size(s) for s in value
-                )
+                text_entries.setdefault(attr_id, []).append((record.tid, value))
+            else:
+                numeric_entries.setdefault(attr_id, []).append((record.tid, value))
+    all_tids.sort()
+    for bucket in text_entries.values():
+        bucket.sort(key=lambda pair: pair[0])
+    for bucket in numeric_entries.values():
+        bucket.sort(key=lambda pair: pair[0])
 
     numeric_width = vector_bytes_for_alpha(alpha)
     for attr in table.catalog:
         attr_id = attr.attr_id
         if attr.is_text:
-            sizes = text_list_sizes(vector_totals[attr_id], dfs[attr_id], strs[attr_id], live)
+            sizes = codec_impl.text_sizes(
+                scheme, text_entries.get(attr_id, []), all_tids
+            )
             chosen = sizes.best()
             size = {
                 ListType.TYPE_I: sizes.type_i,
@@ -81,7 +88,9 @@ def predict_iva_size(
                 ListType.TYPE_III: sizes.type_iii,
             }[chosen]
         else:
-            sizes = numeric_list_sizes(numeric_width, dfs[attr_id], live)
+            sizes = codec_impl.numeric_sizes(
+                numeric_width, numeric_entries.get(attr_id, []), all_tids
+            )
             chosen = sizes.best()
             size = sizes.type_i if chosen is ListType.TYPE_I else sizes.type_iv
         breakdown.chosen_types[attr_id] = chosen

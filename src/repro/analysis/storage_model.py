@@ -6,12 +6,21 @@ conclude the interpreted format wins, and the paper stores its table that
 way.  This model computes what a naive dense-horizontal layout (one fixed
 slot per attribute per tuple, ndf markers included) would cost for a given
 table, so the premise can be checked against any dataset.
+
+The same closed-form machinery extends to the index side:
+:func:`compare_codecs` predicts the iVA-file footprint under every
+registered :mod:`repro.codec` family (via
+:func:`repro.analysis.size_model.predict_iva_size`, which is exact for a
+fresh build), so ``repro advise`` and the sizing benches can report what
+switching codec buys *before* building anything.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
+from repro.codec import CODEC_NAMES
 from repro.model.values import is_text_value
 from repro.storage.table import SparseWideTable
 
@@ -74,3 +83,44 @@ def compare_storage(table: SparseWideTable) -> StorageComparison:
         defined_cells=defined,
         total_cells=live * attributes,
     )
+
+
+@dataclass(frozen=True)
+class CodecFootprint:
+    """Predicted iVA-file footprint under one codec family."""
+
+    codec: str
+    total_bytes: int
+    vector_list_bytes: int
+
+    def reduction_vs(self, baseline: "CodecFootprint") -> float:
+        """Fraction of *baseline*'s vector-list bytes this codec removes."""
+        if baseline.vector_list_bytes == 0:
+            return 0.0
+        return 1.0 - self.vector_list_bytes / baseline.vector_list_bytes
+
+
+def compare_codecs(
+    table: SparseWideTable,
+    alpha: float,
+    n: int,
+    codecs: Optional[Sequence[str]] = None,
+) -> Dict[str, CodecFootprint]:
+    """Predicted index footprint per codec family (default: all registered).
+
+    Pure arithmetic — nothing is built.  The prediction is exact for a
+    fresh ``IVAFile.build`` (see :mod:`repro.analysis.size_model`), so
+    ``footprints["compressed"].reduction_vs(footprints["raw"])`` is the
+    byte reduction the codec sweep bench will actually measure.
+    """
+    from repro.analysis.size_model import predict_iva_size
+
+    footprints: Dict[str, CodecFootprint] = {}
+    for codec in codecs if codecs is not None else CODEC_NAMES:
+        breakdown = predict_iva_size(table, alpha, n, codec=codec)
+        footprints[codec] = CodecFootprint(
+            codec=codec,
+            total_bytes=breakdown.total_bytes,
+            vector_list_bytes=sum(breakdown.vector_list_bytes.values()),
+        )
+    return footprints

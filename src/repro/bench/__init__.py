@@ -19,6 +19,11 @@ from repro.bench.harness import (
     run_queries,
     run_query_set,
 )
+from repro.bench.codec_compare import (
+    CodecRun,
+    codec_compare_sweep,
+    emit_codec_compare,
+)
 from repro.bench.parallel_scaling import (
     WORKER_COUNTS,
     emit_parallel_scaling,
@@ -38,6 +43,9 @@ __all__ = [
     "build_environment",
     "run_queries",
     "run_query_set",
+    "CodecRun",
+    "codec_compare_sweep",
+    "emit_codec_compare",
     "emit_table",
     "results_dir",
     "WORKER_COUNTS",

@@ -39,8 +39,12 @@ from repro.data.workload import QuerySet, WorkloadGenerator
 from repro.metrics.distance import DistanceFunction
 from repro.metrics.weights import equal_weights, itf_weights
 from repro.query import Query
-from repro.storage.disk import DiskParameters, SimulatedDisk
-from repro.storage.table import SparseWideTable
+from repro.storage import (
+    DiskParameters,
+    SparseWideTable,
+    StorageBackend,
+    simulated_backend,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -87,7 +91,7 @@ WARMUP_QUERIES = _env_int("REPRO_BENCH_WARMUP", 5)
 class Environment:
     """A built evaluation setup: table + default indices + workload."""
 
-    disk: SimulatedDisk
+    disk: StorageBackend
     table: SparseWideTable
     iva: IVAFile
     sii: SparseInvertedIndex
@@ -147,16 +151,18 @@ class Environment:
             self._query_sets[values_per_query] = cached
         return cached
 
-    def iva_variant(self, alpha: float, n: int) -> IVAFile:
+    def iva_variant(self, alpha: float, n: int, codec: str = "raw") -> IVAFile:
         """A (cached) iVA-file built with non-default parameters."""
-        key = (round(alpha, 4), n)
+        key = (round(alpha, 4), n, codec)
         cached = self._iva_variants.get(key)
         if cached is None:
-            if key == (round(DEFAULTS.alpha, 4), DEFAULTS.n):
+            if key == (round(DEFAULTS.alpha, 4), DEFAULTS.n, self.iva.config.codec):
                 cached = self.iva
             else:
-                name = f"iva_a{int(round(alpha * 100))}_n{n}"
-                cached = IVAFile.build(self.table, IVAConfig(alpha=alpha, n=n, name=name))
+                name = f"iva_a{int(round(alpha * 100))}_n{n}_{codec}"
+                cached = IVAFile.build(
+                    self.table, IVAConfig(alpha=alpha, n=n, name=name, codec=codec)
+                )
             self._iva_variants[key] = cached
         return cached
 
@@ -174,7 +180,7 @@ def build_environment(
 ) -> Environment:
     """Generate the dataset and build the default iVA-file and SII."""
     dataset = dataset or BENCH_DATASET
-    disk = SimulatedDisk(disk_params or BENCH_DISK)
+    disk = simulated_backend(disk_params or BENCH_DISK)
     table = SparseWideTable(disk)
     DatasetGenerator(dataset).populate(table)
     iva = IVAFile.build(table, iva_config or IVAConfig(alpha=DEFAULTS.alpha, n=DEFAULTS.n))

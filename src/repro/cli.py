@@ -35,10 +35,10 @@ from repro.metrics.distance import DistanceFunction
 from repro.obs.export import load_snapshot, render_json, render_prometheus, write_snapshot
 from repro.obs.metrics import get_registry
 from repro.obs.trace import JsonlSpanSink, SlowQueryLog, Tracer
+from repro.codec import CODEC_NAMES
 from repro.query import Query, QueryTerm
-from repro.storage.disk import SimulatedDisk
+from repro.storage import SparseWideTable, simulated_backend
 from repro.storage.snapshot import load_disk, save_disk
-from repro.storage.table import SparseWideTable
 
 
 def _metrics_sidecar(snapshot_path: str) -> str:
@@ -107,6 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--alpha", type=float, default=0.20)
     build.add_argument("--n", type=int, default=2)
     build.add_argument("--name", default="iva")
+    build.add_argument(
+        "--codec",
+        default="raw",
+        choices=list(CODEC_NAMES),
+        help="vector-list wire format: raw (fixed-width) or compressed "
+        "(delta/gap-coded)",
+    )
 
     query = sub.add_parser("query", help="run a top-k similarity query")
     query.add_argument("--snapshot", required=True)
@@ -150,6 +157,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="sample queries to measure with")
     advise.add_argument("--values-per-query", type=int, default=3)
     advise.add_argument("--sample-tuples", type=int, default=1000)
+    advise.add_argument(
+        "--codec",
+        default="raw",
+        choices=list(CODEC_NAMES),
+        help="codec the candidate indexes are built with",
+    )
 
     compare = sub.add_parser(
         "compare", help="race iVA vs SII vs DST on sampled queries"
@@ -187,7 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "suite",
-        choices=["parallel-scaling"],
+        choices=["parallel-scaling", "codec-compare"],
         help="benchmark suite to run",
     )
     bench.add_argument(
@@ -236,7 +249,7 @@ def _parse_terms(table: SparseWideTable, raw_terms: Sequence[str]) -> Query:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    disk = SimulatedDisk()
+    disk = simulated_backend()
     table = SparseWideTable(disk)
     config = DatasetConfig(
         num_tuples=args.tuples,
@@ -256,11 +269,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_build(args: argparse.Namespace) -> int:
     disk = load_disk(args.snapshot)
     table = SparseWideTable.attach(disk)
-    index = IVAFile.build(table, IVAConfig(alpha=args.alpha, n=args.n, name=args.name))
+    index = IVAFile.build(
+        table,
+        IVAConfig(alpha=args.alpha, n=args.n, name=args.name, codec=args.codec),
+    )
     save_disk(disk, args.snapshot)
     print(
         f"built iVA-file {args.name!r}: {index.total_bytes():,} bytes "
-        f"(α={args.alpha:.0%}, n={args.n}) over {len(table)} tuples"
+        f"(α={args.alpha:.0%}, n={args.n}, codec={args.codec}) "
+        f"over {len(table)} tuples"
     )
     return 0
 
@@ -322,10 +339,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"({index.deleted_elements} tombstoned)"
     )
     by_type: dict = {}
+    by_codec: dict = {}
     for entry in index.entries():
         by_type[entry.list_type.name] = by_type.get(entry.list_type.name, 0) + 1
+        by_codec[entry.codec] = by_codec.get(entry.codec, 0) + 1
     layouts = ", ".join(f"{name}: {count}" for name, count in sorted(by_type.items()))
     print(f"vector-list layouts: {layouts}")
+    codecs = ", ".join(f"{name}: {count}" for name, count in sorted(by_codec.items()))
+    print(f"vector-list codecs: {codecs}")
     return 0
 
 
@@ -335,7 +356,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if bool(args.jsonl) == bool(args.csv):
         raise ReproError("pass exactly one of --jsonl or --csv")
     if args.create:
-        disk = SimulatedDisk()
+        disk = simulated_backend()
         table = SparseWideTable(disk)
     else:
         disk = load_disk(args.snapshot)
@@ -382,7 +403,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         workload.sample_query(args.values_per_query) for _ in range(args.queries)
     ]
     recommendation = recommend_alpha(
-        table, queries, sample_tuples=args.sample_tuples
+        table, queries, sample_tuples=args.sample_tuples, codec=args.codec
     )
     print(recommendation.describe())
     print(f"\nrecommended: --alpha {recommendation.best_alpha}")
@@ -475,6 +496,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.harness import build_environment
+
+    if args.suite == "codec-compare":
+        from repro.bench.codec_compare import codec_compare_sweep, emit_codec_compare
+
+        print("building the bench environment (generated dataset + indexes)...")
+        env = build_environment()
+        sweep = codec_compare_sweep(
+            env, values_per_query=args.values_per_query, k=args.k
+        )
+        emit_codec_compare(sweep)
+        broken = [run.codec for run in sweep.values() if not run.answers_identical]
+        if broken:
+            raise ReproError(
+                f"codec(s) {broken} returned different answers than raw"
+            )
+        return 0
+
     from repro.bench.parallel_scaling import (
         emit_parallel_scaling,
         parallel_scaling_sweep,

@@ -1,0 +1,360 @@
+"""The vector-list codec seam: wire-format families behind one interface.
+
+The iVA-file stores one vector list per attribute in one of the four
+Sec. III-D layouts (Types I–IV).  *Which bytes those layouts serialize to*
+is this package's business: a :class:`VectorListCodec` owns
+
+* the per-layout **size formulas** (the paper's closed forms, evaluated for
+  this codec's encoding — the builder still picks the smallest layout, but
+  the sizes it compares are codec-specific);
+* the **builders** (bulk serialization at rebuild) and **appenders**
+  (tail elements at insert);
+* the **scanners** (the synchronized-scan pointers of Sec. IV-A);
+* the **resume-point arithmetic** feeding the index's sync directory, so
+  ``repro.parallel`` shard workers can enter a list mid-stream; and
+* the **integrity checks** ``repro.storage.fsck`` runs over raw payloads.
+
+Two families ship: :class:`~repro.codec.raw.RawCodec` (the fixed-width
+encodings the reproduction always had) and
+:class:`~repro.codec.compressed.CompressedCodec` (delta+varint tid columns
+and gap-coded positional runs, after Vigna's quasi-succinct indices).
+Both preserve the no-false-negative contract — they change bytes, never
+the approximation vectors or the lower-bound semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.numeric import NumericQuantizer
+from repro.core.scan import ResumePoint, VectorListScanner
+from repro.core.signature import SignatureScheme
+from repro.core.vector_lists import ListType, NumericListSizes, TextListSizes
+from repro.errors import IndexError_
+from repro.model.values import TextValue
+
+__all__ = [
+    "VectorListCodec",
+    "encode_uvarint",
+    "read_uvarint",
+    "uvarint_len",
+    "BytesReader",
+    "tid_resume_points",
+    "positional_resume_points",
+    "list_last_key",
+]
+
+
+# ------------------------------------------------------------------ varints
+
+
+def encode_uvarint(value: int) -> bytes:
+    """LEB128 unsigned varint (7 payload bits per byte, MSB = continue)."""
+    if value < 0:
+        raise IndexError_(f"cannot varint-encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def uvarint_len(value: int) -> int:
+    """Encoded byte length of :func:`encode_uvarint` without encoding."""
+    if value < 0:
+        raise IndexError_(f"cannot varint-encode negative value {value}")
+    if value == 0:
+        return 1
+    return (value.bit_length() + 6) // 7
+
+
+def read_uvarint(reader) -> int:
+    """Decode one LEB128 varint from a reader with ``read(n) -> bytes``."""
+    shift = 0
+    value = 0
+    while True:
+        byte = reader.read(1)[0]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+        if shift > 63:
+            raise IndexError_("varint longer than 64 bits — corrupt stream")
+
+
+class BytesReader:
+    """Minimal in-memory reader with the :class:`BufferedReader` surface.
+
+    Used by the fsck-facing :meth:`VectorListCodec.check_list` to decode a
+    payload already in memory without charging disk I/O.
+    """
+
+    def __init__(self, payload: bytes) -> None:
+        self._payload = payload
+        self.position = 0
+
+    def read(self, length: int) -> bytes:
+        if self.position + length > len(self._payload):
+            raise IndexError_(
+                f"read past end of list payload at offset {self.position}"
+            )
+        out = self._payload[self.position : self.position + length]
+        self.position += length
+        return out
+
+    def exhausted(self) -> bool:
+        """True when every payload byte has been consumed."""
+        return self.position >= len(self._payload)
+
+    @property
+    def size(self) -> int:
+        """Total payload length in bytes."""
+        return len(self._payload)
+
+
+# ------------------------------------------------- resume-point arithmetic
+
+
+def tid_resume_points(
+    elements: Iterable[Tuple[int, int]],
+    all_tids: Sequence[int],
+    positions: Sequence[int],
+) -> List[ResumePoint]:
+    """Resume points at *positions* for a tid-based list.
+
+    *elements* yields ``(tid, serialized_bytes)`` per list element in tid
+    order — widths must already include any delta varints, so they only
+    make sense accumulated in order, which is exactly what this does.  The
+    resume point at tuple position ``p`` covers every element with
+    ``tid < all_tids[p]``; its ``prev_key`` is the last such element's tid
+    (the decoding base a delta-coded scanner resumes from).
+    """
+    points: List[ResumePoint] = []
+    iterator = iter(elements)
+    current = next(iterator, None)
+    acc = 0
+    prev = -1
+    for pos in positions:
+        boundary = all_tids[pos]
+        while current is not None and current[0] < boundary:
+            acc += current[1]
+            prev = current[0]
+            current = next(iterator, None)
+        points.append(ResumePoint(offset=acc, prev_key=prev, position=pos))
+    return points
+
+
+def positional_resume_points(
+    defined: Sequence[Tuple[int, int]],
+    ndf_width: int,
+    positions: Sequence[int],
+) -> List[ResumePoint]:
+    """Resume points at *positions* for a positional list.
+
+    *defined* holds ``(tuple_position, serialized_bytes)`` for the defined
+    elements in position order; undefined positions cost *ndf_width* bytes
+    each (0 for gap-coded layouts that skip them entirely).  ``prev_key``
+    is the last *defined* position before the cut.
+    """
+    points: List[ResumePoint] = []
+    i = 0
+    acc = 0
+    prev = -1
+    done = 0  # elements with position < done are accumulated in acc
+    for pos in positions:
+        while i < len(defined) and defined[i][0] < pos:
+            defined_pos, width = defined[i]
+            acc += ndf_width * (defined_pos - done) + width
+            done = defined_pos + 1
+            prev = defined_pos
+            i += 1
+        acc += ndf_width * (pos - done)
+        done = pos
+        points.append(ResumePoint(offset=acc, prev_key=prev, position=pos))
+    return points
+
+
+def list_last_key(
+    list_type: ListType,
+    entries: Sequence[Tuple[int, object]],
+    all_tids: Sequence[int],
+) -> int:
+    """The decoding base at a list's tail after a bulk build.
+
+    Tid-based layouts append relative to the last defined element's *tid*;
+    positional layouts relative to its *tuple position*.  ``-1`` for a
+    list with no defined entries.
+    """
+    if not entries:
+        return -1
+    last_tid = entries[-1][0]
+    if list_type in (ListType.TYPE_III, ListType.TYPE_IV):
+        return bisect.bisect_left(all_tids, last_tid)
+    return last_tid
+
+
+# ---------------------------------------------------------------- interface
+
+
+class VectorListCodec:
+    """One wire-format family for the four vector-list layouts."""
+
+    #: Registry name (``IVAConfig.codec`` / ``--codec`` value).
+    name: str = ""
+    #: Wire id stored in the attribute-list element.
+    code: int = -1
+
+    # ----------------------------------------------------------- sizing
+
+    def text_sizes(
+        self,
+        scheme: SignatureScheme,
+        entries: Sequence[Tuple[int, TextValue]],
+        all_tids: Sequence[int],
+    ) -> TextListSizes:
+        """Exact serialized size of each text layout under this codec."""
+        raise NotImplementedError
+
+    def numeric_sizes(
+        self,
+        vector_bytes: int,
+        entries: Sequence[Tuple[int, float]],
+        all_tids: Sequence[int],
+    ) -> NumericListSizes:
+        """Exact serialized size of each numeric layout under this codec."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- building
+
+    def build_text(
+        self,
+        list_type: ListType,
+        scheme: SignatureScheme,
+        entries: Sequence[Tuple[int, TextValue]],
+        all_tids: Sequence[int],
+    ) -> bytes:
+        """Bulk-serialize a text vector list."""
+        raise NotImplementedError
+
+    def build_numeric(
+        self,
+        list_type: ListType,
+        quantizer: NumericQuantizer,
+        entries: Sequence[Tuple[int, float]],
+        all_tids: Sequence[int],
+    ) -> bytes:
+        """Bulk-serialize a numeric vector list."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------- appending
+
+    def append_text(
+        self,
+        list_type: ListType,
+        scheme: SignatureScheme,
+        tid: int,
+        strings: Optional[TextValue],
+        *,
+        prev_key: int,
+        position: int,
+    ) -> Tuple[bytes, int]:
+        """Tail element(s) for one inserted tuple on a text attribute.
+
+        Returns ``(payload, new_prev_key)``; an empty payload means the
+        layout stores nothing for this tuple (ndf on a tid-based or
+        gap-coded list).  *prev_key* is the list's current decoding base
+        (:attr:`AttributeEntry.last_key <repro.core.iva_file.AttributeEntry>`);
+        *position* the tuple-list element position being appended.
+        """
+        raise NotImplementedError
+
+    def append_numeric(
+        self,
+        list_type: ListType,
+        quantizer: NumericQuantizer,
+        tid: int,
+        value: Optional[float],
+        *,
+        prev_key: int,
+        position: int,
+    ) -> Tuple[bytes, int]:
+        """Tail element for one inserted tuple on a numeric attribute."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- scanning
+
+    def text_scanner(
+        self,
+        list_type: ListType,
+        reader,
+        scheme: SignatureScheme,
+        resume: ResumePoint,
+    ) -> VectorListScanner:
+        """A scanning pointer over a text list, starting at *resume*.
+
+        The reader must already be positioned at ``resume.offset``.
+        """
+        raise NotImplementedError
+
+    def numeric_scanner(
+        self,
+        list_type: ListType,
+        reader,
+        quantizer: NumericQuantizer,
+        resume: ResumePoint,
+    ) -> VectorListScanner:
+        """A scanning pointer over a numeric list, starting at *resume*."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------- sync directory
+
+    def text_resume_points(
+        self,
+        list_type: ListType,
+        scheme: SignatureScheme,
+        entries: Sequence[Tuple[int, TextValue]],
+        all_tids: Sequence[int],
+        positions: Sequence[int],
+    ) -> List[ResumePoint]:
+        """Resume points at *positions* for a freshly built text list.
+
+        Pure arithmetic over the entries just serialized — the widths
+        mirror the builders exactly, so no payload parsing or I/O.
+        """
+        raise NotImplementedError
+
+    def numeric_resume_points(
+        self,
+        list_type: ListType,
+        vector_bytes: int,
+        entries: Sequence[Tuple[int, float]],
+        all_tids: Sequence[int],
+        positions: Sequence[int],
+    ) -> List[ResumePoint]:
+        """Resume points at *positions* for a freshly built numeric list."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------- integrity
+
+    def check_list(
+        self,
+        list_type: ListType,
+        is_text: bool,
+        scheme_or_quantizer,
+        payload: bytes,
+        element_count: int,
+    ) -> List[str]:
+        """Structural problems in one list payload (empty = clean).
+
+        Verifies the stream terminates exactly at the recorded length and
+        that element keys obey the layout's ordering contract (tids
+        non-decreasing for Type I text, strictly increasing for Type II
+        text and Type I numeric, defined positions strictly increasing and
+        inside the tuple list for gap-coded positional layouts).
+        """
+        raise NotImplementedError

@@ -19,14 +19,26 @@ Sync directory
 --------------
 
 Vector-list elements are variable width, so resuming a scan mid-list — what
-``repro.parallel`` shard workers do — needs a byte offset per list.  The
+``repro.parallel`` shard workers do — needs a resume point per list.  The
 index maintains a **checkpoint directory** as it goes: every
 :data:`SYNC_INTERVAL` tuple-list elements it records, for every attribute,
-the byte offset at which a fresh scanner resumes the synchronized scan at
-that element.  At rebuild the offsets are pure arithmetic over the entries
-being serialized; at insert they are the current list tails — either way
-the directory costs no I/O.  Attached indexes have no directory (it lives
+the :class:`~repro.core.scan.ResumePoint` at which a fresh scanner resumes
+the synchronized scan at that element — a byte offset plus, for delta-coded
+codecs, the decoding base at that offset.  At rebuild the points are pure
+arithmetic over the entries being serialized (delegated to the active
+codec); at insert they are the current list tails — either way the
+directory costs no I/O.  Attached indexes have no directory (it lives
 in memory); the shard planner falls back to a one-off charged walk.
+
+Codecs
+------
+
+*Which bytes* each layout serializes to is pluggable (``repro.codec``):
+``IVAConfig.codec`` names the wire-format family used at build/insert, and
+every attribute-list element records its list's codec id, so attach needs
+no out-of-band knowledge.  All codecs preserve the no-false-negative
+contract; they only change element addressing (see
+:mod:`repro.codec.compressed`).
 """
 
 from __future__ import annotations
@@ -34,41 +46,27 @@ from __future__ import annotations
 import logging
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.codec import VectorListCodec, codec_for_code, get_codec
+from repro.codec.base import list_last_key as _list_last_key
 from repro.core.numeric import NumericQuantizer, vector_bytes_for_alpha
-from repro.core.scan import (
-    NUM_BYTES,
-    TID_BYTES,
-    NumericTypeIScanner,
-    NumericTypeIVScanner,
-    TextTypeIScanner,
-    TextTypeIIScanner,
-    TextTypeIIIScanner,
-    VectorListScanner,
-)
+from repro.core.scan import ResumePoint, VectorListScanner
 from repro.core.signature import SignatureScheme
 from repro.core.tuple_list import DELETED_PTR, TupleList
-from repro.core.vector_lists import (
-    ListType,
-    build_numeric_list,
-    build_text_list,
-    choose_numeric_type,
-    choose_text_type,
-    encode_numeric_element_type_i,
-    encode_text_element_type_i,
-    encode_text_element_type_ii,
-    encode_text_element_type_iii,
-)
+from repro.core.vector_lists import ListType
 from repro.errors import IndexError_
 from repro.model.schema import AttributeDef
 from repro.model.values import CellValue, is_numeric_value, is_text_value
 from repro.storage.pager import BufferedReader
 from repro.storage.table import SparseWideTable
 
-#: Attribute-list element: list_type, kind, alpha, n, df, str, lo, hi,
-#: vector_bytes, list_size.
-_ATTR_ELEMENT = struct.Struct("<BBdBIIddBQ")
+#: Attribute-list element: list_type, kind, codec, alpha, n, df, str, lo,
+#: hi, vector_bytes, list_size, last_key.
+_ATTR_ELEMENT = struct.Struct("<BBBdBIIddBQq")
+
+#: Byte width of one attribute-list element (public for the size model).
+ATTR_ELEMENT_BYTES = _ATTR_ELEMENT.size
 
 _KIND_TEXT = 1
 _KIND_NUMERIC = 0
@@ -79,51 +77,6 @@ SYNC_INTERVAL = 64
 logger = logging.getLogger(__name__)
 
 
-def _tid_prefix_offsets(
-    widths: Iterator[Tuple[int, int]],
-    all_tids: Sequence[int],
-    positions: Sequence[int],
-) -> List[int]:
-    """Offsets at *positions* for a tid-based list.
-
-    *widths* yields ``(tid, serialized_bytes)`` per element in tid order.
-    The checkpoint at tuple position ``p`` is the total width of elements
-    with ``tid < all_tids[p]`` — exactly where a fresh scanner's pending
-    element is the first one a shard starting at ``p`` may consume.
-    """
-    offsets: List[int] = []
-    current = next(widths, None)
-    acc = 0
-    for pos in positions:
-        boundary = all_tids[pos]
-        while current is not None and current[0] < boundary:
-            acc += current[1]
-            current = next(widths, None)
-        offsets.append(acc)
-    return offsets
-
-
-def _positional_prefix_offsets(
-    width_by_tid: Mapping[int, int],
-    ndf_width: int,
-    all_tids: Sequence[int],
-    positions: Sequence[int],
-) -> List[int]:
-    """Offsets at *positions* for a positional list (one element per tuple)."""
-    offsets: List[int] = []
-    next_i = 0
-    acc = 0
-    for pos, tid in enumerate(all_tids):
-        if next_i < len(positions) and pos == positions[next_i]:
-            offsets.append(acc)
-            next_i += 1
-        acc += width_by_tid.get(tid, ndf_width)
-    while next_i < len(positions):
-        offsets.append(acc)
-        next_i += 1
-    return offsets
-
-
 @dataclass(frozen=True)
 class IVAConfig:
     """Tunable parameters of the index (paper Table I defaults).
@@ -132,12 +85,17 @@ class IVAConfig:
     relative vector length may be overridden for individual attributes —
     spend more bits where filtering matters, fewer on rarely queried
     attributes — via ``alpha_overrides`` keyed by attribute name.
+
+    ``codec`` names the vector-list wire-format family (``repro.codec``)
+    used when building and appending; existing lists keep the codec they
+    were written with (it is recorded per attribute-list element).
     """
 
     alpha: float = 0.20
     n: int = 2
     name: str = "iva"
     alpha_overrides: Mapping[str, float] = field(default_factory=dict)
+    codec: str = "raw"
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha <= 1:
@@ -149,6 +107,7 @@ class IVAConfig:
                 raise IndexError_(
                     f"α override for {name!r} must be in (0, 1], got {alpha}"
                 )
+        get_codec(self.codec)  # validate the name early
 
     def alpha_for(self, attr_name: str) -> float:
         """The relative vector length to use for one attribute."""
@@ -169,6 +128,13 @@ class AttributeEntry:
     hi: Optional[float] = None
     vector_bytes: int = 0
     list_size: int = 0
+    #: Wire-format family this attribute's list is encoded with.
+    codec: str = "raw"
+    #: Decoding base at the list tail: the last appended element's tid
+    #: (tid-based layouts) or last defined tuple position (positional
+    #: layouts); ``-1`` for an empty list.  Delta-coded codecs append
+    #: relative to it, so it persists in the attribute-list element.
+    last_key: int = -1
     _scheme: Optional[SignatureScheme] = field(default=None, repr=False)
     _quantizer: Optional[NumericQuantizer] = field(default=None, repr=False)
 
@@ -176,6 +142,11 @@ class AttributeEntry:
     def is_positional(self) -> bool:
         """True for Type III/IV (position-identified) layouts."""
         return self.list_type in (ListType.TYPE_III, ListType.TYPE_IV)
+
+    @property
+    def codec_impl(self) -> VectorListCodec:
+        """The registered codec object for :attr:`codec`."""
+        return get_codec(self.codec)
 
     @property
     def scheme(self) -> SignatureScheme:
@@ -201,6 +172,7 @@ class AttributeEntry:
         return _ATTR_ELEMENT.pack(
             self.list_type.value,
             _KIND_TEXT if self.attr.is_text else _KIND_NUMERIC,
+            self.codec_impl.code,
             self.alpha,
             self.n,
             self.df,
@@ -209,6 +181,7 @@ class AttributeEntry:
             self.hi if self.hi is not None else 0.0,
             self.vector_bytes,
             self.list_size,
+            self.last_key,
         )
 
 
@@ -238,10 +211,10 @@ class IVAFile:
         self._tuples = TupleList(self.disk, self.tuples_file)
         self._version = 0
         # Checkpoint directory (see the module docstring): element positions
-        # and, per attribute, the vector-list byte offset at each position.
+        # and, per attribute, the vector-list resume point at each position.
         # Maintained by rebuild/insert; absent (inactive) on attach.
         self._sync_positions: List[int] = []
-        self._sync_offsets: Dict[int, List[int]] = {}
+        self._sync_offsets: Dict[int, List[ResumePoint]] = {}
         self._sync_active = False
         if not self.disk.exists(self.attrs_file):
             self.disk.create(self.attrs_file)
@@ -338,6 +311,7 @@ class IVAFile:
             (
                 list_type_value,
                 kind,
+                codec_code,
                 alpha,
                 n,
                 df,
@@ -346,6 +320,7 @@ class IVAFile:
                 hi,
                 vector_bytes,
                 list_size,
+                last_key,
             ) = _ATTR_ELEMENT.unpack(raw)
             attr = table.catalog.by_id(attr_id)
             stored_text = kind == _KIND_TEXT
@@ -367,6 +342,8 @@ class IVAFile:
                     hi=hi if has_domain else None,
                     vector_bytes=vector_bytes,
                     list_size=list_size,
+                    codec=codec_for_code(codec_code).name,
+                    last_key=last_key,
                 )
             )
         index._entries = entries
@@ -402,24 +379,29 @@ class IVAFile:
         self._sync_offsets = {}
         self._sync_active = True
 
+        from repro.obs import get_tracer
+
         entries: List[AttributeEntry] = []
         schemes: Dict[float, SignatureScheme] = {}
-        for attr in table.catalog:
-            alpha = config.alpha_for(attr.name)
-            if attr.is_text:
-                bucket: list = text_entries.get(attr.attr_id, [])
-                scheme = schemes.get(alpha)
-                if scheme is None:
-                    scheme = SignatureScheme(alpha, config.n)
-                    schemes[alpha] = scheme
-                entry = self._build_text_entry(attr, scheme, bucket, all_tids)
-            else:
-                bucket = numeric_entries.get(attr.attr_id, [])
-                entry = self._build_numeric_entry(attr, bucket, all_tids)
-            entries.append(entry)
-            self._sync_offsets[attr.attr_id] = self._entry_sync_offsets(
-                entry, bucket, all_tids, self._sync_positions
-            )
+        with get_tracer().span(
+            "codec.encode", codec=config.codec, phase="rebuild"
+        ):
+            for attr in table.catalog:
+                alpha = config.alpha_for(attr.name)
+                if attr.is_text:
+                    bucket: list = text_entries.get(attr.attr_id, [])
+                    scheme = schemes.get(alpha)
+                    if scheme is None:
+                        scheme = SignatureScheme(alpha, config.n)
+                        schemes[alpha] = scheme
+                    entry = self._build_text_entry(attr, scheme, bucket, all_tids)
+                else:
+                    bucket = numeric_entries.get(attr.attr_id, [])
+                    entry = self._build_numeric_entry(attr, bucket, all_tids)
+                entries.append(entry)
+                self._sync_offsets[attr.attr_id] = self._entry_resume_points(
+                    entry, bucket, all_tids, self._sync_positions
+                )
         self._entries = entries
 
         # Tuple list.
@@ -445,11 +427,18 @@ class IVAFile:
         entries: List[Tuple[int, Tuple[str, ...]]],
         all_tids: Sequence[int],
     ) -> AttributeEntry:
-        list_type, _ = choose_text_type(scheme, entries, len(all_tids))
-        payload = build_text_list(list_type, scheme, entries, all_tids)
+        codec = get_codec(self.config.codec)
+        sizes = codec.text_sizes(scheme, entries, all_tids)
+        list_type = sizes.best()
+        payload = codec.build_text(list_type, scheme, entries, all_tids)
         file_name = self.vector_file(attr.attr_id)
         self.disk.create(file_name, overwrite=True)
         self.disk.append(file_name, payload)
+        def raw_best(raw: VectorListCodec) -> int:
+            raw_sizes = raw.text_sizes(scheme, entries, all_tids)
+            return min(raw_sizes.type_i, raw_sizes.type_ii, raw_sizes.type_iii)
+
+        self._count_bytes_saved(codec, len(payload), raw_best)
         return AttributeEntry(
             attr=attr,
             list_type=list_type,
@@ -458,6 +447,8 @@ class IVAFile:
             df=len(entries),
             str_count=sum(len(strings) for _, strings in entries),
             list_size=len(payload),
+            codec=codec.name,
+            last_key=_list_last_key(list_type, entries, all_tids),
             _scheme=scheme,
         )
 
@@ -467,9 +458,11 @@ class IVAFile:
         entries: List[Tuple[int, float]],
         all_tids: Sequence[int],
     ) -> AttributeEntry:
+        codec = get_codec(self.config.codec)
         alpha = self.config.alpha_for(attr.name)
         vector_bytes = vector_bytes_for_alpha(alpha)
-        list_type, _ = choose_numeric_type(vector_bytes, len(entries), len(all_tids))
+        sizes = codec.numeric_sizes(vector_bytes, entries, all_tids)
+        list_type = sizes.best()
         if entries:
             lo = min(value for _, value in entries)
             hi = max(value for _, value in entries)
@@ -478,10 +471,15 @@ class IVAFile:
         quantizer = NumericQuantizer.from_domain(
             lo, hi, alpha, reserve_ndf=list_type is ListType.TYPE_IV
         )
-        payload = build_numeric_list(list_type, quantizer, entries, all_tids)
+        payload = codec.build_numeric(list_type, quantizer, entries, all_tids)
         file_name = self.vector_file(attr.attr_id)
         self.disk.create(file_name, overwrite=True)
         self.disk.append(file_name, payload)
+        def raw_best(raw: VectorListCodec) -> int:
+            raw_sizes = raw.numeric_sizes(vector_bytes, entries, all_tids)
+            return min(raw_sizes.type_i, raw_sizes.type_iv)
+
+        self._count_bytes_saved(codec, len(payload), raw_best)
         return AttributeEntry(
             attr=attr,
             list_type=list_type,
@@ -492,79 +490,78 @@ class IVAFile:
             hi=hi,
             vector_bytes=vector_bytes,
             list_size=len(payload),
+            codec=codec.name,
+            last_key=_list_last_key(list_type, entries, all_tids),
             _quantizer=quantizer,
         )
 
     @staticmethod
-    def _entry_sync_offsets(
+    def _count_bytes_saved(codec: VectorListCodec, actual: int, raw_size) -> None:
+        """Credit ``repro_codec_bytes_saved_total`` for one built list.
+
+        *raw_size* is a callable producing the bytes the ``raw`` family
+        would have chosen for the same entries; only non-raw codecs pay
+        the (cheap, arithmetic-only) comparison.
+        """
+        if codec.name == "raw":
+            return
+        from repro.obs.metrics import get_registry
+
+        saved = raw_size(get_codec("raw")) - actual
+        if saved > 0:
+            get_registry().counter(
+                "repro_codec_bytes_saved_total",
+                {"codec": codec.name},
+                help="Vector-list bytes avoided vs. the raw codec family.",
+            ).inc(saved)
+
+    def _entry_resume_points(
+        self,
         entry: AttributeEntry,
         bucket: Sequence[Tuple[int, object]],
         all_tids: Sequence[int],
         positions: Sequence[int],
-    ) -> List[int]:
-        """Checkpoint offsets for one freshly rebuilt vector list.
+    ) -> List[ResumePoint]:
+        """Sync-directory resume points for one freshly rebuilt list.
 
-        Pure arithmetic over the same ``(tid, value)`` entries the builder
-        just serialized — the widths mirror the ``encode_*`` element
-        encoders exactly, so no payload parsing (and no I/O) is needed.
+        Delegated to the entry's codec: pure arithmetic over the same
+        ``(tid, value)`` entries the builder just serialized — no payload
+        parsing, no I/O.
         """
         if not positions:
             return []
+        codec = entry.codec_impl
         if entry.attr.is_text:
-            scheme = entry.scheme
-            if entry.list_type is ListType.TYPE_I:
-                widths = (
-                    (
-                        tid,
-                        sum(TID_BYTES + scheme.vector_byte_size(s) for s in strings),
-                    )
-                    for tid, strings in bucket
-                )
-                return _tid_prefix_offsets(widths, all_tids, positions)
-            if entry.list_type is ListType.TYPE_II:
-                widths = (
-                    (
-                        tid,
-                        TID_BYTES
-                        + NUM_BYTES
-                        + sum(scheme.vector_byte_size(s) for s in strings),
-                    )
-                    for tid, strings in bucket
-                )
-                return _tid_prefix_offsets(widths, all_tids, positions)
-            width_by_tid = {
-                tid: NUM_BYTES + sum(scheme.vector_byte_size(s) for s in strings)
-                for tid, strings in bucket
-            }
-            return _positional_prefix_offsets(
-                width_by_tid, NUM_BYTES, all_tids, positions
+            return codec.text_resume_points(
+                entry.list_type, entry.scheme, bucket, all_tids, positions
             )
-        width = entry.vector_bytes
-        if entry.list_type is ListType.TYPE_I:
-            widths = ((tid, TID_BYTES + width) for tid, _ in bucket)
-            return _tid_prefix_offsets(widths, all_tids, positions)
-        return [pos * width for pos in positions]
+        return codec.numeric_resume_points(
+            entry.list_type, entry.vector_bytes, bucket, all_tids, positions
+        )
 
     def sync_checkpoints(
         self, attr_ids: Sequence[int]
-    ) -> Optional[Tuple[List[int], Dict[int, Sequence[int]]]]:
+    ) -> Optional[Tuple[List[int], Dict[int, Sequence[ResumePoint]]]]:
         """The checkpoint directory restricted to *attr_ids*.
 
-        Returns ``(positions, {attr_id: offsets})`` — ascending tuple-list
-        element positions and, aligned with them, each attribute's resume
-        byte offset — or ``None`` when the directory is unavailable
-        (attached index or empty table).  Attributes the index holds no
-        list for resume at offset 0 (the null scanner).
+        Returns ``(positions, {attr_id: resume_points})`` — ascending
+        tuple-list element positions and, aligned with them, each
+        attribute's :class:`~repro.core.scan.ResumePoint` — or ``None``
+        when the directory is unavailable (attached index or empty
+        table).  Attributes the index holds no list for resume at the
+        list head (the null scanner ignores the point anyway).
         """
         if not self._sync_active or not self._sync_positions:
             return None
-        zeros: Optional[List[int]] = None
-        offsets: Dict[int, Sequence[int]] = {}
+        zeros: Optional[List[ResumePoint]] = None
+        offsets: Dict[int, Sequence[ResumePoint]] = {}
         for attr_id in attr_ids:
             rows = self._sync_offsets.get(attr_id)
             if rows is None:
                 if zeros is None:
-                    zeros = [0] * len(self._sync_positions)
+                    zeros = [
+                        ResumePoint(position=pos) for pos in self._sync_positions
+                    ]
                 rows = zeros
             offsets[attr_id] = rows
         return list(self._sync_positions), offsets
@@ -588,14 +585,22 @@ class IVAFile:
         if self._sync_active and position % SYNC_INTERVAL == 0:
             self._sync_positions.append(position)
             for entry in self._entries:
-                self._sync_offsets[entry.attr.attr_id].append(entry.list_size)
+                self._sync_offsets[entry.attr.attr_id].append(
+                    ResumePoint(
+                        offset=entry.list_size,
+                        prev_key=entry.last_key,
+                        position=position,
+                    )
+                )
         self._tuples.append(tid, ptr)
         for entry in self._entries:
             attr_id = entry.attr.attr_id
             value = cells.get(attr_id)
             if value is None and not entry.is_positional:
                 continue
-            payload = self._encode_insert(entry, tid, value)
+            payload, entry.last_key = self._encode_insert(
+                entry, tid, value, position
+            )
             if payload:
                 self.disk.append(self.vector_file(attr_id), payload)
                 entry.list_size += len(payload)
@@ -608,29 +613,31 @@ class IVAFile:
                 self._rewrite_attr_element(attr_id)
 
     def _encode_insert(
-        self, entry: AttributeEntry, tid: int, value: Optional[CellValue]
-    ) -> bytes:
+        self,
+        entry: AttributeEntry,
+        tid: int,
+        value: Optional[CellValue],
+        position: int,
+    ) -> Tuple[bytes, int]:
+        """One tuple's tail bytes and the list's new decoding base."""
+        codec = entry.codec_impl
         if entry.attr.is_text:
-            strings = value  # tuple of str or None
-            if entry.list_type is ListType.TYPE_I:
-                if strings is None:
-                    return b""
-                return b"".join(
-                    encode_text_element_type_i(entry.scheme, tid, s) for s in strings
-                )
-            if entry.list_type is ListType.TYPE_II:
-                if strings is None:
-                    return b""
-                return encode_text_element_type_ii(entry.scheme, tid, strings)
-            return encode_text_element_type_iii(entry.scheme, strings)
-        # Numeric.
-        if entry.list_type is ListType.TYPE_I:
-            if value is None:
-                return b""
-            return encode_numeric_element_type_i(entry.quantizer, tid, value)
-        if value is None:
-            return entry.quantizer.ndf_bytes()
-        return entry.quantizer.encode_bytes(value)
+            return codec.append_text(
+                entry.list_type,
+                entry.scheme,
+                tid,
+                value,  # tuple of str or None
+                prev_key=entry.last_key,
+                position=position,
+            )
+        return codec.append_numeric(
+            entry.list_type,
+            entry.quantizer,
+            tid,
+            value,
+            prev_key=entry.last_key,
+            position=position,
+        )
 
     def delete(self, tid: int) -> None:
         """Tombstone a tuple: rewrite its tuple-list ptr (Sec. IV-B).
@@ -655,6 +662,7 @@ class IVAFile:
                 alpha=alpha,
                 n=self.config.n,
                 vector_bytes=0 if attr.is_text else vector_bytes_for_alpha(alpha),
+                codec=self.config.codec,
             )
             if attr.is_numeric:
                 stats = self.table.stats.per_attribute.get(attr.attr_id)
@@ -665,7 +673,9 @@ class IVAFile:
             self.disk.append(self.attrs_file, entry.pack())
             if self._sync_active:
                 # The list was empty at every earlier sync point.
-                self._sync_offsets[attr.attr_id] = [0] * len(self._sync_positions)
+                self._sync_offsets[attr.attr_id] = [
+                    ResumePoint(position=pos) for pos in self._sync_positions
+                ]
 
     def _rewrite_attr_element(self, attr_id: int) -> None:
         offset = attr_id * _ATTR_ELEMENT.size
@@ -689,26 +699,29 @@ class IVAFile:
             if offset + _ATTR_ELEMENT.size <= self.disk.size(self.attrs_file):
                 self.disk.read(self.attrs_file, offset, _ATTR_ELEMENT.size)
 
-    def make_scanner(self, attr_id: int, start: int = 0) -> VectorListScanner:
+    def make_scanner(
+        self, attr_id: int, start: Union[int, ResumePoint] = 0
+    ) -> VectorListScanner:
         """A fresh scanning pointer over one attribute's list.
 
-        *start* is a byte offset into the vector list — normally 0, or a
-        checkpoint recorded by :meth:`VectorListScanner.checkpoint_offset`
-        when resuming a scan mid-list (shard workers in ``repro.parallel``).
+        *start* is a :class:`~repro.core.scan.ResumePoint` — normally the
+        list head, or a point recorded by
+        :meth:`~repro.core.scan.VectorListScanner.checkpoint` / the sync
+        directory when resuming a scan mid-list (shard workers in
+        ``repro.parallel``).  A bare ``int`` byte offset is accepted for
+        back-compatibility; delta-coded lists need the full resume point.
         """
+        resume = ResumePoint(offset=start) if isinstance(start, int) else start
         entry = self.entry(attr_id)
         if entry is None:
             return _NullScanner()
-        reader = BufferedReader(self.disk, self.vector_file(attr_id), start)
+        codec = entry.codec_impl
+        reader = BufferedReader(self.disk, self.vector_file(attr_id), resume.offset)
         if entry.attr.is_text:
-            if entry.list_type is ListType.TYPE_I:
-                return TextTypeIScanner(reader, entry.scheme)
-            if entry.list_type is ListType.TYPE_II:
-                return TextTypeIIScanner(reader, entry.scheme)
-            return TextTypeIIIScanner(reader, entry.scheme)
-        if entry.list_type is ListType.TYPE_I:
-            return NumericTypeIScanner(reader, entry.quantizer)
-        return NumericTypeIVScanner(reader, entry.quantizer)
+            return codec.text_scanner(entry.list_type, reader, entry.scheme, resume)
+        return codec.numeric_scanner(
+            entry.list_type, reader, entry.quantizer, resume
+        )
 
 
 class IVAScan:

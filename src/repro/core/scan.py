@@ -22,6 +22,7 @@ tombstoned ones — in order.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.numeric import NumericQuantizer
@@ -31,6 +32,30 @@ from repro.storage.pager import BufferedReader
 
 TID_BYTES = 4
 NUM_BYTES = 1
+
+
+@dataclass(frozen=True)
+class ResumePoint:
+    """Everything a fresh scanner needs to resume a scan mid-list.
+
+    The fixed-width (``raw``) layouts resume from a byte offset alone, but
+    delta-coded lists (``repro.codec.compressed``) store each element
+    relative to its predecessor, so a resume point also carries:
+
+    * ``prev_key`` — the decoding base at the offset: the last tid decoded
+      before it (tid-based layouts) or the last *defined* tuple position
+      (compressed positional layouts); ``-1`` at the list head;
+    * ``position`` — the tuple-list element position the scan stands at,
+      which positional layouts need to re-anchor their element counter.
+    """
+
+    offset: int = 0
+    prev_key: int = -1
+    position: int = 0
+
+
+#: Resume point for a scan starting at the head of a list.
+START = ResumePoint()
 
 
 class VectorListScanner:
@@ -54,6 +79,16 @@ class VectorListScanner:
         boundary; shard workers then scan only their own slice).
         """
         return self._reader.position
+
+    def checkpoint(self, position: int = 0) -> ResumePoint:
+        """Full resume state at the current pointer position.
+
+        *position* is the tuple-list element position the scan stands at
+        (the scanner itself does not track it for fixed-width layouts; the
+        planner passes it in).  Codec scanners that need a decoding base
+        override this to fill ``prev_key``.
+        """
+        return ResumePoint(offset=self.checkpoint_offset(), position=position)
 
 
 class _TidBasedScanner(VectorListScanner):

@@ -12,8 +12,7 @@ import struct
 from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.errors import IndexError_
-from repro.storage.disk import SimulatedDisk
-from repro.storage.pager import BufferedReader
+from repro.storage import BufferedReader, StorageBackend
 
 ELEMENT = struct.Struct("<IQ")
 
@@ -24,7 +23,7 @@ DELETED_PTR = (1 << 64) - 1
 class TupleList:
     """Disk-resident tuple list with an in-memory tid → offset map."""
 
-    def __init__(self, disk: SimulatedDisk, file_name: str) -> None:
+    def __init__(self, disk: StorageBackend, file_name: str) -> None:
         self.disk = disk
         self.file_name = file_name
         self._offsets: Dict[int, int] = {}

@@ -21,8 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.data.typos import maybe_typo
 from repro.data.vocab import Vocabulary
-from repro.storage.disk import SimulatedDisk
-from repro.storage.table import SparseWideTable
+from repro.storage import SparseWideTable, StorageBackend, simulated_backend
 
 #: Numeric attribute archetypes: (name stem, low, high, integral).
 _NUMERIC_TEMPLATES = [
@@ -252,10 +251,10 @@ class DatasetGenerator:
 
 def generate_dataset(
     config: Optional[DatasetConfig] = None,
-    disk: Optional[SimulatedDisk] = None,
+    disk: Optional[StorageBackend] = None,
 ) -> SparseWideTable:
     """Create a disk + table and populate it; returns the table."""
-    disk = disk or SimulatedDisk()
+    disk = disk or simulated_backend()
     table = SparseWideTable(disk)
     DatasetGenerator(config).populate(table)
     return table

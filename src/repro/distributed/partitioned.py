@@ -27,8 +27,12 @@ from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query import Query
 from repro.storage.catalog import Catalog
-from repro.storage.disk import DiskParameters, SimulatedDisk
-from repro.storage.table import SparseWideTable
+from repro.storage import (
+    DiskParameters,
+    SparseWideTable,
+    StorageBackend,
+    simulated_backend,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.config import ExecutorConfig
@@ -107,12 +111,12 @@ class PartitionedSystem:
         #: own filter scan, composing with the scatter-gather across
         #: partitions.  None means sequential per-partition engines.
         self.executor = executor
-        self.disks: List[SimulatedDisk] = []
+        self.disks: List[StorageBackend] = []
         self.tables: List[SparseWideTable] = []
         self.indexes: List[Optional[IVAFile]] = []
         self._engines: List[Optional[IVAEngine]] = []
         for _ in range(num_partitions):
-            disk = SimulatedDisk(disk_params)
+            disk = simulated_backend(disk_params)
             self.disks.append(disk)
             self.tables.append(SparseWideTable(disk, catalog=self.catalog))
             self.indexes.append(None)

@@ -36,8 +36,7 @@ from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError
 from repro.metrics.distance import DistanceFunction
 from repro.query import Query
-from repro.storage.disk import DiskParameters, SimulatedDisk
-from repro.storage.table import SparseWideTable
+from repro.storage import DiskParameters, SparseWideTable, simulated_backend
 
 logger = logging.getLogger(__name__)
 
@@ -91,7 +90,7 @@ class VerticallyPartitionedIVA:
 
         #: Shadow row i on every node ↔ base tuple _base_tids[i].
         self._base_tids = table.live_tids()
-        self.node_disks = [SimulatedDisk(disk_params) for _ in range(num_nodes)]
+        self.node_disks = [simulated_backend(disk_params) for _ in range(num_nodes)]
         self.node_indexes: List[IVAFile] = []
         records = list(table.scan())
         for node, disk in enumerate(self.node_disks):
@@ -114,6 +113,7 @@ class VerticallyPartitionedIVA:
             n=self.config.n,
             name=f"{self.config.name}_n{node}",
             alpha_overrides=self.config.alpha_overrides,
+            codec=self.config.codec,
         )
 
     def node_of(self, attribute: str) -> int:

@@ -27,16 +27,23 @@ Correctness of the checkpoints:
   re-reads it and continues the freeze semantics exactly;
 * positional layouts (Type III text, Type IV numeric) consume exactly one
   element per tuple-list element — tombstones included — so the checkpoint
-  after ``b`` elements is the start of element ``b``.
+  after ``b`` elements is the start of element ``b``;
+* delta-coded codecs (``repro.codec.compressed``) store each element
+  relative to its predecessor, so a checkpoint is a full
+  :class:`~repro.core.scan.ResumePoint` — byte offset *plus* the decoding
+  base (last tid or last defined position) at that offset — recorded by
+  :meth:`~repro.core.scan.VectorListScanner.checkpoint` on the walked
+  path and computed arithmetically by the codec on the directory path.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.iva_file import IVAFile
+from repro.core.scan import ResumePoint
 
 
 @dataclass(frozen=True)
@@ -49,8 +56,8 @@ class ShardRange:
     start_element: int
     #: Last tuple-list element position (exclusive).
     end_element: int
-    #: Byte offset per attribute id at which a fresh scanner resumes.
-    checkpoints: Mapping[int, int]
+    #: Resume point per attribute id at which a fresh scanner resumes.
+    checkpoints: Mapping[int, ResumePoint]
 
     @property
     def element_count(self) -> int:
@@ -88,7 +95,7 @@ class ShardPlanner:
                     index=0,
                     start_element=0,
                     end_element=total,
-                    checkpoints={attr_id: 0 for attr_id in attr_ids},
+                    checkpoints={attr_id: ResumePoint() for attr_id in attr_ids},
                 )
             ]
         directory = index.sync_checkpoints(attr_ids)
@@ -102,19 +109,23 @@ class ShardPlanner:
         # attribute's scanning pointer, and snapshot checkpoint offsets
         # whenever a shard boundary is crossed.
         scanners = {attr_id: index.make_scanner(attr_id) for attr_id in attr_ids}
-        checkpoint_rows: List[Dict[int, int]] = []
+        checkpoint_rows: List[Dict[int, ResumePoint]] = []
         next_boundary = 0
+        position = 0
         for position, tid in enumerate(index.tuples.element_tids()):
             while next_boundary < len(starts) and position == starts[next_boundary]:
                 checkpoint_rows.append(
-                    {a: s.checkpoint_offset() for a, s in scanners.items()}
+                    {a: s.checkpoint(position) for a, s in scanners.items()}
                 )
                 next_boundary += 1
             for scanner in scanners.values():
                 scanner.move_to(tid)
         while next_boundary < len(starts):  # trailing empty boundaries
             checkpoint_rows.append(
-                {a: s.checkpoint_offset() for a, s in scanners.items()}
+                {
+                    a: replace(s.checkpoint(total), position=starts[next_boundary])
+                    for a, s in scanners.items()
+                }
             )
             next_boundary += 1
 

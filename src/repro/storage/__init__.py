@@ -9,7 +9,9 @@ accesses) can be regenerated deterministically on any machine.
 """
 
 from repro.storage.cache import LRUCache
-from repro.storage.disk import DiskParameters, DiskStats, SimulatedDisk
+from repro.storage.disk import DiskParameters, DiskStats, IoMeter, SimulatedDisk
+from repro.storage.hostdisk import HostDisk
+from repro.storage.backend import StorageBackend, host_backend, simulated_backend
 from repro.storage.catalog import Catalog
 from repro.storage.interpreted import decode_record, encode_record
 from repro.storage.pager import BufferedReader
@@ -19,7 +21,12 @@ __all__ = [
     "LRUCache",
     "DiskParameters",
     "DiskStats",
+    "IoMeter",
     "SimulatedDisk",
+    "HostDisk",
+    "StorageBackend",
+    "simulated_backend",
+    "host_backend",
     "Catalog",
     "encode_record",
     "decode_record",

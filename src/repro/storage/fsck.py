@@ -17,6 +17,7 @@ from repro.core.iva_file import IVAFile, _ATTR_ELEMENT
 from repro.core.tuple_list import DELETED_PTR, ELEMENT as TUPLE_ELEMENT
 from repro.errors import StorageError
 from repro.model.values import is_text_value
+from repro.obs import get_tracer
 from repro.storage.interpreted import decode_record
 from repro.storage.table import SparseWideTable
 
@@ -211,6 +212,46 @@ def check_index(index: IVAFile) -> List[Finding]:
                         "elements remain",
                     )
                 )
+
+    # 4. Codec-level structure: varint streams terminate exactly at the
+    #    recorded list size, tid/gap sequences stay monotone, packed lists
+    #    match their fixed width.  The scanner drive above only proves the
+    #    bytes *a query touches* decode; this pass re-validates the whole
+    #    payload against the wire format's own invariants.
+    findings.extend(check_codec_structure(index))
+    return findings
+
+
+def check_codec_structure(index: IVAFile) -> List[Finding]:
+    """Per-list wire-format validation via each entry's codec.
+
+    Delegates to :meth:`repro.codec.base.VectorListCodec.check_list`, so
+    the checks track the attribute's *recorded* codec (a mixed-codec index
+    after attach is validated list by list).
+    """
+    findings: List[Finding] = []
+    disk = index.disk
+    for entry in index.entries():
+        file_name = index.vector_file(entry.attr.attr_id)
+        if not disk.exists(file_name):
+            continue  # already reported by the size cross-check
+        payload = disk.read(file_name, 0, disk.size(file_name))
+        codec = entry.codec_impl
+        is_text = entry.attr.is_text
+        with get_tracer().span(
+            "codec.decode", codec=codec.name, phase="fsck", attr=entry.attr.name
+        ):
+            problems = codec.check_list(
+                entry.list_type,
+                is_text,
+                entry.scheme if is_text else entry.quantizer,
+                payload,
+                index.tuple_elements,
+            )
+        for problem in problems:
+            findings.append(
+                Finding("error", file_name, f"codec {codec.name}: {problem}")
+            )
     return findings
 
 

@@ -17,12 +17,13 @@ Notes:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Tuple, Union
 
 from repro.errors import StorageError
 from repro.storage.cache import LRUCache
-from repro.storage.disk import DiskParameters, DiskStats
+from repro.storage.disk import DiskParameters, DiskStats, IoMeter
 
 _SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
 
@@ -46,6 +47,8 @@ class HostDisk:
         self.params = DiskParameters()
         self.stats = DiskStats()
         self.cache = LRUCache(0)
+        #: Per-read span hook (unused here: real I/O has no modeled cost).
+        self.tracer = None
         self._names: dict = {}
         for path in self.root.iterdir():
             if path.is_file():
@@ -180,3 +183,48 @@ class HostDisk:
     def reset_stats(self) -> None:
         """Zero every I/O counter."""
         self.stats = DiskStats()
+
+    # --------------------------------------------------- I/O attribution
+
+    @contextmanager
+    def metered(self):
+        """Yield an :class:`IoMeter`; stays zero (no modeled charges here).
+
+        Exists so code written against :class:`~repro.storage.backend.StorageBackend`
+        — the parallel executor's per-shard accounting in particular — runs
+        unchanged on a host directory.
+        """
+        yield IoMeter()
+
+    @contextmanager
+    def io_channel(self, name: str):
+        """No-op: the OS I/O scheduler owns head positioning here."""
+        yield
+
+    def publish_metrics(self, registry=None, label: str = "disk0") -> None:
+        """Mirror the logical counters into a metrics registry.
+
+        Same collector shape as the simulated backend; modeled-time and
+        cache series simply stay zero.
+        """
+        from repro.obs.metrics import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        labels = {"disk": label}
+
+        def collect(reg) -> None:
+            stats = self.stats
+            pairs = (
+                ("repro_disk_bytes_read", stats.bytes_read,
+                 "Bytes returned by read calls."),
+                ("repro_disk_bytes_written", stats.bytes_written,
+                 "Bytes accepted by write calls."),
+                ("repro_disk_read_calls", stats.read_calls,
+                 "read() invocations."),
+                ("repro_disk_write_calls", stats.write_calls,
+                 "write() invocations."),
+            )
+            for name, value, help_text in pairs:
+                reg.gauge(name, labels, help=help_text).set(float(value))
+
+        registry.register_collector(collect)

@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.errors import StorageError
 from repro.obs.metrics import get_registry
-from repro.storage.disk import SimulatedDisk
+from repro.storage.backend import StorageBackend
 
 logger = logging.getLogger(__name__)
 
@@ -27,7 +27,7 @@ class BufferedReader:
 
     def __init__(
         self,
-        disk: SimulatedDisk,
+        disk: StorageBackend,
         name: str,
         start: int,
         end: Optional[int] = None,

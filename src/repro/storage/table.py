@@ -24,7 +24,7 @@ from repro.model.values import (
     is_text_value,
 )
 from repro.storage.catalog import Catalog
-from repro.storage.disk import SimulatedDisk
+from repro.storage.backend import StorageBackend
 from repro.storage.interpreted import decode_record, encode_record
 from repro.storage.pager import BufferedReader
 
@@ -73,7 +73,7 @@ class SparseWideTable:
 
     def __init__(
         self,
-        disk: SimulatedDisk,
+        disk: StorageBackend,
         name: str = "table",
         catalog: Optional[Catalog] = None,
     ) -> None:
@@ -248,7 +248,7 @@ class SparseWideTable:
 
     @classmethod
     def attach(
-        cls, disk: SimulatedDisk, name: str = "table"
+        cls, disk: StorageBackend, name: str = "table"
     ) -> "SparseWideTable":
         """Re-open a table from its on-disk files (catalog, rows, tombstones).
 

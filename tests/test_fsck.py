@@ -3,7 +3,12 @@
 import pytest
 
 from repro import IVAConfig, IVAFile
-from repro.storage.fsck import check_all, check_index, check_table
+from repro.storage.fsck import (
+    check_all,
+    check_codec_structure,
+    check_index,
+    check_table,
+)
 
 
 @pytest.fixture
@@ -94,3 +99,88 @@ class TestIndexFindings:
         assert findings
         text = str(findings[0])
         assert text.startswith("[error]") or text.startswith("[warning]")
+
+
+class TestCodecFindings:
+    """Codec-level wire-format validation (check_codec_structure)."""
+
+    @pytest.fixture
+    def compressed_setup(self, camera_table):
+        index = IVAFile.build(
+            camera_table, IVAConfig(alpha=0.25, name="ziva", codec="compressed")
+        )
+        return camera_table, index
+
+    def test_compressed_build_is_clean(self, compressed_setup):
+        table, index = compressed_setup
+        assert check_all(table, index) == []
+
+    def test_compressed_clean_after_updates(self, compressed_setup):
+        table, index = compressed_setup
+        cells = table.prepare_cells({"Type": "Tablet", "Company": "Apple"})
+        tid = table.insert_record(cells)
+        index.insert(tid, cells)
+        table.delete(0)
+        index.delete(0)
+        assert check_all(table, index) == []
+
+    def test_truncated_compressed_list(self, compressed_setup):
+        """A varint stream cut short is reported as truncated/corrupt."""
+        table, index = compressed_setup
+        type_id = table.catalog.require("Type").attr_id
+        file_name = index.vector_file(type_id)
+        index.disk.truncate(file_name, index.disk.size(file_name) - 1)
+        entry = index.entry(type_id)
+        entry.list_size -= 1  # keep the size cross-check quiet
+        findings = check_codec_structure(index)
+        assert any(
+            "truncated" in f.message and file_name in f.location for f in findings
+        )
+
+    def test_corrupted_gap_varint(self, compressed_setup):
+        """An endless varint (continuation bits forever) is caught."""
+        table, index = compressed_setup
+        type_id = table.catalog.require("Type").attr_id
+        file_name = index.vector_file(type_id)
+        size = index.disk.size(file_name)
+        index.disk.write(file_name, 0, b"\x80" * min(12, size))
+        findings = check_codec_structure(index)
+        assert any(
+            f.severity == "error" and file_name in f.location for f in findings
+        )
+
+    def test_zero_gap_in_tid_stream(self, compressed_setup):
+        """Type II/numeric gaps must be >= 1; a zero gap means repeated tids."""
+        table, index = compressed_setup
+        from repro.core.vector_lists import ListType
+
+        victims = [
+            e for e in index.entries()
+            if e.codec == "compressed"
+            and e.list_type in (ListType.TYPE_II, ListType.TYPE_I)
+            and not e.attr.is_text
+        ]
+        if not victims:  # camera table may choose only text layouts
+            pytest.skip("no numeric compressed list to corrupt")
+        entry = victims[0]
+        file_name = index.vector_file(entry.attr.attr_id)
+        index.disk.write(file_name, 0, b"\x00")
+        findings = check_codec_structure(index)
+        assert any(file_name in f.location for f in findings)
+
+    def test_raw_type_iv_length_mismatch(self, setup):
+        """Raw Type IV lists must be exactly width x element_count bytes."""
+        table, index = setup
+        from repro.core.vector_lists import ListType
+
+        victims = [
+            e for e in index.entries() if e.list_type is ListType.TYPE_IV
+        ]
+        if not victims:
+            pytest.skip("no Type IV list in this index")
+        entry = victims[0]
+        file_name = index.vector_file(entry.attr.attr_id)
+        index.disk.append(file_name, b"\x00")
+        entry.list_size += 1
+        findings = check_codec_structure(index)
+        assert any("Type IV" in f.message for f in findings)

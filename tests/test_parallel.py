@@ -273,7 +273,9 @@ class TestShardPlanner:
             expected = boundaries.get(position)
             if expected is not None:
                 for attr_id, scanner in scanners.items():
-                    assert expected[attr_id] == scanner.checkpoint_offset()
+                    point = expected[attr_id]
+                    assert point.offset == scanner.checkpoint_offset()
+                    assert point == scanner.checkpoint(position)
             for scanner in scanners.values():
                 scanner.move_to(tid)
 
