@@ -99,6 +99,31 @@ def check_codec_sidecar(snapshot: dict, csv_rows: list) -> list:
     return problems
 
 
+def check_kernel_sidecar(snapshot: dict, csv_rows: list) -> list:
+    """Validate the ``kernel-compare`` sweep's emitted artifacts.
+
+    The block runs must have actually exercised the compiled kernel (the
+    compile and block counters incremented), and every CSV row must
+    report answers identical to the scalar filter — a block kernel that
+    diverges is a correctness bug the smoke gate has to catch.
+    """
+    problems = check_snapshot(snapshot)
+    for name in ("repro_kernel_compiles_total", "repro_kernel_blocks_total"):
+        values = [c["value"] for c in snapshot.get("counters", ()) if c["name"] == name]
+        if not values:
+            problems.append(f"missing counter {name!r}")
+        elif not any(v > 0 for v in values):
+            problems.append(f"{name} never incremented")
+    if len(csv_rows) < 2:
+        problems.append(f"kernel-compare emitted {len(csv_rows)} rows, want >= 2")
+    for row in csv_rows:
+        if row and row[-1] != "yes":
+            problems.append(
+                f"kernel run {row[0]!r} x{row[1]} answers differ between kernels"
+            )
+    return problems
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         os.environ["REPRO_BENCH_RESULTS"] = tmp
@@ -141,8 +166,26 @@ def main() -> int:
         with open(codec_csv, encoding="utf-8", newline="") as fh:
             codec_rows = list(csv_module.reader(fh))[1:]  # drop the header
 
-    problems = check_snapshot(snapshot) + check_codec_sidecar(
-        codec_snapshot, codec_rows
+        from repro.bench.kernel_compare import (
+            emit_kernel_compare,
+            kernel_compare_sweep,
+        )
+
+        emit_kernel_compare(kernel_compare_sweep(env))
+        kernel_json = os.path.join(tmp, "kernel_compare.metrics.json")
+        kernel_csv = os.path.join(tmp, "kernel_compare.csv")
+        if not os.path.exists(kernel_json) or not os.path.exists(kernel_csv):
+            print("FAIL: kernel-compare did not emit its sidecar", file=sys.stderr)
+            return 1
+        with open(kernel_json, encoding="utf-8") as fh:
+            kernel_snapshot = json.load(fh)
+        with open(kernel_csv, encoding="utf-8", newline="") as fh:
+            kernel_rows = list(csv_module.reader(fh))[1:]  # drop the header
+
+    problems = (
+        check_snapshot(snapshot)
+        + check_codec_sidecar(codec_snapshot, codec_rows)
+        + check_kernel_sidecar(kernel_snapshot, kernel_rows)
     )
     if problems:
         for problem in problems:
@@ -154,7 +197,8 @@ def main() -> int:
     print(
         f"metrics OK: {counters} counters, {gauges} gauges, "
         f"{histograms} histograms, all finite; codec-compare sidecar OK "
-        f"({len(codec_rows)} codecs, answers identical)"
+        f"({len(codec_rows)} codecs, answers identical); kernel-compare "
+        f"sidecar OK ({len(kernel_rows)} runs, block == scalar)"
     )
     return 0
 

@@ -19,6 +19,25 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The *pct*-th percentile (linear interpolation between ranks).
+
+    ``pct`` is in [0, 100]; p50 of an even-length series is the midpoint
+    of the two central order statistics, matching numpy's default.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct!r} outside [0, 100]")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * pct / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+
 def population_stddev(values: Sequence[float]) -> float:
     """Population standard deviation."""
     if not values:

@@ -114,18 +114,22 @@ class Environment:
         self,
         index: Optional[IVAFile] = None,
         executor=None,
+        kernel: str = "scalar",
         **distance_kwargs,
     ) -> IVAEngine:
         """An IVAEngine over this environment's table and index.
 
         Pass an :class:`~repro.parallel.ExecutorConfig` as *executor* to
-        get the parallel filter/refine path (``bench parallel-scaling``).
+        get the parallel filter/refine path (``bench parallel-scaling``),
+        and ``kernel="block"`` for the compiled block filter kernel
+        (``bench kernel-compare``).
         """
         return IVAEngine(
             self.table,
             index or self.iva,
             self.distance(**distance_kwargs),
             executor=executor,
+            kernel=kernel,
         )
 
     def sii_engine(self, **distance_kwargs) -> SIIEngine:

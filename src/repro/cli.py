@@ -19,6 +19,12 @@ Parallel execution: ``--workers N`` on ``query``/``compare``/``workload``
 shards the filter scan across N worker threads (see docs/parallelism.md);
 ``repro bench parallel-scaling`` sweeps the worker count on the standard
 bench environment and emits a worker-count-vs-latency table.
+
+Filter kernel: ``--kernel block`` on ``query``/``compare``/``workload``
+switches the filter phase to the block-at-a-time kernel with
+query-compiled lookup tables (see docs/architecture.md); answers are
+bit-identical to the default scalar path.  ``repro bench kernel-compare``
+races the two kernels on both codecs and fails on any top-k divergence.
 """
 
 from __future__ import annotations
@@ -68,6 +74,19 @@ def _add_workers_flag(subparser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="shard the filter scan across N worker threads "
         "(parallel execution; 1 = sequential)",
+    )
+
+
+def _add_kernel_flag(subparser: argparse.ArgumentParser) -> None:
+    from repro.core.kernel import KERNEL_MODES
+
+    subparser.add_argument(
+        "--kernel",
+        default="scalar",
+        choices=list(KERNEL_MODES),
+        help="filter evaluation strategy: scalar (per-tuple) or block "
+        "(block-at-a-time with query-compiled lookup tables); answers "
+        "are identical",
     )
 
 
@@ -133,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="query value; repeat for multiple attributes",
     )
     _add_workers_flag(query)
+    _add_kernel_flag(query)
 
     load = sub.add_parser("load", help="load tuples from JSONL or CSV")
     load.add_argument("--snapshot", required=True)
@@ -175,6 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--queries-file",
                          help="replay a saved query set instead of sampling")
     _add_workers_flag(compare)
+    _add_kernel_flag(compare)
 
     workload = sub.add_parser(
         "workload", help="sample a query set and save it for replay"
@@ -194,13 +215,14 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--no-run", action="store_true",
                           help="only sample and save; skip the measurement pass")
     _add_workers_flag(workload)
+    _add_kernel_flag(workload)
 
     bench = sub.add_parser(
         "bench", help="run a benchmark suite on the standard bench environment"
     )
     bench.add_argument(
         "suite",
-        choices=["parallel-scaling", "codec-compare"],
+        choices=["parallel-scaling", "codec-compare", "kernel-compare"],
         help="benchmark suite to run",
     )
     bench.add_argument(
@@ -300,6 +322,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         DistanceFunction(metric=args.metric, ndf_penalty=args.ndf_penalty),
         tracer=tracer,
         executor=_executor_from(args),
+        kernel=getattr(args, "kernel", "scalar"),
     )
     report = engine.search(query, k=args.k)
     print(f"query: {query.describe()}  (k={args.k}, {args.metric})")
@@ -437,7 +460,11 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         else:
             tracer = _make_tracer(args)
             engine = IVAEngine(
-                table, index, tracer=tracer, executor=_executor_from(args)
+                table,
+                index,
+                tracer=tracer,
+                executor=_executor_from(args),
+                kernel=getattr(args, "kernel", "scalar"),
             )
             for query in query_set.warmup:
                 engine.search(query, k=10)
@@ -477,9 +504,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ]
     executor = _executor_from(args)
     engines = [
-        IVAEngine(table, index, executor=executor),
+        IVAEngine(
+            table, index, executor=executor, kernel=getattr(args, "kernel", "scalar")
+        ),
         # Baselines accept the knob for parity; their filters are not
-        # sharded, so they run sequentially either way.
+        # sharded (and have no block kernel), so they run the plain
+        # sequential path either way.
         SIIEngine(table, sii, executor=executor),
         DirectScanEngine(table),
     ]
@@ -510,6 +540,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if broken:
             raise ReproError(
                 f"codec(s) {broken} returned different answers than raw"
+            )
+        return 0
+
+    if args.suite == "kernel-compare":
+        from repro.bench.kernel_compare import (
+            emit_kernel_compare,
+            kernel_compare_sweep,
+        )
+
+        try:
+            worker_counts = tuple(
+                int(part) for part in args.workers_list.split(",") if part.strip()
+            )
+        except ValueError:
+            raise ReproError(
+                f"bad --workers-list {args.workers_list!r}; expected e.g. 1,2,4"
+            ) from None
+        print("building the bench environment (generated dataset + indexes)...")
+        env = build_environment()
+        sweep = kernel_compare_sweep(
+            env,
+            worker_counts=worker_counts or (1,),
+            values_per_query=args.values_per_query,
+            k=args.k,
+        )
+        emit_kernel_compare(sweep)
+        broken = [
+            f"{run.codec}/x{run.workers}"
+            for run in sweep
+            if not run.answers_identical
+        ]
+        if broken:
+            raise ReproError(
+                f"block kernel diverged from scalar answers on: {broken}"
             )
         return 0
 

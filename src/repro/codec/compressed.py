@@ -121,6 +121,24 @@ class CompressedTextTypeIScanner(_DeltaTidScanner):
             self._load_next()
         return out or None
 
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: same pointer walk, bare ``(length, bits)`` pairs."""
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        column: List[object] = []
+        for tid in tids:
+            pairs = None
+            while self._pending is not None and self._pending <= tid:
+                pair = read_raw(reader)
+                if self._pending == tid:
+                    if pairs is None:
+                        pairs = [pair]
+                    else:
+                        pairs.append(pair)
+                self._load_next()
+            column.append(pairs)
+        return column
+
 
 class CompressedTextTypeIIScanner(_DeltaTidScanner):
     """Gap-coded Type II text: ``uv(gap) ‖ uv(count) ‖ signatures``."""
@@ -140,6 +158,25 @@ class CompressedTextTypeIIScanner(_DeltaTidScanner):
             self._load_next()
         return out or None
 
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: same pointer walk, bare ``(length, bits)`` pairs."""
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        column: List[object] = []
+        for tid in tids:
+            pairs = None
+            while self._pending is not None and self._pending <= tid:
+                count = read_uvarint(reader)
+                decoded = [read_raw(reader) for _ in range(count)]
+                if self._pending == tid:
+                    if pairs is None:
+                        pairs = decoded
+                    else:
+                        pairs.extend(decoded)
+                self._load_next()
+            column.append(pairs or None)
+        return column
+
 
 class CompressedNumericTypeIScanner(_DeltaTidScanner):
     """Gap-coded Type I numeric: ``uv(gap) ‖ code``."""
@@ -158,6 +195,22 @@ class CompressedNumericTypeIScanner(_DeltaTidScanner):
                 out = code
             self._load_next()
         return out
+
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: same pointer walk, one code (or None) per tid."""
+        width = self._quantizer.vector_bytes
+        decode = self._quantizer.decode_bytes
+        reader = self._reader
+        column: List[object] = []
+        for tid in tids:
+            out = None
+            while self._pending is not None and self._pending <= tid:
+                code = decode(reader.read(width))
+                if self._pending == tid:
+                    out = code
+                self._load_next()
+            column.append(out)
+        return column
 
 
 class CompressedTextTypeIIIScanner(VectorListScanner):
@@ -205,6 +258,28 @@ class CompressedTextTypeIIIScanner(VectorListScanner):
         signatures = [self._scheme.read(self._reader) for _ in range(count)]
         self._load_next()
         return signatures or None
+
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: sparse positional walk, bare pairs per element."""
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        column: List[object] = []
+        for _tid in tids:
+            position = self._position
+            self._position += 1
+            if self._pending is None or self._pending > position:
+                column.append(None)
+                continue
+            if self._pending < position:
+                raise IndexError_(
+                    "compressed Type III list fell behind the tuple list — "
+                    "the index is inconsistent with its table"
+                )
+            count = read_uvarint(reader)
+            decoded = [read_raw(reader) for _ in range(count)]
+            self._load_next()
+            column.append(decoded or None)
+        return column
 
     def checkpoint_offset(self) -> int:
         """Start of the pending element (gap varint re-read on resume)."""

@@ -6,6 +6,11 @@ heads, one-byte counts, fixed-width numeric codes — expressed through the
 scanning delegate to :mod:`repro.core.vector_lists` and
 :mod:`repro.core.scan`, so indexes built before the codec seam existed
 attach and scan unchanged (``raw`` is wire id 0, the attach default).
+
+The scanners this codec hands out support both the element-at-a-time
+``move_to`` contract and the block filter kernel's ``move_block`` API
+(one call decodes a whole tuple-list block into a flat payload column);
+see :class:`~repro.core.scan.VectorListScanner`.
 """
 
 from __future__ import annotations

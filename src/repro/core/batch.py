@@ -21,6 +21,12 @@ from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Union
 
 from repro.core.engine import QueryResult, SearchReport
 from repro.core.iva_file import DELETED_PTR, IVAFile
+from repro.core.kernel import (
+    BLOCK_TUPLES,
+    KernelCache,
+    QueryKernel,
+    validate_kernel_mode,
+)
 from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError
@@ -51,10 +57,14 @@ class BatchIVAEngine:
         tracer: Optional[Tracer] = None,
         parallelism: Optional[int] = None,
         executor: Optional["ExecutorConfig"] = None,
+        kernel: str = "scalar",
     ) -> None:
         self.table = table
         self.index = index
         self.distance = distance or DistanceFunction()
+        #: Filter strategy: ``"scalar"`` or ``"block"`` (see
+        #: :mod:`repro.core.kernel`); answers are bit-identical.
+        self.kernel = validate_kernel_mode(kernel)
         self.registry = registry
         self.tracer = tracer
         if executor is None and parallelism is not None:
@@ -139,18 +149,29 @@ class BatchIVAEngine:
         scan = self.index.open_scan(attr_ids)
         n = self.index.config.n
 
+        kernels: Optional[List[QueryKernel]] = None
         encoders = {}
         quantizers = {}
-        for query in bound:
-            for term in query.terms:
-                attr_id = term.attr.attr_id
-                if term.attr.is_text:
-                    key = (attr_id, str(term.value))
-                    if key not in encoders:
-                        encoders[key] = QueryStringEncoder(str(term.value), n)
-                else:
-                    entry = self.index.entry(attr_id)
-                    quantizers[attr_id] = entry.quantizer if entry else None
+        if self.kernel == "block":
+            # One shared compiled artifact for the whole batch: queries
+            # naming the same term reuse one set of gram masks and lookup
+            # tables (and the per-block column cache keys on that identity).
+            shared_terms = KernelCache()
+            kernels = [
+                QueryKernel.compile(self.index, q, dist, position, cache=shared_terms)
+                for q in bound
+            ]
+        else:
+            for query in bound:
+                for term in query.terms:
+                    attr_id = term.attr.attr_id
+                    if term.attr.is_text:
+                        key = (attr_id, str(term.value))
+                        if key not in encoders:
+                            encoders[key] = QueryStringEncoder(str(term.value), n)
+                    else:
+                        entry = self.index.entry(attr_id)
+                        quantizers[attr_id] = entry.quantizer if entry else None
 
         pools = [ResultPool(k) for _ in bound]
         reports = [SearchReport() for _ in bound]
@@ -161,51 +182,87 @@ class BatchIVAEngine:
         refine_io = 0.0
         refine_wall = 0.0
 
-        for tid, ptr in scan:
-            payloads = scan.payloads(tid)
-            if ptr == DELETED_PTR:
-                continue
-            record = None
-            text_bound_cache = {}
-            for qi, query in enumerate(bound):
-                reports[qi].tuples_scanned += 1
-                diffs: List[float] = []
-                exact = True
-                for term in query.terms:
-                    attr_id = term.attr.attr_id
-                    payload = payloads[position[attr_id]]
-                    if payload is None:
-                        diffs.append(ndf_penalty)
+        if kernels is not None:
+            for tids, ptrs in scan.blocks(BLOCK_TUPLES):
+                columns = scan.payload_blocks(tids)
+                count = len(tids)
+                block_cache: dict = {}
+                evaluated = [
+                    kern.evaluate_block(columns, count, block_cache)
+                    for kern in kernels
+                ]
+                for i in range(count):
+                    if ptrs[i] == DELETED_PTR:
                         continue
-                    exact = False
-                    if term.attr.is_text:
-                        key = (attr_id, str(term.value))
-                        cached = text_bound_cache.get(key)
-                        if cached is None:
-                            encoder = encoders[key]
-                            cached = min(encoder.lower_bound(s) for s in payload)
-                            text_bound_cache[key] = cached
-                        diffs.append(cached)
-                    else:
-                        diffs.append(
-                            quantizers[attr_id].lower_bound(float(term.value), payload)
-                        )
-                pool = pools[qi]
-                estimated = dist.combine_bounds(query, diffs)
-                if exact:
-                    pool.insert(tid, estimated)
-                    reports[qi].exact_shortcuts += 1
+                    tid = tids[i]
+                    record = None
+                    for qi, query in enumerate(bound):
+                        reports[qi].tuples_scanned += 1
+                        estimated = evaluated[qi][0][i]
+                        exact = evaluated[qi][1][i]
+                        pool = pools[qi]
+                        if exact:
+                            pool.insert(tid, estimated)
+                            reports[qi].exact_shortcuts += 1
+                            continue
+                        if not pool.is_candidate(estimated, tid):
+                            continue
+                        if record is None:
+                            io_before = disk.stats.io_time_ms
+                            wall_before = time.perf_counter()
+                            record = self.table.read(tid)
+                            refine_io += disk.stats.io_time_ms - io_before
+                            refine_wall += time.perf_counter() - wall_before
+                        reports[qi].table_accesses += 1
+                        pool.insert(tid, dist.actual(query, record))
+        else:
+            for tid, ptr in scan:
+                payloads = scan.payloads(tid)
+                if ptr == DELETED_PTR:
                     continue
-                if not pool.is_candidate(estimated, tid):
-                    continue
-                if record is None:
-                    io_before = disk.stats.io_time_ms
-                    wall_before = time.perf_counter()
-                    record = self.table.read(tid)
-                    refine_io += disk.stats.io_time_ms - io_before
-                    refine_wall += time.perf_counter() - wall_before
-                reports[qi].table_accesses += 1
-                pool.insert(tid, dist.actual(query, record))
+                record = None
+                text_bound_cache = {}
+                for qi, query in enumerate(bound):
+                    reports[qi].tuples_scanned += 1
+                    diffs: List[float] = []
+                    exact = True
+                    for term in query.terms:
+                        attr_id = term.attr.attr_id
+                        payload = payloads[position[attr_id]]
+                        if payload is None:
+                            diffs.append(ndf_penalty)
+                            continue
+                        exact = False
+                        if term.attr.is_text:
+                            key = (attr_id, str(term.value))
+                            cached = text_bound_cache.get(key)
+                            if cached is None:
+                                encoder = encoders[key]
+                                cached = min(encoder.lower_bound(s) for s in payload)
+                                text_bound_cache[key] = cached
+                            diffs.append(cached)
+                        else:
+                            diffs.append(
+                                quantizers[attr_id].lower_bound(
+                                    float(term.value), payload
+                                )
+                            )
+                    pool = pools[qi]
+                    estimated = dist.combine_bounds(query, diffs)
+                    if exact:
+                        pool.insert(tid, estimated)
+                        reports[qi].exact_shortcuts += 1
+                        continue
+                    if not pool.is_candidate(estimated, tid):
+                        continue
+                    if record is None:
+                        io_before = disk.stats.io_time_ms
+                        wall_before = time.perf_counter()
+                        record = self.table.read(tid)
+                        refine_io += disk.stats.io_time_ms - io_before
+                        refine_wall += time.perf_counter() - wall_before
+                    reports[qi].table_accesses += 1
+                    pool.insert(tid, dist.actual(query, record))
 
         total_io = disk.stats.io_time_ms - io_start
         total_wall = time.perf_counter() - wall_start

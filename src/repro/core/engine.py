@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.iva_file import DELETED_PTR, IVAFile
+from repro.core.kernel import BLOCK_TUPLES, QueryKernel, validate_kernel_mode
 from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError
@@ -271,9 +272,16 @@ class FilterAndRefineEngine(ABC):
         tracer: Optional[Tracer] = None,
         parallelism: Optional[int] = None,
         executor: Optional["ExecutorConfig"] = None,
+        kernel: str = "scalar",
     ) -> None:
         self.table = table
         self.distance = distance or DistanceFunction()
+        #: Filter evaluation strategy: ``"scalar"`` (per-tuple ``move_to``
+        #: plus per-term arithmetic) or ``"block"`` (block-at-a-time decode
+        #: through a compiled :class:`~repro.core.kernel.QueryKernel`).
+        #: Both return bit-identical answers; engines without a block
+        #: filter implementation run the scalar path regardless.
+        self.kernel = validate_kernel_mode(kernel)
         #: When the filter's bounds are exact (all queried attributes ndf),
         #: insert the distance directly instead of fetching the tuple.  The
         #: answer set is identical; only the access count changes.
@@ -297,6 +305,19 @@ class FilterAndRefineEngine(ABC):
     @abstractmethod
     def _filter(self, query: Query, distance: DistanceFunction) -> Iterator[FilterItem]:
         """Yield (tid, per-term lower bounds, exact) for every live tuple."""
+
+    def _filter_estimates(
+        self, query: Query, distance: DistanceFunction
+    ) -> Iterator[Tuple[int, float, bool]]:
+        """Yield (tid, combined distance estimate, exact) per live tuple.
+
+        The default is the scalar path — per-term bounds from
+        :meth:`_filter` combined tuple-by-tuple.  Engines with a block
+        filter kernel override this to decode and evaluate whole blocks
+        while yielding the exact same estimates in the exact same order.
+        """
+        for tid, diffs, exact in self._filter(query, distance):
+            yield tid, distance.combine_bounds(query, diffs), exact
 
     def prepare_query(self, query: Union[Query, Mapping[str, object]]) -> Query:
         """Coerce a mapping into a validated :class:`Query`."""
@@ -369,9 +390,8 @@ class FilterAndRefineEngine(ABC):
             refine_io = 0.0
             refine_wall = 0.0
 
-            for tid, diffs, exact in self._filter(query, dist):
+            for tid, estimated, exact in self._filter_estimates(query, dist):
                 report.tuples_scanned += 1
-                estimated = dist.combine_bounds(query, diffs)
                 if exact and self.skip_exact:
                     pool.insert(tid, estimated)
                     report.exact_shortcuts += 1
@@ -418,6 +438,7 @@ class IVAEngine(FilterAndRefineEngine):
         tracer: Optional[Tracer] = None,
         parallelism: Optional[int] = None,
         executor: Optional["ExecutorConfig"] = None,
+        kernel: str = "scalar",
     ) -> None:
         super().__init__(
             table,
@@ -426,6 +447,7 @@ class IVAEngine(FilterAndRefineEngine):
             tracer=tracer,
             parallelism=parallelism,
             executor=executor,
+            kernel=kernel,
         )
         self.index = index
 
@@ -440,3 +462,55 @@ class IVAEngine(FilterAndRefineEngine):
                 continue
             diffs, exact = evaluator.evaluate(payloads)
             yield tid, diffs, exact
+
+    def _filter_estimates(
+        self, query: Query, distance: DistanceFunction
+    ) -> Iterator[Tuple[int, float, bool]]:
+        """Scalar or block filtering, per the engine's ``kernel`` mode.
+
+        The block path compiles the query once (``kernel.compile`` span),
+        then per tuple-list block drives every scanner's ``move_block`` and
+        evaluates the decoded columns through the kernel's lookup tables
+        (accumulated into one ``kernel.block`` span).  Estimates are
+        bit-identical to the scalar path and arrive in the same tid order.
+        """
+        if self.kernel != "block":
+            yield from super()._filter_estimates(query, distance)
+            return
+        attr_ids = query.attribute_ids()
+        scan = self.index.open_scan(attr_ids)
+        tracer = self._tracer()
+        registry = self._registry()
+        compile_start = time.perf_counter()
+        compiled = QueryKernel.compile(self.index, query, distance)
+        tracer.record(
+            "kernel.compile",
+            (time.perf_counter() - compile_start) * 1000.0,
+            terms=len(compiled.terms),
+            table_entries=compiled.table_entries,
+        )
+        registry.counter(
+            "repro_kernel_compiles_total",
+            labels={"engine": self.name},
+            help="Query kernels compiled for block-at-a-time filtering.",
+        ).inc()
+        blocks = 0
+        tuples = 0
+        block_wall = 0.0
+        for tids, ptrs in scan.blocks(BLOCK_TUPLES):
+            block_start = time.perf_counter()
+            columns = scan.payload_blocks(tids)
+            estimates, exacts = compiled.evaluate_block(columns, len(tids))
+            block_wall += time.perf_counter() - block_start
+            blocks += 1
+            for i, tid in enumerate(tids):
+                if ptrs[i] == DELETED_PTR:
+                    continue
+                tuples += 1
+                yield tid, estimates[i], exacts[i]
+        tracer.record("kernel.block", block_wall * 1000.0, blocks=blocks, tuples=tuples)
+        registry.counter(
+            "repro_kernel_blocks_total",
+            labels={"engine": self.name},
+            help="Tuple-list blocks decoded and evaluated by the block kernel.",
+        ).inc(blocks)

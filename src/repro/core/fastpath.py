@@ -1,4 +1,4 @@
-"""Optional numpy acceleration for bulk encoding.
+"""Optional numpy acceleration for bulk encoding and block filtering.
 
 The repro environment note is right that pure Python struggles with
 scan-efficiency workloads; bulk *index builds* are the hottest loop we can
@@ -7,6 +7,13 @@ vectorise without changing any on-disk byte.  When numpy is importable,
 :func:`pack_codes` emits the little-endian code stream in one call;
 otherwise both fall back to the scalar path.  Tests pin byte-for-byte
 equality between the two paths.
+
+The block filter kernel (:mod:`repro.core.kernel`) plugs in through
+:func:`lut_array` / :func:`gather_bounds`: a numeric term's eager
+``code → lower_bound`` table becomes a float64 array and a fully-defined
+decoded column is bounded with one vectorised gather.  The array holds the
+exact doubles of the scalar table, so gathered bounds stay bit-identical;
+columns with ndf gaps fall back to the scalar loop.
 """
 
 from __future__ import annotations
@@ -67,3 +74,31 @@ def encode_numeric_column(
 ) -> bytes:
     """Codes for a whole column as the serialized byte stream."""
     return pack_codes(encode_numeric_batch(quantizer, values), quantizer.vector_bytes)
+
+
+def lut_array(table: Sequence[float]):
+    """A float64 numpy mirror of an eager lookup table, or None.
+
+    Compiled once per numeric query term; ``float64`` round-trips every
+    Python float exactly, so gathering from the array yields the same
+    bounds as indexing the scalar table.
+    """
+    if _np is None:
+        return None
+    return _np.asarray(table, dtype=_np.float64)
+
+
+def gather_bounds(lut, column: Sequence[object], out: List[float], exact: List[bool]) -> bool:
+    """Vectorised ``out[i] = lut[column[i]]`` for a fully-defined column.
+
+    Returns False — leaving ``out``/``exact`` untouched — when numpy is
+    unavailable, the column is too small to pay for the round-trip, or any
+    element is ndf (``None``); the caller then runs its scalar loop.  On
+    success every element was defined, so all ``exact`` flags clear.
+    """
+    if lut is None or len(column) < _BATCH_THRESHOLD or None in column:
+        return False
+    codes = _np.asarray(column, dtype=_np.intp)
+    out[:] = lut[codes].tolist()
+    exact[:] = [False] * len(column)
+    return True

@@ -195,6 +195,10 @@ class _NullScanner(VectorListScanner):
         """Advance the pointer to *tid*; see the class docstring."""
         return None
 
+    def move_block(self, tids) -> list:
+        """Every element is ndf."""
+        return [None] * len(tids)
+
     def checkpoint_offset(self) -> int:
         """No backing list: every resume point is offset 0."""
         return 0
@@ -746,3 +750,12 @@ class IVAScan:
     def payloads(self, tid: int) -> List[object]:
         """Drive every scanner to *tid*; aligned with ``attr_ids``."""
         return [scanner.move_to(tid) for scanner in self.scanners]
+
+    def blocks(self, block_elements: int):
+        """Yield ``(tids, ptrs)`` tuple-list columns, one block at a time."""
+        return self.index._tuples.scan_blocks(block_elements)
+
+    def payload_blocks(self, tids: Sequence[int]) -> List[List[object]]:
+        """Drive every scanner through one block; one payload column per
+        attribute, aligned with ``attr_ids``."""
+        return [scanner.move_block(tids) for scanner in self.scanners]

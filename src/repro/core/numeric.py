@@ -26,6 +26,11 @@ from repro.errors import EncodingError
 #: Byte width of a stored numeric value (float64 in the interpreted format).
 NUMERIC_VALUE_BYTES = 8
 
+#: Largest code space the filter kernel materialises eagerly as a full
+#: ``code → lower_bound`` array (one-byte vectors); wider quantizers are
+#: memoised lazily per observed code instead.
+EAGER_LUT_MAX_CODES = 256
+
 
 def vector_bytes_for_alpha(alpha: float, value_bytes: int = NUMERIC_VALUE_BYTES) -> int:
     """``ceil(α · r)`` — the approximation vector width in bytes."""
@@ -108,6 +113,20 @@ class NumericQuantizer:
         if not open_low and query_value < lo:
             return lo - query_value
         return query_value - hi
+
+    def lower_bound_table(self, query_value: float) -> Tuple[float, ...]:
+        """``code → lower_bound(query_value, code)`` for every data slice.
+
+        The query-compiled numeric LUT of the block filter kernel: one
+        entry per slice id, each computed by :meth:`lower_bound` itself, so
+        a table lookup is bit-identical to the scalar arithmetic —
+        open-ended boundary slices and clamped out-of-domain codes
+        included.  Only sensible for small code spaces; the kernel
+        memoises lazily above :data:`EAGER_LUT_MAX_CODES`.
+        """
+        return tuple(
+            self.lower_bound(query_value, code) for code in range(self.num_slices)
+        )
 
     def encode_bytes(self, value: float) -> bytes:
         """The value's code as little-endian bytes."""

@@ -68,6 +68,28 @@ class VectorListScanner:
         """Advance the pointer to *tid*; see the class docstring."""
         raise NotImplementedError
 
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Advance through one block of tids, returning a payload column.
+
+        The block filter kernel's decode API: one call per tuple-list block
+        instead of one per tuple, with payloads in the kernel's flat form —
+        text payloads are lists of bare ``(stored_length, bits)`` pairs
+        (no :class:`Signature` objects), numeric payloads are slice codes,
+        ndf stays ``None``.  The returned column aligns 1:1 with *tids*.
+
+        This default adapts any :meth:`move_to` implementation (third-party
+        codec scanners inherit block support for free); the built-in
+        layouts override it with loops that skip per-element method
+        dispatch and ``Signature`` construction.
+        """
+        column: List[object] = []
+        for tid in tids:
+            payload = self.move_to(tid)
+            if type(payload) is list:
+                payload = [(sig.length, sig.bits) for sig in payload]
+            column.append(payload)
+        return column
+
     def checkpoint_offset(self) -> int:
         """Byte offset at which a fresh scanner resumes this pointer's state.
 
@@ -135,6 +157,24 @@ class TextTypeIScanner(_TidBasedScanner):
             self._load_next()
         return out or None
 
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: same pointer walk, bare ``(length, bits)`` pairs."""
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        column: List[object] = []
+        for tid in tids:
+            pairs = None
+            while self._pending is not None and self._pending <= tid:
+                pair = read_raw(reader)
+                if self._pending == tid:
+                    if pairs is None:
+                        pairs = [pair]
+                    else:
+                        pairs.append(pair)
+                self._load_next()
+            column.append(pairs)
+        return column
+
 
 class TextTypeIIScanner(_TidBasedScanner):
     """Type II text layout: ``<tid, num, vector1, vector2, …>``."""
@@ -153,6 +193,25 @@ class TextTypeIIScanner(_TidBasedScanner):
                 out.extend(signatures)
             self._load_next()
         return out or None
+
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: same pointer walk, bare ``(length, bits)`` pairs."""
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        column: List[object] = []
+        for tid in tids:
+            pairs = None
+            while self._pending is not None and self._pending <= tid:
+                count = reader.read(NUM_BYTES)[0]
+                decoded = [read_raw(reader) for _ in range(count)]
+                if self._pending == tid:
+                    if pairs is None:
+                        pairs = decoded
+                    else:
+                        pairs.extend(decoded)
+                self._load_next()
+            column.append(pairs or None)
+        return column
 
 
 class TextTypeIIIScanner(VectorListScanner):
@@ -174,6 +233,24 @@ class TextTypeIIIScanner(VectorListScanner):
             return None
         return [self._scheme.read(self._reader) for _ in range(count)]
 
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: one positional element per tid, bare pairs."""
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        column: List[object] = []
+        for _tid in tids:
+            if reader.exhausted():
+                raise IndexError_(
+                    "Type III vector list ran out of elements before the "
+                    "tuple list did — the index is inconsistent with its table"
+                )
+            count = reader.read(NUM_BYTES)[0]
+            if count == 0:
+                column.append(None)
+            else:
+                column.append([read_raw(reader) for _ in range(count)])
+        return column
+
 
 class NumericTypeIScanner(_TidBasedScanner):
     """Type I numeric layout: ``<tid, vector>`` per defined tuple."""
@@ -192,6 +269,22 @@ class NumericTypeIScanner(_TidBasedScanner):
                 out = code
             self._load_next()
         return out
+
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: same pointer walk, one code (or None) per tid."""
+        width = self._quantizer.vector_bytes
+        decode = self._quantizer.decode_bytes
+        reader = self._reader
+        column: List[object] = []
+        for tid in tids:
+            out = None
+            while self._pending is not None and self._pending <= tid:
+                code = decode(reader.read(width))
+                if self._pending == tid:
+                    out = code
+                self._load_next()
+            column.append(out)
+        return column
 
 
 class NumericTypeIVScanner(VectorListScanner):
@@ -217,3 +310,21 @@ class NumericTypeIVScanner(VectorListScanner):
         if code == self._quantizer.ndf_code:
             return None
         return code
+
+    def move_block(self, tids: List[int]) -> List[object]:
+        """Block decode: one positional code per tid, ndf mapped to None."""
+        quantizer = self._quantizer
+        width = quantizer.vector_bytes
+        decode = quantizer.decode_bytes
+        ndf_code = quantizer.ndf_code
+        reader = self._reader
+        column: List[object] = []
+        for _tid in tids:
+            if reader.exhausted():
+                raise IndexError_(
+                    "Type IV vector list ran out of elements before the "
+                    "tuple list did — the index is inconsistent with its table"
+                )
+            code = decode(reader.read(width))
+            column.append(None if code == ndf_code else code)
+        return column

@@ -54,6 +54,19 @@ _MASK_CACHE: Dict[Tuple[str, int, int], int] = {}
 _MASK_CACHE_LIMIT = 1 << 20
 
 
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def _mask_popcount(mask_count: Tuple[int, int]) -> int:
+        """Sort key for query gram masks: the mask's population count."""
+        return mask_count[0].bit_count()
+
+else:  # pragma: no cover - exercised only on older interpreters
+
+    def _mask_popcount(mask_count: Tuple[int, int]) -> int:
+        """Sort key for query gram masks: the mask's population count."""
+        return bin(mask_count[0]).count("1")
+
+
 def gram_mask(gram: str, l_bits: int, t: int) -> int:
     """``h[l, t](ω)``: an ``l``-bit vector with exactly ``t`` one bits.
 
@@ -173,6 +186,18 @@ class SignatureScheme:
         bits = int.from_bytes(buffer[offset + 1 : end], "little")
         return Signature(length=stored, l_bits=l_bits, t=t, bits=bits), end
 
+    def read_raw(self, reader: BufferedReader) -> Tuple[int, int]:
+        """Deserialise one signature as a bare ``(stored_length, bits)`` pair.
+
+        The block filter kernel's decode path: skips both the
+        :class:`Signature` object construction and the ``optimal_t`` lookup
+        per vector — the kernel re-derives ``(l_bits, t)`` once per distinct
+        stored length instead of once per signature.
+        """
+        stored = reader.read(1)[0]
+        raw = reader.read(self.higher_bytes(stored))
+        return stored, int.from_bytes(raw, "little")
+
 
 class QueryStringEncoder:
     """Query-side evaluator of ``est(sq, c(sd))`` (Eq. 3).
@@ -199,8 +224,28 @@ class QueryStringEncoder:
             masks = [
                 (gram_mask(gram, l_bits, t), count) for gram, count in self._grams
             ]
+            # Most-selective mask first: a signature that misses any gram
+            # rejects fastest on the mask with the most one bits (hit counts
+            # are order-independent sums, so the ordering is free).  The
+            # sort is stable, so equal-popcount masks keep gram order and
+            # the result stays deterministic.
+            masks.sort(key=_mask_popcount, reverse=True)
             self._mask_cache[key] = masks
         return masks
+
+    @property
+    def total_grams(self) -> int:
+        """``|g(sq)|`` — the query's gram count (the hit count's ceiling)."""
+        return self.query_length + self.n - 1
+
+    def masks_for(self, l_bits: int, t: int) -> List[Tuple[int, int]]:
+        """The query's ``(mask, count)`` pairs for one signature geometry.
+
+        Most-selective (highest popcount) mask first; cached per
+        ``(l_bits, t)``.  Shared with the block filter kernel so both paths
+        test exactly the same masks in the same order.
+        """
+        return self._masks(l_bits, t)
 
     def hit_count(self, signature: Signature) -> int:
         """``|hg(sq, c(sd))|`` — Def. 3.3, with appearance counts."""

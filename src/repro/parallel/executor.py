@@ -70,6 +70,7 @@ from repro.core.engine import (
     trace_phases,
 )
 from repro.core.iva_file import DELETED_PTR, IVAFile
+from repro.core.kernel import BLOCK_TUPLES, KernelCache, QueryKernel
 from repro.core.pool import ResultPool
 from repro.errors import ParallelError
 from repro.metrics.distance import DistanceFunction
@@ -164,6 +165,12 @@ class _QueryCtx:
     query: Query
     evaluator: BoundEvaluator
     shared: SharedBound
+    #: Compiled block-filter kernel, set when the run uses the block
+    #: kernel; one compiled artifact per query, shared by ALL shard
+    #: workers (the lazily-growing lookup tables are filled with values
+    #: from pure functions, so concurrent memoisation is benign — two
+    #: threads can only ever write the same entry).
+    kernel: Optional[QueryKernel] = None
 
 
 @dataclass
@@ -214,9 +221,17 @@ class ParallelScanExecutor:
         dist: DistanceFunction,
         *,
         skip_exact: bool = True,
+        kernel: str = "scalar",
     ) -> _RunResult:
         """Execute the sharded scan; raises :class:`ParallelExecutionError`
-        when the pool cannot start or a worker dies."""
+        when the pool cannot start or a worker dies.
+
+        *kernel* selects the filter strategy: ``"block"`` compiles one
+        :class:`QueryKernel` per query up front — sharing gram sets, masks
+        and lookup tables through one :class:`KernelCache` across every
+        query *and* every shard worker — and shard workers then scan
+        block-at-a-time.  Answers are bit-identical either way.
+        """
         attr_ids = tuple(sorted({t.attr.attr_id for q in queries for t in q.terms}))
         position = {attr_id: i for i, attr_id in enumerate(attr_ids)}
         if len(queries) == 1 and attr_ids == queries[0].attribute_ids():
@@ -250,6 +265,16 @@ class ParallelScanExecutor:
             )
             for query in queries
         ]
+        if kernel == "block":
+            compile_cpu0 = time.thread_time()
+            shared_terms = KernelCache()
+            for ctx in contexts:
+                ctx.kernel = QueryKernel.compile(
+                    self.index, ctx.query, dist, position_map, cache=shared_terms
+                )
+            # Compilation happens once on the caller, before any worker
+            # starts; charge it to the query's setup cost.
+            result.setup_cpu_s += time.thread_time() - compile_cpu0
         out_queue: "queue_module.Queue" = queue_module.Queue(
             maxsize=self.config.queue_depth
         )
@@ -351,6 +376,7 @@ class ParallelScanExecutor:
         local_pools = [ResultPool(k) for _ in contexts]
         disk = self.table.disk
         batch = len(contexts) > 1
+        block = contexts[0].kernel is not None if contexts else False
         try:
             with disk.io_channel(f"parallel-{worker}"), disk.metered() as meter:
                 cpu0 = time.thread_time()
@@ -358,29 +384,41 @@ class ParallelScanExecutor:
                     self.index.make_scanner(attr_id, start=shard.checkpoints[attr_id])
                     for attr_id in attr_ids
                 ]
-                for tid, ptr in self.index.tuples.scan_range(
-                    shard.start_element, shard.end_element
-                ):
-                    if abort.is_set():
-                        break
-                    payloads = [scanner.move_to(tid) for scanner in scanners]
-                    if ptr == DELETED_PTR:
-                        continue
-                    stats.tuples += 1
-                    cache: Optional[dict] = {} if batch else None
-                    for qi, ctx in enumerate(contexts):
-                        diffs, exact = ctx.evaluator.evaluate(payloads, cache)
-                        estimated = dist.combine_bounds(ctx.query, diffs)
-                        if exact and skip_exact:
-                            local_pools[qi].insert(tid, estimated)
-                            stats.exact_shortcuts[qi] += 1
+                if block:
+                    self._scan_shard_blocks(
+                        shard,
+                        scanners,
+                        contexts,
+                        skip_exact,
+                        out_queue,
+                        abort,
+                        stats,
+                        local_pools,
+                    )
+                else:
+                    for tid, ptr in self.index.tuples.scan_range(
+                        shard.start_element, shard.end_element
+                    ):
+                        if abort.is_set():
+                            break
+                        payloads = [scanner.move_to(tid) for scanner in scanners]
+                        if ptr == DELETED_PTR:
                             continue
-                        bound = ctx.shared.get()
-                        if bound is not None and not (estimated, tid) < bound:
-                            continue
-                        if not local_pools[qi].is_candidate(estimated, tid):
-                            continue
-                        out_queue.put((qi, tid, estimated))
+                        stats.tuples += 1
+                        cache: Optional[dict] = {} if batch else None
+                        for qi, ctx in enumerate(contexts):
+                            diffs, exact = ctx.evaluator.evaluate(payloads, cache)
+                            estimated = dist.combine_bounds(ctx.query, diffs)
+                            if exact and skip_exact:
+                                local_pools[qi].insert(tid, estimated)
+                                stats.exact_shortcuts[qi] += 1
+                                continue
+                            bound = ctx.shared.get()
+                            if bound is not None and not (estimated, tid) < bound:
+                                continue
+                            if not local_pools[qi].is_candidate(estimated, tid):
+                                continue
+                            out_queue.put((qi, tid, estimated))
                 stats.cpu_s = time.thread_time() - cpu0
             stats.io_ms = meter.io_ms
             stats.pages = meter.pages
@@ -388,6 +426,55 @@ class ParallelScanExecutor:
             stats.error = exc
         finally:
             out_queue.put(_ShardDone(stats=stats, local_pools=local_pools))
+
+    def _scan_shard_blocks(
+        self,
+        shard: ShardRange,
+        scanners: List,
+        contexts: List[_QueryCtx],
+        skip_exact: bool,
+        out_queue: "queue_module.Queue",
+        abort: threading.Event,
+        stats: _ShardStats,
+        local_pools: List[ResultPool],
+    ) -> None:
+        """Block-kernel shard scan: same decisions, block-at-a-time decode.
+
+        Per-tuple decisions run in the scalar path's exact order (tid
+        outer, query inner), so the candidate stream and pool evolution
+        match; only the decode/evaluate granularity differs.
+        """
+        batch = len(contexts) > 1
+        for tids, ptrs in self.index.tuples.scan_range_blocks(
+            shard.start_element, shard.end_element, BLOCK_TUPLES
+        ):
+            if abort.is_set():
+                break
+            columns = [scanner.move_block(tids) for scanner in scanners]
+            count = len(tids)
+            block_cache: Optional[dict] = {} if batch else None
+            evaluated = [
+                ctx.kernel.evaluate_block(columns, count, block_cache)
+                for ctx in contexts
+            ]
+            for i in range(count):
+                if ptrs[i] == DELETED_PTR:
+                    continue
+                tid = tids[i]
+                stats.tuples += 1
+                for qi, ctx in enumerate(contexts):
+                    estimated = evaluated[qi][0][i]
+                    exact = evaluated[qi][1][i]
+                    if exact and skip_exact:
+                        local_pools[qi].insert(tid, estimated)
+                        stats.exact_shortcuts[qi] += 1
+                        continue
+                    bound = ctx.shared.get()
+                    if bound is not None and not (estimated, tid) < bound:
+                        continue
+                    if not local_pools[qi].is_candidate(estimated, tid):
+                        continue
+                    out_queue.put((qi, tid, estimated))
 
     # -------------------------------------------------------------- refiner
 
@@ -581,7 +668,13 @@ def parallel_search(
         attr_ids=list(query.attribute_ids()),
         parallel=True,
     ) as span:
-        run = runner.run([query], k, dist, skip_exact=engine.skip_exact)
+        run = runner.run(
+            [query],
+            k,
+            dist,
+            skip_exact=engine.skip_exact,
+            kernel=getattr(engine, "kernel", "scalar"),
+        )
         report.tuples_scanned = run.tuples_scanned
         report.exact_shortcuts = run.exact_shortcuts[0]
         report.table_accesses = run.table_accesses[0]
@@ -626,7 +719,13 @@ def parallel_search_batch(
         queries=len(queries),
         parallel=True,
     ) as span:
-        run = runner.run(list(queries), k, dist, skip_exact=True)
+        run = runner.run(
+            list(queries),
+            k,
+            dist,
+            skip_exact=True,
+            kernel=getattr(batch_engine, "kernel", "scalar"),
+        )
         reports: List[SearchReport] = []
         for qi, pool in enumerate(run.pools):
             report: SearchReport
