@@ -13,13 +13,15 @@ check-docs:
 	PYTHONPATH=src python scripts/check_docs.py
 
 # Tier-1 suite, docs validation, metrics sanity check on a tiny bench run,
-# a codec cross-check (one index per wire format, identical answers), and
-# a kernel cross-check (block filter == scalar filter on every path).
+# a codec cross-check (one index per wire format, identical answers), a
+# kernel cross-check (block filter == scalar filter on every path), and a
+# chaos cross-check (injected faults never produce silently-wrong answers).
 smoke: check-docs
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/check_bench_metrics.py
 	PYTHONPATH=src python scripts/check_codec_smoke.py
 	PYTHONPATH=src python scripts/check_kernel_smoke.py
+	PYTHONPATH=src python scripts/check_chaos_smoke.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

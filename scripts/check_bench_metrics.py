@@ -124,6 +124,35 @@ def check_kernel_sidecar(snapshot: dict, csv_rows: list) -> list:
     return problems
 
 
+def check_fault_sidecar(snapshot: dict, csv_rows: list) -> list:
+    """Validate the ``fault-sweep`` chaos harness's emitted artifacts.
+
+    The snapshot must show faults were actually injected (a vacuously
+    clean sweep proves nothing), and every CSV row's verdict must be
+    ``ok`` — a single silently-wrong answer under faults is the exact
+    failure mode the resilience stack exists to prevent.
+    """
+    problems = check_snapshot(snapshot)
+    injected = [
+        c["value"]
+        for c in snapshot.get("counters", ())
+        if c["name"] == "repro_faults_injected_total"
+    ]
+    if not injected:
+        problems.append("missing counter 'repro_faults_injected_total'")
+    elif not any(v > 0 for v in injected):
+        problems.append("repro_faults_injected_total never incremented")
+    if len(csv_rows) < 4:
+        problems.append(f"fault-sweep emitted {len(csv_rows)} rows, want >= 4")
+    for row in csv_rows:
+        if row and row[-1] != "ok":
+            problems.append(
+                f"fault-sweep cell {row[0]!r}/{row[1]!r}@{row[2]} "
+                f"produced silently-wrong answers"
+            )
+    return problems
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         os.environ["REPRO_BENCH_RESULTS"] = tmp
@@ -182,10 +211,37 @@ def main() -> int:
         with open(kernel_csv, encoding="utf-8", newline="") as fh:
             kernel_rows = list(csv_module.reader(fh))[1:]  # drop the header
 
+        from repro.bench.fault_sweep import emit_fault_sweep, fault_sweep
+
+        emit_fault_sweep(
+            fault_sweep(
+                rates=(0.0, 0.1),
+                seed=31,
+                k=10,
+                queries_per_combo=4,
+                dataset=DatasetConfig(
+                    num_tuples=250,
+                    num_attributes=40,
+                    mean_attrs_per_tuple=6.0,
+                    seed=13,
+                ),
+            )
+        )
+        fault_json = os.path.join(tmp, "fault_sweep.metrics.json")
+        fault_csv = os.path.join(tmp, "fault_sweep.csv")
+        if not os.path.exists(fault_json) or not os.path.exists(fault_csv):
+            print("FAIL: fault-sweep did not emit its sidecar", file=sys.stderr)
+            return 1
+        with open(fault_json, encoding="utf-8") as fh:
+            fault_snapshot = json.load(fh)
+        with open(fault_csv, encoding="utf-8", newline="") as fh:
+            fault_rows = list(csv_module.reader(fh))[1:]  # drop the header
+
     problems = (
         check_snapshot(snapshot)
         + check_codec_sidecar(codec_snapshot, codec_rows)
         + check_kernel_sidecar(kernel_snapshot, kernel_rows)
+        + check_fault_sidecar(fault_snapshot, fault_rows)
     )
     if problems:
         for problem in problems:
@@ -198,7 +254,8 @@ def main() -> int:
         f"metrics OK: {counters} counters, {gauges} gauges, "
         f"{histograms} histograms, all finite; codec-compare sidecar OK "
         f"({len(codec_rows)} codecs, answers identical); kernel-compare "
-        f"sidecar OK ({len(kernel_rows)} runs, block == scalar)"
+        f"sidecar OK ({len(kernel_rows)} runs, block == scalar); "
+        f"fault-sweep sidecar OK ({len(fault_rows)} cells, none silently wrong)"
     )
     return 0
 

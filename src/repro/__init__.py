@@ -26,12 +26,14 @@ Quickstart::
 """
 
 from repro.errors import (
+    ChecksumError,
     EncodingError,
     IndexError_,
     QueryError,
     ReproError,
     SchemaError,
     StorageError,
+    TransientIOError,
 )
 from repro.model import NDF, AttributeDef, AttributeType, Record
 from repro.storage import (
@@ -74,7 +76,23 @@ from repro.core.sequential import SequentialPlanEngine
 from repro.core.batch import BatchIVAEngine
 from repro.core.columnar import InMemoryIVAEngine
 from repro.concurrency import ConcurrentSystem, ReadWriteLock
-from repro.storage.fsck import Finding, check_all, check_index, check_table
+from repro.storage.fsck import (
+    Finding,
+    check_all,
+    check_checksums,
+    check_index,
+    check_table,
+    repair_index,
+)
+from repro.resilience import (
+    ChecksummedBackend,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultRule,
+    ResilientBackend,
+    RetryPolicy,
+    resilient_stack,
+)
 from repro.core.range_search import RangeMatch, RangeReport, RangeSearcher
 from repro.core.explain import QueryPlan, explain
 from repro.distributed import PartitionedSystem, VerticallyPartitionedIVA
@@ -173,8 +191,19 @@ __all__ = [
     "ReadWriteLock",
     "Finding",
     "check_all",
+    "check_checksums",
     "check_index",
     "check_table",
+    "repair_index",
+    "ChecksumError",
+    "TransientIOError",
+    "ChecksummedBackend",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "FaultRule",
+    "ResilientBackend",
+    "RetryPolicy",
+    "resilient_stack",
     "HostDisk",
     "RangeMatch",
     "RangeReport",

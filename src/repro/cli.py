@@ -25,6 +25,14 @@ switches the filter phase to the block-at-a-time kernel with
 query-compiled lookup tables (see docs/architecture.md); answers are
 bit-identical to the default scalar path.  ``repro bench kernel-compare``
 races the two kernels on both codecs and fails on any top-k divergence.
+
+Resilience: ``--fail-mode degrade`` on ``query``/``compare``/``workload``
+lets a query survive shard failures with an explicitly flagged partial
+answer (see docs/resilience.md); ``repro fsck`` exits 0 (clean), 1
+(findings), or 2 (files unreadable) and ``--repair`` quarantines damaged
+vector lists and rebuilds them from the base table; ``repro bench
+fault-sweep`` runs the chaos harness and fails on any silently wrong
+answer.
 """
 
 from __future__ import annotations
@@ -87,6 +95,18 @@ def _add_kernel_flag(subparser: argparse.ArgumentParser) -> None:
         help="filter evaluation strategy: scalar (per-tuple) or block "
         "(block-at-a-time with query-compiled lookup tables); answers "
         "are identical",
+    )
+
+
+def _add_fail_mode_flag(subparser: argparse.ArgumentParser) -> None:
+    from repro.core.engine import FAIL_MODES
+
+    subparser.add_argument(
+        "--fail-mode",
+        default="raise",
+        choices=list(FAIL_MODES),
+        help="scan-failure policy: raise (default) or degrade (answer "
+        "without lost shards, flagged on the report)",
     )
 
 
@@ -153,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(query)
     _add_kernel_flag(query)
+    _add_fail_mode_flag(query)
 
     load = sub.add_parser("load", help="load tuples from JSONL or CSV")
     load.add_argument("--snapshot", required=True)
@@ -196,6 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="replay a saved query set instead of sampling")
     _add_workers_flag(compare)
     _add_kernel_flag(compare)
+    _add_fail_mode_flag(compare)
 
     workload = sub.add_parser(
         "workload", help="sample a query set and save it for replay"
@@ -216,13 +238,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="only sample and save; skip the measurement pass")
     _add_workers_flag(workload)
     _add_kernel_flag(workload)
+    _add_fail_mode_flag(workload)
 
     bench = sub.add_parser(
         "bench", help="run a benchmark suite on the standard bench environment"
     )
     bench.add_argument(
         "suite",
-        choices=["parallel-scaling", "codec-compare", "kernel-compare"],
+        choices=["parallel-scaling", "codec-compare", "kernel-compare", "fault-sweep"],
         help="benchmark suite to run",
     )
     bench.add_argument(
@@ -233,10 +256,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("-k", type=int, default=10)
     bench.add_argument("--values-per-query", type=int, default=3)
+    bench.add_argument(
+        "--rates",
+        default="0,0.02,0.1",
+        metavar="R,R,...",
+        help="fault-sweep only: comma-separated injection rates to sweep",
+    )
+    bench.add_argument(
+        "--seed",
+        type=int,
+        default=13,
+        help="fault-sweep only: fault-plan seed (chaos runs are replayable)",
+    )
 
     fsck = sub.add_parser("fsck", help="check table and index integrity")
     fsck.add_argument("--snapshot", required=True)
     fsck.add_argument("--name", default="iva")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine damaged index structures and rebuild them from "
+        "the base table, then re-check and save the snapshot",
+    )
 
     info = sub.add_parser("info", help="show table and index statistics")
     info.add_argument("--snapshot", required=True)
@@ -323,9 +364,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         tracer=tracer,
         executor=_executor_from(args),
         kernel=getattr(args, "kernel", "scalar"),
+        fail_mode=getattr(args, "fail_mode", "raise"),
     )
     report = engine.search(query, k=args.k)
     print(f"query: {query.describe()}  (k={args.k}, {args.metric})")
+    if report.degraded:
+        print(
+            f"  WARNING: degraded answer; lost shards {report.lost_shards} "
+            f"covering tid ranges {report.lost_tid_ranges}"
+        )
     for rank, result in enumerate(report.results, start=1):
         record = table.read(result.tid)
         cells = ", ".join(
@@ -465,6 +512,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 tracer=tracer,
                 executor=_executor_from(args),
                 kernel=getattr(args, "kernel", "scalar"),
+                fail_mode=getattr(args, "fail_mode", "raise"),
             )
             for query in query_set.warmup:
                 engine.search(query, k=10)
@@ -505,7 +553,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     executor = _executor_from(args)
     engines = [
         IVAEngine(
-            table, index, executor=executor, kernel=getattr(args, "kernel", "scalar")
+            table,
+            index,
+            executor=executor,
+            kernel=getattr(args, "kernel", "scalar"),
+            fail_mode=getattr(args, "fail_mode", "raise"),
         ),
         # Baselines accept the knob for parity; their filters are not
         # sharded (and have no block kernel), so they run the plain
@@ -540,6 +592,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if broken:
             raise ReproError(
                 f"codec(s) {broken} returned different answers than raw"
+            )
+        return 0
+
+    if args.suite == "fault-sweep":
+        from repro.bench.fault_sweep import emit_fault_sweep, fault_sweep
+
+        try:
+            rates = tuple(
+                float(part) for part in args.rates.split(",") if part.strip()
+            )
+        except ValueError:
+            raise ReproError(
+                f"bad --rates {args.rates!r}; expected e.g. 0,0.02,0.1"
+            ) from None
+        if not rates:
+            raise ReproError("--rates must name at least one injection rate")
+        print("building the chaos environment (generated dataset + indexes)...")
+        runs = fault_sweep(rates=rates, seed=args.seed, k=args.k)
+        emit_fault_sweep(runs)
+        wrong = [
+            f"{run.codec}/{run.kernel}@{run.rate}"
+            for run in runs
+            if run.silently_wrong
+        ]
+        if wrong:
+            raise ReproError(
+                f"silently wrong answers under fault injection on: {wrong}"
             )
         return 0
 
@@ -605,10 +684,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    from repro.storage.fsck import check_all
+    """Check (and optionally repair) a snapshot.
 
-    _, table, index = _open(args)
-    findings = check_all(table, index)
+    Exit codes: 0 — clean; 1 — findings were reported; 2 — the snapshot
+    (or part of it) could not be read at all.
+    """
+    from repro.storage.fsck import check_all, repair_index
+
+    try:
+        disk, table, index = _open(args)
+        findings = check_all(table, index)
+    except (ReproError, OSError) as exc:
+        print(f"unreadable: {exc}", file=sys.stderr)
+        return 2
+    if findings and args.repair:
+        for finding in findings:
+            print(finding)
+        for action in repair_index(table, index, findings):
+            print(f"repair: {action}")
+        save_disk(disk, args.snapshot)
+        findings = check_all(table, index)
+        print(f"re-check after repair: {len(findings)} finding(s) remain")
     if not findings:
         print(f"ok: {args.snapshot} is consistent "
               f"({len(table)} live tuples, index {args.name!r})")
@@ -617,7 +713,9 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         print(finding)
     errors = sum(1 for f in findings if f.severity == "error")
     print(f"{len(findings)} finding(s), {errors} error(s)")
-    return 2 if errors else 0
+    if any(f.kind == "unreadable" for f in findings):
+        return 2
+    return 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

@@ -19,7 +19,7 @@ import logging
 import time
 from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Union
 
-from repro.core.engine import QueryResult, SearchReport
+from repro.core.engine import QueryResult, SearchReport, validate_fail_mode
 from repro.core.iva_file import DELETED_PTR, IVAFile
 from repro.core.kernel import (
     BLOCK_TUPLES,
@@ -58,6 +58,7 @@ class BatchIVAEngine:
         parallelism: Optional[int] = None,
         executor: Optional["ExecutorConfig"] = None,
         kernel: str = "scalar",
+        fail_mode: str = "raise",
     ) -> None:
         self.table = table
         self.index = index
@@ -65,6 +66,10 @@ class BatchIVAEngine:
         #: Filter strategy: ``"scalar"`` or ``"block"`` (see
         #: :mod:`repro.core.kernel`); answers are bit-identical.
         self.kernel = validate_kernel_mode(kernel)
+        #: Scan-failure policy (see :class:`FilterAndRefineEngine`): the
+        #: parallel path walks the shard-recovery ladder and flags every
+        #: report in the batch ``degraded`` when a shard stays lost.
+        self.fail_mode = validate_fail_mode(fail_mode)
         self.registry = registry
         self.tracer = tracer
         if executor is None and parallelism is not None:

@@ -32,7 +32,7 @@ from repro.core.iva_file import DELETED_PTR, IVAFile
 from repro.core.kernel import BLOCK_TUPLES, QueryKernel, validate_kernel_mode
 from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Tracer, get_tracer
@@ -47,6 +47,16 @@ logger = logging.getLogger(__name__)
 #: ``exact`` is True when every bound is the exact difference (e.g. the
 #: tuple is ndf on every queried attribute), so refinement is unnecessary.
 FilterItem = Tuple[int, List[float], bool]
+
+#: Accepted values of the engines' ``fail_mode`` knob.
+FAIL_MODES = ("raise", "degrade")
+
+
+def validate_fail_mode(mode: str) -> str:
+    """Validate a ``fail_mode`` value (``"raise"`` or ``"degrade"``)."""
+    if mode not in FAIL_MODES:
+        raise QueryError(f"fail_mode must be one of {FAIL_MODES}, got {mode!r}")
+    return mode
 
 
 class BoundEvaluator:
@@ -154,6 +164,17 @@ class SearchReport:
     #: Measured wall-clock seconds (``time.perf_counter``) in the refine
     #: (fetch + exact distance) phase.
     refine_wall_s: float = 0.0
+    #: True when part of the scan was lost and the results may be missing
+    #: true top-k members (``fail_mode="degrade"`` only; a non-degraded
+    #: report is always complete).
+    degraded: bool = False
+    #: Shard indices whose tid ranges could not be scanned (parallel path).
+    lost_shards: List[int] = field(default_factory=list)
+    #: Inclusive (first, last) tid ranges not covered by the scan.  The
+    #: sequential path reports ``(next_tid, -1)`` — ``-1`` meaning
+    #: "through the end of the scan" — since it cannot know where the
+    #: aborted scan would have ended.
+    lost_tid_ranges: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
     def total_io_ms(self) -> float:
@@ -225,6 +246,12 @@ def observe_search(
         labels=labels,
         help="Modeled refine-phase time per query (paper Figs. 9/15).",
     ).observe(report.refine_time_ms)
+    if report.degraded:
+        registry.counter(
+            "repro_degraded_queries_total",
+            labels=labels,
+            help="Searches that completed with lost shards or a cut scan.",
+        ).inc()
 
 
 def trace_phases(tracer: Tracer, span, report: SearchReport) -> None:
@@ -273,9 +300,14 @@ class FilterAndRefineEngine(ABC):
         parallelism: Optional[int] = None,
         executor: Optional["ExecutorConfig"] = None,
         kernel: str = "scalar",
+        fail_mode: str = "raise",
     ) -> None:
         self.table = table
         self.distance = distance or DistanceFunction()
+        #: Scan-failure policy: ``"raise"`` propagates storage errors
+        #: (after any sequential fallback); ``"degrade"`` completes the
+        #: query with what survived and flags ``SearchReport.degraded``.
+        self.fail_mode = validate_fail_mode(fail_mode)
         #: Filter evaluation strategy: ``"scalar"`` (per-tuple ``move_to``
         #: plus per-term arithmetic) or ``"block"`` (block-at-a-time decode
         #: through a compiled :class:`~repro.core.kernel.QueryKernel`).
@@ -390,22 +422,37 @@ class FilterAndRefineEngine(ABC):
             refine_io = 0.0
             refine_wall = 0.0
 
-            for tid, estimated, exact in self._filter_estimates(query, dist):
-                report.tuples_scanned += 1
-                if exact and self.skip_exact:
-                    pool.insert(tid, estimated)
-                    report.exact_shortcuts += 1
-                    continue
-                if not pool.is_candidate(estimated, tid):
-                    continue
-                refine_io_before = disk.stats.io_time_ms
-                refine_wall_before = time.perf_counter()
-                record = self.table.read(tid)
-                actual = dist.actual(query, record)
-                pool.insert(tid, actual)
-                refine_io += disk.stats.io_time_ms - refine_io_before
-                refine_wall += time.perf_counter() - refine_wall_before
-                report.table_accesses += 1
+            last_tid = -1
+            try:
+                for tid, estimated, exact in self._filter_estimates(query, dist):
+                    last_tid = tid
+                    report.tuples_scanned += 1
+                    if exact and self.skip_exact:
+                        pool.insert(tid, estimated)
+                        report.exact_shortcuts += 1
+                        continue
+                    if not pool.is_candidate(estimated, tid):
+                        continue
+                    refine_io_before = disk.stats.io_time_ms
+                    refine_wall_before = time.perf_counter()
+                    record = self.table.read(tid)
+                    actual = dist.actual(query, record)
+                    pool.insert(tid, actual)
+                    refine_io += disk.stats.io_time_ms - refine_io_before
+                    refine_wall += time.perf_counter() - refine_wall_before
+                    report.table_accesses += 1
+            except ReproError as exc:
+                if self.fail_mode != "degrade":
+                    raise
+                # Degrade-don't-die: keep what the scan delivered and
+                # account the uncovered tail (-1 = through end of scan).
+                report.degraded = True
+                report.lost_tid_ranges.append((last_tid + 1, -1))
+                logger.warning(
+                    "scan failed after tid %d; returning degraded results: %s",
+                    last_tid,
+                    exc,
+                )
 
             total_io = disk.stats.io_time_ms - start_io
             total_wall = time.perf_counter() - start_wall
@@ -439,6 +486,7 @@ class IVAEngine(FilterAndRefineEngine):
         parallelism: Optional[int] = None,
         executor: Optional["ExecutorConfig"] = None,
         kernel: str = "scalar",
+        fail_mode: str = "raise",
     ) -> None:
         super().__init__(
             table,
@@ -448,6 +496,7 @@ class IVAEngine(FilterAndRefineEngine):
             parallelism=parallelism,
             executor=executor,
             kernel=kernel,
+            fail_mode=fail_mode,
         )
         self.index = index
 

@@ -643,6 +643,105 @@ class IVAFile:
             position=position,
         )
 
+    def rebuild_attribute(self, attr_id: int) -> None:
+        """Rebuild one attribute's vector list from the base table.
+
+        The quarantine-and-repair path of :mod:`repro.storage.fsck`: the
+        table file is the source of truth, so a corrupt vector list can be
+        dropped and re-derived without touching sibling lists or the tuple
+        list.  The entry keeps its recorded codec, α and n (a repaired
+        mixed-codec index stays mixed); the list type is re-selected for
+        the current contents and the attribute-list element is rewritten.
+        """
+        entry = self.entry(attr_id)
+        if entry is None:
+            raise IndexError_(f"no attribute entry for id {attr_id}")
+        self._version += 1
+        attr = entry.attr
+        codec = entry.codec_impl
+        # Positional layouts carry one element per tuple-list element,
+        # tombstones included, so rebuild against the full element order.
+        all_tids = list(self._tuples.element_tids())
+        wanted = set(all_tids)
+        bucket: List[Tuple[int, CellValue]] = []
+        for record in self.table.scan():
+            if record.tid not in wanted:
+                continue
+            value = record.cells.get(attr_id)
+            if value is None:
+                continue
+            matches = is_text_value(value) if attr.is_text else is_numeric_value(value)
+            if matches:
+                bucket.append((record.tid, value))
+        bucket.sort(key=lambda pair: pair[0])
+
+        from repro.obs import get_tracer
+
+        with get_tracer().span(
+            "codec.encode", codec=codec.name, phase="repair", attr=attr.name
+        ):
+            if attr.is_text:
+                scheme = SignatureScheme(entry.alpha, entry.n)
+                sizes = codec.text_sizes(scheme, bucket, all_tids)
+                list_type = sizes.best()
+                payload = codec.build_text(list_type, scheme, bucket, all_tids)
+                new_entry = AttributeEntry(
+                    attr=attr,
+                    list_type=list_type,
+                    alpha=entry.alpha,
+                    n=entry.n,
+                    df=len(bucket),
+                    str_count=sum(len(strings) for _, strings in bucket),
+                    list_size=len(payload),
+                    codec=codec.name,
+                    last_key=_list_last_key(list_type, bucket, all_tids),
+                    _scheme=scheme,
+                )
+            else:
+                vector_bytes = vector_bytes_for_alpha(entry.alpha)
+                sizes = codec.numeric_sizes(vector_bytes, bucket, all_tids)
+                list_type = sizes.best()
+                if bucket:
+                    lo = min(value for _, value in bucket)
+                    hi = max(value for _, value in bucket)
+                else:
+                    lo = hi = None
+                quantizer = NumericQuantizer.from_domain(
+                    lo, hi, entry.alpha, reserve_ndf=list_type is ListType.TYPE_IV
+                )
+                payload = codec.build_numeric(
+                    list_type, quantizer, bucket, all_tids
+                )
+                new_entry = AttributeEntry(
+                    attr=attr,
+                    list_type=list_type,
+                    alpha=entry.alpha,
+                    n=entry.n,
+                    df=len(bucket),
+                    lo=lo,
+                    hi=hi,
+                    vector_bytes=vector_bytes,
+                    list_size=len(payload),
+                    codec=codec.name,
+                    last_key=_list_last_key(list_type, bucket, all_tids),
+                    _quantizer=quantizer,
+                )
+        file_name = self.vector_file(attr_id)
+        self.disk.create(file_name, overwrite=True)
+        if payload:
+            self.disk.append(file_name, payload)
+        self._entries[attr_id] = new_entry
+        self._rewrite_attr_element(attr_id)
+        if self._sync_active:
+            self._sync_offsets[attr_id] = self._entry_resume_points(
+                new_entry, bucket, all_tids, self._sync_positions
+            )
+        logger.info(
+            "rebuilt vector list %r from the base table (%d defined tuples)",
+            file_name,
+            len(bucket),
+        )
+
     def delete(self, tid: int) -> None:
         """Tombstone a tuple: rewrite its tuple-list ptr (Sec. IV-B).
 

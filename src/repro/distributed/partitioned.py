@@ -20,7 +20,7 @@ import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Mapping, Optional, Union
 
-from repro.core.engine import IVAEngine, SearchReport
+from repro.core.engine import IVAEngine, SearchReport, validate_fail_mode
 from repro.core.iva_file import IVAConfig, IVAFile
 from repro.errors import QueryError, StorageError
 from repro.metrics.distance import DistanceFunction
@@ -83,6 +83,16 @@ class PartitionedSearchReport:
         """Tuples filtered across partitions."""
         return sum(r.tuples_scanned for r in self.per_partition)
 
+    @property
+    def degraded(self) -> bool:
+        """True when any partition answered with lost shards."""
+        return any(r.degraded for r in self.per_partition)
+
+    @property
+    def degraded_partitions(self) -> List[int]:
+        """Partitions whose local answer is incomplete."""
+        return [p for p, r in enumerate(self.per_partition) if r.degraded]
+
 
 class PartitionedSystem:
     """A horizontally partitioned sparse wide table with per-partition iVA-files."""
@@ -96,6 +106,7 @@ class PartitionedSystem:
         registry: Optional[MetricsRegistry] = None,
         parallelism: Optional[int] = None,
         executor: Optional["ExecutorConfig"] = None,
+        fail_mode: str = "raise",
     ) -> None:
         if num_partitions < 1:
             raise QueryError("need at least one partition")
@@ -111,6 +122,10 @@ class PartitionedSystem:
         #: own filter scan, composing with the scatter-gather across
         #: partitions.  None means sequential per-partition engines.
         self.executor = executor
+        #: Scan-failure policy handed to every partition engine; with
+        #: ``"degrade"`` a partition that loses shards flags its local
+        #: report and :attr:`PartitionedSearchReport.degraded` goes true.
+        self.fail_mode = validate_fail_mode(fail_mode)
         self.disks: List[StorageBackend] = []
         self.tables: List[SparseWideTable] = []
         self.indexes: List[Optional[IVAFile]] = []
@@ -170,7 +185,11 @@ class PartitionedSystem:
         index = self.indexes[partition]
         if engine is None or engine.index is not index or engine.distance is not dist:
             engine = IVAEngine(
-                self.tables[partition], index, dist, executor=self.executor
+                self.tables[partition],
+                index,
+                dist,
+                executor=self.executor,
+                fail_mode=self.fail_mode,
             )
             self._engines[partition] = engine
         return engine

@@ -22,6 +22,19 @@ class StorageError(ReproError):
     """
 
 
+class TransientIOError(StorageError):
+    """A read failed in a way that is expected to succeed when retried.
+
+    Raised by fault-injecting backends for transient faults; the
+    resilience layer's :class:`~repro.resilience.RetryPolicy` treats it
+    (and :class:`ChecksumError`) as retryable.
+    """
+
+
+class ChecksumError(StorageError):
+    """Stored bytes disagree with their recorded CRC32C frame checksums."""
+
+
 class IndexError_(ReproError):
     """The index is inconsistent with the table it claims to cover."""
 

@@ -63,6 +63,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import (
+    FAIL_MODES,
     BoundEvaluator,
     QueryResult,
     SearchReport,
@@ -85,8 +86,24 @@ class ParallelExecutionError(ParallelError):
     """The worker pool failed to start or a shard died mid-scan.
 
     Engines catch this and fall back to the sequential path when
-    ``ExecutorConfig.fallback`` is set.
+    ``ExecutorConfig.fallback`` is set.  When a shard died, the failing
+    shard's context rides along: ``shard`` (its index), ``worker`` (the
+    thread label), ``tid_range`` (the tids it covered), and the original
+    worker exception as ``__cause__``.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: Optional[int] = None,
+        worker: Optional[str] = None,
+        tid_range: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.worker = worker
+        self.tid_range = tid_range
 
 
 @dataclass
@@ -191,6 +208,12 @@ class _RunResult:
     setup_cpu_s: float = 0.0
     merged_candidates: int = 0
     max_queue_depth: int = 0
+    #: Degradation account (``fail_mode="degrade"`` only): shards whose
+    #: scan could not be recovered, and the tid ranges they covered.
+    degraded: bool = False
+    lost_shards: List[int] = field(default_factory=list)
+    lost_tid_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    recovered_shards: int = 0
 
 
 class ParallelScanExecutor:
@@ -222,6 +245,7 @@ class ParallelScanExecutor:
         *,
         skip_exact: bool = True,
         kernel: str = "scalar",
+        fail_mode: str = "raise",
     ) -> _RunResult:
         """Execute the sharded scan; raises :class:`ParallelExecutionError`
         when the pool cannot start or a worker dies.
@@ -231,7 +255,18 @@ class ParallelScanExecutor:
         and lookup tables through one :class:`KernelCache` across every
         query *and* every shard worker — and shard workers then scan
         block-at-a-time.  Answers are bit-identical either way.
+
+        *fail_mode* picks the shard-failure policy: ``"raise"`` aborts
+        the run on the first dead shard (sequential-fallback semantics);
+        ``"degrade"`` walks the recovery ladder — retry the shard, then
+        re-scan it sequentially without the kernel, and only then record
+        it lost — and always returns a result, flagged ``degraded`` with
+        the lost tid ranges when a shard could not be saved.
         """
+        if fail_mode not in FAIL_MODES:
+            raise ParallelError(
+                f"fail_mode must be one of {FAIL_MODES}, got {fail_mode!r}"
+            )
         attr_ids = tuple(sorted({t.attr.attr_id for q in queries for t in q.terms}))
         position = {attr_id: i for i, attr_id in enumerate(attr_ids)}
         if len(queries) == 1 and attr_ids == queries[0].attribute_ids():
@@ -297,6 +332,14 @@ class ParallelScanExecutor:
             chunks.append(shards[cursor : cursor + size])
             cursor += size
 
+        # Tids already refined per query — maintained only in degrade
+        # mode, where a recovered shard's re-scan may re-emit candidates
+        # the failed scan already delivered (a duplicate insert would
+        # corrupt the top-k multiset).
+        seen: Optional[List[set]] = (
+            [set() for _ in queries] if fail_mode == "degrade" else None
+        )
+        records: Dict[int, object] = {}
         try:
             try:
                 for w, chunk in enumerate(chunks):
@@ -317,11 +360,45 @@ class ParallelScanExecutor:
                 raise ParallelExecutionError(
                     f"worker pool rejected shard submission: {exc}"
                 ) from exc
-            self._refine_loop(contexts, dist, skip_exact, out_queue, abort, result)
+            failures = self._refine_loop(
+                contexts,
+                dist,
+                skip_exact,
+                out_queue,
+                abort,
+                result,
+                records,
+                seen,
+                fail_mode,
+            )
         finally:
             abort.set()
             pool.shutdown(wait=True)
 
+        if failures:
+            by_index = {shard.index: shard for shard in shards}
+            if fail_mode == "raise":
+                failure = failures[0]
+                tid_range = self._shard_tid_range(by_index.get(failure.shard))
+                raise ParallelExecutionError(
+                    f"shard {failure.shard} failed on worker {failure.worker} "
+                    f"(tids {tid_range[0]}..{tid_range[1]}): {failure.error}",
+                    shard=failure.shard,
+                    worker=failure.worker,
+                    tid_range=tid_range,
+                ) from failure.error
+            self._recover_shards(
+                failures,
+                by_index,
+                attr_ids,
+                contexts,
+                k,
+                dist,
+                skip_exact,
+                result,
+                records,
+                seen,
+            )
         return result
 
     # -------------------------------------------------------------- workers
@@ -486,13 +563,20 @@ class ParallelScanExecutor:
         out_queue: "queue_module.Queue",
         abort: threading.Event,
         result: _RunResult,
-    ) -> None:
-        """Drain candidates and sentinels; runs on the calling thread."""
-        disk = self.table.disk
+        records: Dict[int, object],
+        seen: Optional[List[set]],
+        fail_mode: str,
+    ) -> List[_ShardStats]:
+        """Drain candidates and sentinels; runs on the calling thread.
+
+        Returns the stats of every shard that died.  In ``"raise"`` mode
+        the first death aborts the siblings and the rest of the queue is
+        merely drained; in ``"degrade"`` mode siblings keep scanning and
+        merging normally so recovery only has to re-cover the dead shards.
+        """
         pools = result.pools
         pending = result.shards
-        records: Dict[int, object] = {}
-        failure: Optional[_ShardStats] = None
+        failures: List[_ShardStats] = []
         while pending:
             item = out_queue.get()
             depth = out_queue.qsize()
@@ -501,11 +585,11 @@ class ParallelScanExecutor:
             if isinstance(item, _ShardDone):
                 pending -= 1
                 if item.stats.error is not None:
-                    if failure is None:
-                        failure = item.stats
-                    abort.set()
+                    failures.append(item.stats)
+                    if fail_mode == "raise":
+                        abort.set()
                     continue
-                if failure is not None:
+                if failures and fail_mode == "raise":
                     continue  # draining after a sibling shard died
                 result.shard_stats.append(item.stats)
                 result.tuples_scanned += item.stats.tuples
@@ -516,29 +600,46 @@ class ParallelScanExecutor:
                     self._tighten(contexts[qi], pools[qi])
                 result.merge_cpu_s += time.thread_time() - merge_cpu0
                 continue
-            if failure is not None:
+            if failures and fail_mode == "raise":
                 continue
             qi, tid, estimated = item
-            pool = pools[qi]
-            if not pool.is_candidate(estimated, tid):
-                continue
-            cpu0 = time.thread_time()
-            record = records.get(tid)
-            if record is None:
-                with disk.metered() as meter:
-                    record = self.table.read(tid)
-                records[tid] = record
-                result.refine_io_ms += meter.io_ms
-            pool.insert(tid, dist.actual(contexts[qi].query, record))
-            self._tighten(contexts[qi], pool)
-            result.refine_cpu_s += time.thread_time() - cpu0
-            result.table_accesses[qi] += 1
+            self._refine_candidate(
+                qi, tid, estimated, contexts, dist, result, records, seen
+            )
         result.shard_stats.sort(key=lambda s: s.shard)
-        if failure is not None:
-            raise ParallelExecutionError(
-                f"shard {failure.shard} failed on worker {failure.worker}: "
-                f"{failure.error}"
-            ) from failure.error
+        failures.sort(key=lambda s: s.shard)
+        return failures
+
+    def _refine_candidate(
+        self,
+        qi: int,
+        tid: int,
+        estimated: float,
+        contexts: List[_QueryCtx],
+        dist: DistanceFunction,
+        result: _RunResult,
+        records: Dict[int, object],
+        seen: Optional[List[set]],
+    ) -> None:
+        """Re-check candidacy, fetch the tuple (cached), insert, tighten."""
+        pool = result.pools[qi]
+        if seen is not None and tid in seen[qi]:
+            return
+        if not pool.is_candidate(estimated, tid):
+            return
+        cpu0 = time.thread_time()
+        record = records.get(tid)
+        if record is None:
+            with self.table.disk.metered() as meter:
+                record = self.table.read(tid)
+            records[tid] = record
+            result.refine_io_ms += meter.io_ms
+        pool.insert(tid, dist.actual(contexts[qi].query, record))
+        self._tighten(contexts[qi], pool)
+        result.refine_cpu_s += time.thread_time() - cpu0
+        result.table_accesses[qi] += 1
+        if seen is not None:
+            seen[qi].add(tid)
 
     @staticmethod
     def _tighten(ctx: _QueryCtx, pool: ResultPool) -> None:
@@ -546,6 +647,166 @@ class ParallelScanExecutor:
             worst = pool.worst()
             if worst is not None:
                 ctx.shared.tighten(worst)
+
+    # ------------------------------------------------------------- recovery
+
+    def _recover_shards(
+        self,
+        failures: List[_ShardStats],
+        by_index: Dict[int, ShardRange],
+        attr_ids: Tuple[int, ...],
+        contexts: List[_QueryCtx],
+        k: int,
+        dist: DistanceFunction,
+        skip_exact: bool,
+        result: _RunResult,
+        records: Dict[int, object],
+        seen: Optional[List[set]],
+    ) -> None:
+        """The degrade-mode ladder: retry → sequential re-scan → lost.
+
+        Runs inline on the calling thread after every surviving shard has
+        merged, so recovered shards inherit the fully tightened bound.
+        """
+        tracer = get_tracer()
+        for failure in failures:
+            shard = by_index.get(failure.shard)
+            wall0 = time.perf_counter()
+            outcome = "retried"
+            ok = shard is not None and self._retry_shard(
+                shard, attr_ids, contexts, k, dist, skip_exact, result, records, seen
+            )
+            if not ok and shard is not None:
+                outcome = "sequential"
+                ok = self._rescan_shard_sequential(
+                    shard, attr_ids, contexts, dist, skip_exact, result, records, seen
+                )
+            if ok:
+                result.recovered_shards += 1
+            else:
+                outcome = "lost"
+                result.degraded = True
+                result.lost_shards.append(failure.shard)
+                result.lost_tid_ranges.append(self._shard_tid_range(shard))
+            tracer.record(
+                "resilience.shard_fallback",
+                (time.perf_counter() - wall0) * 1000.0,
+                shard=failure.shard,
+                worker=failure.worker,
+                outcome=outcome,
+                error=type(failure.error).__name__ if failure.error else "",
+            )
+
+    def _retry_shard(
+        self,
+        shard: ShardRange,
+        attr_ids: Tuple[int, ...],
+        contexts: List[_QueryCtx],
+        k: int,
+        dist: DistanceFunction,
+        skip_exact: bool,
+        result: _RunResult,
+        records: Dict[int, object],
+        seen: Optional[List[set]],
+    ) -> bool:
+        """Re-run the shard's normal scan once (same kernel), inline.
+
+        Uses an unbounded private queue — there is no concurrent refiner
+        to drain it — and applies candidates only if the scan finished
+        cleanly, so a second failure leaves no partial state behind.
+        """
+        retry_queue: "queue_module.Queue" = queue_module.Queue()
+        self._scan_shard(
+            shard,
+            "retry",
+            attr_ids,
+            contexts,
+            k,
+            dist,
+            skip_exact,
+            retry_queue,
+            threading.Event(),
+        )
+        items: List[Tuple[int, int, float]] = []
+        done: Optional[_ShardDone] = None
+        while True:
+            item = retry_queue.get_nowait()
+            if isinstance(item, _ShardDone):
+                done = item
+                break
+            items.append(item)
+        if done is None or done.stats.error is not None:
+            return False
+        for qi, tid, estimated in items:
+            self._refine_candidate(
+                qi, tid, estimated, contexts, dist, result, records, seen
+            )
+        result.shard_stats.append(done.stats)
+        result.shard_stats.sort(key=lambda s: s.shard)
+        result.tuples_scanned += done.stats.tuples
+        for qi, local in enumerate(done.local_pools):
+            result.exact_shortcuts[qi] += done.stats.exact_shortcuts[qi]
+            result.merged_candidates += result.pools[qi].merge_from(local)
+            self._tighten(contexts[qi], result.pools[qi])
+        return True
+
+    def _rescan_shard_sequential(
+        self,
+        shard: ShardRange,
+        attr_ids: Tuple[int, ...],
+        contexts: List[_QueryCtx],
+        dist: DistanceFunction,
+        skip_exact: bool,
+        result: _RunResult,
+        records: Dict[int, object],
+        seen: Optional[List[set]],
+    ) -> bool:
+        """Last resort before declaring the shard lost: a plain scalar
+        re-scan with fresh scanners and inline refinement — a different
+        code path than the failed one (no kernel, no queue, no worker
+        thread), in case those were implicated.
+        """
+        batch = len(contexts) > 1
+        try:
+            scanners = [
+                self.index.make_scanner(attr_id, start=shard.checkpoints[attr_id])
+                for attr_id in attr_ids
+            ]
+            for tid, ptr in self.index.tuples.scan_range(
+                shard.start_element, shard.end_element
+            ):
+                payloads = [scanner.move_to(tid) for scanner in scanners]
+                if ptr == DELETED_PTR:
+                    continue
+                result.tuples_scanned += 1
+                cache: Optional[dict] = {} if batch else None
+                for qi, ctx in enumerate(contexts):
+                    diffs, exact = ctx.evaluator.evaluate(payloads, cache)
+                    estimated = dist.combine_bounds(ctx.query, diffs)
+                    if exact and skip_exact:
+                        result.pools[qi].insert(tid, estimated)
+                        result.exact_shortcuts[qi] += 1
+                        self._tighten(ctx, result.pools[qi])
+                        continue
+                    self._refine_candidate(
+                        qi, tid, estimated, contexts, dist, result, records, seen
+                    )
+            return True
+        except Exception:
+            return False
+
+    def _shard_tid_range(self, shard: Optional[ShardRange]) -> Tuple[int, int]:
+        """Inclusive (first, last) tids a shard covered; (-1, -1) unknown."""
+        if shard is None or shard.start_element >= shard.end_element:
+            return (-1, -1)
+        try:
+            tids = self.index.tuples.element_tids()
+        except Exception:
+            return (-1, -1)
+        if shard.start_element >= len(tids):
+            return (-1, -1)
+        last = min(shard.end_element, len(tids)) - 1
+        return (tids[shard.start_element], tids[last])
 
 
 # ------------------------------------------------------------------ facades
@@ -630,6 +891,9 @@ def _fill_report(report: ParallelSearchReport, run: _RunResult) -> None:
     report.shard_cpu_s = [s.cpu_s for s in run.shard_stats]
     report.merged_candidates = run.merged_candidates
     report.max_queue_depth = run.max_queue_depth
+    report.degraded = run.degraded
+    report.lost_shards = list(run.lost_shards)
+    report.lost_tid_ranges = list(run.lost_tid_ranges)
     report.filter_io_ms = run.planning_io_ms + max(per_worker_io.values(), default=0.0)
     report.filter_wall_s = (
         run.setup_cpu_s
@@ -674,6 +938,7 @@ def parallel_search(
             dist,
             skip_exact=engine.skip_exact,
             kernel=getattr(engine, "kernel", "scalar"),
+            fail_mode=getattr(engine, "fail_mode", "raise"),
         )
         report.tuples_scanned = run.tuples_scanned
         report.exact_shortcuts = run.exact_shortcuts[0]
@@ -725,6 +990,7 @@ def parallel_search_batch(
             dist,
             skip_exact=True,
             kernel=getattr(batch_engine, "kernel", "scalar"),
+            fail_mode=getattr(batch_engine, "fail_mode", "raise"),
         )
         reports: List[SearchReport] = []
         for qi, pool in enumerate(run.pools):
@@ -734,6 +1000,10 @@ def parallel_search_batch(
                 _fill_report(report, run)
             else:
                 report = SearchReport()
+            # A lost shard is lost for every query in the batch.
+            report.degraded = run.degraded
+            report.lost_shards = list(run.lost_shards)
+            report.lost_tid_ranges = list(run.lost_tid_ranges)
             report.tuples_scanned = run.tuples_scanned
             report.exact_shortcuts = run.exact_shortcuts[qi]
             report.table_accesses = run.table_accesses[qi]

@@ -1,25 +1,33 @@
-"""Integrity checking for tables and iVA-files.
+"""Integrity checking and repair for tables and iVA-files.
 
 A release-grade store ships a checker: ``check_table`` walks the row file
 and cross-checks the catalog/tombstone files; ``check_index`` verifies the
 iVA-file's lists against each other and against the table (tuple-list
 coverage, attribute-list sizes, positional element counts, decodable
-vectors).  Both return :class:`Finding` lists instead of raising, so a
-caller can report everything wrong at once.
+vectors); ``check_checksums`` asks a checksumming backend to verify every
+file's CRC32C frames.  All return :class:`Finding` lists instead of
+raising, so a caller can report everything wrong at once.  Findings carry
+a ``kind`` — ``structure`` (cross-file invariants), ``checksum`` (stored
+bytes disagree with their recorded CRCs), ``unreadable`` (the bytes could
+not be fetched at all) — and ``repair_index`` quarantines damaged vector
+lists and rebuilds them from the base table, the source of truth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.core.iva_file import IVAFile, _ATTR_ELEMENT
 from repro.core.tuple_list import DELETED_PTR, ELEMENT as TUPLE_ELEMENT
-from repro.errors import StorageError
+from repro.errors import ChecksumError, StorageError
 from repro.model.values import is_text_value
 from repro.obs import get_tracer
 from repro.storage.interpreted import decode_record
 from repro.storage.table import SparseWideTable
+
+#: Finding kinds, in the order repair cares about them.
+FINDING_KINDS = ("structure", "checksum", "unreadable")
 
 
 @dataclass(frozen=True)
@@ -29,9 +37,49 @@ class Finding:
     severity: str  # "error" | "warning"
     location: str
     message: str
+    #: What class of damage: one of :data:`FINDING_KINDS`.
+    kind: str = "structure"
 
     def __str__(self) -> str:
         return f"[{self.severity}] {self.location}: {self.message}"
+
+
+def _error_kind(exc: Exception) -> str:
+    """Classify an exception raised while fetching/decoding stored bytes."""
+    if isinstance(exc, ChecksumError):
+        return "checksum"
+    if isinstance(exc, StorageError):
+        return "unreadable"
+    return "structure"
+
+
+def check_checksums(backend) -> List[Finding]:
+    """Verify every file's CRC32C frames, if the backend records any.
+
+    Duck-typed: only backends exposing ``verify_file`` (the resilience
+    layer's :class:`~repro.resilience.ChecksummedBackend`) are checked;
+    a bare disk yields no findings.  Sidecar files verify their data
+    file, never themselves.
+    """
+    verify = getattr(backend, "verify_file", None)
+    if verify is None:
+        return []
+    from repro.resilience.checksum import is_sidecar
+
+    findings: List[Finding] = []
+    for name in sorted(backend.list_files()):
+        if is_sidecar(name):
+            continue
+        try:
+            problems = verify(name)
+        except StorageError as exc:
+            findings.append(
+                Finding("error", name, f"unreadable: {exc}", kind="unreadable")
+            )
+            continue
+        for problem in problems:
+            findings.append(Finding("error", name, problem, kind="checksum"))
+    return findings
 
 
 def check_table(table: SparseWideTable) -> List[Finding]:
@@ -40,7 +88,18 @@ def check_table(table: SparseWideTable) -> List[Finding]:
     disk = table.disk
 
     # 1. Row chain: every byte of the row file must parse.
-    raw = disk.read(table.file_name, 0, disk.size(table.file_name))
+    try:
+        raw = disk.read(table.file_name, 0, disk.size(table.file_name))
+    except StorageError as exc:
+        findings.append(
+            Finding(
+                "error",
+                table.file_name,
+                f"unreadable: {exc}",
+                kind="unreadable",
+            )
+        )
+        return findings
     offset = 0
     seen_tids = set()
     previous_tid = -1
@@ -94,7 +153,18 @@ def check_table(table: SparseWideTable) -> List[Finding]:
 
     # 3. Tombstones must refer to stored rows.
     size = disk.size(table.tombstone_file)
-    raw_tombs = disk.read(table.tombstone_file, 0, size)
+    try:
+        raw_tombs = disk.read(table.tombstone_file, 0, size)
+    except StorageError as exc:
+        findings.append(
+            Finding(
+                "error",
+                table.tombstone_file,
+                f"unreadable: {exc}",
+                kind="unreadable",
+            )
+        )
+        return findings
     if size % 4:
         findings.append(
             Finding("error", table.tombstone_file, "truncated tombstone entry")
@@ -128,34 +198,48 @@ def check_index(index: IVAFile) -> List[Finding]:
     element_count = size // TUPLE_ELEMENT.size
     previous = -1
     live_in_list = set()
-    for tid, ptr in index._tuples.scan():
-        if tid <= previous:
-            findings.append(
-                Finding(
-                    "error", index.tuples_file, f"tids not increasing at {tid}"
+    tuples_readable = True
+    try:
+        for tid, ptr in index._tuples.scan():
+            if tid <= previous:
+                findings.append(
+                    Finding(
+                        "error", index.tuples_file, f"tids not increasing at {tid}"
+                    )
                 )
+            previous = tid
+            if ptr != DELETED_PTR:
+                live_in_list.add(tid)
+                if not table.is_live(tid):
+                    findings.append(
+                        Finding(
+                            "error",
+                            index.tuples_file,
+                            f"tuple list holds live tid {tid} the table "
+                            "considers dead",
+                        )
+                    )
+    except StorageError as exc:
+        tuples_readable = False
+        findings.append(
+            Finding(
+                "error",
+                index.tuples_file,
+                f"unreadable: {exc}",
+                kind="unreadable",
             )
-        previous = tid
-        if ptr != DELETED_PTR:
-            live_in_list.add(tid)
-            if not table.is_live(tid):
+        )
+
+    if tuples_readable:
+        for tid in table.live_tids():
+            if tid not in live_in_list:
                 findings.append(
                     Finding(
                         "error",
                         index.tuples_file,
-                        f"tuple list holds live tid {tid} the table considers dead",
+                        f"table tid {tid} is missing from the tuple list",
                     )
                 )
-
-    for tid in table.live_tids():
-        if tid not in live_in_list:
-            findings.append(
-                Finding(
-                    "error",
-                    index.tuples_file,
-                    f"table tid {tid} is missing from the tuple list",
-                )
-            )
 
     # 2. Attribute list covers the catalog, sizes match the files.
     attrs_size = disk.size(index.attrs_file)
@@ -187,7 +271,7 @@ def check_index(index: IVAFile) -> List[Finding]:
     # 3. Positional lists must hold exactly one element per tuple-list
     #    element; every vector must decode.  Drive real scanners through
     #    the whole list.
-    for entry in index.entries():
+    for entry in index.entries() if tuples_readable else ():
         scanner = index.make_scanner(entry.attr.attr_id)
         try:
             for tid, _ in index._tuples.scan():
@@ -198,6 +282,7 @@ def check_index(index: IVAFile) -> List[Finding]:
                     "error",
                     index.vector_file(entry.attr.attr_id),
                     f"vector list does not decode: {exc}",
+                    kind=_error_kind(exc),
                 )
             )
             continue
@@ -235,7 +320,18 @@ def check_codec_structure(index: IVAFile) -> List[Finding]:
         file_name = index.vector_file(entry.attr.attr_id)
         if not disk.exists(file_name):
             continue  # already reported by the size cross-check
-        payload = disk.read(file_name, 0, disk.size(file_name))
+        try:
+            payload = disk.read(file_name, 0, disk.size(file_name))
+        except StorageError as exc:
+            findings.append(
+                Finding(
+                    "error",
+                    file_name,
+                    f"unreadable: {exc}",
+                    kind=_error_kind(exc),
+                )
+            )
+            continue
         codec = entry.codec_impl
         is_text = entry.attr.is_text
         with get_tracer().span(
@@ -256,5 +352,59 @@ def check_codec_structure(index: IVAFile) -> List[Finding]:
 
 
 def check_all(table: SparseWideTable, index: IVAFile) -> List[Finding]:
-    """Table and index checks combined."""
-    return check_table(table) + check_index(index)
+    """Checksum, table, and index checks combined."""
+    return check_checksums(table.disk) + check_table(table) + check_index(index)
+
+
+def repair_index(
+    table: SparseWideTable, index: IVAFile, findings: Sequence[Finding]
+) -> List[str]:
+    """Quarantine damaged index structures and rebuild them from the table.
+
+    The iVA-file is wholly derived from the base table, so any index-side
+    damage is repairable: an error finding on a vector list drops and
+    re-derives just that list (:meth:`IVAFile.rebuild_attribute`); damage
+    to the tuple or attribute list forces a full :meth:`IVAFile.rebuild`.
+    Table-file findings are *not* repairable — the table is the source of
+    truth — and are reported back as such.  Returns a human-readable
+    action log, one line per repair taken or refused.
+    """
+    vector_attrs = {
+        index.vector_file(entry.attr.attr_id): entry.attr.attr_id
+        for entry in index.entries()
+    }
+    index_files = {index.tuples_file, index.attrs_file}
+    rebuild_attrs = set()
+    full_rebuild = False
+    unrepairable: List[Finding] = []
+    for finding in findings:
+        if finding.severity != "error":
+            continue
+        name = finding.location.split("@", 1)[0]
+        if name in vector_attrs:
+            rebuild_attrs.add(vector_attrs[name])
+        elif name in index_files:
+            full_rebuild = True
+        else:
+            unrepairable.append(finding)
+
+    actions: List[str] = []
+    if full_rebuild:
+        index.rebuild()
+        actions.append(
+            f"rebuilt index {index.config.name!r} from the base table "
+            "(tuple/attribute list damage)"
+        )
+    else:
+        for attr_id in sorted(rebuild_attrs):
+            index.rebuild_attribute(attr_id)
+            actions.append(
+                f"rebuilt vector list {index.vector_file(attr_id)!r} "
+                "from the base table"
+            )
+    for finding in unrepairable:
+        actions.append(
+            f"cannot repair {finding.location}: {finding.message} "
+            "(the table file is the source of truth)"
+        )
+    return actions

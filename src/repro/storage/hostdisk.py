@@ -116,8 +116,12 @@ class HostDisk:
             fh.seek(offset)
             data = fh.read(length)
         if len(data) != length:
+            # A short read is indistinguishable from silent truncation
+            # upstream — report exactly what came back so fsck/repair can
+            # classify it, never return fewer bytes than asked for.
             raise StorageError(
-                f"read past EOF on {name!r}: offset={offset} length={length}"
+                f"short read on {name!r}: offset={offset} "
+                f"expected={length} actual={len(data)}"
             )
         self.stats.read_calls += 1
         self.stats.bytes_read += length
@@ -136,7 +140,12 @@ class HostDisk:
             )
         with open(path, "r+b") as fh:
             fh.seek(offset)
-            fh.write(payload)
+            written = fh.write(payload)
+        if written != len(payload):
+            raise StorageError(
+                f"partial write on {name!r}: offset={offset} "
+                f"expected={len(payload)} actual={written}"
+            )
         self.stats.write_calls += 1
         self.stats.bytes_written += len(payload)
 
@@ -145,7 +154,12 @@ class HostDisk:
         path = self._path(name)
         with open(path, "ab") as fh:
             offset = fh.tell()
-            fh.write(payload)
+            written = fh.write(payload)
+        if written != len(payload):
+            raise StorageError(
+                f"partial write on {name!r}: offset={offset} "
+                f"expected={len(payload)} actual={written}"
+            )
         self.stats.write_calls += 1
         self.stats.bytes_written += len(payload)
         return offset

@@ -61,10 +61,15 @@ class TestFsckCommand:
         table = SparseWideTable.attach(disk)
         table.insert({"Category0": "orphan"})  # index not told
         save_disk(disk, snapshot)
-        assert cli_main(["fsck", "--snapshot", snapshot]) == 2
+        assert cli_main(["fsck", "--snapshot", snapshot]) == 1
         out = capsys.readouterr().out
         assert "error" in out
         assert "finding(s)" in out
+
+    def test_unreadable_snapshot_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.ivadb")
+        assert cli_main(["fsck", "--snapshot", missing]) == 2
+        assert "unreadable" in capsys.readouterr().err
 
 
 class TestWorkloadCommand:

@@ -1,13 +1,15 @@
-"""Tests for the integrity checker."""
+"""Tests for the integrity checker and the quarantine-and-repair path."""
 
 import pytest
 
-from repro import IVAConfig, IVAFile
+from repro import IVAConfig, IVAFile, SimulatedDisk, SparseWideTable
+from repro.data import DatasetConfig, DatasetGenerator
 from repro.storage.fsck import (
     check_all,
     check_codec_structure,
     check_index,
     check_table,
+    repair_index,
 )
 
 
@@ -111,6 +113,31 @@ class TestCodecFindings:
         )
         return camera_table, index
 
+    @pytest.fixture
+    def generated_compressed(self):
+        """A generated dataset indexed with the compressed codec.
+
+        Big enough that delta/varint tid columns and gap-coded positional
+        runs all actually occur (the camera table is too small to force
+        every layout).
+        """
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+        DatasetGenerator(
+            DatasetConfig(
+                num_tuples=400,
+                num_attributes=50,
+                mean_attrs_per_tuple=7.0,
+                seed=19,
+            )
+        ).populate(table)
+        index = IVAFile.build(table, IVAConfig(codec="compressed"))
+        return table, index
+
+    def test_generated_compressed_build_is_clean(self, generated_compressed):
+        table, index = generated_compressed
+        assert check_all(table, index) == []
+
     def test_compressed_build_is_clean(self, compressed_setup):
         table, index = compressed_setup
         assert check_all(table, index) == []
@@ -168,6 +195,48 @@ class TestCodecFindings:
         findings = check_codec_structure(index)
         assert any(file_name in f.location for f in findings)
 
+    def test_generated_dataset_delta_tid_corruption(self, generated_compressed):
+        """Zeroing the head of a delta-coded tid column breaks monotonicity."""
+        table, index = generated_compressed
+        from repro.core.vector_lists import ListType
+
+        victims = [
+            e for e in index.entries()
+            if e.codec == "compressed"
+            and e.list_type in (ListType.TYPE_I, ListType.TYPE_II)
+            and e.df > 1
+        ]
+        if not victims:
+            pytest.skip("no tid-based compressed list in this index")
+        entry = victims[0]
+        file_name = index.vector_file(entry.attr.attr_id)
+        index.disk.write(file_name, 0, b"\x00")
+        findings = check_codec_structure(index)
+        assert any(
+            f.severity == "error" and file_name in f.location for f in findings
+        )
+
+    def test_generated_dataset_positional_run_overflow(
+        self, generated_compressed
+    ):
+        """A gap-coded positional run pointing past the tuple list is caught."""
+        table, index = generated_compressed
+        victims = [
+            e for e in index.entries()
+            if e.codec == "compressed" and e.is_positional and e.list_size >= 3
+        ]
+        if not victims:
+            pytest.skip("no positional compressed list in this index")
+        entry = victims[0]
+        file_name = index.vector_file(entry.attr.attr_id)
+        # A three-byte varint decodes to a ~2M-element gap — far outside
+        # any tuple list this fixture builds.
+        index.disk.write(file_name, 0, b"\xff\xff\x7f")
+        findings = check_codec_structure(index)
+        assert any(
+            f.severity == "error" and file_name in f.location for f in findings
+        )
+
     def test_raw_type_iv_length_mismatch(self, setup):
         """Raw Type IV lists must be exactly width x element_count bytes."""
         table, index = setup
@@ -184,3 +253,66 @@ class TestCodecFindings:
         entry.list_size += 1
         findings = check_codec_structure(index)
         assert any("Type IV" in f.message for f in findings)
+
+
+class TestRepair:
+    """repair_index: quarantine damaged lists, rebuild from the table."""
+
+    @pytest.fixture
+    def generated(self):
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+        DatasetGenerator(
+            DatasetConfig(
+                num_tuples=300,
+                num_attributes=40,
+                mean_attrs_per_tuple=6.0,
+                seed=29,
+            )
+        ).populate(table)
+        index = IVAFile.build(table)
+        return table, index
+
+    def test_corrupt_vector_list_rebuilt_from_table(self, generated):
+        table, index = generated
+        from repro.core.engine import IVAEngine
+        from repro.data.workload import WorkloadGenerator
+
+        query = WorkloadGenerator(table, seed=3).sample_query(2)
+        baseline = [
+            (r.tid, r.distance)
+            for r in IVAEngine(table, index).search(query, k=5).results
+        ]
+        victim = index.entries()[0]
+        file_name = index.vector_file(victim.attr.attr_id)
+        index.disk.truncate(file_name, max(0, index.disk.size(file_name) - 3))
+        findings = check_all(table, index)
+        assert any(file_name in f.location for f in findings)
+        actions = repair_index(table, index, findings)
+        assert any("rebuilt vector list" in action for action in actions)
+        assert check_all(table, index) == []
+        after = [
+            (r.tid, r.distance)
+            for r in IVAEngine(table, index).search(query, k=5).results
+        ]
+        assert after == baseline
+
+    def test_tuple_list_damage_forces_full_rebuild(self, generated):
+        table, index = generated
+        index.disk.write(
+            index.tuples_file, 0, (0xFFFFFFFF).to_bytes(4, "little")
+        )
+        findings = check_index(index)
+        assert any(index.tuples_file in f.location for f in findings)
+        actions = repair_index(table, index, findings)
+        assert any("rebuilt index" in action for action in actions)
+        assert check_all(table, index) == []
+
+    def test_table_damage_is_not_repairable(self, generated):
+        table, index = generated
+        offset, _ = table.locate(0)
+        table.disk.write(table.file_name, offset, (3).to_bytes(4, "little"))
+        findings = check_table(table)
+        assert findings
+        actions = repair_index(table, index, findings)
+        assert any("cannot repair" in action for action in actions)

@@ -12,6 +12,42 @@ def disk(tmp_path):
     return HostDisk(tmp_path / "db")
 
 
+class _HalfWriter:
+    """File-object proxy whose write() accepts only half the payload."""
+
+    def __init__(self, fh):
+        self._fh = fh
+
+    def write(self, payload):
+        self._fh.write(payload[: len(payload) // 2])
+        return len(payload) // 2
+
+    def __getattr__(self, item):
+        return getattr(self._fh, item)
+
+    def __enter__(self):
+        self._fh.__enter__()
+        return self
+
+    def __exit__(self, *args):
+        return self._fh.__exit__(*args)
+
+
+def _install_half_writing_open(monkeypatch):
+    """Make writable binary open() calls return half-writing handles."""
+    import builtins
+
+    real_open = builtins.open
+
+    def flaky_open(path, mode="r", *args, **kwargs):
+        fh = real_open(path, mode, *args, **kwargs)
+        if isinstance(mode, str) and "b" in mode and any(c in mode for c in "+aw"):
+            return _HalfWriter(fh)
+        return fh
+
+    monkeypatch.setattr(builtins, "open", flaky_open)
+
+
 class TestHostDiskFiles:
     def test_roundtrip(self, disk):
         disk.create("f")
@@ -80,6 +116,42 @@ class TestHostDiskFiles:
         second = HostDisk(tmp_path / "db")
         assert second.exists("weird/name")
         assert second.read("weird/name", 0, 7) == b"persist"
+
+    def test_short_read_names_file_offset_and_counts(self, disk):
+        """A read crossing EOF reports expected vs. actual byte counts."""
+        disk.create("f")
+        disk.append("f", b"abcdef")
+        with pytest.raises(StorageError, match=r"short read on 'f'.*offset=4.*expected=8.*actual=2"):
+            disk.read("f", 4, 8)
+
+    def test_truncated_file_behind_backends_back(self, tmp_path):
+        """Out-of-band truncation (torn write, disk-full) surfaces as a
+        short-read StorageError, never as silently fewer bytes."""
+        disk = HostDisk(tmp_path / "db")
+        disk.create("t")
+        disk.append("t", b"x" * 64)
+        host_path = tmp_path / "db" / "t"
+        with open(host_path, "r+b") as fh:
+            fh.truncate(10)  # the backend is not told
+        assert disk.read("t", 0, 10) == b"x" * 10
+        with pytest.raises(StorageError, match="short read"):
+            disk.read("t", 0, 64)
+        with pytest.raises(StorageError, match="short read"):
+            disk.read("t", 10, 1)
+
+    def test_partial_write_detected(self, disk, monkeypatch):
+        """A device accepting fewer bytes than offered is an explicit error."""
+        disk.create("f")
+        disk.append("f", b"abcd")
+        _install_half_writing_open(monkeypatch)
+        with pytest.raises(StorageError, match=r"partial write on 'f'.*expected=4.*actual=2"):
+            disk.write("f", 0, b"wxyz")
+
+    def test_partial_append_detected(self, disk, monkeypatch):
+        disk.create("f")
+        _install_half_writing_open(monkeypatch)
+        with pytest.raises(StorageError, match=r"partial write on 'f'.*offset=0.*expected=4.*actual=2"):
+            disk.append("f", b"abcd")
 
     def test_stats_counters(self, disk):
         disk.create("f")

@@ -202,6 +202,45 @@ class TestFallback:
         sequential = IVAEngine(table, index).search(queries[0], k=10)
         assert _answers(report) == _answers(sequential)
 
+    def test_shard_failure_error_is_enriched(self, indexed, queries, monkeypatch):
+        """Without fallback, the error names the shard, worker, and tids."""
+        table, index = indexed
+        import repro.parallel.executor as executor_module
+
+        original = executor_module.ParallelScanExecutor._scan_shard
+
+        def dying_scan(
+            self, shard, worker, attr_ids, contexts, k, dist, skip_exact,
+            out_queue, abort,
+        ):
+            if shard.index == 1:
+                stats = executor_module._ShardStats(shard=shard.index, worker=worker)
+                stats.error = RuntimeError("shard 1 exploded")
+                out_queue.put(
+                    executor_module._ShardDone(stats=stats, local_pools=[])
+                )
+                return
+            original(
+                self, shard, worker, attr_ids, contexts, k, dist, skip_exact,
+                out_queue, abort,
+            )
+
+        monkeypatch.setattr(
+            executor_module.ParallelScanExecutor, "_scan_shard", dying_scan
+        )
+        engine = IVAEngine(
+            table, index, executor=ExecutorConfig(workers=2, fallback=False)
+        )
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            engine.search(queries[0], k=10)
+        err = excinfo.value
+        assert err.shard == 1
+        assert err.worker is not None
+        lo, hi = err.tid_range
+        assert 0 <= lo <= hi
+        assert isinstance(err.__cause__, RuntimeError)
+        assert "shard 1" in str(err)
+
     def test_tiny_table_runs_sequentially_without_fallback_counter(self):
         disk = SimulatedDisk()
         table = SparseWideTable(disk)
