@@ -14,14 +14,18 @@ check-docs:
 
 # Tier-1 suite, docs validation, metrics sanity check on a tiny bench run,
 # a codec cross-check (one index per wire format, identical answers), a
-# kernel cross-check (block filter == scalar filter on every path), and a
-# chaos cross-check (injected faults never produce silently-wrong answers).
+# kernel cross-check (block filter == scalar filter on every path), a
+# chaos cross-check (injected faults never produce silently-wrong answers),
+# the perf-regression sentinel (deterministic bench counters vs. committed
+# baselines), and the obs-catalog gate (emitted metric/span names == docs).
 smoke: check-docs
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/check_bench_metrics.py
 	PYTHONPATH=src python scripts/check_codec_smoke.py
 	PYTHONPATH=src python scripts/check_kernel_smoke.py
 	PYTHONPATH=src python scripts/check_chaos_smoke.py
+	PYTHONPATH=src python scripts/check_bench_regression.py
+	PYTHONPATH=src python scripts/check_obs_catalog.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Perf-regression sentinel over bench metrics sidecars.
+
+Every benchmark emits a ``<name>.metrics.json`` registry snapshot next to
+its result table.  The access-pattern metrics in there — tuples scanned,
+table-file accesses, exact shortcuts, simulated-disk page/byte/seek
+totals — are *deterministic* for a fixed dataset seed and workload, which
+makes them a perfect regression tripwire: a pruning bug, a codec that
+stops short-circuiting, or an access-path change shows up as a counter
+drift long before wall-clock noise would reveal it.
+
+This script re-runs the tiny smoke bench (same environment as
+``check_bench_metrics.py``) and compares its sidecar against the
+committed baseline in ``bench_results/baselines/``:
+
+* **counters** must match exactly (tolerance 0 — the workload is seeded);
+* **gauges** (simulated-disk totals) may drift within ±5 %;
+* **histograms** compare observation *counts* only — their sums include
+  wall-clock CPU and are never compared.
+
+Bands are symmetric: an "improvement" fails too, because it means the
+baseline no longer describes the system and must be re-committed
+deliberately (``--update``).  Wall-time metrics are excluded entirely.
+
+Usage::
+
+    python scripts/check_bench_regression.py              # gate (make smoke)
+    python scripts/check_bench_regression.py --update     # re-bless baseline
+    python scripts/check_bench_regression.py \
+        --sidecar run.metrics.json --baseline old.metrics.json
+
+Exit status 0 when every metric is inside its band, 1 on drift or a
+missing/new metric, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_DIR = os.path.join(REPO_ROOT, "bench_results", "baselines")
+SMOKE_BASELINE = os.path.join(BASELINE_DIR, "smoke_bench.json")
+
+#: Relative tolerance per instrument kind.  Counters are exact because the
+#: smoke workload is fully seeded; simulated-disk gauges get a small band
+#: so incidental cache-layout changes don't page an operator.
+TOLERANCES = {"counter": 0.0, "gauge": 0.05, "histogram_count": 0.0}
+
+
+def _labels_key(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def flatten(snapshot: dict) -> Dict[str, float]:
+    """A sidecar snapshot as flat ``kind:name{labels}`` -> value keys.
+
+    Only deterministic comparables survive: counter values, gauge values
+    and histogram observation counts.  Histogram sums/percentiles carry
+    wall-clock noise and are dropped here, on purpose.
+    """
+    flat: Dict[str, float] = {}
+    for counter in snapshot.get("counters", ()):
+        key = f"counter:{counter['name']}{_labels_key(counter.get('labels', {}))}"
+        flat[key] = float(counter["value"])
+    for gauge in snapshot.get("gauges", ()):
+        key = f"gauge:{gauge['name']}{_labels_key(gauge.get('labels', {}))}"
+        flat[key] = float(gauge["value"])
+    for hist in snapshot.get("histograms", ()):
+        key = (
+            f"histogram:{hist['name']}"
+            f"{_labels_key(hist.get('labels', {}))}:count"
+        )
+        flat[key] = float(hist["count"])
+    return flat
+
+
+def _tolerance_for(key: str) -> float:
+    if key.startswith("counter:"):
+        return TOLERANCES["counter"]
+    if key.startswith("gauge:"):
+        return TOLERANCES["gauge"]
+    return TOLERANCES["histogram_count"]
+
+
+def compare(
+    current: Dict[str, float], baseline: Dict[str, float]
+) -> List[str]:
+    """Problem strings for every metric outside its symmetric band."""
+    problems: List[str] = []
+    for key in sorted(baseline):
+        if key not in current:
+            problems.append(f"metric disappeared: {key} (baseline {baseline[key]:g})")
+            continue
+        want, got = baseline[key], current[key]
+        tol = _tolerance_for(key)
+        band = abs(want) * tol
+        if abs(got - want) > band:
+            drift = (got - want) / want * 100.0 if want else float("inf")
+            problems.append(
+                f"drift: {key} = {got:g}, baseline {want:g} "
+                f"({drift:+.1f}%, allowed ±{tol:.0%})"
+            )
+    for key in sorted(current):
+        if key not in baseline:
+            problems.append(
+                f"new metric not in baseline: {key} = {current[key]:g} "
+                "(re-bless with --update if intentional)"
+            )
+    return problems
+
+
+def run_smoke_bench() -> dict:
+    """The deterministic tiny bench run; returns its sidecar snapshot."""
+    with tempfile.TemporaryDirectory(prefix="repro-sentinel-") as tmp:
+        os.environ["REPRO_BENCH_RESULTS"] = tmp
+
+        from repro.bench.harness import build_environment, run_query_set
+        from repro.bench.reporting import emit_table
+        from repro.data import DatasetConfig
+        from repro.obs.metrics import get_registry
+
+        get_registry().reset()
+        env = build_environment(
+            dataset=DatasetConfig(num_tuples=300, num_attributes=40, seed=7)
+        )
+        stats = run_query_set(env.iva_engine(), env.query_set(3), k=10)
+        emit_table(
+            "smoke_bench",
+            "Sentinel: tiny deterministic bench run",
+            ["engine", "mean query ms"],
+            [[stats.engine, stats.mean_query_time_ms]],
+        )
+        path = os.path.join(tmp, "smoke_bench.metrics.json")
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sidecar",
+        help="compare this metrics sidecar instead of re-running the smoke bench",
+    )
+    parser.add_argument(
+        "--baseline",
+        help=f"baseline snapshot to compare against (default {SMOKE_BASELINE})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the current run as the new baseline instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    if args.sidecar and args.update:
+        print("error: --update re-runs the bench; drop --sidecar", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or SMOKE_BASELINE
+
+    if args.sidecar:
+        try:
+            snapshot = _load(args.sidecar)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read sidecar: {exc}", file=sys.stderr)
+            return 2
+    else:
+        snapshot = run_smoke_bench()
+
+    if args.update:
+        os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {baseline_path} ({len(flatten(snapshot))} metrics)")
+        return 0
+
+    try:
+        baseline = _load(baseline_path)
+    except (OSError, ValueError) as exc:
+        print(
+            f"error: cannot read baseline {baseline_path}: {exc}\n"
+            "       commit one with `python scripts/check_bench_regression.py --update`",
+            file=sys.stderr,
+        )
+        return 2
+
+    problems = compare(flatten(snapshot), flatten(baseline))
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        print(
+            f"\n{len(problems)} metric(s) outside tolerance vs {baseline_path}.\n"
+            "If the change is intentional, re-bless the baseline with\n"
+            "    python scripts/check_bench_regression.py --update",
+            file=sys.stderr,
+        )
+        return 1
+    flat = flatten(snapshot)
+    counters = sum(1 for k in flat if k.startswith("counter:"))
+    gauges = sum(1 for k in flat if k.startswith("gauge:"))
+    hists = sum(1 for k in flat if k.startswith("histogram:"))
+    print(
+        f"regression sentinel OK: {counters} counters exact, "
+        f"{gauges} gauges within ±{TOLERANCES['gauge']:.0%}, "
+        f"{hists} histogram counts exact vs {os.path.relpath(baseline_path, REPO_ROOT)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

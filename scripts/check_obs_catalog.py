@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Keep the observability docs honest: code and catalog must agree.
+
+Walks every module under ``src/`` with :mod:`ast` and collects
+
+* **metric names** — the constant first argument of any
+  ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call;
+* **span names** — the constant first argument of any ``.span(...)`` /
+  ``.record(...)`` call.
+
+Then parses the catalog docs (``docs/observability.md`` and
+``docs/profiling.md``) for
+
+* every `` `repro_*` `` token (the metric catalog), and
+* the first column of every markdown table whose header starts with
+  ``Span`` (the span catalog).
+
+Both directions must close: a metric or span emitted in code but absent
+from the docs fails, and a documented name nothing emits fails.  Sites
+that pass a *computed* name are rejected unless whitelisted below, so
+dynamically-named instruments can't silently escape the catalog.
+
+Runs as part of ``make smoke``.  Exit 0 = in sync, 1 = drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+CATALOG_DOCS = (
+    os.path.join(REPO_ROOT, "docs", "observability.md"),
+    os.path.join(REPO_ROOT, "docs", "profiling.md"),
+)
+
+METRIC_METHODS = {"counter", "gauge", "histogram"}
+SPAN_METHODS = {"span", "record"}
+
+#: Call sites allowed to pass a computed name: (relative path, method).
+#: ``MetricsRegistry.from_snapshot`` rehydrates instruments from a sidecar
+#: file — those names were emitted (and checked) elsewhere.
+DYNAMIC_NAME_WHITELIST = {
+    ("repro/obs/metrics.py", "counter"),
+    ("repro/obs/metrics.py", "gauge"),
+    ("repro/obs/metrics.py", "histogram"),
+    # Snapshot-time collectors iterate a literal (name, value, help) table;
+    # scan_source() picks those names up from the tuple constants instead.
+    ("repro/storage/disk.py", "gauge"),
+    ("repro/storage/hostdisk.py", "gauge"),
+}
+
+METRIC_TOKEN = re.compile(r"`(repro_[a-z0-9_]+)")
+SPAN_CELL = re.compile(r"^\|\s*`([a-z][a-z0-9_.]*)`\s*\|")
+
+
+def scan_source() -> Tuple[Set[str], Set[str], List[str]]:
+    """(metric names, span names, problems) emitted anywhere under src/."""
+    metrics: Set[str] = set()
+    spans: Set[str] = set()
+    problems: List[str] = []
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, SRC_ROOT)
+            with open(path, encoding="utf-8") as fh:
+                tree = ast.parse(fh.read(), filename=rel)
+            for node in ast.walk(tree):
+                # The snapshot-time collector idiom: a literal table of
+                # ("repro_*", value, help) rows looped into reg.gauge(...).
+                if isinstance(node, ast.Tuple) and node.elts:
+                    first = node.elts[0]
+                    if (
+                        isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)
+                        and first.value.startswith("repro_")
+                    ):
+                        metrics.add(first.value)
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                method = func.attr
+                if method not in METRIC_METHODS and method not in SPAN_METHODS:
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    if method in METRIC_METHODS:
+                        metrics.add(first.value)
+                    else:
+                        spans.add(first.value)
+                elif (rel, method) not in DYNAMIC_NAME_WHITELIST:
+                    problems.append(
+                        f"{rel}:{node.lineno}: .{method}() with a computed "
+                        "name — literal names only (or whitelist the site in "
+                        "scripts/check_obs_catalog.py)"
+                    )
+    return metrics, spans, problems
+
+
+def scan_docs() -> Tuple[Set[str], Set[str], Dict[str, str]]:
+    """(metric names, span names, name -> doc file) from the catalog docs."""
+    metrics: Set[str] = set()
+    spans: Set[str] = set()
+    where: Dict[str, str] = {}
+    for path in CATALOG_DOCS:
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as fh:
+            in_span_table = False
+            for line in fh:
+                for token in METRIC_TOKEN.findall(line):
+                    metrics.add(token)
+                    where.setdefault(token, rel)
+                stripped = line.strip()
+                if stripped.startswith("|"):
+                    header = stripped.strip("|").split("|")[0].strip()
+                    if header in ("Span", "Span name"):
+                        in_span_table = True
+                        continue
+                    if in_span_table:
+                        match = SPAN_CELL.match(stripped)
+                        if match:
+                            spans.add(match.group(1))
+                            where.setdefault(match.group(1), rel)
+                        elif not set(stripped) <= set("|- :"):
+                            in_span_table = False
+                else:
+                    in_span_table = False
+    return metrics, spans, where
+
+
+def main() -> int:
+    code_metrics, code_spans, problems = scan_source()
+    missing_docs = [path for path in CATALOG_DOCS if not os.path.exists(path)]
+    if missing_docs:
+        for path in missing_docs:
+            print(f"FAIL: catalog doc missing: {path}", file=sys.stderr)
+        return 1
+    doc_metrics, doc_spans, where = scan_docs()
+
+    for name in sorted(code_metrics - doc_metrics):
+        problems.append(
+            f"metric {name!r} is emitted in src/ but not in the catalog docs"
+        )
+    for name in sorted(doc_metrics - code_metrics):
+        problems.append(
+            f"metric {name!r} is documented in {where.get(name, '?')} "
+            "but nothing in src/ emits it"
+        )
+    for name in sorted(code_spans - doc_spans):
+        problems.append(
+            f"span {name!r} is emitted in src/ but not in any doc span table"
+        )
+    for name in sorted(doc_spans - code_spans):
+        problems.append(
+            f"span {name!r} is documented in {where.get(name, '?')} "
+            "but nothing in src/ emits it"
+        )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"obs catalog OK: {len(code_metrics)} metric families and "
+        f"{len(code_spans)} span names all documented, nothing stale"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,12 @@ Observability: commands that execute queries (``query``, ``compare``,
 ``workload``) write a metrics sidecar (``<snapshot>.metrics.json``) that a
 later ``repro stats --snapshot shop.ivadb --format prometheus|json``
 re-renders; ``--trace FILE`` on ``query``/``workload`` writes the nested
-``query -> filter/refine`` spans as JSON lines.
+``query -> filter/refine`` spans as JSON lines; ``--explain-analyze``
+prints the per-query candidate funnel, per-attribute scan statistics and
+lower-bound tightness (see docs/profiling.md).  ``repro trace analyze
+spans.jsonl`` aggregates a span file into per-phase p50/p95/p99 tables,
+and ``repro obs serve`` exposes ``/metrics`` (Prometheus text),
+``/metrics.json``, ``/healthz`` and ``/traces/recent`` over HTTP.
 
 Parallel execution: ``--workers N`` on ``query``/``compare``/``workload``
 shards the filter scan across N worker threads (see docs/parallelism.md);
@@ -110,6 +115,16 @@ def _add_fail_mode_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_explain_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="profile the search and print its EXPLAIN ANALYZE artifact: "
+        "candidate funnel, per-attribute scan stats, lower-bound "
+        "tightness, phase/shard times (see docs/profiling.md)",
+    )
+
+
 def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
     """A tracer wired to --trace / --slow-ms, or None when neither is set."""
     trace_file = getattr(args, "trace", None)
@@ -174,6 +189,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(query)
     _add_kernel_flag(query)
     _add_fail_mode_flag(query)
+    _add_explain_flag(query)
 
     load = sub.add_parser("load", help="load tuples from JSONL or CSV")
     load.add_argument("--snapshot", required=True)
@@ -239,6 +255,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(workload)
     _add_kernel_flag(workload)
     _add_fail_mode_flag(workload)
+    _add_explain_flag(workload)
 
     bench = sub.add_parser(
         "bench", help="run a benchmark suite on the standard bench environment"
@@ -289,6 +306,30 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--snapshot", required=True)
     stats.add_argument("--format", default="prometheus",
                        choices=["prometheus", "json"])
+
+    obs = sub.add_parser(
+        "obs", help="serve /metrics, /healthz and /traces/recent over HTTP"
+    )
+    obs.add_argument("action", choices=["serve"], help="obs subcommand")
+    obs.add_argument("--host", default="127.0.0.1")
+    obs.add_argument("--port", type=int, default=9464,
+                     help="listen port (0 = ephemeral)")
+    obs.add_argument(
+        "--snapshot",
+        help="serve this snapshot's metrics sidecar (re-read per request) "
+        "instead of the live process registry, so the endpoint follows "
+        "query commands run against the snapshot",
+    )
+    obs.add_argument("--ring", type=int, default=512,
+                     help="span ring-buffer capacity behind /traces/recent")
+
+    trace = sub.add_parser(
+        "trace", help="aggregate a JSONL span file into latency tables"
+    )
+    trace.add_argument("action", choices=["analyze"], help="trace subcommand")
+    trace.add_argument("spans", help="spans.jsonl written by --trace")
+    trace.add_argument("--slowest", type=int, default=5,
+                       help="how many slowest root spans to list")
     return parser
 
 
@@ -365,6 +406,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         executor=_executor_from(args),
         kernel=getattr(args, "kernel", "scalar"),
         fail_mode=getattr(args, "fail_mode", "raise"),
+        profile=getattr(args, "explain_analyze", False),
     )
     report = engine.search(query, k=args.k)
     print(f"query: {query.describe()}  (k={args.k}, {args.metric})")
@@ -385,6 +427,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{report.table_accesses} table-file accesses, "
         f"{report.query_time_ms:.1f} ms modeled"
     )
+    if report.profile is not None:
+        print()
+        print(report.profile.format())
     if tracer is not None and tracer.sink is not None:
         tracer.sink.close()
         print(f"wrote {tracer.sink.spans_written} trace span(s) to {args.trace}")
@@ -513,6 +558,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 executor=_executor_from(args),
                 kernel=getattr(args, "kernel", "scalar"),
                 fail_mode=getattr(args, "fail_mode", "raise"),
+                profile=getattr(args, "explain_analyze", False),
             )
             for query in query_set.warmup:
                 engine.search(query, k=10)
@@ -522,6 +568,30 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 f"measured {len(reports)} queries against index {args.name!r}: "
                 f"{mean_ms:.1f} ms modeled per query"
             )
+            if getattr(args, "explain_analyze", False):
+                print()
+                print("per-query candidate funnels")
+                for qi, report in enumerate(reports):
+                    prof = report.profile
+                    if prof is None:
+                        continue
+                    print(
+                        f"  q{qi:<3} scanned {prof.tuples_scanned:>6}  "
+                        f"pruned {prof.bound_pruned:>6} "
+                        f"({prof.prune_rate:.1%})  "
+                        f"refined {prof.refined:>5} "
+                        f"({prof.access_rate:.1%})  "
+                        f"{prof.query_time_ms:>8.1f} ms modeled"
+                    )
+                slowest = max(
+                    (r for r in reports if r.profile is not None),
+                    key=lambda r: r.query_time_ms,
+                    default=None,
+                )
+                if slowest is not None:
+                    print()
+                    print("slowest measured query:")
+                    print(slowest.profile.format())
             if tracer is not None and tracer.sink is not None:
                 tracer.sink.close()
                 print(
@@ -735,6 +805,69 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.server import ObsServer, SpanRingBuffer
+    from repro.obs.trace import get_tracer
+
+    registry_provider = None
+    if args.snapshot:
+        sidecar = _metrics_sidecar(args.snapshot)
+        if not os.path.exists(sidecar):
+            raise ReproError(
+                f"no metrics snapshot at {sidecar}; run `repro query` or "
+                "`repro workload` against this snapshot first"
+            )
+
+        def registry_provider():
+            return load_snapshot(sidecar)
+
+    ring = SpanRingBuffer(capacity=args.ring)
+    # Root spans completed in this process (e.g. embedders driving the
+    # tracer) land in /traces/recent automatically.
+    get_tracer().sink = ring
+    try:
+        server = ObsServer(
+            host=args.host,
+            port=args.port,
+            registry_provider=registry_provider,
+            ring=ring,
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}")
+    source = (
+        f"metrics sidecar {_metrics_sidecar(args.snapshot)} (re-read per request)"
+        if args.snapshot
+        else "live process registry"
+    )
+    print(f"serving {server.url}/metrics from {source}")
+    print("endpoints: /metrics /metrics.json /healthz /traces/recent")
+    print("press Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace_analysis import analyze_file, format_analysis
+
+    if args.slowest < 0:
+        raise ReproError("--slowest must be non-negative")
+    try:
+        analysis = analyze_file(args.spans, slowest=args.slowest)
+    except OSError as exc:
+        raise ReproError(f"cannot read span file {args.spans!r}: {exc}")
+    except ValueError as exc:
+        raise ReproError(str(exc))
+    print(format_analysis(analysis))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -749,6 +882,8 @@ _COMMANDS = {
     "fsck": _cmd_fsck,
     "info": _cmd_info,
     "stats": _cmd_stats,
+    "obs": _cmd_obs,
+    "trace": _cmd_trace,
 }
 
 

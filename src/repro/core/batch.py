@@ -32,6 +32,7 @@ from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.profile import ProfileCollector
 from repro.obs.trace import Tracer, get_tracer
 from repro.query import Query
 from repro.storage.table import SparseWideTable
@@ -59,10 +60,14 @@ class BatchIVAEngine:
         executor: Optional["ExecutorConfig"] = None,
         kernel: str = "scalar",
         fail_mode: str = "raise",
+        profile: bool = False,
     ) -> None:
         self.table = table
         self.index = index
         self.distance = distance or DistanceFunction()
+        #: When True every report in the batch carries an EXPLAIN ANALYZE
+        #: artifact (``SearchReport.profile``); see :mod:`repro.obs.profile`.
+        self.profile = profile
         #: Filter strategy: ``"scalar"`` or ``"block"`` (see
         #: :mod:`repro.core.kernel`); answers are bit-identical.
         self.kernel = validate_kernel_mode(kernel)
@@ -180,6 +185,11 @@ class BatchIVAEngine:
 
         pools = [ResultPool(k) for _ in bound]
         reports = [SearchReport() for _ in bound]
+        collectors: Optional[List[ProfileCollector]] = (
+            [ProfileCollector.for_query(q, position) for q in bound]
+            if self.profile
+            else None
+        )
         ndf_penalty = dist.ndf_penalty
         disk = self.table.disk
         io_start = disk.stats.io_time_ms
@@ -191,6 +201,9 @@ class BatchIVAEngine:
             for tids, ptrs in scan.blocks(BLOCK_TUPLES):
                 columns = scan.payload_blocks(tids)
                 count = len(tids)
+                if collectors is not None:
+                    for collector in collectors:
+                        collector.on_block(columns, count)
                 block_cache: dict = {}
                 evaluated = [
                     kern.evaluate_block(columns, count, block_cache)
@@ -209,8 +222,12 @@ class BatchIVAEngine:
                         if exact:
                             pool.insert(tid, estimated)
                             reports[qi].exact_shortcuts += 1
+                            if collectors is not None:
+                                collectors[qi].on_exact()
                             continue
                         if not pool.is_candidate(estimated, tid):
+                            if collectors is not None:
+                                collectors[qi].on_pruned()
                             continue
                         if record is None:
                             io_before = disk.stats.io_time_ms
@@ -219,10 +236,19 @@ class BatchIVAEngine:
                             refine_io += disk.stats.io_time_ms - io_before
                             refine_wall += time.perf_counter() - wall_before
                         reports[qi].table_accesses += 1
-                        pool.insert(tid, dist.actual(query, record))
+                        actual = dist.actual(query, record)
+                        pool.insert(tid, actual)
+                        if collectors is not None:
+                            collectors[qi].on_candidate()
+                            collectors[qi].on_refined(estimated, actual)
         else:
             for tid, ptr in scan:
                 payloads = scan.payloads(tid)
+                # Like the single-query scalar filter: probe before the
+                # tombstone check so entry counts match the block path.
+                if collectors is not None:
+                    for collector in collectors:
+                        collector.on_payloads(payloads)
                 if ptr == DELETED_PTR:
                     continue
                 record = None
@@ -257,8 +283,12 @@ class BatchIVAEngine:
                     if exact:
                         pool.insert(tid, estimated)
                         reports[qi].exact_shortcuts += 1
+                        if collectors is not None:
+                            collectors[qi].on_exact()
                         continue
                     if not pool.is_candidate(estimated, tid):
+                        if collectors is not None:
+                            collectors[qi].on_pruned()
                         continue
                     if record is None:
                         io_before = disk.stats.io_time_ms
@@ -267,7 +297,11 @@ class BatchIVAEngine:
                         refine_io += disk.stats.io_time_ms - io_before
                         refine_wall += time.perf_counter() - wall_before
                     reports[qi].table_accesses += 1
-                    pool.insert(tid, dist.actual(query, record))
+                    actual = dist.actual(query, record)
+                    pool.insert(tid, actual)
+                    if collectors is not None:
+                        collectors[qi].on_candidate()
+                        collectors[qi].on_refined(estimated, actual)
 
         total_io = disk.stats.io_time_ms - io_start
         total_wall = time.perf_counter() - wall_start
@@ -281,4 +315,17 @@ class BatchIVAEngine:
             reports[qi].results = [
                 QueryResult(tid=e.tid, distance=e.distance) for e in pool.results()
             ]
+        if collectors is not None:
+            metric = getattr(dist.metric, "name", "")
+            for qi, collector in enumerate(collectors):
+                reports[qi].profile = collector.build(
+                    reports[qi],
+                    query=bound[qi],
+                    index=self.index,
+                    engine=self.name,
+                    kernel=self.kernel,
+                    fail_mode=self.fail_mode,
+                    metric=metric,
+                    k=k,
+                )
         return reports

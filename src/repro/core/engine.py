@@ -35,6 +35,7 @@ from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError, ReproError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.profile import ProfileCollector, QueryProfile
 from repro.obs.trace import Tracer, get_tracer
 from repro.query import Query
 
@@ -175,6 +176,9 @@ class SearchReport:
     #: "through the end of the scan" — since it cannot know where the
     #: aborted scan would have ended.
     lost_tid_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    #: Structured EXPLAIN ANALYZE artifact; populated only when the engine
+    #: was built with ``profile=True`` (``--explain-analyze`` on the CLI).
+    profile: Optional[QueryProfile] = None
 
     @property
     def total_io_ms(self) -> float:
@@ -301,9 +305,18 @@ class FilterAndRefineEngine(ABC):
         executor: Optional["ExecutorConfig"] = None,
         kernel: str = "scalar",
         fail_mode: str = "raise",
+        profile: bool = False,
     ) -> None:
         self.table = table
         self.distance = distance or DistanceFunction()
+        #: When True every search carries a :class:`ProfileCollector` and
+        #: the report gains a ``profile`` (EXPLAIN ANALYZE) artifact.  Off
+        #: by default: the hot loops then pay one None-check per tuple.
+        self.profile = profile
+        #: The in-flight search's collector; filter implementations feed
+        #: their per-tuple payload probes through it.  ``search`` is not
+        #: reentrant per engine instance, so one slot suffices.
+        self._collector: Optional[ProfileCollector] = None
         #: Scan-failure policy: ``"raise"`` propagates storage errors
         #: (after any sequential fallback); ``"degrade"`` completes the
         #: query with what survived and flags ``SearchReport.degraded``.
@@ -410,6 +423,8 @@ class FilterAndRefineEngine(ABC):
         report = SearchReport()
         disk = self.table.disk
         tracer = self._tracer()
+        collector = ProfileCollector.for_query(query) if self.profile else None
+        self._collector = collector
 
         with tracer.span(
             "query",
@@ -430,8 +445,12 @@ class FilterAndRefineEngine(ABC):
                     if exact and self.skip_exact:
                         pool.insert(tid, estimated)
                         report.exact_shortcuts += 1
+                        if collector is not None:
+                            collector.on_exact()
                         continue
                     if not pool.is_candidate(estimated, tid):
+                        if collector is not None:
+                            collector.on_pruned()
                         continue
                     refine_io_before = disk.stats.io_time_ms
                     refine_wall_before = time.perf_counter()
@@ -441,6 +460,9 @@ class FilterAndRefineEngine(ABC):
                     refine_io += disk.stats.io_time_ms - refine_io_before
                     refine_wall += time.perf_counter() - refine_wall_before
                     report.table_accesses += 1
+                    if collector is not None:
+                        collector.on_candidate()
+                        collector.on_refined(estimated, actual)
             except ReproError as exc:
                 if self.fail_mode != "degrade":
                     raise
@@ -453,6 +475,8 @@ class FilterAndRefineEngine(ABC):
                     last_tid,
                     exc,
                 )
+            finally:
+                self._collector = None
 
             total_io = disk.stats.io_time_ms - start_io
             total_wall = time.perf_counter() - start_wall
@@ -464,6 +488,17 @@ class FilterAndRefineEngine(ABC):
                 QueryResult(tid=entry.tid, distance=entry.distance)
                 for entry in pool.results()
             ]
+            if collector is not None:
+                report.profile = collector.build(
+                    report,
+                    query=query,
+                    index=getattr(self, "index", None),
+                    engine=self.name,
+                    kernel=self.kernel,
+                    fail_mode=self.fail_mode,
+                    metric=getattr(dist.metric, "name", ""),
+                    k=k,
+                )
             trace_phases(tracer, span, report)
         observe_search(self._registry(), self.name, report)
         return report
@@ -487,6 +522,7 @@ class IVAEngine(FilterAndRefineEngine):
         executor: Optional["ExecutorConfig"] = None,
         kernel: str = "scalar",
         fail_mode: str = "raise",
+        profile: bool = False,
     ) -> None:
         super().__init__(
             table,
@@ -497,6 +533,7 @@ class IVAEngine(FilterAndRefineEngine):
             executor=executor,
             kernel=kernel,
             fail_mode=fail_mode,
+            profile=profile,
         )
         self.index = index
 
@@ -504,9 +541,16 @@ class IVAEngine(FilterAndRefineEngine):
         attr_ids = query.attribute_ids()
         scan = self.index.open_scan(attr_ids)
         evaluator = BoundEvaluator(self.index, query, distance)
+        collector = self._collector
 
         for tid, ptr in scan:
             payloads = scan.payloads(tid)
+            # Probed before the tombstone check on purpose: the scan
+            # decodes the payload row either way, and the per-attribute
+            # entry counts then agree with the block path, which decodes
+            # whole columns tombstones included.
+            if collector is not None:
+                collector.on_payloads(payloads)
             if ptr == DELETED_PTR:
                 continue
             diffs, exact = evaluator.evaluate(payloads)
@@ -546,12 +590,15 @@ class IVAEngine(FilterAndRefineEngine):
         blocks = 0
         tuples = 0
         block_wall = 0.0
+        collector = self._collector
         for tids, ptrs in scan.blocks(BLOCK_TUPLES):
             block_start = time.perf_counter()
             columns = scan.payload_blocks(tids)
             estimates, exacts = compiled.evaluate_block(columns, len(tids))
             block_wall += time.perf_counter() - block_start
             blocks += 1
+            if collector is not None:
+                collector.on_block(columns, len(tids))
             for i, tid in enumerate(tids):
                 if ptrs[i] == DELETED_PTR:
                     continue

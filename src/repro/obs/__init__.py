@@ -25,6 +25,13 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.profile import AttributeProfile, ProfileCollector, QueryProfile
+from repro.obs.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    ObsServer,
+    SpanRingBuffer,
+    TeeSink,
+)
 from repro.obs.trace import (
     SLOW_QUERY_LOGGER,
     JsonlSpanSink,
@@ -34,8 +41,25 @@ from repro.obs.trace import (
     get_tracer,
     set_tracer,
 )
+from repro.obs.trace_analysis import (
+    TraceAnalysis,
+    analyze_spans,
+    format_analysis,
+    load_spans,
+)
 
 __all__ = [
+    "AttributeProfile",
+    "ProfileCollector",
+    "QueryProfile",
+    "ObsServer",
+    "SpanRingBuffer",
+    "TeeSink",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TraceAnalysis",
+    "analyze_spans",
+    "format_analysis",
+    "load_spans",
     "Counter",
     "Gauge",
     "Histogram",

@@ -186,6 +186,29 @@ class Tracer:
         """Open a timed span; use as a context manager."""
         return _SpanGuard(self, Span(name=name, attrs=dict(attrs)))
 
+    def attach(self, parent: Optional[Span]) -> "_AttachGuard":
+        """Adopt *parent* — a span owned by another thread — as this
+        thread's current span for the duration of the guard.
+
+        Worker threads start with an empty thread-local stack, so any span
+        they open becomes an orphan *root* (fanned out to the sink on its
+        own) instead of nesting under the query that spawned the work.
+        Wrapping the worker body in ``with tracer.attach(query_span):``
+        makes spans opened inside it children of *parent*, so the trace
+        shows the true query tree.
+
+        The parent is only *borrowed*: closing the guard pops it from this
+        thread's stack without finishing it — the owning thread still
+        closes it normally.  Appending children to a foreign span is safe
+        under the GIL (``list.append`` is atomic), provided the owner
+        keeps the parent open until the workers are done — which the
+        executor guarantees by joining workers inside the query span.
+
+        ``attach(None)`` is a no-op guard, so call sites need no branch
+        for the "no parent" case.
+        """
+        return _AttachGuard(self, parent)
+
     def record(self, name: str, duration_ms: float, **attrs) -> Span:
         """Attach a synthetic span with a pre-measured duration.
 
@@ -209,10 +232,21 @@ class Tracer:
 
     def _exit(self, span: Span) -> None:
         stack = self._stack()
-        if not stack or stack[-1] is not span:
-            raise RuntimeError(
-                f"span {span.name!r} closed out of order"
-            )
+        # Identity, not equality: Span is a dataclass, and two spans with
+        # the same name/attrs would compare equal.
+        if not any(s is span for s in stack):
+            raise RuntimeError(f"span {span.name!r} closed out of order")
+        # Unwind anything still open above *span* — e.g. a generator that
+        # opened a span and was abandoned mid-iteration, or an inner guard
+        # skipped by an exception path.  Closing them here (tagged
+        # ``abandoned``) keeps the stack clean for the next query instead
+        # of poisoning every later span with a stale parent.
+        while stack[-1] is not span:
+            orphan = stack.pop()
+            if orphan._started is not None:
+                orphan.duration_ms = (time.perf_counter() - orphan._started) * 1000.0
+            orphan.attrs.setdefault("abandoned", True)
+            span.children.append(orphan)
         stack.pop()
         if span._started is not None:
             span.duration_ms = (time.perf_counter() - span._started) * 1000.0
@@ -247,6 +281,39 @@ class _SpanGuard:
         if exc_type is not None:
             self.span.attrs.setdefault("error", exc_type.__name__)
         self._tracer._exit(self.span)
+        return False
+
+
+class _AttachGuard:
+    """Borrows a foreign parent span onto this thread's stack.
+
+    See :meth:`Tracer.attach`.  On exit the parent is popped *without*
+    being finished (its owner does that); any span left open above it is
+    unwound into the parent as ``abandoned`` so the borrow can never leak
+    state into the worker thread's next task.
+    """
+
+    def __init__(self, tracer: Tracer, parent: Optional[Span]) -> None:
+        self._tracer = tracer
+        self._parent = parent
+
+    def __enter__(self) -> Optional[Span]:
+        if self._parent is not None:
+            self._tracer._stack().append(self._parent)
+        return self._parent
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._parent is None:
+            return False
+        stack = self._tracer._stack()
+        while stack and stack[-1] is not self._parent:
+            orphan = stack.pop()
+            if orphan._started is not None:
+                orphan.duration_ms = (time.perf_counter() - orphan._started) * 1000.0
+            orphan.attrs.setdefault("abandoned", True)
+            self._parent.children.append(orphan)
+        if stack:
+            stack.pop()  # the borrowed parent; its owner finishes it
         return False
 
 

@@ -1,0 +1,206 @@
+"""Offline aggregation of JSONL span sinks (``repro trace analyze``).
+
+``repro query --trace spans.jsonl`` (and the workload/bench commands)
+write one JSON line per completed root span, children nested.  This
+module turns such a file back into the numbers an operator wants first:
+
+* a per-span-name table — count, total/mean and p50/p95/p99 durations —
+  over *every* span in the tree, not just roots;
+* a phase breakdown of the root ``query`` spans (filter vs. refine wall
+  and modeled I/O, reconciling with the paper's Figs. 9/15 convention);
+* the slowest root spans, for drill-down.
+
+Pure functions over parsed dicts; the CLI glues file loading and the
+fixed-width rendering together.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """Deferred re-export of :func:`repro.analysis.stats.percentile`.
+
+    ``repro.obs`` sits below ``repro.analysis`` in the import graph
+    (storage publishes metrics), so importing at module scope would be
+    circular; by first call everything is initialised.
+    """
+    from repro.analysis.stats import percentile as _percentile
+
+    return _percentile(values, pct)
+
+__all__ = [
+    "SpanNameStats",
+    "TraceAnalysis",
+    "load_spans",
+    "analyze_spans",
+    "format_analysis",
+]
+
+
+@dataclass
+class SpanNameStats:
+    """Aggregated durations of every span sharing one name."""
+
+    name: str
+    durations_ms: List[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations_ms)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.durations_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def pct(self, p: float) -> float:
+        return percentile(self.durations_ms, p) if self.durations_ms else 0.0
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything :func:`analyze_spans` derives from one span file."""
+
+    roots: int = 0
+    spans: int = 0
+    by_name: Dict[str, SpanNameStats] = field(default_factory=dict)
+    #: Root ``query`` spans' modeled times (their ``modeled_ms`` attr).
+    modeled_ms: List[float] = field(default_factory=list)
+    #: Summed ``io_ms`` attrs of ``filter``/``refine`` children.
+    filter_io_ms: float = 0.0
+    refine_io_ms: float = 0.0
+    #: The slowest root spans: (duration_ms, name, attrs).
+    slowest: List[Tuple[float, str, dict]] = field(default_factory=list)
+
+
+def load_spans(path: str) -> List[dict]:
+    """Parse a JSONL span sink; raises ValueError on a malformed line."""
+    spans: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not a JSON span: {exc}") from exc
+            if not isinstance(span, dict) or "name" not in span:
+                raise ValueError(f"{path}:{lineno}: not a span object")
+            spans.append(span)
+    return spans
+
+
+def walk(span: dict, depth: int = 0) -> Iterator[Tuple[dict, int]]:
+    """Yield (span, depth) over the span and all descendants, pre-order."""
+    yield span, depth
+    for child in span.get("children", ()):
+        yield from walk(child, depth + 1)
+
+
+def analyze_spans(roots: List[dict], slowest: int = 5) -> TraceAnalysis:
+    """Aggregate a list of root spans into a :class:`TraceAnalysis`."""
+    analysis = TraceAnalysis(roots=len(roots))
+    ranked: List[Tuple[float, str, dict]] = []
+    for root in roots:
+        duration = float(root.get("duration_ms", 0.0))
+        attrs = dict(root.get("attrs", {}))
+        ranked.append((duration, str(root.get("name", "")), attrs))
+        if "modeled_ms" in attrs:
+            try:
+                analysis.modeled_ms.append(float(attrs["modeled_ms"]))
+            except (TypeError, ValueError):
+                pass
+        for span, _depth in walk(root):
+            analysis.spans += 1
+            name = str(span.get("name", ""))
+            stats = analysis.by_name.get(name)
+            if stats is None:
+                stats = analysis.by_name[name] = SpanNameStats(name=name)
+            stats.durations_ms.append(float(span.get("duration_ms", 0.0)))
+            if name in ("filter", "refine"):
+                io_ms = span.get("attrs", {}).get("io_ms")
+                if io_ms is not None:
+                    try:
+                        value = float(io_ms)
+                    except (TypeError, ValueError):
+                        value = 0.0
+                    if name == "filter":
+                        analysis.filter_io_ms += value
+                    else:
+                        analysis.refine_io_ms += value
+    ranked.sort(key=lambda item: item[0], reverse=True)
+    analysis.slowest = ranked[:slowest]
+    return analysis
+
+
+def _fmt_attrs(attrs: dict, limit: int = 4) -> str:
+    parts = []
+    for key in sorted(attrs):
+        if key in ("modeled_ms",):
+            parts.insert(0, f"{key}={attrs[key]:.1f}" if isinstance(attrs[key], float) else f"{key}={attrs[key]}")
+        else:
+            parts.append(f"{key}={attrs[key]}")
+    return " ".join(parts[:limit])
+
+
+def format_analysis(analysis: TraceAnalysis) -> str:
+    """The fixed-width report ``repro trace analyze`` prints."""
+    lines: List[str] = []
+    lines.append(
+        f"{analysis.roots} root span(s), {analysis.spans} span(s) total"
+    )
+
+    if analysis.by_name:
+        lines.append("")
+        lines.append("per-span durations (wall ms)")
+        name_w = max(len(name) for name in analysis.by_name)
+        name_w = max(name_w, len("span"))
+        lines.append(
+            f"  {'span':<{name_w}}  {'count':>6}  {'total':>10}  {'mean':>9}  "
+            f"{'p50':>9}  {'p95':>9}  {'p99':>9}"
+        )
+        ordered = sorted(
+            analysis.by_name.values(), key=lambda s: s.total_ms, reverse=True
+        )
+        for stats in ordered:
+            lines.append(
+                f"  {stats.name:<{name_w}}  {stats.count:>6}  "
+                f"{stats.total_ms:>10.2f}  {stats.mean_ms:>9.3f}  "
+                f"{stats.pct(50):>9.3f}  {stats.pct(95):>9.3f}  "
+                f"{stats.pct(99):>9.3f}"
+            )
+
+    if analysis.modeled_ms:
+        lines.append("")
+        lines.append("modeled query time (ms; the paper's per-query metric)")
+        values = analysis.modeled_ms
+        lines.append(
+            f"  count {len(values)}  mean {sum(values) / len(values):.1f}  "
+            f"p50 {percentile(values, 50):.1f}  p95 {percentile(values, 95):.1f}  "
+            f"p99 {percentile(values, 99):.1f}"
+        )
+        lines.append(
+            f"  phase modeled I/O: filter {analysis.filter_io_ms:.1f} ms, "
+            f"refine {analysis.refine_io_ms:.1f} ms across all queries"
+        )
+
+    if analysis.slowest:
+        lines.append("")
+        lines.append("slowest root spans")
+        for duration, name, attrs in analysis.slowest:
+            summary = _fmt_attrs(attrs)
+            lines.append(f"  {duration:>9.2f} ms  {name}  {summary}".rstrip())
+    return "\n".join(lines)
+
+
+def analyze_file(path: str, slowest: int = 5) -> TraceAnalysis:
+    """Load and aggregate one JSONL span file."""
+    return analyze_spans(load_spans(path), slowest=slowest)

@@ -76,7 +76,8 @@ from repro.core.pool import ResultPool
 from repro.errors import ParallelError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.obs.trace import Tracer, get_tracer
+from repro.obs.profile import ProfileCollector
+from repro.obs.trace import Span, Tracer, get_tracer
 from repro.parallel.config import ExecutorConfig
 from repro.parallel.shards import ShardPlanner, ShardRange
 from repro.query import Query
@@ -173,6 +174,9 @@ class _ShardDone:
 
     stats: _ShardStats
     local_pools: List[ResultPool]
+    #: Shard-local profile collectors (one per query), present only when
+    #: the run profiles; absorbed into the per-query masters at merge time.
+    profiles: Optional[List[ProfileCollector]] = None
 
 
 @dataclass
@@ -214,6 +218,8 @@ class _RunResult:
     lost_shards: List[int] = field(default_factory=list)
     lost_tid_ranges: List[Tuple[int, int]] = field(default_factory=list)
     recovered_shards: int = 0
+    #: Per-query master profile collectors (profiled runs only).
+    profiles: Optional[List[ProfileCollector]] = None
 
 
 class ParallelScanExecutor:
@@ -234,6 +240,13 @@ class ParallelScanExecutor:
         self.index = index
         self.config = config
         self.planner = ShardPlanner(index)
+        # Run-scoped state (``run`` is not reentrant): the tracer and the
+        # query span workers attach to, and the profiling configuration.
+        self._run_tracer: Tracer = get_tracer()
+        self._run_parent: Optional[Span] = None
+        self._run_profile: bool = False
+        self._run_position: Optional[Dict[int, int]] = None
+        self._run_profiles: Optional[List[ProfileCollector]] = None
 
     # ------------------------------------------------------------------ run
 
@@ -246,6 +259,9 @@ class ParallelScanExecutor:
         skip_exact: bool = True,
         kernel: str = "scalar",
         fail_mode: str = "raise",
+        tracer: Optional[Tracer] = None,
+        parent_span: Optional[Span] = None,
+        profile: bool = False,
     ) -> _RunResult:
         """Execute the sharded scan; raises :class:`ParallelExecutionError`
         when the pool cannot start or a worker dies.
@@ -262,6 +278,13 @@ class ParallelScanExecutor:
         re-scan it sequentially without the kernel, and only then record
         it lost — and always returns a result, flagged ``degraded`` with
         the lost tid ranges when a shard could not be saved.
+
+        *tracer*/*parent_span* propagate span context into the shard
+        workers: each shard scan runs inside a live ``parallel.shard_scan``
+        span attached under *parent_span* (the caller's open ``query``
+        span), so traces show the true query tree instead of orphan roots.
+        *profile* gives every shard worker per-query
+        :class:`ProfileCollector`\\ s, merged into ``result.profiles``.
         """
         if fail_mode not in FAIL_MODES:
             raise ParallelError(
@@ -273,6 +296,15 @@ class ParallelScanExecutor:
             position_map = None  # payloads align 1:1 with the query's terms
         else:
             position_map = position
+        self._run_tracer = tracer if tracer is not None else get_tracer()
+        self._run_parent = parent_span
+        self._run_profile = profile
+        self._run_position = position_map
+        self._run_profiles = (
+            [ProfileCollector.for_query(q, position_map) for q in queries]
+            if profile
+            else None
+        )
 
         result = _RunResult(pools=[ResultPool(k) for _ in queries])
         result.exact_shortcuts = [0] * len(queries)
@@ -399,6 +431,7 @@ class ParallelScanExecutor:
                 records,
                 seen,
             )
+        result.profiles = self._run_profiles
         return result
 
     # -------------------------------------------------------------- workers
@@ -441,6 +474,12 @@ class ParallelScanExecutor:
     ) -> None:
         """Scan one shard; runs on a worker thread.
 
+        The scan body executes inside a live ``parallel.shard_scan`` span
+        attached under the run's ``query`` span (see
+        :meth:`~repro.obs.trace.Tracer.attach`), so worker spans — and any
+        ``disk.read``/resilience spans they open — nest in the query tree
+        instead of becoming orphan roots on the worker's fresh stack.
+
         Always enqueues a :class:`_ShardDone` sentinel last — the refiner
         counts sentinels to know the queue is fully drained (FIFO order
         guarantees every candidate this worker produced precedes it).
@@ -451,58 +490,115 @@ class ParallelScanExecutor:
             exact_shortcuts=[0] * len(contexts),
         )
         local_pools = [ResultPool(k) for _ in contexts]
-        disk = self.table.disk
-        batch = len(contexts) > 1
-        block = contexts[0].kernel is not None if contexts else False
+        collectors: Optional[List[ProfileCollector]] = None
+        if self._run_profile:
+            collectors = [
+                ProfileCollector.for_query(ctx.query, self._run_position)
+                for ctx in contexts
+            ]
+        tracer = self._run_tracer
         try:
-            with disk.io_channel(f"parallel-{worker}"), disk.metered() as meter:
-                cpu0 = time.thread_time()
-                scanners = [
-                    self.index.make_scanner(attr_id, start=shard.checkpoints[attr_id])
-                    for attr_id in attr_ids
-                ]
-                if block:
-                    self._scan_shard_blocks(
+            with tracer.attach(self._run_parent):
+                with tracer.span(
+                    "parallel.shard_scan", shard=shard.index, worker=worker
+                ) as span:
+                    self._scan_shard_body(
                         shard,
-                        scanners,
+                        worker,
+                        attr_ids,
                         contexts,
+                        dist,
                         skip_exact,
                         out_queue,
                         abort,
                         stats,
                         local_pools,
+                        collectors,
                     )
-                else:
-                    for tid, ptr in self.index.tuples.scan_range(
-                        shard.start_element, shard.end_element
-                    ):
-                        if abort.is_set():
-                            break
-                        payloads = [scanner.move_to(tid) for scanner in scanners]
-                        if ptr == DELETED_PTR:
-                            continue
-                        stats.tuples += 1
-                        cache: Optional[dict] = {} if batch else None
-                        for qi, ctx in enumerate(contexts):
-                            diffs, exact = ctx.evaluator.evaluate(payloads, cache)
-                            estimated = dist.combine_bounds(ctx.query, diffs)
-                            if exact and skip_exact:
-                                local_pools[qi].insert(tid, estimated)
-                                stats.exact_shortcuts[qi] += 1
-                                continue
-                            bound = ctx.shared.get()
-                            if bound is not None and not (estimated, tid) < bound:
-                                continue
-                            if not local_pools[qi].is_candidate(estimated, tid):
-                                continue
-                            out_queue.put((qi, tid, estimated))
-                stats.cpu_s = time.thread_time() - cpu0
-            stats.io_ms = meter.io_ms
-            stats.pages = meter.pages
+                    span.attrs["io_ms"] = stats.io_ms
+                    span.attrs["tuples"] = stats.tuples
+                    span.attrs["cpu_ms"] = stats.cpu_s * 1000.0
         except BaseException as exc:  # noqa: BLE001 - handed to the refiner
             stats.error = exc
         finally:
-            out_queue.put(_ShardDone(stats=stats, local_pools=local_pools))
+            out_queue.put(
+                _ShardDone(stats=stats, local_pools=local_pools, profiles=collectors)
+            )
+
+    def _scan_shard_body(
+        self,
+        shard: ShardRange,
+        worker: str,
+        attr_ids: Tuple[int, ...],
+        contexts: List[_QueryCtx],
+        dist: DistanceFunction,
+        skip_exact: bool,
+        out_queue: "queue_module.Queue",
+        abort: threading.Event,
+        stats: _ShardStats,
+        local_pools: List[ResultPool],
+        collectors: Optional[List[ProfileCollector]],
+    ) -> None:
+        """The metered scan loop of one shard (scalar or block kernel)."""
+        disk = self.table.disk
+        batch = len(contexts) > 1
+        block = contexts[0].kernel is not None if contexts else False
+        with disk.io_channel(f"parallel-{worker}"), disk.metered() as meter:
+            cpu0 = time.thread_time()
+            scanners = [
+                self.index.make_scanner(attr_id, start=shard.checkpoints[attr_id])
+                for attr_id in attr_ids
+            ]
+            if block:
+                self._scan_shard_blocks(
+                    shard,
+                    scanners,
+                    contexts,
+                    skip_exact,
+                    out_queue,
+                    abort,
+                    stats,
+                    local_pools,
+                    collectors,
+                )
+            else:
+                for tid, ptr in self.index.tuples.scan_range(
+                    shard.start_element, shard.end_element
+                ):
+                    if abort.is_set():
+                        break
+                    payloads = [scanner.move_to(tid) for scanner in scanners]
+                    if collectors is not None:
+                        for collector in collectors:
+                            collector.on_payloads(payloads)
+                    if ptr == DELETED_PTR:
+                        continue
+                    stats.tuples += 1
+                    cache: Optional[dict] = {} if batch else None
+                    for qi, ctx in enumerate(contexts):
+                        diffs, exact = ctx.evaluator.evaluate(payloads, cache)
+                        estimated = dist.combine_bounds(ctx.query, diffs)
+                        if exact and skip_exact:
+                            local_pools[qi].insert(tid, estimated)
+                            stats.exact_shortcuts[qi] += 1
+                            if collectors is not None:
+                                collectors[qi].on_exact()
+                            continue
+                        bound = ctx.shared.get()
+                        if bound is not None and not (estimated, tid) < bound:
+                            if collectors is not None:
+                                collectors[qi].on_pruned()
+                            continue
+                        if not local_pools[qi].is_candidate(estimated, tid):
+                            if collectors is not None:
+                                collectors[qi].on_pruned()
+                            continue
+                        if collectors is not None:
+                            collectors[qi].on_candidate()
+                        out_queue.put((qi, tid, estimated))
+            stats.cpu_s = time.thread_time() - cpu0
+        stats.io_ms = meter.io_ms
+        stats.pages = meter.pages
 
     def _scan_shard_blocks(
         self,
@@ -514,6 +610,7 @@ class ParallelScanExecutor:
         abort: threading.Event,
         stats: _ShardStats,
         local_pools: List[ResultPool],
+        collectors: Optional[List[ProfileCollector]] = None,
     ) -> None:
         """Block-kernel shard scan: same decisions, block-at-a-time decode.
 
@@ -529,6 +626,9 @@ class ParallelScanExecutor:
                 break
             columns = [scanner.move_block(tids) for scanner in scanners]
             count = len(tids)
+            if collectors is not None:
+                for collector in collectors:
+                    collector.on_block(columns, count)
             block_cache: Optional[dict] = {} if batch else None
             evaluated = [
                 ctx.kernel.evaluate_block(columns, count, block_cache)
@@ -545,12 +645,20 @@ class ParallelScanExecutor:
                     if exact and skip_exact:
                         local_pools[qi].insert(tid, estimated)
                         stats.exact_shortcuts[qi] += 1
+                        if collectors is not None:
+                            collectors[qi].on_exact()
                         continue
                     bound = ctx.shared.get()
                     if bound is not None and not (estimated, tid) < bound:
+                        if collectors is not None:
+                            collectors[qi].on_pruned()
                         continue
                     if not local_pools[qi].is_candidate(estimated, tid):
+                        if collectors is not None:
+                            collectors[qi].on_pruned()
                         continue
+                    if collectors is not None:
+                        collectors[qi].on_candidate()
                     out_queue.put((qi, tid, estimated))
 
     # -------------------------------------------------------------- refiner
@@ -593,6 +701,9 @@ class ParallelScanExecutor:
                     continue  # draining after a sibling shard died
                 result.shard_stats.append(item.stats)
                 result.tuples_scanned += item.stats.tuples
+                if self._run_profiles is not None and item.profiles is not None:
+                    for qi, shard_profile in enumerate(item.profiles):
+                        self._run_profiles[qi].absorb(shard_profile)
                 merge_cpu0 = time.thread_time()
                 for qi, local in enumerate(item.local_pools):
                     result.exact_shortcuts[qi] += item.stats.exact_shortcuts[qi]
@@ -623,9 +734,14 @@ class ParallelScanExecutor:
     ) -> None:
         """Re-check candidacy, fetch the tuple (cached), insert, tighten."""
         pool = result.pools[qi]
+        profiles = self._run_profiles
         if seen is not None and tid in seen[qi]:
+            if profiles is not None:
+                profiles[qi].on_dedup_skipped()
             return
         if not pool.is_candidate(estimated, tid):
+            if profiles is not None:
+                profiles[qi].on_late_pruned()
             return
         cpu0 = time.thread_time()
         record = records.get(tid)
@@ -634,10 +750,13 @@ class ParallelScanExecutor:
                 record = self.table.read(tid)
             records[tid] = record
             result.refine_io_ms += meter.io_ms
-        pool.insert(tid, dist.actual(contexts[qi].query, record))
+        actual = dist.actual(contexts[qi].query, record)
+        pool.insert(tid, actual)
         self._tighten(contexts[qi], pool)
         result.refine_cpu_s += time.thread_time() - cpu0
         result.table_accesses[qi] += 1
+        if profiles is not None:
+            profiles[qi].on_refined(estimated, actual)
         if seen is not None:
             seen[qi].add(tid)
 
@@ -737,6 +856,9 @@ class ParallelScanExecutor:
             items.append(item)
         if done is None or done.stats.error is not None:
             return False
+        if self._run_profiles is not None and done.profiles is not None:
+            for qi, shard_profile in enumerate(done.profiles):
+                self._run_profiles[qi].absorb(shard_profile)
         for qi, tid, estimated in items:
             self._refine_candidate(
                 qi, tid, estimated, contexts, dist, result, records, seen
@@ -767,6 +889,7 @@ class ParallelScanExecutor:
         thread), in case those were implicated.
         """
         batch = len(contexts) > 1
+        profiles = self._run_profiles
         try:
             scanners = [
                 self.index.make_scanner(attr_id, start=shard.checkpoints[attr_id])
@@ -776,6 +899,9 @@ class ParallelScanExecutor:
                 shard.start_element, shard.end_element
             ):
                 payloads = [scanner.move_to(tid) for scanner in scanners]
+                if profiles is not None:
+                    for profile in profiles:
+                        profile.on_payloads(payloads)
                 if ptr == DELETED_PTR:
                     continue
                 result.tuples_scanned += 1
@@ -787,7 +913,14 @@ class ParallelScanExecutor:
                         result.pools[qi].insert(tid, estimated)
                         result.exact_shortcuts[qi] += 1
                         self._tighten(ctx, result.pools[qi])
+                        if profiles is not None:
+                            profiles[qi].on_exact()
                         continue
+                    # The re-scan has no local pool to prune against;
+                    # every non-exact tuple goes straight to the refiner,
+                    # which late-prunes or deduplicates it.
+                    if profiles is not None:
+                        profiles[qi].on_candidate()
                     self._refine_candidate(
                         qi, tid, estimated, contexts, dist, result, records, seen
                     )
@@ -832,17 +965,14 @@ def _emit_parallel_obs(
     engine_name: str,
     run: _RunResult,
 ) -> None:
-    """Spans + metrics for one parallel run (called inside the query span)."""
+    """Spans + metrics for one parallel run (called inside the query span).
+
+    ``parallel.shard_scan`` spans are no longer synthesized here: shard
+    workers open them live (attached under the query span) so the trace
+    shows the real tree; this hook only lands the aggregate metrics.
+    """
     labels = {"engine": engine_name}
     for stats in run.shard_stats:
-        tracer.record(
-            "parallel.shard_scan",
-            stats.cpu_s * 1000.0,
-            shard=stats.shard,
-            worker=stats.worker,
-            io_ms=stats.io_ms,
-            tuples=stats.tuples,
-        )
         registry.histogram(
             "repro_parallel_shard_scan_ms",
             labels={"engine": engine_name, "worker": stats.worker},
@@ -869,6 +999,20 @@ def _emit_parallel_obs(
         labels=labels,
         help="CPU time merging shard-local pools into the global pool.",
     ).observe(run.merge_cpu_s * 1000.0)
+
+
+def _shard_rows(run: _RunResult) -> List[dict]:
+    """Per-shard attribution rows for the EXPLAIN ANALYZE artifact."""
+    return [
+        {
+            "shard": stats.shard,
+            "worker": stats.worker,
+            "tuples": stats.tuples,
+            "io_ms": stats.io_ms,
+            "cpu_ms": stats.cpu_s * 1000.0,
+        }
+        for stats in run.shard_stats
+    ]
 
 
 def _fill_report(report: ParallelSearchReport, run: _RunResult) -> None:
@@ -939,6 +1083,9 @@ def parallel_search(
             skip_exact=engine.skip_exact,
             kernel=getattr(engine, "kernel", "scalar"),
             fail_mode=getattr(engine, "fail_mode", "raise"),
+            tracer=tracer,
+            parent_span=span,
+            profile=getattr(engine, "profile", False),
         )
         report.tuples_scanned = run.tuples_scanned
         report.exact_shortcuts = run.exact_shortcuts[0]
@@ -948,6 +1095,21 @@ def parallel_search(
             QueryResult(tid=entry.tid, distance=entry.distance)
             for entry in run.pools[0].results()
         ]
+        if run.profiles is not None:
+            report.profile = run.profiles[0].build(
+                report,
+                query=query,
+                index=engine.index,
+                engine=engine.name,
+                kernel=getattr(engine, "kernel", "scalar"),
+                fail_mode=getattr(engine, "fail_mode", "raise"),
+                metric=getattr(dist.metric, "name", ""),
+                k=k,
+                parallel=True,
+                workers=run.workers,
+                shards=run.shards,
+                shard_rows=_shard_rows(run),
+            )
         _emit_parallel_obs(registry, tracer, engine.name, run)
         trace_phases(tracer, span, report)
         span.attrs["workers"] = run.workers
@@ -991,6 +1153,9 @@ def parallel_search_batch(
             skip_exact=True,
             kernel=getattr(batch_engine, "kernel", "scalar"),
             fail_mode=getattr(batch_engine, "fail_mode", "raise"),
+            tracer=tracer,
+            parent_span=span,
+            profile=getattr(batch_engine, "profile", False),
         )
         reports: List[SearchReport] = []
         for qi, pool in enumerate(run.pools):
@@ -1011,6 +1176,21 @@ def parallel_search_batch(
                 QueryResult(tid=entry.tid, distance=entry.distance)
                 for entry in pool.results()
             ]
+            if run.profiles is not None:
+                report.profile = run.profiles[qi].build(
+                    report,
+                    query=queries[qi],
+                    index=batch_engine.index,
+                    engine=batch_engine.name,
+                    kernel=getattr(batch_engine, "kernel", "scalar"),
+                    fail_mode=getattr(batch_engine, "fail_mode", "raise"),
+                    metric=getattr(dist.metric, "name", ""),
+                    k=k,
+                    parallel=True,
+                    workers=run.workers,
+                    shards=run.shards,
+                    shard_rows=_shard_rows(run) if qi == 0 else None,
+                )
             reports.append(report)
         _emit_parallel_obs(registry, tracer, batch_engine.name, run)
         span.attrs["workers"] = run.workers

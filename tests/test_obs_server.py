@@ -1,0 +1,197 @@
+"""The live observability endpoint: routing, ring buffer, concurrency.
+
+The acceptance bar is that ``/metrics`` serves *valid Prometheus text
+while a workload is actively running* — the registry is mutated from
+worker threads mid-scrape and the exposition must still parse.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.engine import IVAEngine
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.data.workload import WorkloadGenerator
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    ObsServer,
+    SpanRingBuffer,
+    TeeSink,
+)
+from repro.obs.trace import Span, Tracer
+
+METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+def assert_valid_prometheus(text: str) -> int:
+    """Line-by-line exposition check; returns the number of sample lines."""
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert METRIC_LINE.match(line), f"bad exposition line: {line!r}"
+        samples += 1
+    return samples
+
+
+@pytest.fixture
+def server():
+    registry = MetricsRegistry()
+    registry.counter("repro_test_requests_total", help="A test counter.").inc(7)
+    srv = ObsServer(port=0, registry=registry).start()
+    yield srv
+    srv.close()
+
+
+class TestRouting:
+    def test_metrics_is_valid_prometheus(self, server):
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert assert_valid_prometheus(body) >= 1
+        assert "repro_test_requests_total 7" in body
+
+    def test_metrics_json_round_trips(self, server):
+        status, ctype, body = _get(server.url + "/metrics.json")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        snapshot = json.loads(body)
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "repro_test_requests_total" in names
+
+    def test_healthz(self, server):
+        status, _ctype, body = _get(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+        assert payload["requests_served"] >= 1
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+        assert "/metrics" in excinfo.value.read().decode()
+
+    def test_bad_limit_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/traces/recent?limit=banana")
+        assert excinfo.value.code == 400
+
+    def test_requests_counted(self, server):
+        before = server.requests_served
+        _get(server.url + "/healthz")
+        _get(server.url + "/healthz")
+        assert server.requests_served == before + 2
+        # The live process registry carries the per-path counter.
+        counter = get_registry().counter(
+            "repro_obs_http_requests_total", labels={"path": "/healthz"}
+        )
+        assert counter.value >= 2
+
+
+class TestTraces:
+    def test_ring_serves_recent_spans(self, server):
+        tracer = Tracer(sink=server.ring)
+        for i in range(3):
+            with tracer.span("query", k=i):
+                pass
+        _status, _ctype, body = _get(server.url + "/traces/recent?limit=2")
+        spans = json.loads(body)["spans"]
+        assert len(spans) == 2
+        # Newest first.
+        assert spans[0]["attrs"]["k"] == 2
+        assert spans[1]["attrs"]["k"] == 1
+
+    def test_ring_capacity_evicts_oldest(self):
+        ring = SpanRingBuffer(capacity=2)
+        tracer = Tracer(sink=ring)
+        for i in range(5):
+            with tracer.span("query", seq=i):
+                pass
+        assert len(ring) == 2
+        assert ring.spans_written == 5
+        assert [s["attrs"]["seq"] for s in ring.recent()] == [4, 3]
+
+    def test_ring_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRingBuffer(capacity=0)
+
+    def test_tee_sink_fans_out(self):
+        ring_a = SpanRingBuffer(capacity=4)
+        ring_b = SpanRingBuffer(capacity=4)
+        tee = TeeSink(ring_a, ring_b, None)
+        tracer = Tracer(sink=tee)
+        with tracer.span("query"):
+            pass
+        tee.close()
+        assert len(ring_a) == 1
+        assert len(ring_b) == 1
+        assert tee.spans_written == 1
+
+
+class TestProviderMode:
+    def test_registry_provider_called_per_request(self, tmp_path):
+        calls = []
+
+        def provider():
+            registry = MetricsRegistry()
+            registry.gauge("repro_sidecar_reads", help="x").set(len(calls))
+            calls.append(1)
+            return registry
+
+        with ObsServer(port=0, registry_provider=provider).start() as srv:
+            _get(srv.url + "/metrics")
+            _get(srv.url + "/metrics")
+            assert len(calls) == 2
+
+
+class TestLiveWorkload:
+    def test_metrics_valid_while_workload_runs(self, small_dataset):
+        """Scrape /metrics repeatedly while queries mutate the registry."""
+        index = IVAFile.build(small_dataset, IVAConfig(name="obs_live"))
+        registry = get_registry()
+        engine = IVAEngine(small_dataset, index)
+        workload = WorkloadGenerator(small_dataset, seed=53)
+        queries = [workload.sample_query(2) for _ in range(12)]
+        stop = threading.Event()
+        errors = []
+
+        def run_queries():
+            try:
+                while not stop.is_set():
+                    for query in queries:
+                        engine.search(query, k=5)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        worker = threading.Thread(target=run_queries, daemon=True)
+        with ObsServer(port=0, registry=registry).start() as srv:
+            worker.start()
+            try:
+                for _ in range(10):
+                    status, ctype, body = _get(srv.url + "/metrics")
+                    assert status == 200
+                    assert ctype == PROMETHEUS_CONTENT_TYPE
+                    assert assert_valid_prometheus(body) > 0
+                    assert "repro_queries_total" in body
+            finally:
+                stop.set()
+                worker.join(timeout=10)
+        assert not errors

@@ -11,6 +11,7 @@ from repro.obs.trace import (
     SLOW_QUERY_LOGGER,
     JsonlSpanSink,
     SlowQueryLog,
+    Span,
     Tracer,
     get_tracer,
     set_tracer,
@@ -154,3 +155,147 @@ class TestGlobalTracer:
         finally:
             set_tracer(previous)
         assert get_tracer() is previous
+
+
+class TestStackHygiene:
+    """An exception inside a traced region must not poison later traces."""
+
+    def test_failed_then_successful_query_trace_is_clean(self, registry):
+        sink = _ListSink()
+        tracer = Tracer(registry=registry, sink=sink)
+        with pytest.raises(ValueError):
+            with tracer.span("query", attempt=1):
+                with tracer.span("filter"):
+                    raise ValueError("disk exploded")
+        # The stack fully unwound: nothing dangling.
+        assert tracer.current() is None
+        # A subsequent query produces a correctly nested, error-free tree.
+        with tracer.span("query", attempt=2):
+            with tracer.span("filter"):
+                pass
+            with tracer.span("refine"):
+                pass
+        assert len(sink.spans) == 2
+        failed, ok = sink.spans
+        assert failed.attrs["attempt"] == 1
+        assert failed.attrs["error"] == "ValueError"
+        assert [c.name for c in failed.children] == ["filter"]
+        assert failed.children[0].attrs["error"] == "ValueError"
+        assert ok.attrs["attempt"] == 2
+        assert "error" not in ok.attrs
+        assert [c.name for c in ok.children] == ["filter", "refine"]
+        assert all(not c.children for c in ok.children)
+
+    def test_error_attr_names_exception_type(self, registry):
+        tracer = Tracer(registry=registry)
+        with pytest.raises(KeyError):
+            with tracer.span("query") as span:
+                raise KeyError("missing")
+        assert span.attrs["error"] == "KeyError"
+
+    def test_explicit_error_attr_wins(self, registry):
+        tracer = Tracer(registry=registry)
+        with pytest.raises(RuntimeError):
+            with tracer.span("query") as span:
+                span.attrs["error"] = "custom"
+                raise RuntimeError("boom")
+        assert span.attrs["error"] == "custom"
+
+    def test_out_of_order_exit_unwinds_abandoned_children(self, registry):
+        """Closing a parent with a live inner span adopts it, flagged."""
+        tracer = Tracer(registry=registry)
+        outer = tracer.span("query")
+        inner = tracer.span("filter")
+        outer_span = outer.__enter__()
+        inner_span = inner.__enter__()
+        # Close the *outer* guard first — the inner span is abandoned.
+        outer.__exit__(None, None, None)
+        assert tracer.current() is None
+        assert [c.name for c in outer_span.children] == ["filter"]
+        assert outer_span.children[0].attrs["abandoned"] is True
+        assert inner_span.duration_ms is not None
+
+    def test_closing_unknown_span_raises(self, registry):
+        tracer = Tracer(registry=registry)
+        guard = tracer.span("query")
+        guard.__enter__()
+        tracer._exit(tracer.current())
+        with pytest.raises(RuntimeError, match="out of order"):
+            guard.__exit__(None, None, None)
+
+
+class TestAttach:
+    """Borrowing a foreign parent span onto another thread's stack."""
+
+    def test_attach_nests_under_parent(self, registry):
+        tracer = Tracer(registry=registry)
+        with tracer.span("query") as root:
+            captured = root
+        # Simulate a worker thread adopting the (unfinished) parent.
+        parent = Span(name="query")
+        with tracer.attach(parent):
+            with tracer.span("parallel.shard_scan", shard=0):
+                pass
+        assert [c.name for c in parent.children] == ["parallel.shard_scan"]
+        # The borrowed parent was popped, not finished: no root emitted
+        # for it beyond the original query above.
+        hist = registry.histogram("repro_span_duration_ms", labels={"span": "query"})
+        assert hist.count == 1
+        assert captured.duration_ms is not None
+
+    def test_attach_none_is_noop(self, registry):
+        tracer = Tracer(registry=registry)
+        with tracer.attach(None):
+            with tracer.span("query"):
+                pass
+        assert tracer.current() is None
+
+    def test_attach_unwinds_abandoned_spans(self, registry):
+        tracer = Tracer(registry=registry)
+        parent = Span(name="query")
+        guard = tracer.attach(parent)
+        guard.__enter__()
+        tracer.span("parallel.shard_scan").__enter__()  # never exited
+        guard.__exit__(None, None, None)
+        assert tracer.current() is None
+        assert [c.name for c in parent.children] == ["parallel.shard_scan"]
+        assert parent.children[0].attrs["abandoned"] is True
+
+    def test_attach_keeps_thread_stacks_independent(self, registry):
+        import threading
+
+        tracer = Tracer(registry=registry)
+        parent = Span(name="query")
+        errors = []
+
+        def worker(index):
+            try:
+                with tracer.attach(parent):
+                    with tracer.span("parallel.shard_scan", shard=index):
+                        pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(parent.children) == 4
+        assert {c.attrs["shard"] for c in parent.children} == {0, 1, 2, 3}
+
+
+class _ListSink:
+    def __init__(self):
+        self.spans = []
+        self.spans_written = 0
+
+    def write(self, span):
+        self.spans.append(span)
+        self.spans_written += 1
+
+    def close(self):
+        pass

@@ -326,3 +326,117 @@ class TestShardPlanner:
         index.delete(next(iter(index.tuples.element_tids())))
         plan2 = planner.plan((0, 1), 4)
         assert plan2 is not plan1
+
+
+class _ListSink:
+    def __init__(self):
+        self.spans = []
+        self.spans_written = 0
+
+    def write(self, span):
+        self.spans.append(span)
+        self.spans_written += 1
+
+    def close(self):
+        pass
+
+
+class TestSpanNesting:
+    """Regression: shard workers must not emit orphan root spans.
+
+    Workers borrow the query root via ``Tracer.attach``, so a parallel
+    search produces exactly ONE root span with the per-shard
+    ``parallel.shard_scan`` spans nested inside it — not one orphan
+    root per worker thread.
+    """
+
+    def test_parallel_search_writes_single_root(self, indexed, queries):
+        from repro.obs.trace import Tracer
+
+        table, index = indexed
+        sink = _ListSink()
+        engine = IVAEngine(
+            table,
+            index,
+            tracer=Tracer(registry=MetricsRegistry(), sink=sink),
+            executor=ExecutorConfig(workers=3),
+        )
+        report = engine.search(queries[0], k=10)
+        assert isinstance(report, ParallelSearchReport)
+        assert sink.spans_written == 1
+        root = sink.spans[0]
+        assert root.name == "query"
+        assert root.attrs["parallel"] is True
+        shard_spans = [
+            c for c in root.children if c.name == "parallel.shard_scan"
+        ]
+        assert len(shard_spans) == report.shards
+        assert {s.attrs["shard"] for s in shard_spans} == set(
+            range(report.shards)
+        )
+        for span in shard_spans:
+            assert span.duration_ms is not None
+            assert span.attrs["tuples"] >= 0
+            assert "worker" in span.attrs
+        # The live shard spans' tuple counts reconcile with the report.
+        assert (
+            sum(s.attrs["tuples"] for s in shard_spans)
+            == report.tuples_scanned
+        )
+        # The synthetic phase children and the merge span are still there.
+        names = {c.name for c in root.children}
+        assert {"filter", "refine", "parallel.merge"} <= names
+
+    def test_worker_disk_reads_nest_under_query_root(self, queries):
+        """A traced disk puts worker-side I/O spans inside shard spans."""
+        from repro.obs.trace import Tracer
+
+        disk = SimulatedDisk()
+        table = SparseWideTable(disk)
+        DatasetGenerator(DatasetConfig(num_tuples=200, num_attributes=30, seed=23)).populate(table)
+        index = IVAFile.build(table, IVAConfig(name="par_trace"))
+        sink = _ListSink()
+        tracer = Tracer(registry=MetricsRegistry(), sink=sink)
+        workload = WorkloadGenerator(table, seed=61)
+        query = workload.sample_query(2)  # reads the table; sample untraced
+        disk.tracer = tracer
+        try:
+            engine = IVAEngine(
+                table, index, tracer=tracer, executor=ExecutorConfig(workers=3)
+            )
+            engine.search(query, k=5)
+        finally:
+            disk.tracer = None
+        assert sink.spans_written == 1
+        root = sink.spans[0]
+
+        def walk(span):
+            yield span
+            for child in span.children:
+                yield from walk(child)
+
+        everything = list(walk(root))
+        disk_reads = [s for s in everything if s.name == "disk.read"]
+        assert disk_reads, "traced disk produced no spans"
+        # Every disk.read landed inside the tree, none as a root.
+        assert all(s is root or s.name != "query" for s in everything)
+
+    def test_batch_parallel_single_root(self, indexed, queries):
+        from repro.obs.trace import Tracer
+
+        table, index = indexed
+        sink = _ListSink()
+        engine = BatchIVAEngine(
+            table,
+            index,
+            tracer=Tracer(registry=MetricsRegistry(), sink=sink),
+            executor=ExecutorConfig(workers=3),
+        )
+        engine.search_batch(queries[:3], k=10)
+        assert sink.spans_written == 1
+        root = sink.spans[0]
+        assert root.name == "query_batch"
+        shard_spans = [
+            c for c in root.children if c.name == "parallel.shard_scan"
+        ]
+        assert shard_spans

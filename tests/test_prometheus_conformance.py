@@ -1,0 +1,241 @@
+"""Prometheus text-exposition conformance for ``render_prometheus``.
+
+A scraper is the one consumer we cannot patch, so the exporter is held
+to the format spec line by line: HELP/TYPE headers once per family,
+cumulative ``_bucket`` series ending at ``+Inf``, ``_sum``/``_count``
+agreement, label escaping of backslash/quote/newline, and numbers that
+Python and Prometheus both parse.  A property-style suite drives the
+same checks over randomly generated registries.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import (
+    _escape_label_value,
+    load_snapshot,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str):
+    """Parse the exposition line by line; asserts structural conformance.
+
+    Returns ``(types, samples)`` where *types* maps family name to its
+    declared TYPE and *samples* is ``[(name, labels-dict, value-str)]``.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types = {}
+    helped = set()
+    samples = []
+    # The format's line separator is LF alone; splitlines() would also
+    # split on \r/\x85/ , which are legal *inside* label values.
+    for line in text[:-1].split("\n"):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            assert NAME_RE.match(name)
+            assert name not in helped, f"duplicate HELP for {name}"
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert NAME_RE.match(name)
+            assert kind in ("counter", "gauge", "histogram")
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        labels = {}
+        blob = match.group("labels")
+        if blob is not None:
+            rebuilt = ",".join(
+                f'{key}="{value}"' for key, value in LABEL_RE.findall(blob)
+            )
+            assert rebuilt == blob, f"malformed label blob: {blob!r}"
+            for key, value in LABEL_RE.findall(blob):
+                labels[key] = value
+        samples.append((match.group("name"), labels, match.group("value")))
+    for name, _labels, _value in samples:
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in types or family in types, f"sample {name} missing TYPE"
+    return types, samples
+
+
+def _value(raw: str) -> float:
+    return float(raw.replace("Inf", "inf"))
+
+
+def check_histogram_series(samples, family, labels=()):
+    """Bucket monotonicity, +Inf terminal, _count agreement for one series."""
+    want = dict(labels)
+    buckets = [
+        (s[1].get("le"), _value(s[2]))
+        for s in samples
+        if s[0] == f"{family}_bucket"
+        and {k: v for k, v in s[1].items() if k != "le"} == want
+    ]
+    counts = [
+        _value(s[2]) for s in samples if s[0] == f"{family}_count" and s[1] == want
+    ]
+    assert buckets, f"no buckets for {family}{want}"
+    assert len(counts) == 1
+    assert buckets[-1][0] == "+Inf"
+    bounds = [_value(le) for le, _c in buckets]
+    assert bounds == sorted(bounds), "bucket bounds must ascend"
+    series = [c for _le, c in buckets]
+    assert all(a <= b for a, b in zip(series, series[1:])), "buckets cumulative"
+    assert series[-1] == counts[0], "_bucket{+Inf} must equal _count"
+
+
+class TestFixedCases:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", labels={"engine": "iVA"}, help="c").inc(3)
+        registry.gauge("repro_g", help="g").set(2.5)
+        types, samples = parse_exposition(render_prometheus(registry))
+        assert types == {"repro_c_total": "counter", "repro_g": "gauge"}
+        assert ("repro_c_total", {"engine": "iVA"}, "3") in samples
+        assert ("repro_g", {}, "2.5") in samples
+
+    def test_histogram_series(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_h_ms", help="h", buckets=(1.0, 10.0, 100.0)
+        )
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        types, samples = parse_exposition(render_prometheus(registry))
+        assert types["repro_h_ms"] == "histogram"
+        check_histogram_series(samples, "repro_h_ms")
+        sums = [s for s in samples if s[0] == "repro_h_ms_sum"]
+        assert len(sums) == 1
+        assert _value(sums[0][2]) == pytest.approx(555.5)
+
+    def test_headers_once_per_family_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", labels={"engine": "a"}, help="c").inc()
+        registry.counter("repro_c_total", labels={"engine": "b"}, help="c").inc(2)
+        text = render_prometheus(registry)
+        assert text.count("# TYPE repro_c_total counter") == 1
+        assert text.count("# HELP repro_c_total") == 1
+        _types, samples = parse_exposition(text)
+        assert len([s for s in samples if s[0] == "repro_c_total"]) == 2
+
+    @pytest.mark.parametrize(
+        "raw,escaped",
+        [
+            ('say "hi"', 'say \\"hi\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("line\nbreak", "line\\nbreak"),
+            ("both\\\"\n", 'both\\\\\\"\\n'),
+        ],
+    )
+    def test_label_escaping(self, raw, escaped):
+        assert _escape_label_value(raw) == escaped
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", labels={"path": raw}, help="c").inc()
+        text = render_prometheus(registry)
+        assert f'path="{escaped}"' in text
+        parse_exposition(text)  # and the result still parses
+
+    def test_special_numbers(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_inf", help="x").set(math.inf)
+        registry.gauge("repro_ninf", help="x").set(-math.inf)
+        registry.gauge("repro_nan", help="x").set(math.nan)
+        _types, samples = parse_exposition(render_prometheus(registry))
+        values = {name: value for name, _l, value in samples}
+        assert values["repro_inf"] == "+Inf"
+        assert values["repro_ninf"] == "-Inf"
+        assert values["repro_nan"] == "NaN"
+
+
+# ----------------------------------------------------------- property-style
+
+label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs",), max_codepoint=0x2FF
+    ),
+    max_size=12,
+)
+metric_suffixes = st.text(alphabet="abcdefgh_", min_size=1, max_size=8)
+
+
+@st.composite
+def registries(draw):
+    """A random registry: counters, gauges and histograms, random labels."""
+    registry = MetricsRegistry()
+    for i in range(draw(st.integers(0, 4))):
+        name = f"repro_c{i}_{draw(metric_suffixes)}_total"
+        labels = {"engine": draw(label_values)}
+        value = draw(st.floats(0, 1e9, allow_nan=False))
+        registry.counter(name, labels=labels, help="c").inc(value)
+    for i in range(draw(st.integers(0, 4))):
+        name = f"repro_g{i}_{draw(metric_suffixes)}"
+        value = draw(st.floats(allow_nan=False, allow_infinity=False))
+        registry.gauge(name, help="g").set(value)
+    for i in range(draw(st.integers(0, 3))):
+        name = f"repro_h{i}_{draw(metric_suffixes)}_ms"
+        bounds = sorted(
+            draw(
+                st.sets(
+                    st.floats(0.001, 1e6, allow_nan=False), min_size=1, max_size=6
+                )
+            )
+        )
+        hist = registry.histogram(
+            name, labels={"w": draw(label_values)}, help="h", buckets=bounds
+        )
+        for _ in range(draw(st.integers(0, 12))):
+            hist.observe(draw(st.floats(0, 1e7, allow_nan=False)))
+    return registry
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries())
+def test_random_registry_renders_conformant_text(registry):
+    text = render_prometheus(registry)
+    types, samples = parse_exposition(text)
+    # Every declared histogram family exposes a conformant bucket series
+    # per label set.
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        label_sets = {
+            tuple(sorted(s[1].items()))
+            for s in samples
+            if s[0] == f"{name}_count"
+        }
+        for labels in label_sets:
+            check_histogram_series(samples, name, labels)
+
+
+@settings(max_examples=40, deadline=None)
+@given(registries())
+def test_snapshot_round_trip_preserves_exposition(registry):
+    """JSON snapshot -> from_snapshot must re-render identical text."""
+    restored = load_snapshot({
+        key: value
+        for key, value in __import__("json").loads(render_json(registry)).items()
+    })
+    assert render_prometheus(restored) == render_prometheus(registry)

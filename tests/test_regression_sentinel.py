@@ -1,0 +1,152 @@
+"""The perf-regression sentinel: flattening, bands, exit codes.
+
+The acceptance bar: a synthetic 30% counter regression must exit
+non-zero, and the committed baseline must pass against itself.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "check_bench_regression.py")
+BASELINE = os.path.join(
+    REPO_ROOT, "bench_results", "baselines", "smoke_bench.json"
+)
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+sentinel = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(sentinel)
+
+
+SNAPSHOT = {
+    "counters": [
+        {"name": "repro_queries_total", "labels": {"engine": "iVA"}, "value": 9},
+        {"name": "repro_table_accesses_total", "labels": {"engine": "iVA"}, "value": 100},
+    ],
+    "gauges": [
+        {"name": "repro_disk_io_time_ms", "labels": {"disk": "a"}, "value": 50.0},
+    ],
+    "histograms": [
+        {"name": "repro_query_time_ms", "labels": {"engine": "iVA"}, "count": 9, "sum": 123.4},
+    ],
+}
+
+
+class TestFlatten:
+    def test_keys_and_values(self):
+        flat = sentinel.flatten(SNAPSHOT)
+        assert flat["counter:repro_queries_total{engine=iVA}"] == 9
+        assert flat["gauge:repro_disk_io_time_ms{disk=a}"] == 50.0
+        assert flat["histogram:repro_query_time_ms{engine=iVA}:count"] == 9
+        # Histogram sums (wall-clock noise) are deliberately dropped.
+        assert not any("sum" in key for key in flat)
+
+    def test_label_order_is_canonical(self):
+        a = sentinel.flatten(
+            {"counters": [{"name": "x", "labels": {"b": 2, "a": 1}, "value": 1}]}
+        )
+        b = sentinel.flatten(
+            {"counters": [{"name": "x", "labels": {"a": 1, "b": 2}, "value": 1}]}
+        )
+        assert a.keys() == b.keys()
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        flat = sentinel.flatten(SNAPSHOT)
+        assert sentinel.compare(flat, dict(flat)) == []
+
+    def test_counter_drift_fails_exactly(self):
+        base = sentinel.flatten(SNAPSHOT)
+        cur = dict(base)
+        cur["counter:repro_table_accesses_total{engine=iVA}"] += 1
+        problems = sentinel.compare(cur, base)
+        assert len(problems) == 1
+        assert "repro_table_accesses_total" in problems[0]
+
+    def test_gauge_within_band_passes(self):
+        base = sentinel.flatten(SNAPSHOT)
+        cur = dict(base)
+        cur["gauge:repro_disk_io_time_ms{disk=a}"] *= 1.04
+        assert sentinel.compare(cur, base) == []
+
+    def test_gauge_outside_band_fails_symmetrically(self):
+        base = sentinel.flatten(SNAPSHOT)
+        for factor in (1.30, 0.70):  # regression AND "improvement"
+            cur = dict(base)
+            cur["gauge:repro_disk_io_time_ms{disk=a}"] *= factor
+            problems = sentinel.compare(cur, base)
+            assert len(problems) == 1, factor
+
+    def test_missing_and_new_metrics_fail(self):
+        base = sentinel.flatten(SNAPSHOT)
+        cur = dict(base)
+        cur.pop("counter:repro_queries_total{engine=iVA}")
+        cur["counter:repro_new_total"] = 1.0
+        problems = sentinel.compare(cur, base)
+        assert any("disappeared" in p for p in problems)
+        assert any("new metric" in p for p in problems)
+
+
+class TestProcess:
+    """Drive the script as `make smoke` does: a subprocess, exit codes."""
+
+    def _run(self, *argv):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        return subprocess.run(
+            [sys.executable, SCRIPT, *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    def test_synthetic_30_percent_regression_exits_nonzero(self, tmp_path):
+        with open(BASELINE, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressed = copy.deepcopy(baseline)
+        bumped = 0
+        for counter in regressed["counters"]:
+            if counter["name"] == "repro_table_accesses_total":
+                counter["value"] = int(counter["value"] * 1.3)
+                bumped += 1
+        assert bumped, "baseline lost its table-accesses counter"
+        sidecar = tmp_path / "regressed.json"
+        sidecar.write_text(json.dumps(regressed))
+        result = self._run("--sidecar", str(sidecar), "--baseline", BASELINE)
+        assert result.returncode == 1
+        assert "repro_table_accesses_total" in result.stderr
+        assert "--update" in result.stderr
+
+    def test_committed_baseline_passes_against_itself(self):
+        result = self._run("--sidecar", BASELINE, "--baseline", BASELINE)
+        assert result.returncode == 0, result.stderr
+        assert "regression sentinel OK" in result.stdout
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        result = self._run(
+            "--sidecar", BASELINE, "--baseline", str(tmp_path / "none.json")
+        )
+        assert result.returncode == 2
+        assert "--update" in result.stderr
+
+    def test_update_writes_baseline(self, tmp_path):
+        target = tmp_path / "sub" / "new_baseline.json"
+        # --update with --sidecar is rejected; --update re-runs the bench,
+        # which is the slow path — exercise only the argument guard here.
+        result = self._run("--sidecar", BASELINE, "--baseline", str(target), "--update")
+        assert result.returncode == 2
+
+    @pytest.mark.slow
+    def test_live_smoke_bench_matches_committed_baseline(self):
+        """The real gate: re-run the bench, compare the committed baseline."""
+        result = self._run()
+        assert result.returncode == 0, result.stdout + result.stderr

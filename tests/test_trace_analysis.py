@@ -1,0 +1,141 @@
+"""``repro trace analyze``: JSONL loading, aggregation, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import IVAEngine
+from repro.core.iva_file import IVAConfig, IVAFile
+from repro.data.workload import WorkloadGenerator
+from repro.obs.trace import JsonlSpanSink, Tracer
+from repro.obs.trace_analysis import (
+    analyze_file,
+    analyze_spans,
+    format_analysis,
+    load_spans,
+    walk,
+)
+
+
+def _root(name="query", duration=10.0, children=(), **attrs):
+    return {
+        "name": name,
+        "duration_ms": duration,
+        "attrs": attrs,
+        "children": list(children),
+    }
+
+
+class TestLoad:
+    def test_loads_jsonl_skipping_blanks(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            json.dumps(_root(duration=5.0)) + "\n\n" + json.dumps(_root()) + "\n"
+        )
+        spans = load_spans(str(path))
+        assert len(spans) == 2
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(_root()) + "\n{nope\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_spans(str(path))
+
+    def test_non_span_object_rejected(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"no_name": 1}\n')
+        with pytest.raises(ValueError, match="not a span object"):
+            load_spans(str(path))
+
+
+class TestAnalyze:
+    def test_walk_is_preorder(self):
+        tree = _root(
+            children=[
+                _root(name="filter", duration=6.0),
+                _root(name="refine", duration=3.0),
+            ]
+        )
+        names = [span["name"] for span, _depth in walk(tree)]
+        assert names == ["query", "filter", "refine"]
+
+    def test_aggregates_all_depths(self):
+        roots = [
+            _root(
+                duration=10.0,
+                modeled_ms=9.0,
+                children=[
+                    _root(name="filter", duration=6.0, io_ms=4.0),
+                    _root(name="refine", duration=3.0, io_ms=1.5),
+                ],
+            ),
+            _root(
+                duration=20.0,
+                modeled_ms=18.0,
+                children=[_root(name="filter", duration=12.0, io_ms=8.0)],
+            ),
+        ]
+        analysis = analyze_spans(roots)
+        assert analysis.roots == 2
+        assert analysis.spans == 5
+        assert analysis.by_name["query"].count == 2
+        assert analysis.by_name["filter"].total_ms == pytest.approx(18.0)
+        assert analysis.by_name["filter"].mean_ms == pytest.approx(9.0)
+        assert analysis.modeled_ms == [9.0, 18.0]
+        assert analysis.filter_io_ms == pytest.approx(12.0)
+        assert analysis.refine_io_ms == pytest.approx(1.5)
+
+    def test_slowest_ranked_and_limited(self):
+        roots = [_root(duration=float(i)) for i in range(10)]
+        analysis = analyze_spans(roots, slowest=3)
+        assert [d for d, _n, _a in analysis.slowest] == [9.0, 8.0, 7.0]
+
+    def test_percentiles(self):
+        roots = [_root(duration=float(i)) for i in range(1, 101)]
+        stats = analyze_spans(roots).by_name["query"]
+        assert stats.pct(50) == pytest.approx(50.5)
+        assert stats.pct(99) >= 99.0
+
+
+class TestFormat:
+    def test_report_sections(self):
+        roots = [
+            _root(
+                duration=10.0,
+                modeled_ms=9.0,
+                children=[_root(name="filter", duration=6.0, io_ms=4.0)],
+            )
+        ]
+        text = format_analysis(analyze_spans(roots))
+        assert "1 root span(s), 2 span(s) total" in text
+        assert "per-span durations" in text
+        assert "modeled query time" in text
+        assert "slowest root spans" in text
+
+    def test_empty_file_renders(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = format_analysis(analyze_file(str(path)))
+        assert "0 root span(s)" in text
+
+
+class TestEndToEnd:
+    def test_real_trace_round_trips(self, small_dataset, tmp_path):
+        index = IVAFile.build(small_dataset, IVAConfig(name="ta"))
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSpanSink(str(path))
+        engine = IVAEngine(small_dataset, index, tracer=Tracer(sink=sink))
+        workload = WorkloadGenerator(small_dataset, seed=29)
+        for _ in range(5):
+            engine.search(workload.sample_query(2), k=5)
+        sink.close()
+        analysis = analyze_file(str(path))
+        assert analysis.roots == 5
+        assert analysis.by_name["query"].count == 5
+        assert analysis.by_name["filter"].count == 5
+        assert analysis.by_name["refine"].count == 5
+        assert len(analysis.modeled_ms) == 5
+        text = format_analysis(analysis)
+        assert "query" in text and "filter" in text
