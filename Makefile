@@ -17,7 +17,9 @@ check-docs:
 # kernel cross-check (block filter == scalar filter on every path), a
 # chaos cross-check (injected faults never produce silently-wrong answers),
 # the perf-regression sentinel (deterministic bench counters vs. committed
-# baselines), and the obs-catalog gate (emitted metric/span names == docs).
+# baselines), the obs-catalog gate (emitted metric/span names == docs), and
+# the serving gate (daemon boot + query/cache/compact/deadline round-trip
+# over real HTTP).
 smoke: check-docs
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/check_bench_metrics.py
@@ -26,6 +28,7 @@ smoke: check-docs
 	PYTHONPATH=src python scripts/check_chaos_smoke.py
 	PYTHONPATH=src python scripts/check_bench_regression.py
 	PYTHONPATH=src python scripts/check_obs_catalog.py
+	PYTHONPATH=src python scripts/check_serve_smoke.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -323,6 +323,45 @@ def _build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--ring", type=int, default=512,
                      help="span ring-buffer capacity behind /traces/recent")
 
+    from repro.core.kernel import KERNEL_MODES
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on query daemon over a snapshot"
+    )
+    serve.add_argument("--snapshot", required=True, help="snapshot file to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9470,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--name", default="iva", help="index name inside the snapshot")
+    serve.add_argument("--metric", default="L2", choices=["L1", "L2", "Linf"])
+    serve.add_argument("--ndf-penalty", type=float, default=20.0)
+    serve.add_argument("--kernel", choices=list(KERNEL_MODES), default="block",
+                       help="filter kernel for served queries (default: block, "
+                       "so the per-generation kernel cache is effective)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard served scans across N worker threads "
+                       "(0/1 = sequential)")
+    serve.add_argument("--max-concurrency", type=int, default=8,
+                       help="queries executing at once before queueing")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="queued queries before 429 rejection")
+    serve.add_argument("--queue-timeout-ms", type=float, default=2000.0,
+                       help="max wait for an execution slot before 429")
+    serve.add_argument("--cache-entries", type=int, default=128,
+                       help="result-cache capacity (0 disables result caching)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-query deadline budget (degraded "
+                       "partial answers past it); requests may override")
+    serve.add_argument("--beta", type=float, default=None,
+                       help="deleted-fraction threshold that triggers "
+                       "background compaction (paper Sec. IV-B); unset "
+                       "means compaction only via POST /admin/compact")
+    serve.add_argument("--ring", type=int, default=512,
+                       help="span ring-buffer capacity behind /traces/recent")
+    serve.add_argument("--save-on-exit", action="store_true",
+                       help="write the served state back to the snapshot "
+                       "file on shutdown")
+
     trace = sub.add_parser(
         "trace", help="aggregate a JSONL span file into latency tables"
     )
@@ -853,6 +892,58 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.server import SpanRingBuffer
+    from repro.obs.trace import get_tracer
+    from repro.serve import AdmissionController, QueryDaemon, ResultCache, SnapshotManager
+
+    if args.queue_timeout_ms <= 0:
+        raise ReproError("--queue-timeout-ms must be positive")
+    disk, table, index = _open(args)
+    manager = SnapshotManager(disk, table, index)
+    ring = SpanRingBuffer(capacity=args.ring)
+    get_tracer().sink = ring
+    admission = AdmissionController(
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        queue_timeout_s=args.queue_timeout_ms / 1000.0,
+    )
+    try:
+        daemon = QueryDaemon(
+            manager,
+            host=args.host,
+            port=args.port,
+            kernel=args.kernel,
+            metric=args.metric,
+            ndf_penalty=args.ndf_penalty,
+            workers=args.workers,
+            deadline_ms=args.deadline_ms,
+            beta=args.beta,
+            admission=admission,
+            result_cache=ResultCache(capacity=args.cache_entries),
+            ring=ring,
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}")
+    print(f"serving snapshot {args.snapshot!r} (index {args.name!r}) at {daemon.url}")
+    print(
+        "endpoints: POST /query /query/batch /admin/insert /admin/delete "
+        "/admin/update /admin/compact /admin/drain"
+    )
+    print("           GET  /metrics /metrics.json /healthz /traces/recent")
+    print("press Ctrl-C to stop")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        daemon.close()
+        if args.save_on_exit:
+            written = save_disk(manager.current.disk, args.snapshot)
+            print(f"saved served state back to {args.snapshot} ({written} bytes)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.trace_analysis import analyze_file, format_analysis
 
@@ -883,6 +974,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "stats": _cmd_stats,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -29,7 +29,7 @@ from repro.core.kernel import (
 )
 from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
-from repro.errors import QueryError
+from repro.errors import DeadlineExceeded, QueryError, ReproError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.profile import ProfileCollector
@@ -61,10 +61,20 @@ class BatchIVAEngine:
         kernel: str = "scalar",
         fail_mode: str = "raise",
         profile: bool = False,
+        kernel_cache: Optional[KernelCache] = None,
+        scan_end_element: Optional[int] = None,
+        shard_planner=None,
     ) -> None:
         self.table = table
         self.index = index
         self.distance = distance or DistanceFunction()
+        #: Optional shared compiled-term cache, snapshot watermark and
+        #: shard planner — same semantics as on
+        #: :class:`~repro.core.engine.FilterAndRefineEngine`; the serving
+        #: daemon injects all three per index snapshot.
+        self.kernel_cache = kernel_cache
+        self.scan_end_element = scan_end_element
+        self.shard_planner = shard_planner
         #: When True every report in the batch carries an EXPLAIN ANALYZE
         #: artifact (``SearchReport.profile``); see :mod:`repro.obs.profile`.
         self.profile = profile
@@ -106,6 +116,7 @@ class BatchIVAEngine:
         queries: Sequence[Union[Query, Mapping[str, object]]],
         k: int = 10,
         distance: Optional[DistanceFunction] = None,
+        deadline_s: Optional[float] = None,
     ) -> List[SearchReport]:
         """Run all *queries* in one pass; reports align with the input.
 
@@ -113,10 +124,18 @@ class BatchIVAEngine:
         configured; the sequential loop runs otherwise (or as the fallback
         when the pool cannot start).  Both paths return bit-identical
         answers.
+
+        *deadline_s* is a wall-clock budget for the whole batch: on expiry
+        ``fail_mode="degrade"`` flags every report ``degraded``/
+        ``deadline_hit`` (the shared scan was cut for all of them), while
+        ``fail_mode="raise"`` raises :class:`~repro.errors.DeadlineExceeded`.
         """
         if not queries:
             return []
         bound = self._prepare(queries)
+        deadline = (
+            time.perf_counter() + deadline_s if deadline_s is not None else None
+        )
         config = self.executor
         if config is not None and config.effective_workers() > 1:
             from repro.parallel.executor import (
@@ -125,7 +144,9 @@ class BatchIVAEngine:
             )
 
             try:
-                return parallel_search_batch(self, bound, k=k, distance=distance)
+                return parallel_search_batch(
+                    self, bound, k=k, distance=distance, deadline=deadline
+                )
             except ParallelExecutionError as exc:
                 if not config.fallback:
                     raise
@@ -137,13 +158,14 @@ class BatchIVAEngine:
                     labels={"engine": self.name},
                     help="Searches that fell back to the sequential path.",
                 ).inc()
-        return self._sequential_search_batch(bound, k, distance)
+        return self._sequential_search_batch(bound, k, distance, deadline=deadline)
 
     def _sequential_search_batch(
         self,
         bound: Sequence[Query],
         k: int = 10,
         distance: Optional[DistanceFunction] = None,
+        deadline: Optional[float] = None,
     ) -> List[SearchReport]:
         """The inline shared-scan loop.
 
@@ -156,7 +178,7 @@ class BatchIVAEngine:
         dist = distance or self.distance
         attr_ids = sorted({t.attr.attr_id for q in bound for t in q.terms})
         position = {attr_id: i for i, attr_id in enumerate(attr_ids)}
-        scan = self.index.open_scan(attr_ids)
+        scan = self.index.open_scan(attr_ids, end_element=self.scan_end_element)
         n = self.index.config.n
 
         kernels: Optional[List[QueryKernel]] = None
@@ -166,7 +188,9 @@ class BatchIVAEngine:
             # One shared compiled artifact for the whole batch: queries
             # naming the same term reuse one set of gram masks and lookup
             # tables (and the per-block column cache keys on that identity).
-            shared_terms = KernelCache()
+            shared_terms = (
+                self.kernel_cache if self.kernel_cache is not None else KernelCache()
+            )
             kernels = [
                 QueryKernel.compile(self.index, q, dist, position, cache=shared_terms)
                 for q in bound
@@ -197,28 +221,105 @@ class BatchIVAEngine:
         refine_io = 0.0
         refine_wall = 0.0
 
-        if kernels is not None:
-            for tids, ptrs in scan.blocks(BLOCK_TUPLES):
-                columns = scan.payload_blocks(tids)
-                count = len(tids)
-                if collectors is not None:
-                    for collector in collectors:
-                        collector.on_block(columns, count)
-                block_cache: dict = {}
-                evaluated = [
-                    kern.evaluate_block(columns, count, block_cache)
-                    for kern in kernels
-                ]
-                for i in range(count):
-                    if ptrs[i] == DELETED_PTR:
+        last_tid = -1
+        try:
+            if kernels is not None:
+                for tids, ptrs in scan.blocks(BLOCK_TUPLES):
+                    # One deadline check per block: the block is the unit
+                    # of decode work, so a finer check buys nothing.
+                    if deadline is not None and time.perf_counter() > deadline:
+                        raise DeadlineExceeded(
+                            f"batch deadline expired after tid {last_tid}"
+                        )
+                    columns = scan.payload_blocks(tids)
+                    count = len(tids)
+                    if collectors is not None:
+                        for collector in collectors:
+                            collector.on_block(columns, count)
+                    block_cache: dict = {}
+                    evaluated = [
+                        kern.evaluate_block(columns, count, block_cache)
+                        for kern in kernels
+                    ]
+                    for i in range(count):
+                        if ptrs[i] == DELETED_PTR:
+                            continue
+                        tid = tids[i]
+                        last_tid = tid
+                        record = None
+                        for qi, query in enumerate(bound):
+                            reports[qi].tuples_scanned += 1
+                            estimated = evaluated[qi][0][i]
+                            exact = evaluated[qi][1][i]
+                            pool = pools[qi]
+                            if exact:
+                                pool.insert(tid, estimated)
+                                reports[qi].exact_shortcuts += 1
+                                if collectors is not None:
+                                    collectors[qi].on_exact()
+                                continue
+                            if not pool.is_candidate(estimated, tid):
+                                if collectors is not None:
+                                    collectors[qi].on_pruned()
+                                continue
+                            if record is None:
+                                io_before = disk.stats.io_time_ms
+                                wall_before = time.perf_counter()
+                                record = self.table.read(tid)
+                                refine_io += disk.stats.io_time_ms - io_before
+                                refine_wall += time.perf_counter() - wall_before
+                            reports[qi].table_accesses += 1
+                            actual = dist.actual(query, record)
+                            pool.insert(tid, actual)
+                            if collectors is not None:
+                                collectors[qi].on_candidate()
+                                collectors[qi].on_refined(estimated, actual)
+            else:
+                for tid, ptr in scan:
+                    if deadline is not None and time.perf_counter() > deadline:
+                        raise DeadlineExceeded(
+                            f"batch deadline expired after tid {last_tid}"
+                        )
+                    payloads = scan.payloads(tid)
+                    # Like the single-query scalar filter: probe before the
+                    # tombstone check so entry counts match the block path.
+                    if collectors is not None:
+                        for collector in collectors:
+                            collector.on_payloads(payloads)
+                    if ptr == DELETED_PTR:
                         continue
-                    tid = tids[i]
+                    last_tid = tid
                     record = None
+                    text_bound_cache = {}
                     for qi, query in enumerate(bound):
                         reports[qi].tuples_scanned += 1
-                        estimated = evaluated[qi][0][i]
-                        exact = evaluated[qi][1][i]
+                        diffs: List[float] = []
+                        exact = True
+                        for term in query.terms:
+                            attr_id = term.attr.attr_id
+                            payload = payloads[position[attr_id]]
+                            if payload is None:
+                                diffs.append(ndf_penalty)
+                                continue
+                            exact = False
+                            if term.attr.is_text:
+                                key = (attr_id, str(term.value))
+                                cached = text_bound_cache.get(key)
+                                if cached is None:
+                                    encoder = encoders[key]
+                                    cached = min(
+                                        encoder.lower_bound(s) for s in payload
+                                    )
+                                    text_bound_cache[key] = cached
+                                diffs.append(cached)
+                            else:
+                                diffs.append(
+                                    quantizers[attr_id].lower_bound(
+                                        float(term.value), payload
+                                    )
+                                )
                         pool = pools[qi]
+                        estimated = dist.combine_bounds(query, diffs)
                         if exact:
                             pool.insert(tid, estimated)
                             reports[qi].exact_shortcuts += 1
@@ -241,67 +342,22 @@ class BatchIVAEngine:
                         if collectors is not None:
                             collectors[qi].on_candidate()
                             collectors[qi].on_refined(estimated, actual)
-        else:
-            for tid, ptr in scan:
-                payloads = scan.payloads(tid)
-                # Like the single-query scalar filter: probe before the
-                # tombstone check so entry counts match the block path.
-                if collectors is not None:
-                    for collector in collectors:
-                        collector.on_payloads(payloads)
-                if ptr == DELETED_PTR:
-                    continue
-                record = None
-                text_bound_cache = {}
-                for qi, query in enumerate(bound):
-                    reports[qi].tuples_scanned += 1
-                    diffs: List[float] = []
-                    exact = True
-                    for term in query.terms:
-                        attr_id = term.attr.attr_id
-                        payload = payloads[position[attr_id]]
-                        if payload is None:
-                            diffs.append(ndf_penalty)
-                            continue
-                        exact = False
-                        if term.attr.is_text:
-                            key = (attr_id, str(term.value))
-                            cached = text_bound_cache.get(key)
-                            if cached is None:
-                                encoder = encoders[key]
-                                cached = min(encoder.lower_bound(s) for s in payload)
-                                text_bound_cache[key] = cached
-                            diffs.append(cached)
-                        else:
-                            diffs.append(
-                                quantizers[attr_id].lower_bound(
-                                    float(term.value), payload
-                                )
-                            )
-                    pool = pools[qi]
-                    estimated = dist.combine_bounds(query, diffs)
-                    if exact:
-                        pool.insert(tid, estimated)
-                        reports[qi].exact_shortcuts += 1
-                        if collectors is not None:
-                            collectors[qi].on_exact()
-                        continue
-                    if not pool.is_candidate(estimated, tid):
-                        if collectors is not None:
-                            collectors[qi].on_pruned()
-                        continue
-                    if record is None:
-                        io_before = disk.stats.io_time_ms
-                        wall_before = time.perf_counter()
-                        record = self.table.read(tid)
-                        refine_io += disk.stats.io_time_ms - io_before
-                        refine_wall += time.perf_counter() - wall_before
-                    reports[qi].table_accesses += 1
-                    actual = dist.actual(query, record)
-                    pool.insert(tid, actual)
-                    if collectors is not None:
-                        collectors[qi].on_candidate()
-                        collectors[qi].on_refined(estimated, actual)
+        except ReproError as exc:
+            if self.fail_mode != "degrade":
+                raise
+            # Degrade-don't-die, batch-wide: the shared scan was cut for
+            # every query, so every report carries the degradation flags
+            # and the uncovered tail (-1 = through end of scan).
+            hit = isinstance(exc, DeadlineExceeded)
+            for report in reports:
+                report.degraded = True
+                report.deadline_hit = hit
+                report.lost_tid_ranges.append((last_tid + 1, -1))
+            logger.warning(
+                "batch scan failed after tid %d; returning degraded results: %s",
+                last_tid,
+                exc,
+            )
 
         total_io = disk.stats.io_time_ms - io_start
         total_wall = time.perf_counter() - wall_start

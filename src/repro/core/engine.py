@@ -32,7 +32,7 @@ from repro.core.iva_file import DELETED_PTR, IVAFile
 from repro.core.kernel import BLOCK_TUPLES, QueryKernel, validate_kernel_mode
 from repro.core.pool import ResultPool
 from repro.core.signature import QueryStringEncoder
-from repro.errors import QueryError, ReproError
+from repro.errors import DeadlineExceeded, QueryError, ReproError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.profile import ProfileCollector, QueryProfile
@@ -176,6 +176,10 @@ class SearchReport:
     #: "through the end of the scan" — since it cannot know where the
     #: aborted scan would have ended.
     lost_tid_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    #: True when the query's deadline budget expired and the scan was cut
+    #: short.  Always accompanied by ``degraded=True`` (a deadline cut is
+    #: one way a report degrades; storage faults are the other).
+    deadline_hit: bool = False
     #: Structured EXPLAIN ANALYZE artifact; populated only when the engine
     #: was built with ``profile=True`` (``--explain-analyze`` on the CLI).
     profile: Optional[QueryProfile] = None
@@ -256,6 +260,12 @@ def observe_search(
             labels=labels,
             help="Searches that completed with lost shards or a cut scan.",
         ).inc()
+    if report.deadline_hit:
+        registry.counter(
+            "repro_deadline_exceeded_total",
+            labels=labels,
+            help="Searches cut short by an expired deadline budget.",
+        ).inc()
 
 
 def trace_phases(tracer: Tracer, span, report: SearchReport) -> None:
@@ -306,9 +316,25 @@ class FilterAndRefineEngine(ABC):
         kernel: str = "scalar",
         fail_mode: str = "raise",
         profile: bool = False,
+        kernel_cache=None,
+        scan_end_element: Optional[int] = None,
+        shard_planner=None,
     ) -> None:
         self.table = table
         self.distance = distance or DistanceFunction()
+        #: Optional shared :class:`~repro.core.kernel.KernelCache`: compiled
+        #: query-term artifacts are reused across searches (the serving
+        #: daemon injects one per index snapshot so Zipfian traffic skips
+        #: recompilation).  None compiles fresh per query.
+        self.kernel_cache = kernel_cache
+        #: Optional scan watermark: only the first N tuple-list elements
+        #: are visible to this engine's scans (snapshot-isolated reads).
+        #: None scans everything committed at scan-open time.
+        self.scan_end_element = scan_end_element
+        #: Optional pre-built :class:`~repro.parallel.shards.ShardPlanner`
+        #: shared across searches; the parallel executor uses it instead of
+        #: building (and paying the plan I/O of) its own.
+        self.shard_planner = shard_planner
         #: When True every search carries a :class:`ProfileCollector` and
         #: the report gains a ``profile`` (EXPLAIN ANALYZE) artifact.  Off
         #: by default: the hot loops then pay one None-check per tuple.
@@ -377,6 +403,7 @@ class FilterAndRefineEngine(ABC):
         query: Union[Query, Mapping[str, object]],
         k: int = 10,
         distance: Optional[DistanceFunction] = None,
+        deadline_s: Optional[float] = None,
     ) -> SearchReport:
         """Run a top-k structured similarity query.
 
@@ -384,8 +411,17 @@ class FilterAndRefineEngine(ABC):
         engine supports sharded filtering); otherwise — or when the pool
         cannot start and fallback is enabled — runs Algorithm 1 inline.
         Both paths return bit-identical results (see :mod:`repro.parallel`).
+
+        *deadline_s* is a wall-clock budget for this search.  When it
+        expires mid-scan, ``fail_mode="degrade"`` returns the partial
+        answer flagged ``degraded``/``deadline_hit`` (candidates already
+        found are still refined — never a silently-wrong full answer);
+        ``fail_mode="raise"`` raises :class:`~repro.errors.DeadlineExceeded`.
         """
         query = self.prepare_query(query)
+        deadline = (
+            time.perf_counter() + deadline_s if deadline_s is not None else None
+        )
         config = self.executor
         if (
             config is not None
@@ -395,12 +431,14 @@ class FilterAndRefineEngine(ABC):
             from repro.parallel.executor import ParallelExecutionError, parallel_search
 
             try:
-                return parallel_search(self, query, k=k, distance=distance)
+                return parallel_search(
+                    self, query, k=k, distance=distance, deadline=deadline
+                )
             except ParallelExecutionError as exc:
                 if not config.fallback:
                     raise
                 self._note_parallel_fallback(exc)
-        return self._sequential_search(query, k, distance)
+        return self._sequential_search(query, k, distance, deadline=deadline)
 
     def _note_parallel_fallback(self, exc: Exception) -> None:
         """Record an automatic degradation to the sequential path."""
@@ -416,8 +454,13 @@ class FilterAndRefineEngine(ABC):
         query: Query,
         k: int = 10,
         distance: Optional[DistanceFunction] = None,
+        deadline: Optional[float] = None,
     ) -> SearchReport:
-        """The inline (single-threaded) Algorithm 1 loop."""
+        """The inline (single-threaded) Algorithm 1 loop.
+
+        *deadline* is an absolute ``time.perf_counter()`` instant; the
+        deadline check is per tuple and only paid when a deadline is set.
+        """
         dist = distance or self.distance
         pool = ResultPool(k)
         report = SearchReport()
@@ -440,6 +483,10 @@ class FilterAndRefineEngine(ABC):
             last_tid = -1
             try:
                 for tid, estimated, exact in self._filter_estimates(query, dist):
+                    if deadline is not None and time.perf_counter() > deadline:
+                        raise DeadlineExceeded(
+                            f"deadline expired after tid {last_tid}"
+                        )
                     last_tid = tid
                     report.tuples_scanned += 1
                     if exact and self.skip_exact:
@@ -469,6 +516,7 @@ class FilterAndRefineEngine(ABC):
                 # Degrade-don't-die: keep what the scan delivered and
                 # account the uncovered tail (-1 = through end of scan).
                 report.degraded = True
+                report.deadline_hit = isinstance(exc, DeadlineExceeded)
                 report.lost_tid_ranges.append((last_tid + 1, -1))
                 logger.warning(
                     "scan failed after tid %d; returning degraded results: %s",
@@ -523,6 +571,9 @@ class IVAEngine(FilterAndRefineEngine):
         kernel: str = "scalar",
         fail_mode: str = "raise",
         profile: bool = False,
+        kernel_cache=None,
+        scan_end_element: Optional[int] = None,
+        shard_planner=None,
     ) -> None:
         super().__init__(
             table,
@@ -534,12 +585,15 @@ class IVAEngine(FilterAndRefineEngine):
             kernel=kernel,
             fail_mode=fail_mode,
             profile=profile,
+            kernel_cache=kernel_cache,
+            scan_end_element=scan_end_element,
+            shard_planner=shard_planner,
         )
         self.index = index
 
     def _filter(self, query: Query, distance: DistanceFunction) -> Iterator[FilterItem]:
         attr_ids = query.attribute_ids()
-        scan = self.index.open_scan(attr_ids)
+        scan = self.index.open_scan(attr_ids, end_element=self.scan_end_element)
         evaluator = BoundEvaluator(self.index, query, distance)
         collector = self._collector
 
@@ -571,11 +625,13 @@ class IVAEngine(FilterAndRefineEngine):
             yield from super()._filter_estimates(query, distance)
             return
         attr_ids = query.attribute_ids()
-        scan = self.index.open_scan(attr_ids)
+        scan = self.index.open_scan(attr_ids, end_element=self.scan_end_element)
         tracer = self._tracer()
         registry = self._registry()
         compile_start = time.perf_counter()
-        compiled = QueryKernel.compile(self.index, query, distance)
+        compiled = QueryKernel.compile(
+            self.index, query, distance, cache=self.kernel_cache
+        )
         tracer.record(
             "kernel.compile",
             (time.perf_counter() - compile_start) * 1000.0,

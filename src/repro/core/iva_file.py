@@ -786,9 +786,19 @@ class IVAFile:
 
     # -------------------------------------------------------------- queries
 
-    def open_scan(self, attr_ids: Sequence[int]) -> "IVAScan":
-        """Open a synchronized partial scan over the given attributes."""
-        return IVAScan(self, attr_ids)
+    def open_scan(
+        self, attr_ids: Sequence[int], end_element: Optional[int] = None
+    ) -> "IVAScan":
+        """Open a synchronized partial scan over the given attributes.
+
+        *end_element* bounds the scan to the first ``end_element``
+        tuple-list elements — the serving tier's snapshot watermark, so a
+        reader pinned to a committed element count never observes appends
+        that landed after its snapshot was taken.  ``None`` scans
+        everything (and the bound is snapped at construction, so elements
+        appended mid-scan are excluded either way).
+        """
+        return IVAScan(self, attr_ids, end_element=end_element)
 
     def read_attr_elements(self, attr_ids: Sequence[int]) -> None:
         """Charge the attribute-list reads of Algorithm 1 (lines 2–3).
@@ -835,16 +845,26 @@ class IVAScan:
     driven every scanner for that element — :meth:`payloads` does).
     """
 
-    def __init__(self, index: IVAFile, attr_ids: Sequence[int]) -> None:
+    def __init__(
+        self,
+        index: IVAFile,
+        attr_ids: Sequence[int],
+        end_element: Optional[int] = None,
+    ) -> None:
         self.index = index
         # Reading the attribute-list elements of the queried attributes
         # (line 2-3 of Algorithm 1: fetch ptr1 for each related attribute).
         index.read_attr_elements(attr_ids)
         self.attr_ids = tuple(attr_ids)
         self.scanners = [index.make_scanner(attr_id) for attr_id in attr_ids]
+        # Snapshot the scan bound at construction: elements appended after
+        # this point are invisible to this scan even without an explicit
+        # watermark.
+        count = index._tuples.element_count
+        self.end_element = count if end_element is None else min(end_element, count)
 
     def __iter__(self) -> Iterator[Tuple[int, int]]:
-        return self.index._tuples.scan()
+        return self.index._tuples.scan_range(0, self.end_element)
 
     def payloads(self, tid: int) -> List[object]:
         """Drive every scanner to *tid*; aligned with ``attr_ids``."""
@@ -852,7 +872,9 @@ class IVAScan:
 
     def blocks(self, block_elements: int):
         """Yield ``(tids, ptrs)`` tuple-list columns, one block at a time."""
-        return self.index._tuples.scan_blocks(block_elements)
+        return self.index._tuples.scan_range_blocks(
+            0, self.end_element, block_elements
+        )
 
     def payload_blocks(self, tids: Sequence[int]) -> List[List[object]]:
         """Drive every scanner through one block; one payload column per

@@ -221,23 +221,30 @@ class KernelCache:
     """Shared compiled-term artifact: one entry per ``(attribute, value)``.
 
     One instance spans whatever should share compilation work — a batch of
-    queries, all shards of a parallel run — so two queries naming the same
+    queries, all shards of a parallel run, or (in the serving daemon) every
+    request against one index snapshot — so two queries naming the same
     term get the *same* compiled object (and the block evaluator's column
-    cache can key on object identity).
+    cache can key on object identity).  ``hits``/``misses`` count term
+    lookups so long-lived caches can report reuse.
     """
 
-    __slots__ = ("_terms",)
+    __slots__ = ("_terms", "hits", "misses")
 
     def __init__(self) -> None:
         self._terms: Dict[Tuple[int, object], object] = {}
+        self.hits = 0
+        self.misses = 0
 
     def text_term(self, attr_id: int, query_string: str, n: int) -> CompiledTextTerm:
         """The shared compiled text term for ``attr = query_string``."""
         key = (attr_id, query_string)
         term = self._terms.get(key)
         if term is None:
+            self.misses += 1
             term = CompiledTextTerm(query_string, n)
             self._terms[key] = term
+        else:
+            self.hits += 1
         return term
 
     def numeric_term(
@@ -247,8 +254,11 @@ class KernelCache:
         key = (attr_id, value)
         term = self._terms.get(key)
         if term is None:
+            self.misses += 1
             term = CompiledNumericTerm(quantizer, value)
             self._terms[key] = term
+        else:
+            self.hits += 1
         return term
 
     def __len__(self) -> int:

@@ -49,3 +49,13 @@ class EncodingError(ReproError):
 
 class ParallelError(ReproError):
     """The parallel executor is misconfigured or cannot run."""
+
+
+class DeadlineExceeded(ReproError):
+    """A per-query deadline budget expired before the search completed.
+
+    Raised by the engines when ``deadline_s`` elapses mid-search.  Under
+    ``fail_mode="degrade"`` the engines catch it and return a flagged
+    partial answer (``SearchReport.degraded`` / ``deadline_hit``) instead
+    of propagating.
+    """

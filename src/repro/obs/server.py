@@ -28,7 +28,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs.export import render_json, render_prometheus
@@ -40,10 +40,14 @@ __all__ = [
     "TeeSink",
     "ObsServer",
     "PROMETHEUS_CONTENT_TYPE",
+    "JSON_CONTENT_TYPE",
 ]
 
 #: Content type of the text exposition format we render.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Content type of every JSON response.
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
 
 class SpanRingBuffer:
@@ -136,6 +140,9 @@ class ObsServer:
             def do_GET(self) -> None:  # noqa: N802 - stdlib naming
                 server._route(self)
 
+            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+                server._route_post(self)
+
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
@@ -193,34 +200,70 @@ class ObsServer:
 
     # -------------------------------------------------------------- routing
 
-    def _route(self, handler: BaseHTTPRequestHandler) -> None:
-        parsed = urlparse(handler.path)
-        path = parsed.path.rstrip("/") or "/"
+    def _count_request(self, path: str) -> None:
+        """Bump the per-path request counter (shared by GET and POST)."""
         self.requests_served += 1
         get_registry().counter(
             "repro_obs_http_requests_total",
             labels={"path": path},
             help="Requests served by the observability endpoint.",
         ).inc()
+
+    def _health(self) -> Tuple[int, dict]:
+        """The ``/healthz`` status code and payload.
+
+        Subclasses (the serving daemon) extend the payload — and may
+        return 503 while draining — without re-implementing the route.
+        """
+        return 200, {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started, 3),
+            "spans_buffered": len(self.ring),
+            "requests_served": self.requests_served,
+        }
+
+    def _route_extra(self, handler: BaseHTTPRequestHandler, path: str, parsed) -> bool:
+        """Subclass hook for extra GET routes; True means it responded."""
+        return False
+
+    def _route_post(self, handler: BaseHTTPRequestHandler) -> None:
+        """POST routing; the base server is read-only (405 on known paths)."""
+        parsed = urlparse(handler.path)
+        path = parsed.path.rstrip("/") or "/"
+        self._count_request(path)
+        try:
+            if path in ("/metrics", "/metrics.json", "/healthz", "/traces/recent"):
+                self._send(
+                    handler,
+                    405,
+                    '{"error": "method not allowed; use GET"}',
+                    JSON_CONTENT_TYPE,
+                )
+            else:
+                self._send(
+                    handler, 404, '{"error": "unknown path"}', JSON_CONTENT_TYPE
+                )
+        except BrokenPipeError:  # client went away mid-response
+            pass
+
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(handler.path)
+        path = parsed.path.rstrip("/") or "/"
+        self._count_request(path)
         try:
             if path == "/metrics":
                 body = render_prometheus(self.metrics_registry())
                 self._send(handler, 200, body, PROMETHEUS_CONTENT_TYPE)
             elif path == "/metrics.json":
                 body = render_json(self.metrics_registry())
-                self._send(handler, 200, body, "application/json; charset=utf-8")
+                self._send(handler, 200, body, JSON_CONTENT_TYPE)
             elif path == "/healthz":
-                payload = {
-                    "status": "ok",
-                    "uptime_s": round(time.time() - self._started, 3),
-                    "spans_buffered": len(self.ring),
-                    "requests_served": self.requests_served,
-                }
+                code, payload = self._health()
                 self._send(
                     handler,
-                    200,
+                    code,
                     json.dumps(payload, sort_keys=True),
-                    "application/json; charset=utf-8",
+                    JSON_CONTENT_TYPE,
                 )
             elif path == "/traces/recent":
                 query = parse_qs(parsed.query)
@@ -233,7 +276,7 @@ class ObsServer:
                             handler,
                             400,
                             '{"error": "limit must be an integer"}',
-                            "application/json; charset=utf-8",
+                            JSON_CONTENT_TYPE,
                         )
                         return
                 payload = {"spans": self.ring.recent(limit)}
@@ -241,26 +284,34 @@ class ObsServer:
                     handler,
                     200,
                     json.dumps(payload, sort_keys=True),
-                    "application/json; charset=utf-8",
+                    JSON_CONTENT_TYPE,
                 )
+            elif self._route_extra(handler, path, parsed):
+                pass
             else:
                 self._send(
                     handler,
                     404,
                     '{"error": "unknown path", "paths": '
                     '["/metrics", "/metrics.json", "/healthz", "/traces/recent"]}',
-                    "application/json; charset=utf-8",
+                    JSON_CONTENT_TYPE,
                 )
         except BrokenPipeError:  # client went away mid-response
             pass
 
     @staticmethod
     def _send(
-        handler: BaseHTTPRequestHandler, code: int, body: str, content_type: str
+        handler: BaseHTTPRequestHandler,
+        code: int,
+        body: str,
+        content_type: str,
+        headers: Optional[dict] = None,
     ) -> None:
         data = body.encode("utf-8")
         handler.send_response(code)
         handler.send_header("Content-Type", content_type)
         handler.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            handler.send_header(name, str(value))
         handler.end_headers()
         handler.wfile.write(data)

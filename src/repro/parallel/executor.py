@@ -73,7 +73,7 @@ from repro.core.engine import (
 from repro.core.iva_file import DELETED_PTR, IVAFile
 from repro.core.kernel import BLOCK_TUPLES, KernelCache, QueryKernel
 from repro.core.pool import ResultPool
-from repro.errors import ParallelError
+from repro.errors import DeadlineExceeded, ParallelError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.profile import ProfileCollector
@@ -166,6 +166,10 @@ class _ShardStats:
     pages: int = 0
     cpu_s: float = 0.0
     error: Optional[BaseException] = None
+    #: The scan loop saw the abort flag and stopped early.  In degrade
+    #: mode nothing but a deadline cut sets abort, so ``aborted`` there
+    #: means "cut by the deadline" and the shard's tail was not scanned.
+    aborted: bool = False
 
 
 @dataclass
@@ -218,6 +222,8 @@ class _RunResult:
     lost_shards: List[int] = field(default_factory=list)
     lost_tid_ranges: List[Tuple[int, int]] = field(default_factory=list)
     recovered_shards: int = 0
+    #: The run's deadline expired; aborted shards are accounted lost.
+    deadline_hit: bool = False
     #: Per-query master profile collectors (profiled runs only).
     profiles: Optional[List[ProfileCollector]] = None
 
@@ -235,11 +241,16 @@ class ParallelScanExecutor:
         table,
         index: IVAFile,
         config: ExecutorConfig,
+        planner: Optional[ShardPlanner] = None,
     ) -> None:
         self.table = table
         self.index = index
         self.config = config
-        self.planner = ShardPlanner(index)
+        #: *planner* lets long-lived callers (the serving daemon) share one
+        #: plan cache across per-request executors; attached indexes have
+        #: no sync directory, so a fresh planner would pay a charged plan
+        #: walk per request.
+        self.planner = planner if planner is not None else ShardPlanner(index)
         # Run-scoped state (``run`` is not reentrant): the tracer and the
         # query span workers attach to, and the profiling configuration.
         self._run_tracer: Tracer = get_tracer()
@@ -262,9 +273,21 @@ class ParallelScanExecutor:
         tracer: Optional[Tracer] = None,
         parent_span: Optional[Span] = None,
         profile: bool = False,
+        deadline: Optional[float] = None,
+        end_element: Optional[int] = None,
+        kernel_cache: Optional[KernelCache] = None,
     ) -> _RunResult:
         """Execute the sharded scan; raises :class:`ParallelExecutionError`
         when the pool cannot start or a worker dies.
+
+        *deadline* (absolute ``time.perf_counter()``) cuts the run short:
+        workers abort at the next tuple/block boundary, candidates already
+        enqueued are still refined (never a silently-wrong full answer),
+        and aborted shards are accounted as lost tid ranges.  In
+        ``"raise"`` mode an expired deadline raises
+        :class:`~repro.errors.DeadlineExceeded` instead.  *end_element*
+        bounds the scan to a snapshot watermark; *kernel_cache* supplies a
+        shared compiled-term cache for the block kernel.
 
         *kernel* selects the filter strategy: ``"block"`` compiles one
         :class:`QueryKernel` per query up front — sharing gram sets, masks
@@ -316,8 +339,11 @@ class ParallelScanExecutor:
         setup_cpu0 = time.thread_time()
         with disk.metered() as setup_meter:
             self.index.read_attr_elements(attr_ids)
-            shard_count = self.config.shard_count(self.index.tuple_elements)
-            shards = self.planner.plan(attr_ids, shard_count)
+            visible = self.index.tuple_elements
+            if end_element is not None:
+                visible = min(visible, end_element)
+            shard_count = self.config.shard_count(visible)
+            shards = self.planner.plan(attr_ids, shard_count, end_element)
         result.planning_io_ms = setup_meter.io_ms
         result.setup_cpu_s = time.thread_time() - setup_cpu0
         result.shards = len(shards)
@@ -334,7 +360,7 @@ class ParallelScanExecutor:
         ]
         if kernel == "block":
             compile_cpu0 = time.thread_time()
-            shared_terms = KernelCache()
+            shared_terms = kernel_cache if kernel_cache is not None else KernelCache()
             for ctx in contexts:
                 ctx.kernel = QueryKernel.compile(
                     self.index, ctx.query, dist, position_map, cache=shared_terms
@@ -402,12 +428,43 @@ class ParallelScanExecutor:
                 records,
                 seen,
                 fail_mode,
+                deadline,
             )
         finally:
             abort.set()
             pool.shutdown(wait=True)
 
-        if failures:
+        aborted = [s for s in result.shard_stats if s.aborted]
+        if result.deadline_hit and not aborted and not failures:
+            # The deadline fired after every shard had already delivered:
+            # the answer is complete, so don't degrade it.
+            result.deadline_hit = False
+        if result.deadline_hit:
+            if fail_mode == "raise":
+                raise DeadlineExceeded(
+                    f"parallel scan cut short by deadline "
+                    f"({len(aborted)} shards aborted, "
+                    f"{len(failures)} shard errors pending)"
+                )
+            # Degrade: aborted shards' unscanned tails — and any shards
+            # that died outright — are accounted lost without walking the
+            # recovery ladder (re-scanning against a blown budget only
+            # makes the overrun worse).  The whole-shard tid range is a
+            # conservative overcount of what was actually missed.
+            by_index = {shard.index: shard for shard in shards}
+            result.degraded = True
+            for stats in aborted:
+                result.lost_shards.append(stats.shard)
+                result.lost_tid_ranges.append(
+                    self._shard_tid_range(by_index.get(stats.shard))
+                )
+            for failure in failures:
+                result.lost_shards.append(failure.shard)
+                result.lost_tid_ranges.append(
+                    self._shard_tid_range(by_index.get(failure.shard))
+                )
+            result.lost_shards.sort()
+        elif failures:
             by_index = {shard.index: shard for shard in shards}
             if fail_mode == "raise":
                 failure = failures[0]
@@ -566,6 +623,7 @@ class ParallelScanExecutor:
                     shard.start_element, shard.end_element
                 ):
                     if abort.is_set():
+                        stats.aborted = True
                         break
                     payloads = [scanner.move_to(tid) for scanner in scanners]
                     if collectors is not None:
@@ -623,6 +681,7 @@ class ParallelScanExecutor:
             shard.start_element, shard.end_element, BLOCK_TUPLES
         ):
             if abort.is_set():
+                stats.aborted = True
                 break
             columns = [scanner.move_block(tids) for scanner in scanners]
             count = len(tids)
@@ -674,6 +733,7 @@ class ParallelScanExecutor:
         records: Dict[int, object],
         seen: Optional[List[set]],
         fail_mode: str,
+        deadline: Optional[float] = None,
     ) -> List[_ShardStats]:
         """Drain candidates and sentinels; runs on the calling thread.
 
@@ -681,12 +741,30 @@ class ParallelScanExecutor:
         the first death aborts the siblings and the rest of the queue is
         merely drained; in ``"degrade"`` mode siblings keep scanning and
         merging normally so recovery only has to re-cover the dead shards.
+
+        The refiner also enforces *deadline*: it waits on the queue with a
+        bounded timeout so it wakes even when no candidates flow, and on
+        expiry flips the abort flag.  Candidates already enqueued are still
+        refined — they came from scanned ranges, so refining them can only
+        improve the partial answer.
         """
         pools = result.pools
         pending = result.shards
         failures: List[_ShardStats] = []
         while pending:
-            item = out_queue.get()
+            if deadline is not None and not result.deadline_hit:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    result.deadline_hit = True
+                    abort.set()
+                    item = out_queue.get()
+                else:
+                    try:
+                        item = out_queue.get(timeout=remaining)
+                    except queue_module.Empty:
+                        continue  # re-check the deadline and wait again
+            else:
+                item = out_queue.get()
             depth = out_queue.qsize()
             if depth > result.max_queue_depth:
                 result.max_queue_depth = depth
@@ -954,7 +1032,12 @@ def _runner_for(engine_like, index: IVAFile, config: ExecutorConfig) -> Parallel
         or runner.config is not config
         or runner.table is not engine_like.table
     ):
-        runner = ParallelScanExecutor(engine_like.table, index, config)
+        runner = ParallelScanExecutor(
+            engine_like.table,
+            index,
+            config,
+            planner=getattr(engine_like, "shard_planner", None),
+        )
         engine_like._parallel_runner = runner
     return runner
 
@@ -1036,6 +1119,7 @@ def _fill_report(report: ParallelSearchReport, run: _RunResult) -> None:
     report.merged_candidates = run.merged_candidates
     report.max_queue_depth = run.max_queue_depth
     report.degraded = run.degraded
+    report.deadline_hit = run.deadline_hit
     report.lost_shards = list(run.lost_shards)
     report.lost_tid_ranges = list(run.lost_tid_ranges)
     report.filter_io_ms = run.planning_io_ms + max(per_worker_io.values(), default=0.0)
@@ -1053,6 +1137,7 @@ def parallel_search(
     query: Query,
     k: int = 10,
     distance: Optional[DistanceFunction] = None,
+    deadline: Optional[float] = None,
 ) -> SearchReport:
     """One query through the sharded executor; the engine's parallel path.
 
@@ -1064,7 +1149,7 @@ def parallel_search(
     dist = distance or engine.distance
     runner = _runner_for(engine, engine.index, config)
     if config.shard_count(engine.index.tuple_elements) <= 1:
-        return engine._sequential_search(query, k, distance)
+        return engine._sequential_search(query, k, distance, deadline=deadline)
 
     registry = engine._registry()
     tracer = engine._tracer()
@@ -1086,6 +1171,9 @@ def parallel_search(
             tracer=tracer,
             parent_span=span,
             profile=getattr(engine, "profile", False),
+            deadline=deadline,
+            end_element=getattr(engine, "scan_end_element", None),
+            kernel_cache=getattr(engine, "kernel_cache", None),
         )
         report.tuples_scanned = run.tuples_scanned
         report.exact_shortcuts = run.exact_shortcuts[0]
@@ -1123,6 +1211,7 @@ def parallel_search_batch(
     queries: Sequence[Query],
     k: int = 10,
     distance: Optional[DistanceFunction] = None,
+    deadline: Optional[float] = None,
 ) -> List[SearchReport]:
     """A batch of queries through one sharded shared scan.
 
@@ -1135,7 +1224,9 @@ def parallel_search_batch(
     dist = distance or batch_engine.distance
     runner = _runner_for(batch_engine, batch_engine.index, config)
     if config.shard_count(batch_engine.index.tuple_elements) <= 1:
-        return batch_engine._sequential_search_batch(queries, k, distance)
+        return batch_engine._sequential_search_batch(
+            queries, k, distance, deadline=deadline
+        )
 
     registry = batch_engine._registry()
     tracer = batch_engine._tracer()
@@ -1156,6 +1247,9 @@ def parallel_search_batch(
             tracer=tracer,
             parent_span=span,
             profile=getattr(batch_engine, "profile", False),
+            deadline=deadline,
+            end_element=getattr(batch_engine, "scan_end_element", None),
+            kernel_cache=getattr(batch_engine, "kernel_cache", None),
         )
         reports: List[SearchReport] = []
         for qi, pool in enumerate(run.pools):
@@ -1167,6 +1261,7 @@ def parallel_search_batch(
                 report = SearchReport()
             # A lost shard is lost for every query in the batch.
             report.degraded = run.degraded
+            report.deadline_hit = run.deadline_hit
             report.lost_shards = list(run.lost_shards)
             report.lost_tid_ranges = list(run.lost_tid_ranges)
             report.tuples_scanned = run.tuples_scanned

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.iva_file import IVAFile
 from repro.core.scan import ResumePoint
@@ -70,25 +70,45 @@ class ShardPlanner:
 
     def __init__(self, index: IVAFile) -> None:
         self.index = index
-        self._cache: Dict[Tuple[int, Tuple[int, ...], int], List[ShardRange]] = {}
+        self._cache: Dict[
+            Tuple[int, Tuple[int, ...], int, Optional[int]], List[ShardRange]
+        ] = {}
 
-    def plan(self, attr_ids: Sequence[int], shard_count: int) -> List[ShardRange]:
+    def plan(
+        self,
+        attr_ids: Sequence[int],
+        shard_count: int,
+        end_element: Optional[int] = None,
+    ) -> List[ShardRange]:
         """The shard list for *attr_ids*, splitting into *shard_count* ranges.
 
-        Cached per index version; only the most recent plan is retained
-        (query traffic typically repeats the same attribute sets, and a
-        single entry bounds memory).
+        *end_element* bounds the plan to a snapshot watermark: shards only
+        cover the first N tuple-list elements.  Cached per index version;
+        only the most recent plan is retained (query traffic typically
+        repeats the same attribute sets, and a single entry bounds memory).
         """
-        key = (self.index.version, tuple(sorted(set(attr_ids))), shard_count)
+        key = (
+            self.index.version,
+            tuple(sorted(set(attr_ids))),
+            shard_count,
+            end_element,
+        )
         plan = self._cache.get(key)
         if plan is None:
-            plan = self._build(key[1], shard_count)
+            plan = self._build(key[1], shard_count, end_element)
             self._cache = {key: plan}
         return plan
 
-    def _build(self, attr_ids: Tuple[int, ...], shard_count: int) -> List[ShardRange]:
+    def _build(
+        self,
+        attr_ids: Tuple[int, ...],
+        shard_count: int,
+        end_element: Optional[int] = None,
+    ) -> List[ShardRange]:
         index = self.index
         total = index.tuple_elements
+        if end_element is not None:
+            total = min(total, end_element)
         if shard_count <= 1 or total == 0:
             return [
                 ShardRange(

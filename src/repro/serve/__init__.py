@@ -1,0 +1,39 @@
+"""The always-on serving daemon over the iVA-file (``repro serve``).
+
+Layers (each its own module):
+
+* :mod:`repro.serve.admission` — bounded concurrency + queue with 429
+  backpressure and a latency-derived ``Retry-After``;
+* :mod:`repro.serve.cache` — the LRU result cache (the kernel-artifact
+  cache lives per generation in :mod:`repro.serve.snapshots`);
+* :mod:`repro.serve.snapshots` — generation-based snapshot isolation and
+  the online β-compaction (paper Sec. IV-B, made non-blocking);
+* :mod:`repro.serve.server` — the HTTP daemon extending the
+  observability server with ``/query``, ``/query/batch`` and the admin
+  surface.
+
+See ``docs/serving.md`` for the architecture and the endpoint reference,
+and ``docs/runbook.md`` for operating it.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionRejected
+from repro.serve.cache import ResultCache, result_key
+from repro.serve.server import QueryDaemon
+from repro.serve.snapshots import (
+    CompactionInProgress,
+    Generation,
+    Snapshot,
+    SnapshotManager,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "CompactionInProgress",
+    "Generation",
+    "QueryDaemon",
+    "ResultCache",
+    "Snapshot",
+    "SnapshotManager",
+    "result_key",
+]

@@ -1,0 +1,189 @@
+"""Admission control for the serving daemon: bounded queueing, backpressure.
+
+A thread-pool HTTP front-end with no admission policy melts down under
+overload: every request gets a thread, every thread contends for the same
+disk and GIL, and tail latency explodes while throughput *drops*.  The
+controller bounds both dimensions instead:
+
+* at most ``max_concurrency`` requests execute at once;
+* at most ``max_queue`` more may wait for a slot, each for at most
+  ``queue_timeout_s`` — beyond either bound the request is rejected
+  immediately with a machine-readable reason (``queue_full`` /
+  ``timeout``), which the daemon maps to HTTP 429 + ``Retry-After``.
+
+The suggested retry delay is an exponentially weighted moving average of
+recent query latencies scaled by the queue backlog — "come back after
+roughly the work ahead of you drains" — clamped to a sane [1, 30] s
+window so a cold EWMA never produces a silly header.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+#: Clamp bounds for the suggested Retry-After delay, in seconds.
+RETRY_AFTER_MIN_S = 1.0
+RETRY_AFTER_MAX_S = 30.0
+
+
+class AdmissionRejected(ReproError):
+    """The controller refused a request; carries the suggested retry delay."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(f"admission rejected: {reason}")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """A condition-variable slot pool with a bounded waiter queue.
+
+    Use as a context manager around the work::
+
+        with controller.admit():
+            ... run the query ...
+
+    ``admit`` blocks while all slots are busy (at most ``queue_timeout_s``)
+    and raises :class:`AdmissionRejected` when the waiter queue is full or
+    the wait times out.  :meth:`observe_latency` feeds the EWMA behind
+    ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        max_queue: int = 32,
+        queue_timeout_s: float = 2.0,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self._registry = registry
+        self._cond = threading.Condition()
+        self._running = 0
+        self._waiting = 0
+        #: EWMA of observed query latencies, seconds; None until the first
+        #: observation.
+        self._ewma_latency_s: Optional[float] = None
+
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    # ------------------------------------------------------------ admission
+
+    def admit(self) -> "_AdmissionSlot":
+        """Acquire a slot (blocking, bounded); returns a context manager.
+
+        Raises :class:`AdmissionRejected` with reason ``"queue_full"``
+        when ``max_queue`` requests are already waiting, or ``"timeout"``
+        when no slot frees within ``queue_timeout_s``.
+        """
+        registry = self._metrics()
+        with self._cond:
+            if self._running < self.max_concurrency:
+                self._running += 1
+            elif self._waiting >= self.max_queue:
+                registry.counter(
+                    "repro_serve_rejected_total",
+                    labels={"reason": "queue_full"},
+                    help="Requests rejected by admission control, by reason.",
+                ).inc()
+                raise AdmissionRejected("queue_full", self.retry_after_s())
+            else:
+                self._waiting += 1
+                self._publish_gauges()
+                try:
+                    deadline = self.queue_timeout_s
+                    admitted = self._cond.wait_for(
+                        lambda: self._running < self.max_concurrency,
+                        timeout=deadline,
+                    )
+                finally:
+                    self._waiting -= 1
+                if not admitted:
+                    self._publish_gauges()
+                    registry.counter(
+                        "repro_serve_rejected_total",
+                        labels={"reason": "timeout"},
+                        help="Requests rejected by admission control, by reason.",
+                    ).inc()
+                    raise AdmissionRejected("timeout", self.retry_after_s())
+                self._running += 1
+            self._publish_gauges()
+        return _AdmissionSlot(self)
+
+    def _release(self) -> None:
+        with self._cond:
+            self._running -= 1
+            self._publish_gauges()
+            self._cond.notify()
+
+    def _publish_gauges(self) -> None:
+        registry = self._metrics()
+        registry.gauge(
+            "repro_serve_inflight",
+            help="Admitted requests currently executing.",
+        ).set(self._running)
+        registry.gauge(
+            "repro_serve_queue_depth",
+            help="Requests waiting for an admission slot.",
+        ).set(self._waiting)
+
+    # -------------------------------------------------------------- latency
+
+    def observe_latency(self, seconds: float) -> None:
+        """Feed one finished request's wall time into the retry EWMA."""
+        with self._cond:
+            if self._ewma_latency_s is None:
+                self._ewma_latency_s = seconds
+            else:
+                self._ewma_latency_s = 0.8 * self._ewma_latency_s + 0.2 * seconds
+
+    def retry_after_s(self) -> float:
+        """Suggested client backoff: backlog × EWMA latency, clamped."""
+        ewma = self._ewma_latency_s if self._ewma_latency_s is not None else 1.0
+        backlog = max(1, self._waiting + self._running - self.max_concurrency + 1)
+        suggestion = ewma * backlog
+        return min(RETRY_AFTER_MAX_S, max(RETRY_AFTER_MIN_S, suggestion))
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def running(self) -> int:
+        """Admitted requests currently executing."""
+        return self._running
+
+    @property
+    def waiting(self) -> int:
+        """Requests parked waiting for a slot."""
+        return self._waiting
+
+
+class _AdmissionSlot:
+    """Context manager returned by :meth:`AdmissionController.admit`."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self._controller = controller
+
+    def __enter__(self) -> "_AdmissionSlot":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._controller._release()
+        return False

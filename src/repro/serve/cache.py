@@ -1,0 +1,137 @@
+"""The hot-query result cache: a thread-safe LRU over finished answers.
+
+Serving workloads repeat themselves — dashboards refresh the same top-k,
+clients retry, load balancers health-check with a canned query.  The
+daemon exploits that at two layers:
+
+* **kernel artifacts** — each generation owns a shared
+  :class:`~repro.core.kernel.KernelCache`, so the per-term lower-bound
+  tables compiled for the block kernel are reused across requests (the
+  engine layer already meters hits/misses on the cache object);
+* **full results** — this module: an LRU keyed on everything that could
+  change the answer, holding the final JSON-able payload.
+
+A key includes the generation id *and* that generation's committed
+visible version, so any index mutation naturally orphans old entries;
+:meth:`ResultCache.invalidate` additionally drops everything eagerly so
+memory isn't held by unreachable keys.  Degraded or deadline-cut results
+are never cached — a transient partial answer must not be replayed as if
+it were authoritative.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["ResultCache", "result_key"]
+
+
+def result_key(
+    gen_id: int,
+    visible_version: int,
+    terms: Any,
+    k: int,
+    metric: str,
+    kernel: str,
+) -> Tuple:
+    """The canonical cache key for one query against one snapshot.
+
+    *terms* is JSON-serialised with sorted keys so semantically equal
+    requests hash equally regardless of attribute order on the wire.
+    """
+    canonical = json.dumps(terms, sort_keys=True, separators=(",", ":"))
+    return (gen_id, visible_version, canonical, k, metric, kernel)
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU mapping query keys to response payloads."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached payload for *key*, refreshing recency; None on miss."""
+        registry = self._metrics()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                registry.counter(
+                    "repro_serve_cache_hits_total",
+                    labels={"layer": "result"},
+                    help="Serving cache hits, by cache layer.",
+                ).inc()
+                return self._entries[key]
+            self.misses += 1
+            registry.counter(
+                "repro_serve_cache_misses_total",
+                labels={"layer": "result"},
+                help="Serving cache misses, by cache layer.",
+            ).inc()
+            return None
+
+    def put(self, key: Hashable, payload: Any) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        registry = self._metrics()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = payload
+            else:
+                self._entries[key] = payload
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    registry.counter(
+                        "repro_serve_cache_evictions_total",
+                        help="Result-cache entries evicted by LRU pressure.",
+                    ).inc()
+            registry.gauge(
+                "repro_serve_cache_entries",
+                help="Result-cache entries currently resident.",
+            ).set(len(self._entries))
+
+    def invalidate(self) -> int:
+        """Drop every entry (called on any index mutation); returns count."""
+        registry = self._metrics()
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += 1
+            registry.counter(
+                "repro_serve_cache_invalidations_total",
+                help="Explicit result-cache invalidations (index mutations).",
+            ).inc()
+            registry.gauge(
+                "repro_serve_cache_entries",
+                help="Result-cache entries currently resident.",
+            ).set(0)
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

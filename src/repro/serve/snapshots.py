@@ -1,0 +1,332 @@
+"""Snapshot-isolated reads and online cleaning for the serving daemon.
+
+The paper's Sec. IV-B maintenance story is offline: when the deleted
+fraction reaches β, *stop the world* and rebuild the table file and the
+index.  A long-lived daemon can't stop the world, so this module wraps
+one :class:`~repro.maintenance.MaintainedSystem` in a generation scheme
+that gives readers MVCC-style isolation and turns the β-rebuild into a
+background compaction that never blocks queries:
+
+* A **generation** is one (disk, table, index) triple plus its committed
+  **watermark** — the tuple-list element count and index version as of the
+  last fully committed write.  Readers :meth:`~SnapshotManager.pin` the
+  current generation and scan only up to the watermark, so a concurrent
+  insert appending to the same lists is invisible to them (appends land
+  strictly past the watermark; the watermark only advances *after* the
+  write committed every list).
+* **Writes** serialize on ``_write_lock`` and run the existing
+  maintenance protocol unchanged; the watermark advance is the commit
+  point and is a single pointer update under ``_gen_lock``.
+* **Compaction** clones the current generation's bytes onto a fresh
+  backend, attaches and rebuilds the clone (dropping tombstones —
+  tids are preserved, so answers are bit-identical to a quiesced
+  rebuild), then atomically swaps the current-generation pointer.  It
+  holds ``_write_lock`` throughout — writers stall, which matches the
+  paper's amortised-cost model — but readers keep draining against their
+  pinned generation, whose files are never touched.
+
+Two locks, strictly ordered (``_write_lock`` outside ``_gen_lock``):
+``_write_lock`` serializes mutations and compaction; ``_gen_lock`` is
+held only for pointer/counter flips, so :meth:`pin` never waits on a
+writer.
+
+One accepted wrinkle: generations share the process-global metrics
+registry, and a compaction clone reads every byte of the source files —
+the modeled I/O counters visible to concurrent queries therefore inflate
+during compaction.  Dashboards should read query cost from per-query
+reports, not global disk stats, while a compaction is running.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping, Optional
+
+from repro.core.iva_file import IVAFile
+from repro.core.kernel import KernelCache
+from repro.errors import ReproError
+from repro.maintenance import MaintainedSystem
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
+from repro.parallel.shards import ShardPlanner
+from repro.storage.backend import StorageBackend, simulated_backend
+from repro.storage.table import SparseWideTable
+
+__all__ = [
+    "CompactionInProgress",
+    "Generation",
+    "Snapshot",
+    "SnapshotManager",
+]
+
+
+class CompactionInProgress(ReproError):
+    """A compaction was requested while one is already running."""
+
+
+class Generation:
+    """One immutable-identity (disk, table, index) triple plus its watermark.
+
+    The kernel cache and shard planner live here because both are valid
+    for the lifetime of the generation: compiled kernel terms depend only
+    on per-attribute quantizers and signature schemes, which inserts never
+    retouch (only a rebuild re-derives them — and a rebuild starts a new
+    generation); shard plans are cached per index version and bounded by
+    the caller's watermark.
+    """
+
+    def __init__(
+        self,
+        gen_id: int,
+        disk: StorageBackend,
+        table: SparseWideTable,
+        index: IVAFile,
+        system: MaintainedSystem,
+    ) -> None:
+        self.gen_id = gen_id
+        self.disk = disk
+        self.table = table
+        self.index = index
+        self.system = system
+        self.kernel_cache = KernelCache()
+        self.planner = ShardPlanner(index)
+        #: Committed watermark: scans bounded here see only committed data.
+        self.visible_elements = index.tuple_elements
+        self.visible_version = index.version
+        #: Readers currently pinning this generation (under ``_gen_lock``).
+        self.pins = 0
+
+
+class Snapshot:
+    """A pinned, consistent read view: one generation at one watermark."""
+
+    __slots__ = ("generation", "end_element", "version", "_manager", "_released")
+
+    def __init__(self, manager: "SnapshotManager", generation: Generation) -> None:
+        self.generation = generation
+        self.end_element = generation.visible_elements
+        self.version = generation.visible_version
+        self._manager = manager
+        self._released = False
+
+    def release(self) -> None:
+        """Unpin (idempotent); the generation may then be reclaimed."""
+        if not self._released:
+            self._released = True
+            self._manager._unpin(self.generation)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+
+class SnapshotManager:
+    """Generations, watermarks, and online compaction over one system."""
+
+    def __init__(
+        self,
+        disk: StorageBackend,
+        table: SparseWideTable,
+        index: IVAFile,
+        *,
+        table_name: str = "table",
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.table_name = table_name
+        self.registry = registry
+        self.tracer = tracer
+        self._write_lock = threading.Lock()
+        self._gen_lock = threading.Lock()
+        self._compacting = False
+        self._pinned = 0
+        system = MaintainedSystem(table, [index], registry=registry, tracer=tracer)
+        self._current = Generation(0, disk, table, index, system)
+        self._publish_generation_gauges()
+
+    def _metrics(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    # ------------------------------------------------------------- reading
+
+    def pin(self) -> Snapshot:
+        """Pin the current generation at its committed watermark.
+
+        Takes only ``_gen_lock`` — readers never contend with writers or
+        a running compaction.
+        """
+        with self._gen_lock:
+            gen = self._current
+            gen.pins += 1
+            self._pinned += 1
+            snapshot = Snapshot(self, gen)
+            self._publish_pin_gauge_locked()
+        return snapshot
+
+    def _unpin(self, generation: Generation) -> None:
+        with self._gen_lock:
+            generation.pins -= 1
+            self._pinned -= 1
+            self._publish_pin_gauge_locked()
+
+    @property
+    def current(self) -> Generation:
+        with self._gen_lock:
+            return self._current
+
+    @property
+    def compacting(self) -> bool:
+        with self._gen_lock:
+            return self._compacting
+
+    @property
+    def deleted_fraction(self) -> float:
+        """Dead-tuple fraction of the current generation."""
+        return self.current.system.deleted_fraction
+
+    # ------------------------------------------------------------- writing
+
+    def insert(self, values: Mapping[str, object]) -> int:
+        """Insert; returns the new tid.  Readers see it only once committed."""
+        with self._write_lock:
+            gen = self.current
+            tid = gen.system.insert(values)
+            self._advance_watermark(gen)
+        return tid
+
+    def delete(self, tid: int) -> None:
+        """Tombstone one tuple.
+
+        Deletes are read-committed, not snapshot-stable: tombstones are
+        checked per tuple at refine time against the shared tuple list, so
+        a reader pinned before the delete will drop the tuple too.  A
+        vanished tuple is always a *correct* miss — never a wrong answer —
+        which is the semantics the degrade path already guarantees.
+        """
+        with self._write_lock:
+            gen = self.current
+            gen.system.delete(tid)
+            self._advance_watermark(gen)
+
+    def update(self, tid: int, values: Mapping[str, object]) -> int:
+        """The paper's update (delete + insert); returns the fresh tid."""
+        with self._write_lock:
+            gen = self.current
+            new_tid = gen.system.update(tid, values)
+            self._advance_watermark(gen)
+        return new_tid
+
+    def _advance_watermark(self, gen: Generation) -> None:
+        """Commit point: expose the finished write to new snapshots."""
+        with self._gen_lock:
+            gen.visible_elements = gen.index.tuple_elements
+            gen.visible_version = gen.index.version
+        self._publish_generation_gauges()
+
+    # ---------------------------------------------------------- compaction
+
+    def compact(self) -> dict:
+        """Clone, rebuild, and swap: the β-cleaning of Sec. IV-B, online.
+
+        Raises :class:`CompactionInProgress` when one is already running.
+        Returns a summary dict (generation ids, dead tuples dropped,
+        duration).
+        """
+        with self._gen_lock:
+            if self._compacting:
+                raise CompactionInProgress("a compaction is already running")
+            self._compacting = True
+        started = time.perf_counter()
+        try:
+            with self._write_lock:
+                old = self.current
+                dead_before = old.table.dead_tuples
+                new_gen = self._clone_and_rebuild(old)
+                with self._gen_lock:
+                    self._current = new_gen
+        finally:
+            with self._gen_lock:
+                self._compacting = False
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        registry = self._metrics()
+        registry.counter(
+            "repro_serve_compactions_total",
+            help="Online compactions completed by the serving daemon.",
+        ).inc()
+        registry.histogram(
+            "repro_serve_compaction_ms",
+            help="Wall-clock duration of online compactions.",
+        ).observe(duration_ms)
+        self._publish_generation_gauges()
+        self._tracer().record(
+            "serve.compact",
+            duration_ms,
+            from_generation=old.gen_id,
+            to_generation=new_gen.gen_id,
+            dead_tuples_dropped=dead_before,
+            live_tuples=len(new_gen.table),
+        )
+        return {
+            "from_generation": old.gen_id,
+            "to_generation": new_gen.gen_id,
+            "dead_tuples_dropped": dead_before,
+            "live_tuples": len(new_gen.table),
+            "duration_ms": round(duration_ms, 3),
+        }
+
+    def maybe_compact(self, beta: float) -> bool:
+        """Compact iff the deleted fraction has reached β; True if it ran."""
+        if beta <= 0:
+            raise ValueError("cleaning trigger threshold β must be positive")
+        if self.deleted_fraction >= beta:
+            self.compact()
+            return True
+        return False
+
+    def _clone_and_rebuild(self, old: Generation) -> Generation:
+        """A rebuilt copy of *old* on a fresh backend; *old* is untouched."""
+        src = old.disk
+        new_disk = simulated_backend(getattr(src, "params", None))
+        for file_name in src.list_files():
+            size = src.size(file_name)
+            new_disk.create(file_name)
+            if size:
+                new_disk.append(file_name, src.read(file_name, 0, size))
+        table = SparseWideTable.attach(new_disk, self.table_name)
+        index = IVAFile.attach(table, old.index.config)
+        system = MaintainedSystem(
+            table, [index], registry=self.registry, tracer=self.tracer
+        )
+        system.rebuild()
+        return Generation(old.gen_id + 1, new_disk, table, index, system)
+
+    # -------------------------------------------------------------- gauges
+
+    def _publish_generation_gauges(self) -> None:
+        registry = self._metrics()
+        with self._gen_lock:
+            gen_id = self._current.gen_id
+            version = self._current.visible_version
+        registry.gauge(
+            "repro_serve_generation",
+            help="Current serving generation id (bumped by compaction).",
+        ).set(gen_id)
+        registry.gauge(
+            "repro_serve_snapshot_version",
+            help="Committed index version new snapshots pin.",
+        ).set(version)
+
+    def _publish_pin_gauge_locked(self) -> None:
+        # Called with _gen_lock held; counts pins across all generations
+        # (readers may still hold pre-compaction generations).
+        self._metrics().gauge(
+            "repro_serve_pinned_readers",
+            help="Reader snapshots currently pinned.",
+        ).set(self._pinned)

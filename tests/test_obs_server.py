@@ -171,6 +171,7 @@ class TestLiveWorkload:
         workload = WorkloadGenerator(small_dataset, seed=53)
         queries = [workload.sample_query(2) for _ in range(12)]
         stop = threading.Event()
+        first_done = threading.Event()
         errors = []
 
         def run_queries():
@@ -178,12 +179,16 @@ class TestLiveWorkload:
                 while not stop.is_set():
                     for query in queries:
                         engine.search(query, k=5)
+                        first_done.set()
             except Exception as exc:  # pragma: no cover - failure path
                 errors.append(exc)
 
         worker = threading.Thread(target=run_queries, daemon=True)
         with ObsServer(port=0, registry=registry).start() as srv:
             worker.start()
+            # The counter only exists once a search has landed; don't let
+            # the first scrape race the worker's first query.
+            assert first_done.wait(timeout=30)
             try:
                 for _ in range(10):
                     status, ctype, body = _get(srv.url + "/metrics")
