@@ -108,7 +108,11 @@ def check_kernel_sidecar(snapshot: dict, csv_rows: list) -> list:
     diverges is a correctness bug the smoke gate has to catch.
     """
     problems = check_snapshot(snapshot)
-    for name in ("repro_kernel_compiles_total", "repro_kernel_blocks_total"):
+    for name in (
+        "repro_kernel_compiles_total",
+        "repro_kernel_blocks_total",
+        "repro_kernel_segments_total",
+    ):
         values = [c["value"] for c in snapshot.get("counters", ()) if c["name"] == name]
         if not values:
             problems.append(f"missing counter {name!r}")
@@ -254,7 +258,7 @@ def main() -> int:
         f"metrics OK: {counters} counters, {gauges} gauges, "
         f"{histograms} histograms, all finite; codec-compare sidecar OK "
         f"({len(codec_rows)} codecs, answers identical); kernel-compare "
-        f"sidecar OK ({len(kernel_rows)} runs, block == scalar); "
+        f"sidecar OK ({len(kernel_rows)} runs, block/v3 == scalar); "
         f"fault-sweep sidecar OK ({len(fault_rows)} cells, none silently wrong)"
     )
     return 0

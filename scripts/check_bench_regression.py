@@ -132,6 +132,11 @@ def run_smoke_bench() -> dict:
             dataset=DatasetConfig(num_tuples=300, num_attributes=40, seed=7)
         )
         stats = run_query_set(env.iva_engine(), env.query_set(3), k=10)
+        # A v3 pass rides along so the kernel-v3 access counters (segment
+        # decodes, batched-refine funnel) are pinned by the baseline too.
+        run_query_set(
+            env.iva_engine(kernel="v3"), env.query_set(3), k=10, label="iVA v3"
+        )
         emit_table(
             "smoke_bench",
             "Sentinel: tiny deterministic bench run",

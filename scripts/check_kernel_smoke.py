@@ -1,17 +1,17 @@
 #!/usr/bin/env python
-"""Smoke-check the block filter kernel: scalar and block answers match.
+"""Smoke-check the filter kernels: scalar, block and v3 answers match.
 
 Builds a small synthetic table, indexes it once per registered codec
-family, and cross-checks that the block kernel's top-k answers are
-bit-identical to the scalar filter's on every path the kernel is wired
-through:
+family, and cross-checks that the block and v3 kernels' top-k answers
+are bit-identical to the scalar filter's on every path the kernels are
+wired through:
 
 * the sequential engine at 1 worker;
 * the parallel executor at 4 workers (compiled kernel shared across the
-  shard threads);
+  shard threads; the v3 run also exercises the page-batched refiner);
 * the batch engine (one compiled artifact shared across the batch).
 
-The kernel's lookup tables are built from the exact scalar bound
+The kernels' lookup tables are built from the exact scalar bound
 routines, so any divergence — including on ndf tuples and clamped
 out-of-domain numeric values — is a correctness bug, not a tolerance.
 
@@ -25,6 +25,7 @@ import sys
 WORKERS = 4
 QUERIES = 12
 K = 10
+KERNELS = ("block", "v3")
 
 
 def main() -> int:
@@ -61,27 +62,32 @@ def main() -> int:
             table, IVAConfig(name=f"kernel_smoke_{codec}", codec=codec)
         )
         baseline = answers(IVAEngine(table, index, kernel="scalar"))
-        paths = {
-            "sequential": IVAEngine(table, index, kernel="block"),
-            f"parallel x{WORKERS}": IVAEngine(
-                table,
-                index,
-                kernel="block",
-                executor=ExecutorConfig(workers=WORKERS),
-            ),
-        }
-        for label, engine in paths.items():
+        for kernel in KERNELS:
+            paths = {
+                "sequential": IVAEngine(table, index, kernel=kernel),
+                f"parallel x{WORKERS}": IVAEngine(
+                    table,
+                    index,
+                    kernel=kernel,
+                    executor=ExecutorConfig(workers=WORKERS),
+                ),
+            }
+            for label, engine in paths.items():
+                checked += 1
+                if answers(engine) != baseline:
+                    problems.append(
+                        f"{codec}: {kernel} {label} answers differ from scalar"
+                    )
+            batch = BatchIVAEngine(table, index, kernel=kernel)
+            batch_answers = [
+                [(r.tid, r.distance) for r in report.results]
+                for report in batch.search_batch(queries, k=K)
+            ]
             checked += 1
-            if answers(engine) != baseline:
-                problems.append(f"{codec}: block {label} answers differ from scalar")
-        batch = BatchIVAEngine(table, index, kernel="block")
-        batch_answers = [
-            [(r.tid, r.distance) for r in report.results]
-            for report in batch.search_batch(queries, k=K)
-        ]
-        checked += 1
-        if batch_answers != baseline:
-            problems.append(f"{codec}: block batch answers differ from scalar")
+            if batch_answers != baseline:
+                problems.append(
+                    f"{codec}: {kernel} batch answers differ from scalar"
+                )
 
     if problems:
         for problem in problems:
@@ -89,7 +95,7 @@ def main() -> int:
         return 1
     print(
         f"kernel smoke OK: {len(CODEC_NAMES)} codecs x {len(queries)} queries, "
-        f"block == scalar on {checked} engine paths "
+        f"{' and '.join(KERNELS)} == scalar on {checked} engine paths "
         f"(sequential, x{WORKERS} parallel, batch)"
     )
     return 0

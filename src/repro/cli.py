@@ -27,9 +27,11 @@ bench environment and emits a worker-count-vs-latency table.
 
 Filter kernel: ``--kernel block`` on ``query``/``compare``/``workload``
 switches the filter phase to the block-at-a-time kernel with
-query-compiled lookup tables (see docs/architecture.md); answers are
-bit-identical to the default scalar path.  ``repro bench kernel-compare``
-races the two kernels on both codecs and fails on any top-k divergence.
+query-compiled lookup tables (see docs/architecture.md); ``--kernel v3``
+adds whole-segment columnar decode, zero-copy mmap reads and page-batched
+refinement on top.  Answers are bit-identical to the default scalar path
+in every mode.  ``repro bench kernel-compare`` races all three kernels on
+both codecs and fails on any top-k divergence.
 
 Resilience: ``--fail-mode degrade`` on ``query``/``compare``/``workload``
 lets a query survive shard failures with an explicitly flagged partial
@@ -97,9 +99,10 @@ def _add_kernel_flag(subparser: argparse.ArgumentParser) -> None:
         "--kernel",
         default="scalar",
         choices=list(KERNEL_MODES),
-        help="filter evaluation strategy: scalar (per-tuple) or block "
-        "(block-at-a-time with query-compiled lookup tables); answers "
-        "are identical",
+        help="filter evaluation strategy: scalar (per-tuple), block "
+        "(block-at-a-time with query-compiled lookup tables) or v3 "
+        "(whole-segment columnar decode with page-batched refine); "
+        "answers are identical",
     )
 
 
@@ -761,7 +764,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ]
         if broken:
             raise ReproError(
-                f"block kernel diverged from scalar answers on: {broken}"
+                f"block/v3 kernels diverged from scalar answers on: {broken}"
             )
         return 0
 

@@ -28,7 +28,7 @@ import bisect
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.numeric import NumericQuantizer
-from repro.core.scan import ResumePoint, VectorListScanner
+from repro.core.scan import ResumePoint, SkipTable, VectorListScanner
 from repro.core.signature import SignatureScheme
 from repro.core.vector_lists import ListType, NumericListSizes, TextListSizes
 from repro.errors import IndexError_
@@ -294,10 +294,13 @@ class VectorListCodec:
         reader,
         scheme: SignatureScheme,
         resume: ResumePoint,
+        skip: Optional[SkipTable] = None,
     ) -> VectorListScanner:
         """A scanning pointer over a text list, starting at *resume*.
 
         The reader must already be positioned at ``resume.offset``.
+        *skip* is an optional advisory :class:`~repro.core.scan.SkipTable`;
+        codecs whose scanners cannot use it simply ignore it.
         """
         raise NotImplementedError
 
@@ -307,9 +310,29 @@ class VectorListCodec:
         reader,
         quantizer: NumericQuantizer,
         resume: ResumePoint,
+        skip: Optional[SkipTable] = None,
     ) -> VectorListScanner:
         """A scanning pointer over a numeric list, starting at *resume*."""
         raise NotImplementedError
+
+    # ------------------------------------------------------- skip tables
+
+    def skip_table(
+        self,
+        list_type: ListType,
+        is_text: bool,
+        scheme_or_quantizer,
+        entries,
+        all_tids: Sequence[int],
+    ) -> Optional[SkipTable]:
+        """Per-segment tid fences for a freshly built list, or ``None``.
+
+        Computed at rebuild time from the entries just serialized (pure
+        arithmetic, no payload parsing).  The default declines: a codec
+        only opts in where byte offsets of element boundaries are
+        derivable without decoding (the raw fixed-width family).
+        """
+        return None
 
     # ---------------------------------------------------- sync directory
 

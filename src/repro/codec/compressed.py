@@ -44,12 +44,15 @@ from repro.codec.base import (
     tid_resume_points,
     uvarint_len,
 )
+from repro.core import fastpath
 from repro.core.numeric import NumericQuantizer
 from repro.core.scan import (
     NumericTypeIVScanner,
     ResumePoint,
+    SkipTable,
     VectorListScanner,
 )
+from repro.core.segment import ColumnSegment, NumericSegment, TextSegment
 from repro.core.signature import Signature, SignatureScheme
 from repro.core.vector_lists import (
     ListType,
@@ -139,6 +142,30 @@ class CompressedTextTypeIScanner(_DeltaTidScanner):
             column.append(pairs)
         return column
 
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: one flat signature run for the whole block."""
+        if fastpath._np is None:
+            return ColumnSegment(self.move_block(tids))
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        slots: List[int] = []
+        lengths: List[int] = []
+        bits: List[int] = []
+        unique = 0
+        for i, tid in enumerate(tids):
+            first = True
+            while self._pending is not None and self._pending <= tid:
+                pair = read_raw(reader)
+                if self._pending == tid:
+                    if first:
+                        unique += 1
+                        first = False
+                    slots.append(i)
+                    lengths.append(pair[0])
+                    bits.append(pair[1])
+                self._load_next()
+        return TextSegment(len(tids), slots, lengths, bits, unique)
+
 
 class CompressedTextTypeIIScanner(_DeltaTidScanner):
     """Gap-coded Type II text: ``uv(gap) ‖ uv(count) ‖ signatures``."""
@@ -177,6 +204,35 @@ class CompressedTextTypeIIScanner(_DeltaTidScanner):
             column.append(pairs or None)
         return column
 
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: one flat signature run for the whole block."""
+        if fastpath._np is None:
+            return ColumnSegment(self.move_block(tids))
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        slots: List[int] = []
+        lengths: List[int] = []
+        bits: List[int] = []
+        unique = 0
+        for i, tid in enumerate(tids):
+            first = True
+            while self._pending is not None and self._pending <= tid:
+                count = read_uvarint(reader)
+                if self._pending == tid:
+                    if first and count:
+                        unique += 1
+                        first = False
+                    for _ in range(count):
+                        pair = read_raw(reader)
+                        slots.append(i)
+                        lengths.append(pair[0])
+                        bits.append(pair[1])
+                else:
+                    for _ in range(count):
+                        read_raw(reader)
+                self._load_next()
+        return TextSegment(len(tids), slots, lengths, bits, unique)
+
 
 class CompressedNumericTypeIScanner(_DeltaTidScanner):
     """Gap-coded Type I numeric: ``uv(gap) ‖ code``."""
@@ -211,6 +267,26 @@ class CompressedNumericTypeIScanner(_DeltaTidScanner):
                 self._load_next()
             column.append(out)
         return column
+
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: same varint walk, codes scattered into arrays."""
+        np = fastpath._np
+        if np is None:
+            return ColumnSegment(self.move_block(tids))
+        width = self._quantizer.vector_bytes
+        decode = self._quantizer.decode_bytes
+        reader = self._reader
+        count = len(tids)
+        codes = np.zeros(count, dtype=np.int64)
+        defined = np.zeros(count, dtype=bool)
+        for i, tid in enumerate(tids):
+            while self._pending is not None and self._pending <= tid:
+                code = decode(reader.read(width))
+                if self._pending == tid:
+                    codes[i] = code
+                    defined[i] = True
+                self._load_next()
+        return NumericSegment(codes, defined)
 
 
 class CompressedTextTypeIIIScanner(VectorListScanner):
@@ -280,6 +356,37 @@ class CompressedTextTypeIIIScanner(VectorListScanner):
             self._load_next()
             column.append(decoded or None)
         return column
+
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: sparse positional walk into one flat run."""
+        if fastpath._np is None:
+            return ColumnSegment(self.move_block(tids))
+        read_raw = self._scheme.read_raw
+        reader = self._reader
+        slots: List[int] = []
+        lengths: List[int] = []
+        bits: List[int] = []
+        unique = 0
+        for i in range(len(tids)):
+            position = self._position
+            self._position += 1
+            if self._pending is None or self._pending > position:
+                continue
+            if self._pending < position:
+                raise IndexError_(
+                    "compressed Type III list fell behind the tuple list — "
+                    "the index is inconsistent with its table"
+                )
+            count = read_uvarint(reader)
+            if count:
+                unique += 1
+                for _ in range(count):
+                    pair = read_raw(reader)
+                    slots.append(i)
+                    lengths.append(pair[0])
+                    bits.append(pair[1])
+            self._load_next()
+        return TextSegment(len(tids), slots, lengths, bits, unique)
 
     def checkpoint_offset(self) -> int:
         """Start of the pending element (gap varint re-read on resume)."""
@@ -512,8 +619,13 @@ class CompressedCodec(VectorListCodec):
         reader,
         scheme: SignatureScheme,
         resume: ResumePoint,
+        skip: Optional[SkipTable] = None,
     ) -> VectorListScanner:
-        """A scanning pointer over a text list, starting at *resume*."""
+        """A scanning pointer over a text list, starting at *resume*.
+
+        *skip* is accepted for interface parity and ignored: delta-coded
+        elements cannot be jumped over without losing the decoding base.
+        """
         if list_type is ListType.TYPE_I:
             return CompressedTextTypeIScanner(reader, scheme, resume)
         if list_type is ListType.TYPE_II:
@@ -526,6 +638,7 @@ class CompressedCodec(VectorListCodec):
         reader,
         quantizer: NumericQuantizer,
         resume: ResumePoint,
+        skip: Optional[SkipTable] = None,
     ) -> VectorListScanner:
         """A scanning pointer over a numeric list, starting at *resume*."""
         if list_type is ListType.TYPE_I:

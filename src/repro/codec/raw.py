@@ -26,10 +26,12 @@ from repro.codec.base import (
 from repro.core.numeric import NumericQuantizer
 from repro.core.scan import (
     NUM_BYTES,
+    SKIP_SEGMENT_ELEMENTS,
     TID_BYTES,
     NumericTypeIScanner,
     NumericTypeIVScanner,
     ResumePoint,
+    SkipTable,
     TextTypeIScanner,
     TextTypeIIScanner,
     TextTypeIIIScanner,
@@ -164,12 +166,13 @@ class RawCodec(VectorListCodec):
         reader,
         scheme: SignatureScheme,
         resume: ResumePoint,
+        skip: Optional[SkipTable] = None,
     ) -> VectorListScanner:
         """A scanning pointer over a text list, starting at *resume*."""
         if list_type is ListType.TYPE_I:
-            return TextTypeIScanner(reader, scheme)
+            return TextTypeIScanner(reader, scheme, skip)
         if list_type is ListType.TYPE_II:
-            return TextTypeIIScanner(reader, scheme)
+            return TextTypeIIScanner(reader, scheme, skip)
         return TextTypeIIIScanner(reader, scheme)
 
     def numeric_scanner(
@@ -178,11 +181,77 @@ class RawCodec(VectorListCodec):
         reader,
         quantizer: NumericQuantizer,
         resume: ResumePoint,
+        skip: Optional[SkipTable] = None,
     ) -> VectorListScanner:
         """A scanning pointer over a numeric list, starting at *resume*."""
         if list_type is ListType.TYPE_I:
-            return NumericTypeIScanner(reader, quantizer)
+            return NumericTypeIScanner(reader, quantizer, skip)
         return NumericTypeIVScanner(reader, quantizer)
+
+    # ------------------------------------------------------- skip tables
+
+    def skip_table(
+        self,
+        list_type: ListType,
+        is_text: bool,
+        scheme_or_quantizer,
+        entries,
+        all_tids: Sequence[int],
+    ) -> Optional[SkipTable]:
+        """Per-segment tid fences for tid-based layouts (Types I and II).
+
+        Fixed-width elements make segment byte offsets computable from the
+        entries alone — the same arithmetic the resume-point directory
+        uses.  Positional layouts identify by position, not tid, so a tid
+        fence buys nothing there and ``None`` is returned.
+        """
+        if is_text:
+            if list_type is ListType.TYPE_I:
+                element_widths = [
+                    (tid, TID_BYTES + scheme_or_quantizer.vector_byte_size(s))
+                    for tid, strings in entries
+                    for s in strings
+                ]
+            elif list_type is ListType.TYPE_II:
+                element_widths = [
+                    (
+                        tid,
+                        TID_BYTES
+                        + NUM_BYTES
+                        + sum(
+                            scheme_or_quantizer.vector_byte_size(s)
+                            for s in strings
+                        ),
+                    )
+                    for tid, strings in entries
+                ]
+            else:
+                return None
+        else:
+            if list_type is not ListType.TYPE_I:
+                return None
+            width = TID_BYTES + scheme_or_quantizer.vector_bytes
+            element_widths = [(tid, width) for tid, _ in entries]
+        if len(element_widths) <= SKIP_SEGMENT_ELEMENTS:
+            return None
+        first_tids: List[int] = []
+        last_tids: List[int] = []
+        offsets: List[int] = []
+        offset = 0
+        for index, (tid, width) in enumerate(element_widths):
+            if index % SKIP_SEGMENT_ELEMENTS == 0:
+                first_tids.append(tid)
+                offsets.append(offset)
+                last_tids.append(tid)
+            else:
+                last_tids[-1] = tid
+            offset += width
+        return SkipTable(
+            first_tids=tuple(first_tids),
+            last_tids=tuple(last_tids),
+            offsets=tuple(offsets),
+            end_offset=offset,
+        )
 
     # ---------------------------------------------------- sync directory
 

@@ -184,7 +184,7 @@ class BatchIVAEngine:
         kernels: Optional[List[QueryKernel]] = None
         encoders = {}
         quantizers = {}
-        if self.kernel == "block":
+        if self.kernel in ("block", "v3"):
             # One shared compiled artifact for the whole batch: queries
             # naming the same term reuse one set of gram masks and lookup
             # tables (and the per-block column cache keys on that identity).
@@ -231,16 +231,26 @@ class BatchIVAEngine:
                         raise DeadlineExceeded(
                             f"batch deadline expired after tid {last_tid}"
                         )
-                    columns = scan.payload_blocks(tids)
                     count = len(tids)
-                    if collectors is not None:
-                        for collector in collectors:
-                            collector.on_block(columns, count)
                     block_cache: dict = {}
-                    evaluated = [
-                        kern.evaluate_block(columns, count, block_cache)
-                        for kern in kernels
-                    ]
+                    if self.kernel == "v3":
+                        segments = scan.segment_blocks(tids)
+                        if collectors is not None:
+                            for collector in collectors:
+                                collector.on_segments(segments, count)
+                        evaluated = [
+                            kern.evaluate_segments(segments, count, block_cache)
+                            for kern in kernels
+                        ]
+                    else:
+                        columns = scan.payload_blocks(tids)
+                        if collectors is not None:
+                            for collector in collectors:
+                                collector.on_block(columns, count)
+                        evaluated = [
+                            kern.evaluate_block(columns, count, block_cache)
+                            for kern in kernels
+                        ]
                     for i in range(count):
                         if ptrs[i] == DELETED_PTR:
                             continue

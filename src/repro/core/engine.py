@@ -52,6 +52,12 @@ FilterItem = Tuple[int, List[float], bool]
 #: Accepted values of the engines' ``fail_mode`` knob.
 FAIL_MODES = ("raise", "degrade")
 
+#: Candidates buffered between page-ordered refine flushes (v3 kernel).
+#: Candidacy is re-checked at flush against the then-current pool, so
+#: deferral never admits a tuple the inline path would have pruned — it
+#: only sorts the surviving table reads by page before issuing them.
+REFINE_BATCH = 64
+
 
 def validate_fail_mode(mode: str) -> str:
     """Validate a ``fail_mode`` value (``"raise"`` or ``"degrade"``)."""
@@ -480,6 +486,39 @@ class FilterAndRefineEngine(ABC):
             refine_io = 0.0
             refine_wall = 0.0
 
+            # Page-batched refine (v3): buffer surviving candidates and
+            # issue their table reads sorted by file offset.  Deferred
+            # tuples are re-checked against the pool at flush; losing the
+            # re-check implies the tuple cannot be in the final top-k
+            # (actual >= estimate >= pool worst under the (distance, tid)
+            # tie order), so the answer set is identical to inline refine.
+            batched = self.kernel == "v3"
+            refine_batch: List[Tuple[int, float]] = []
+            locate = self.table.locate
+
+            def flush_refines() -> None:
+                nonlocal refine_io, refine_wall
+                if not refine_batch:
+                    return
+                pending = sorted(refine_batch, key=lambda item: locate(item[0])[0])
+                refine_batch.clear()
+                for tid, estimated in pending:
+                    if not pool.is_candidate(estimated, tid):
+                        if collector is not None:
+                            collector.on_pruned()
+                        continue
+                    refine_io_before = disk.stats.io_time_ms
+                    refine_wall_before = time.perf_counter()
+                    record = self.table.read(tid)
+                    actual = dist.actual(query, record)
+                    pool.insert(tid, actual)
+                    refine_io += disk.stats.io_time_ms - refine_io_before
+                    refine_wall += time.perf_counter() - refine_wall_before
+                    report.table_accesses += 1
+                    if collector is not None:
+                        collector.on_candidate()
+                        collector.on_refined(estimated, actual)
+
             last_tid = -1
             try:
                 for tid, estimated, exact in self._filter_estimates(query, dist):
@@ -499,6 +538,11 @@ class FilterAndRefineEngine(ABC):
                         if collector is not None:
                             collector.on_pruned()
                         continue
+                    if batched:
+                        refine_batch.append((tid, estimated))
+                        if len(refine_batch) >= REFINE_BATCH:
+                            flush_refines()
+                        continue
                     refine_io_before = disk.stats.io_time_ms
                     refine_wall_before = time.perf_counter()
                     record = self.table.read(tid)
@@ -510,6 +554,7 @@ class FilterAndRefineEngine(ABC):
                     if collector is not None:
                         collector.on_candidate()
                         collector.on_refined(estimated, actual)
+                flush_refines()
             except ReproError as exc:
                 if self.fail_mode != "degrade":
                     raise
@@ -523,6 +568,12 @@ class FilterAndRefineEngine(ABC):
                     last_tid,
                     exc,
                 )
+                try:
+                    # Best effort: candidates found before the failure are
+                    # still refined (the docstring's degraded-answer promise).
+                    flush_refines()
+                except ReproError:
+                    logger.warning("degraded refine flush failed; dropping batch")
             finally:
                 self._collector = None
 
@@ -621,9 +672,10 @@ class IVAEngine(FilterAndRefineEngine):
         (accumulated into one ``kernel.block`` span).  Estimates are
         bit-identical to the scalar path and arrive in the same tid order.
         """
-        if self.kernel != "block":
+        if self.kernel not in ("block", "v3"):
             yield from super()._filter_estimates(query, distance)
             return
+        use_v3 = self.kernel == "v3"
         attr_ids = query.attribute_ids()
         scan = self.index.open_scan(attr_ids, end_element=self.scan_end_element)
         tracer = self._tracer()
@@ -645,15 +697,24 @@ class IVAEngine(FilterAndRefineEngine):
         ).inc()
         blocks = 0
         tuples = 0
+        segments_total = 0
         block_wall = 0.0
         collector = self._collector
         for tids, ptrs in scan.blocks(BLOCK_TUPLES):
             block_start = time.perf_counter()
-            columns = scan.payload_blocks(tids)
-            estimates, exacts = compiled.evaluate_block(columns, len(tids))
+            if use_v3:
+                segments = scan.segment_blocks(tids)
+                estimates, exacts = compiled.evaluate_segments(segments, len(tids))
+            else:
+                columns = scan.payload_blocks(tids)
+                estimates, exacts = compiled.evaluate_block(columns, len(tids))
             block_wall += time.perf_counter() - block_start
             blocks += 1
-            if collector is not None:
+            if use_v3:
+                segments_total += len(segments)
+                if collector is not None:
+                    collector.on_segments(segments, len(tids))
+            elif collector is not None:
                 collector.on_block(columns, len(tids))
             for i, tid in enumerate(tids):
                 if ptrs[i] == DELETED_PTR:
@@ -666,3 +727,9 @@ class IVAEngine(FilterAndRefineEngine):
             labels={"engine": self.name},
             help="Tuple-list blocks decoded and evaluated by the block kernel.",
         ).inc(blocks)
+        if use_v3:
+            registry.counter(
+                "repro_kernel_segments_total",
+                labels={"engine": self.name},
+                help="Vector-list segments decoded columnar by the v3 kernel.",
+            ).inc(segments_total)

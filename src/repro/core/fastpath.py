@@ -18,7 +18,8 @@ columns with ndf gaps fall back to the scalar loop.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import logging
+from typing import List, Optional, Sequence
 
 from repro.core.numeric import NumericQuantizer
 
@@ -27,10 +28,16 @@ try:  # pragma: no cover - exercised implicitly by both branches' tests
 except ImportError:  # pragma: no cover
     _np = None
 
+logger = logging.getLogger(__name__)
+
 #: Below this many values the numpy round-trip costs more than it saves.
 _BATCH_THRESHOLD = 64
 
 _DTYPES = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+#: One-shot flag so the wide-code scalar fallback announces itself once
+#: per process instead of once per column.
+_wide_code_logged = False
 
 
 def numpy_available() -> bool:
@@ -42,9 +49,21 @@ def encode_numeric_batch(
     quantizer: NumericQuantizer, values: Sequence[float]
 ) -> List[int]:
     """Slice codes for *values*, identical to ``quantizer.encode`` per value."""
-    # Wide codes (8-byte: 2^64 slices) overflow int64 and exceed float64
-    # integer precision; the scalar path handles them with Python bigints.
-    if _np is None or len(values) < _BATCH_THRESHOLD or quantizer.vector_bytes > 4:
+    # Wide codes (> 4 bytes: up to 2^64 slices) overflow int64 and exceed
+    # float64 integer precision; the scalar path handles them with Python
+    # bigints.
+    if quantizer.vector_bytes > 4:
+        global _wide_code_logged
+        if not _wide_code_logged:
+            _wide_code_logged = True
+            logger.debug(
+                "encode_numeric_batch: vector_bytes=%d exceeds the 4-byte "
+                "vectorisation boundary (codes would lose float64 integer "
+                "precision); falling back to scalar encode",
+                quantizer.vector_bytes,
+            )
+        return [quantizer.encode(v) for v in values]
+    if _np is None or len(values) < _BATCH_THRESHOLD:
         return [quantizer.encode(v) for v in values]
     arr = _np.asarray(values, dtype=_np.float64)
     top = quantizer.num_slices - 1
@@ -102,3 +121,89 @@ def gather_bounds(lut, column: Sequence[object], out: List[float], exact: List[b
     out[:] = lut[codes].tolist()
     exact[:] = [False] * len(column)
     return True
+
+
+def dtype_for_width(vector_bytes: int) -> Optional[str]:
+    """The little-endian unsigned dtype code for a vector width, or None.
+
+    Odd widths (3, 5, 6, 7 bytes — legal quantizer geometries) have no
+    numpy scalar type; segment decoders fall back to the scalar walk for
+    them, which keeps correctness while the common widths vectorise.
+    """
+    return _DTYPES.get(vector_bytes)
+
+
+def gather_bounds_array(lut, codes, defined, ndf_penalty: float):
+    """Array-wide LUT gather over a whole decoded segment.
+
+    The v3 counterpart of :func:`gather_bounds`: *codes*/*defined* are the
+    parallel arrays of a :class:`~repro.core.segment.NumericSegment` and
+    the result is a float64 bound column with ``ndf_penalty`` at every
+    undefined slot.  ``lut`` holds the scalar table's exact doubles, so
+    each gathered bound is bit-identical to ``table[code]``.  Returns
+    ``None`` when numpy is unavailable.
+    """
+    if _np is None or lut is None:
+        return None
+    safe = _np.where(defined, codes, 0)
+    out = lut[safe]
+    out[~defined] = ndf_penalty
+    return out
+
+
+def text_min_scatter(count: int, slots, values, defined, ndf_penalty: float):
+    """Per-slot minimum of a flat text-bound run, as a float64 column.
+
+    *slots* is a non-decreasing index array and *values* the matching
+    per-signature bounds; the result keeps each slot's minimum bound (the
+    scalar walk's multi-string rule) and ``ndf_penalty`` where no
+    signature landed.  Minimum over the same multiset of exact doubles is
+    order-independent, so the column is bit-identical to the scalar
+    ``bound_column``.  Returns ``None`` when numpy is unavailable.
+    """
+    if _np is None:
+        return None
+    out = _np.full(count, ndf_penalty, dtype=_np.float64)
+    if len(values):
+        best = _np.full(count, _np.inf, dtype=_np.float64)
+        vals = _np.asarray(values, dtype=_np.float64)
+        _np.minimum.at(best, slots, vals)
+        out[defined] = best[defined]
+    return out
+
+
+def combine_columns(metric_kind: Optional[str], weights, columns, count: int):
+    """Vectorised distance combine over per-term bound columns.
+
+    *metric_kind* names one of the built-in metrics (``"L1"``, ``"L2"``,
+    ``"Linf"``) whose combine rules have exact array equivalents:
+
+    * L1 — ``sum()`` over a list is the same left-to-right float addition
+      chain as repeated ``+=`` on a zero accumulator;
+    * L2 — squares accumulate in term order (``d*d``, not ``**2``) and
+      ``np.sqrt`` is IEEE correctly-rounded like ``math.sqrt``;
+    * Linf — a pairwise ``maximum`` chain computes the same maximum.
+
+    Any other metric returns ``None`` and the caller falls back to the
+    scalar per-element ``combine``.  Returns ``None`` when numpy is
+    unavailable.
+    """
+    if _np is None or metric_kind is None:
+        return None
+    if metric_kind == "L1":
+        acc = _np.zeros(count, dtype=_np.float64)
+        for weight, column in zip(weights, columns):
+            acc += weight * column
+        return acc
+    if metric_kind == "L2":
+        acc = _np.zeros(count, dtype=_np.float64)
+        for weight, column in zip(weights, columns):
+            weighted = weight * column
+            acc += weighted * weighted
+        return _np.sqrt(acc)
+    if metric_kind == "Linf":
+        acc = weights[0] * columns[0]
+        for weight, column in zip(weights[1:], columns[1:]):
+            acc = _np.maximum(acc, weight * column)
+        return acc
+    return None

@@ -51,7 +51,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro.codec import VectorListCodec, codec_for_code, get_codec
 from repro.codec.base import list_last_key as _list_last_key
 from repro.core.numeric import NumericQuantizer, vector_bytes_for_alpha
-from repro.core.scan import ResumePoint, VectorListScanner
+from repro.core.scan import ResumePoint, SkipTable, VectorListScanner
 from repro.core.signature import SignatureScheme
 from repro.core.tuple_list import DELETED_PTR, TupleList
 from repro.core.vector_lists import ListType
@@ -220,6 +220,12 @@ class IVAFile:
         self._sync_positions: List[int] = []
         self._sync_offsets: Dict[int, List[ResumePoint]] = {}
         self._sync_active = False
+        # Per-attribute skip tables (raw tid-based lists only): segment tid
+        # fences built at rebuild so a frozen pointer can jump dead runs.
+        # Appends keep a table valid — appended tids are strictly larger
+        # than every fenced tid, so jumps never overshoot into new bytes —
+        # but a rebuilt list gets a fresh table.  Absent on attach.
+        self._skip_tables: Dict[int, SkipTable] = {}
         if not self.disk.exists(self.attrs_file):
             self.disk.create(self.attrs_file)
 
@@ -382,6 +388,7 @@ class IVAFile:
         self._sync_positions = list(range(0, len(all_tids), SYNC_INTERVAL))
         self._sync_offsets = {}
         self._sync_active = True
+        self._skip_tables = {}
 
         from repro.obs import get_tracer
 
@@ -406,6 +413,7 @@ class IVAFile:
                 self._sync_offsets[attr.attr_id] = self._entry_resume_points(
                     entry, bucket, all_tids, self._sync_positions
                 )
+                self._refresh_skip_table(entry, bucket, all_tids)
         self._entries = entries
 
         # Tuple list.
@@ -518,6 +526,32 @@ class IVAFile:
                 {"codec": codec.name},
                 help="Vector-list bytes avoided vs. the raw codec family.",
             ).inc(saved)
+
+    def _refresh_skip_table(
+        self,
+        entry: AttributeEntry,
+        bucket: Sequence[Tuple[int, object]],
+        all_tids: Sequence[int],
+    ) -> None:
+        """Recompute one attribute's skip table after its list was built.
+
+        Pure arithmetic over the entries just serialized (like the sync
+        directory).  Codecs decline for layouts whose element offsets are
+        not derivable without decoding, in which case any stale table is
+        dropped.
+        """
+        attr_id = entry.attr.attr_id
+        skip = entry.codec_impl.skip_table(
+            entry.list_type,
+            entry.attr.is_text,
+            entry.scheme if entry.attr.is_text else entry.quantizer,
+            bucket,
+            all_tids,
+        )
+        if skip is None:
+            self._skip_tables.pop(attr_id, None)
+        else:
+            self._skip_tables[attr_id] = skip
 
     def _entry_resume_points(
         self,
@@ -732,6 +766,7 @@ class IVAFile:
             self.disk.append(file_name, payload)
         self._entries[attr_id] = new_entry
         self._rewrite_attr_element(attr_id)
+        self._refresh_skip_table(new_entry, bucket, all_tids)
         if self._sync_active:
             self._sync_offsets[attr_id] = self._entry_resume_points(
                 new_entry, bucket, all_tids, self._sync_positions
@@ -830,10 +865,13 @@ class IVAFile:
             return _NullScanner()
         codec = entry.codec_impl
         reader = BufferedReader(self.disk, self.vector_file(attr_id), resume.offset)
+        skip = self._skip_tables.get(attr_id)
         if entry.attr.is_text:
-            return codec.text_scanner(entry.list_type, reader, entry.scheme, resume)
+            return codec.text_scanner(
+                entry.list_type, reader, entry.scheme, resume, skip=skip
+            )
         return codec.numeric_scanner(
-            entry.list_type, reader, entry.quantizer, resume
+            entry.list_type, reader, entry.quantizer, resume, skip=skip
         )
 
 
@@ -880,3 +918,12 @@ class IVAScan:
         """Drive every scanner through one block; one payload column per
         attribute, aligned with ``attr_ids``."""
         return [scanner.move_block(tids) for scanner in self.scanners]
+
+    def segment_blocks(self, tids: Sequence[int]) -> List[object]:
+        """Drive every scanner through one block, columnar (v3 kernel).
+
+        One :mod:`repro.core.segment` object per attribute, aligned with
+        ``attr_ids``.  A scan must use either this or the scalar entry
+        points, never both — segment decoders may hold read-ahead state.
+        """
+        return [scanner.decode_segment(tids) for scanner in self.scanners]

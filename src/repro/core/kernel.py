@@ -40,7 +40,12 @@ from repro.core.ngram import estimate_from_hits
 from repro.core.numeric import EAGER_LUT_MAX_CODES, NumericQuantizer
 from repro.core.signature import QueryStringEncoder
 from repro.errors import QueryError
-from repro.metrics.distance import DistanceFunction
+from repro.metrics.distance import (
+    DistanceFunction,
+    L1Metric,
+    L2Metric,
+    LInfMetric,
+)
 from repro.query import Query
 
 #: Tuple-list elements evaluated per kernel call.  One block of the default
@@ -48,8 +53,27 @@ from repro.query import Query
 #: buffered-reader chunk, so blocking changes call counts, not I/O.
 BLOCK_TUPLES = 256
 
-#: Valid filter-kernel modes on engines and the CLI's ``--kernel`` flag.
-KERNEL_MODES = ("scalar", "block")
+#: Valid filter-kernel modes on engines and the CLI's ``--kernel`` flag:
+#: ``scalar`` (per-tuple), ``block`` (per-block columns, PR 4) and ``v3``
+#: (whole-segment columnar decode + array-wide evaluation).
+KERNEL_MODES = ("scalar", "block", "v3")
+
+
+def _metric_kind(metric) -> Optional[str]:
+    """The exact-vectorisable metric family, or None for custom metrics.
+
+    ``type(...) is`` on purpose: a subclass may override ``combine``, and
+    only the built-in combine rules have proven bit-identical array
+    equivalents (:func:`repro.core.fastpath.combine_columns`).
+    """
+    kind = type(metric)
+    if kind is L1Metric:
+        return "L1"
+    if kind is L2Metric:
+        return "L2"
+    if kind is LInfMetric:
+        return "Linf"
+    return None
 
 
 def validate_kernel_mode(mode: str) -> str:
@@ -137,6 +161,37 @@ class CompiledTextTerm:
                         break
             out[i] = best
 
+    def bound_segment(self, segment, scheme, count: int, ndf_penalty: float):
+        """``(bounds, defined)`` arrays for one decoded text segment.
+
+        The per-signature mask tests stay a flat Python loop (the tables
+        are exactly the scalar ones, so each value is bit-identical), but
+        the per-tuple min-reduce and ndf fill collapse to one vectorised
+        scatter.  The scalar path's ``best <= 0.0`` short-circuit is safe
+        to drop: bounds are clamped non-negative, so a 0.0 *is* the min.
+        """
+        per_length = self._per_length
+        lengths = segment.lengths
+        all_bits = segment.bits
+        vals = [0.0] * len(lengths)
+        for j, stored_length in enumerate(lengths):
+            entry = per_length.get(stored_length)
+            if entry is None:
+                entry = self._compile_length(stored_length, scheme)
+            masks, bounds = entry
+            bits = all_bits[j]
+            hits = 0
+            for mask, gram_count in masks:
+                if mask & bits == mask:
+                    hits += gram_count
+            vals[j] = bounds[hits]
+        np = fastpath._np
+        slots = segment.slots_array()
+        defined = np.zeros(count, dtype=bool)
+        defined[slots] = True
+        out = fastpath.text_min_scatter(count, slots, vals, defined, ndf_penalty)
+        return out, defined
+
     @property
     def table_lengths(self) -> int:
         """Distinct stored lengths compiled so far (observability)."""
@@ -210,6 +265,40 @@ class CompiledNumericTerm:
                 bound = quantizer.lower_bound(value, code)
                 memo[code] = bound
             out[i] = bound
+
+    def bound_segment(self, segment, count: int, ndf_penalty: float):
+        """``(bounds, defined)`` arrays for one decoded numeric segment.
+
+        Eager tables gather array-wide; wide code spaces dedupe the block's
+        codes first (``np.unique``) and bound each distinct code once via
+        the shared memo — both paths fill every entry with the exact double
+        the scalar ``bound_column`` would have produced.
+        """
+        np = fastpath._np
+        defined = segment.defined
+        table = self._table
+        if table is not None:
+            if self._lut_np is None:
+                self._lut_np = fastpath.lut_array(table)
+            out = fastpath.gather_bounds_array(
+                self._lut_np, segment.codes, defined, ndf_penalty
+            )
+            return out, defined
+        out = np.full(count, ndf_penalty, dtype=np.float64)
+        if defined.any():
+            memo = self._memo
+            quantizer = self.quantizer
+            value = self.query_value
+            uniq, inverse = np.unique(segment.codes[defined], return_inverse=True)
+            uniq_bounds = np.empty(len(uniq), dtype=np.float64)
+            for j, code in enumerate(uniq.tolist()):
+                bound = memo.get(code)
+                if bound is None:
+                    bound = quantizer.lower_bound(value, code)
+                    memo[code] = bound
+                uniq_bounds[j] = bound
+            out[defined] = uniq_bounds[inverse]
+        return out, defined
 
     @property
     def table_codes(self) -> int:
@@ -400,6 +489,84 @@ class QueryKernel:
             for i in range(count):
                 estimates[i] = combine([w * col[i] for w, col in pairs])
         return estimates, exact
+
+    def _bound_segment(self, term, scheme, segment, count: int):
+        """``(bounds, defined)`` arrays for one term over one segment.
+
+        Columnar segments route to the term's vectorised ``bound_segment``;
+        a :class:`~repro.core.segment.ColumnSegment` (the fallback decode,
+        including the engine's null scanner) runs the scalar
+        ``bound_column`` and wraps its output — so mixed-shape blocks stay
+        bit-identical to the scalar walk term by term.
+        """
+        np = fastpath._np
+        ndf_penalty = self.ndf_penalty
+        kind = segment.kind
+        if kind == "text" and isinstance(term, CompiledTextTerm):
+            return term.bound_segment(segment, scheme, count, ndf_penalty)
+        if kind == "numeric" and isinstance(term, CompiledNumericTerm):
+            return term.bound_segment(segment, count, ndf_penalty)
+        column = segment.column()
+        out = [0.0] * count
+        exact = [True] * count
+        if isinstance(term, CompiledTextTerm):
+            term.bound_column(column, scheme, out, ndf_penalty, exact)
+        else:
+            term.bound_column(column, out, ndf_penalty, exact)
+        defined = np.asarray([not flag for flag in exact], dtype=bool)
+        return np.asarray(out, dtype=np.float64), defined
+
+    def evaluate_segments(
+        self,
+        segments: Sequence[object],
+        count: int,
+        cache: Optional[dict] = None,
+    ) -> Tuple[List[float], List[bool]]:
+        """``(estimated, exact)`` for one block of decoded segments.
+
+        The v3 counterpart of :meth:`evaluate_block`: *segments* holds one
+        :mod:`repro.core.segment` object per scan slot (the
+        ``decode_segment`` output of each scanner).  Per-term bounds come
+        from the vectorised ``bound_segment`` routines and the combine
+        collapses to :func:`repro.core.fastpath.combine_columns` for the
+        built-in metrics — both proven bit-identical to the scalar chain —
+        while custom metrics fall back to the per-element ``combine``.
+        Without numpy the segments are rebuilt into legacy columns and
+        handed to :meth:`evaluate_block` unchanged.
+        """
+        if fastpath._np is None:
+            columns = [segment.column() for segment in segments]
+            return self.evaluate_block(columns, count, cache)
+        np = fastpath._np
+        any_defined = np.zeros(count, dtype=bool)
+        bound_columns = []
+        for term, scheme, slot in zip(self.terms, self.schemes, self.slots):
+            pair = None
+            if cache is not None:
+                pair = cache.get((id(term), slot))
+            if pair is None:
+                pair = self._bound_segment(term, scheme, segments[slot], count)
+                if cache is not None:
+                    cache[(id(term), slot)] = pair
+            out, defined = pair
+            any_defined = any_defined | defined
+            bound_columns.append(out)
+        estimates = fastpath.combine_columns(
+            _metric_kind(self.metric), self.weights, bound_columns, count
+        )
+        exact = [not flag for flag in any_defined.tolist()]
+        if estimates is not None:
+            return estimates.tolist(), exact
+        combine = self.metric.combine
+        pairs = [
+            (weight, column.tolist())
+            for weight, column in zip(self.weights, bound_columns)
+        ]
+        scalar_estimates = [
+            combine([weight * column[i] for weight, column in pairs])
+            for i in range(count)
+        ]
+        return scalar_estimates, exact
 
     @property
     def table_entries(self) -> int:

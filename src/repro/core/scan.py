@@ -22,16 +22,86 @@ tombstoned ones — in order.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from repro.core import fastpath
 from repro.core.numeric import NumericQuantizer
+from repro.core.segment import ColumnSegment, NumericSegment, TextSegment
 from repro.core.signature import Signature, SignatureScheme
 from repro.errors import IndexError_
 from repro.storage.pager import BufferedReader
 
 TID_BYTES = 4
 NUM_BYTES = 1
+
+#: Elements per skip-table segment for tid-based raw lists (Sec. IV-A prep
+#: for skip-based MoveTo: coarse enough to keep the table tiny, fine enough
+#: that a jump skips real decode work).
+SKIP_SEGMENT_ELEMENTS = 256
+
+#: Entries per bulk read when the raw Type I numeric segment decoder slurps
+#: fixed-width ``<tid, code>`` records ahead of the scan cursor.
+_SEG_READ_ENTRIES = 1024
+
+
+class _ByteRun:
+    """Scanner-local parse cursor over bulk reader chunks.
+
+    The text segment decoders' fastpath: instead of two
+    :class:`BufferedReader` calls per signature (length byte, then bits),
+    slurp large chunks into a local ``bytes`` object and crack fields
+    with plain indexing.  Chunks may overshoot the current block — the
+    overshoot parks here between ``decode_segment`` calls, which is one
+    of the reasons the scalar and columnar entry points must not be
+    mixed on a single scanner instance.
+    """
+
+    __slots__ = ("_reader", "buf", "pos")
+
+    _CHUNK = 32 * 1024
+
+    def __init__(self, reader: BufferedReader) -> None:
+        self._reader = reader
+        self.buf = b""
+        self.pos = 0
+
+    def logical_position(self) -> int:
+        """Absolute offset of the next unparsed byte (reader minus carry)."""
+        return self._reader.position - (len(self.buf) - self.pos)
+
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.buf) and self._reader.exhausted()
+
+    def ensure(self, length: int) -> None:
+        """Buffer at least *length* unparsed bytes ahead of :attr:`pos`.
+
+        A range too short to supply them raises the reader's own
+        ``StorageError`` (the exact failure the scalar walk would hit).
+        """
+        have = len(self.buf) - self.pos
+        if have >= length:
+            return
+        reader = self._reader
+        need = length - have
+        fetch = min(max(need, self._CHUNK), reader.remaining())
+        if fetch < need:
+            reader.read(need)  # raises: read past range end
+        self.buf = self.buf[self.pos :] + reader.read(fetch)
+        self.pos = 0
+
+    def jump_to(self, offset: int) -> None:
+        """Move the parse cursor to absolute *offset* (forward only)."""
+        delta = offset - self.logical_position()
+        if delta <= 0:
+            return
+        if delta <= len(self.buf) - self.pos:
+            self.pos += delta
+        else:
+            self._reader.skip(offset - self._reader.position)
+            self.buf = b""
+            self.pos = 0
 
 
 @dataclass(frozen=True)
@@ -56,6 +126,45 @@ class ResumePoint:
 
 #: Resume point for a scan starting at the head of a list.
 START = ResumePoint()
+
+
+@dataclass(frozen=True)
+class SkipTable:
+    """Per-segment tid fences over a tid-based vector list.
+
+    Built at index (re)build time from the raw codec's fixed-width
+    arithmetic: the list is cut into runs of :data:`SKIP_SEGMENT_ELEMENTS`
+    elements; ``first_tids[i]``/``last_tids[i]`` bound segment *i*'s tid
+    range and ``offsets[i]`` is its absolute byte offset.  A frozen
+    pointer whose pending tid trails the scan cursor can then jump over
+    every segment whose tid range cannot intersect the cursor — the prep
+    step the ROADMAP's Elias–Fano (skip-based MoveTo) item builds on.
+
+    Skip tables are advisory: a missing or stale table (dropped on
+    append) only costs the skip, never correctness.
+    """
+
+    first_tids: Sequence[int]
+    last_tids: Sequence[int]
+    offsets: Sequence[int]
+    #: Exclusive end offset of the list (jump target when every segment
+    #: falls short of the cursor).
+    end_offset: int
+
+    def seek_offset(self, target_tid: int, current_offset: int) -> Optional[int]:
+        """Forward jump target skipping segments wholly below *target_tid*.
+
+        Returns an absolute byte offset strictly greater than
+        *current_offset*, or ``None`` when no whole segment ahead of the
+        cursor can be skipped.
+        """
+        index = bisect_left(self.last_tids, target_tid)
+        offset = (
+            self.offsets[index] if index < len(self.offsets) else self.end_offset
+        )
+        if offset <= current_offset:
+            return None
+        return offset
 
 
 class VectorListScanner:
@@ -90,6 +199,25 @@ class VectorListScanner:
             column.append(payload)
         return column
 
+    def decode_segment(self, tids: List[int]):
+        """Advance through one block of tids, returning a columnar segment.
+
+        The v3 kernel's decode API: like :meth:`move_block` but the result
+        is a :mod:`repro.core.segment` object the kernel can evaluate with
+        array-wide gathers.  This default wraps :meth:`move_block` in a
+        :class:`~repro.core.segment.ColumnSegment`, so any scanner —
+        third-party codecs included — participates in the v3 path with
+        scalar-identical results; the built-in layouts override it with
+        columnar decoders when numpy is importable.
+
+        A scanner instance must be driven through *either* the
+        ``move_to``/``move_block`` API *or* ``decode_segment``, never a
+        mix: columnar decoders may read ahead of the logical pointer and
+        park the overshoot in segment-local state the scalar entry points
+        do not consult.
+        """
+        return ColumnSegment(self.move_block(tids))
+
     def checkpoint_offset(self) -> int:
         """Byte offset at which a fresh scanner resumes this pointer's state.
 
@@ -116,9 +244,16 @@ class VectorListScanner:
 class _TidBasedScanner(VectorListScanner):
     """Shared freeze-semantics machinery for Types I and II."""
 
-    def __init__(self, reader: BufferedReader) -> None:
+    def __init__(
+        self, reader: BufferedReader, skip: Optional[SkipTable] = None
+    ) -> None:
         super().__init__(reader)
+        self._skip = skip
         self._pending: Optional[int] = None
+        # Columnar-decode carry: the bulk parse cursor plus the tid it
+        # has parsed but not yet consumed (decode_segment only).
+        self._run: Optional[_ByteRun] = None
+        self._seg_pending: Optional[int] = None
         self._load_next()
 
     def _load_next(self) -> None:
@@ -126,6 +261,58 @@ class _TidBasedScanner(VectorListScanner):
             self._pending = None
         else:
             self._pending = int.from_bytes(self._reader.read(TID_BYTES), "little")
+
+    def _maybe_skip(self, target_tid: int) -> None:
+        """Jump over whole segments that cannot intersect the scan cursor.
+
+        Called at the head of :meth:`move_block`/``decode_segment`` with
+        the block's first tid.  Every skipped element's tid is strictly
+        below *target_tid*, so the scalar walk would have consumed it
+        without producing a payload — the jump is free of semantics, it
+        only spares the decode.
+        """
+        skip = self._skip
+        if skip is None or self._pending is None or self._pending >= target_tid:
+            return
+        offset = skip.seek_offset(target_tid, self._reader.position - TID_BYTES)
+        if offset is None or offset <= self._reader.position - TID_BYTES:
+            return
+        self._reader.skip(offset - self._reader.position)
+        self._pending = None
+        self._load_next()
+
+    def _segment_run(self, target_tid: int):
+        """Bulk parse cursor + pending tid for the columnar text decoders.
+
+        First call folds the scalar ``_pending`` (tid read, payload not)
+        into run-local state; later calls resume from the carry.  A skip
+        table, when present, jumps the cursor over whole segments below
+        *target_tid* before any payload is parsed.
+        """
+        run = self._run
+        if run is None:
+            run = self._run = _ByteRun(self._reader)
+            pending = self._pending
+            self._pending = None
+        else:
+            pending = self._seg_pending
+        skip = self._skip
+        if skip is not None and pending is not None and pending < target_tid:
+            offset = skip.seek_offset(
+                target_tid, run.logical_position() - TID_BYTES
+            )
+            if offset is not None:
+                run.jump_to(offset)
+                if run.exhausted():
+                    pending = None
+                else:
+                    run.ensure(TID_BYTES)
+                    at = run.pos
+                    pending = int.from_bytes(
+                        run.buf[at : at + TID_BYTES], "little"
+                    )
+                    run.pos = at + TID_BYTES
+        return run, pending
 
     @property
     def pending_tid(self) -> Optional[int]:
@@ -143,9 +330,14 @@ class TextTypeIScanner(_TidBasedScanner):
     """Type I text layout: ``<tid, vector>`` per string, sorted by tid;
     consecutive elements may repeat a tid for multi-string values."""
 
-    def __init__(self, reader: BufferedReader, scheme: SignatureScheme) -> None:
+    def __init__(
+        self,
+        reader: BufferedReader,
+        scheme: SignatureScheme,
+        skip: Optional[SkipTable] = None,
+    ) -> None:
         self._scheme = scheme
-        super().__init__(reader)
+        super().__init__(reader, skip)
 
     def move_to(self, tid: int) -> Optional[List[Signature]]:
         """Advance the pointer to *tid*; see the class docstring."""
@@ -159,6 +351,7 @@ class TextTypeIScanner(_TidBasedScanner):
 
     def move_block(self, tids: List[int]) -> List[object]:
         """Block decode: same pointer walk, bare ``(length, bits)`` pairs."""
+        self._maybe_skip(tids[0])
         read_raw = self._scheme.read_raw
         reader = self._reader
         column: List[object] = []
@@ -175,13 +368,62 @@ class TextTypeIScanner(_TidBasedScanner):
             column.append(pairs)
         return column
 
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: one flat signature run, bulk-parsed.
+
+        Signatures are cracked out of :class:`_ByteRun` chunks with plain
+        indexing — no per-field reader calls — so the dominant cost is
+        the Python loop itself, not buffered-read bookkeeping.
+        """
+        if fastpath._np is None:
+            return ColumnSegment(self.move_block(tids))
+        run, pending = self._segment_run(tids[0])
+        table = self._scheme.higher_table
+        slots: List[int] = []
+        lengths: List[int] = []
+        bits: List[int] = []
+        unique = 0
+        for i, tid in enumerate(tids):
+            first = True
+            while pending is not None and pending <= tid:
+                run.ensure(1)
+                nbytes = table[run.buf[run.pos]]
+                run.ensure(1 + nbytes)
+                buf = run.buf
+                at = run.pos
+                if pending == tid:
+                    if first:
+                        unique += 1
+                        first = False
+                    slots.append(i)
+                    lengths.append(buf[at])
+                    bits.append(
+                        int.from_bytes(buf[at + 1 : at + 1 + nbytes], "little")
+                    )
+                run.pos = at + 1 + nbytes
+                if run.exhausted():
+                    pending = None
+                else:
+                    run.ensure(TID_BYTES)
+                    buf = run.buf
+                    at = run.pos
+                    pending = int.from_bytes(buf[at : at + TID_BYTES], "little")
+                    run.pos = at + TID_BYTES
+        self._seg_pending = pending
+        return TextSegment(len(tids), slots, lengths, bits, unique)
+
 
 class TextTypeIIScanner(_TidBasedScanner):
     """Type II text layout: ``<tid, num, vector1, vector2, …>``."""
 
-    def __init__(self, reader: BufferedReader, scheme: SignatureScheme) -> None:
+    def __init__(
+        self,
+        reader: BufferedReader,
+        scheme: SignatureScheme,
+        skip: Optional[SkipTable] = None,
+    ) -> None:
         self._scheme = scheme
-        super().__init__(reader)
+        super().__init__(reader, skip)
 
     def move_to(self, tid: int) -> Optional[List[Signature]]:
         """Advance the pointer to *tid*; see the class docstring."""
@@ -196,6 +438,7 @@ class TextTypeIIScanner(_TidBasedScanner):
 
     def move_block(self, tids: List[int]) -> List[object]:
         """Block decode: same pointer walk, bare ``(length, bits)`` pairs."""
+        self._maybe_skip(tids[0])
         read_raw = self._scheme.read_raw
         reader = self._reader
         column: List[object] = []
@@ -213,6 +456,54 @@ class TextTypeIIScanner(_TidBasedScanner):
             column.append(pairs or None)
         return column
 
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: one flat signature run, bulk-parsed."""
+        if fastpath._np is None:
+            return ColumnSegment(self.move_block(tids))
+        run, pending = self._segment_run(tids[0])
+        table = self._scheme.higher_table
+        slots: List[int] = []
+        lengths: List[int] = []
+        bits: List[int] = []
+        unique = 0
+        for i, tid in enumerate(tids):
+            first = True
+            while pending is not None and pending <= tid:
+                run.ensure(NUM_BYTES)
+                count = run.buf[run.pos]
+                run.pos += NUM_BYTES
+                take = pending == tid
+                # ``<tid, 0>`` elements are never written, but guard
+                # anyway: an empty element must not count as defined.
+                if take and first and count:
+                    unique += 1
+                    first = False
+                for _ in range(count):
+                    run.ensure(1)
+                    nbytes = table[run.buf[run.pos]]
+                    run.ensure(1 + nbytes)
+                    buf = run.buf
+                    at = run.pos
+                    if take:
+                        slots.append(i)
+                        lengths.append(buf[at])
+                        bits.append(
+                            int.from_bytes(
+                                buf[at + 1 : at + 1 + nbytes], "little"
+                            )
+                        )
+                    run.pos = at + 1 + nbytes
+                if run.exhausted():
+                    pending = None
+                else:
+                    run.ensure(TID_BYTES)
+                    buf = run.buf
+                    at = run.pos
+                    pending = int.from_bytes(buf[at : at + TID_BYTES], "little")
+                    run.pos = at + TID_BYTES
+        self._seg_pending = pending
+        return TextSegment(len(tids), slots, lengths, bits, unique)
+
 
 class TextTypeIIIScanner(VectorListScanner):
     """Type III text layout: positional ``<num, vectors…>`` for every tuple."""
@@ -220,6 +511,7 @@ class TextTypeIIIScanner(VectorListScanner):
     def __init__(self, reader: BufferedReader, scheme: SignatureScheme) -> None:
         super().__init__(reader)
         self._scheme = scheme
+        self._run: Optional[_ByteRun] = None
 
     def move_to(self, tid: int) -> Optional[List[Signature]]:
         """Advance the pointer to *tid*; see the class docstring."""
@@ -251,13 +543,57 @@ class TextTypeIIIScanner(VectorListScanner):
                 column.append([read_raw(reader) for _ in range(count)])
         return column
 
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: one flat signature run, bulk-parsed."""
+        if fastpath._np is None:
+            return ColumnSegment(self.move_block(tids))
+        run = self._run
+        if run is None:
+            run = self._run = _ByteRun(self._reader)
+        table = self._scheme.higher_table
+        slots: List[int] = []
+        lengths: List[int] = []
+        bits: List[int] = []
+        unique = 0
+        for i in range(len(tids)):
+            if run.exhausted():
+                raise IndexError_(
+                    "Type III vector list ran out of elements before the "
+                    "tuple list did — the index is inconsistent with its table"
+                )
+            run.ensure(NUM_BYTES)
+            count = run.buf[run.pos]
+            run.pos += NUM_BYTES
+            if count:
+                unique += 1
+                for _ in range(count):
+                    run.ensure(1)
+                    nbytes = table[run.buf[run.pos]]
+                    run.ensure(1 + nbytes)
+                    buf = run.buf
+                    at = run.pos
+                    slots.append(i)
+                    lengths.append(buf[at])
+                    bits.append(
+                        int.from_bytes(buf[at + 1 : at + 1 + nbytes], "little")
+                    )
+                    run.pos = at + 1 + nbytes
+        return TextSegment(len(tids), slots, lengths, bits, unique)
+
 
 class NumericTypeIScanner(_TidBasedScanner):
     """Type I numeric layout: ``<tid, vector>`` per defined tuple."""
 
-    def __init__(self, reader: BufferedReader, quantizer: NumericQuantizer) -> None:
+    def __init__(
+        self,
+        reader: BufferedReader,
+        quantizer: NumericQuantizer,
+        skip: Optional[SkipTable] = None,
+    ) -> None:
         self._quantizer = quantizer
-        super().__init__(reader)
+        self._seg_tids: List[int] = []
+        self._seg_codes: List[int] = []
+        super().__init__(reader, skip)
 
     def move_to(self, tid: int) -> Optional[int]:
         """Advance the pointer to *tid*; see the class docstring."""
@@ -272,6 +608,7 @@ class NumericTypeIScanner(_TidBasedScanner):
 
     def move_block(self, tids: List[int]) -> List[object]:
         """Block decode: same pointer walk, one code (or None) per tid."""
+        self._maybe_skip(tids[0])
         width = self._quantizer.vector_bytes
         decode = self._quantizer.decode_bytes
         reader = self._reader
@@ -285,6 +622,71 @@ class NumericTypeIScanner(_TidBasedScanner):
                 self._load_next()
             column.append(out)
         return column
+
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: bulk ``<tid, code>`` record reads + searchsorted.
+
+        Fixed-width entries let the decoder slurp :data:`_SEG_READ_ENTRIES`
+        records per read and crack them with one ``frombuffer`` instead of
+        two ``reader.read`` calls per entry.  Records read past the block's
+        last tid are parked in a carry (``_seg_tids``/``_seg_codes``) for
+        the next block — which is why ``decode_segment`` must not be mixed
+        with the scalar entry points on one scanner instance.
+        """
+        np = fastpath._np
+        width = self._quantizer.vector_bytes
+        dtype_code = fastpath.dtype_for_width(width)
+        if np is None or dtype_code is None:
+            return ColumnSegment(self.move_block(tids))
+        if not self._seg_tids:
+            self._maybe_skip(tids[0])
+        reader = self._reader
+        carry_tids = self._seg_tids
+        carry_codes = self._seg_codes
+        last = tids[-1]
+        # Fold the scalar pending element (tid consumed, code not) into the
+        # carry so the bulk path owns the full lookahead state.
+        if self._pending is not None:
+            carry_tids.append(self._pending)
+            carry_codes.append(self._quantizer.decode_bytes(reader.read(width)))
+            self._pending = None
+        entry_bytes = TID_BYTES + width
+        entry_dtype = getattr(self, "_entry_dtype", None)
+        if entry_dtype is None:
+            entry_dtype = np.dtype(
+                [("tid", "<u4"), ("code", dtype_code)], align=False
+            )
+            self._entry_dtype = entry_dtype
+        while (not carry_tids or carry_tids[-1] <= last) and not reader.exhausted():
+            chunk = min(_SEG_READ_ENTRIES, reader.remaining() // entry_bytes)
+            if chunk == 0:
+                # Truncated final record: replicate the scalar walk's
+                # failure mode (tid read, then a short code read raises).
+                self._pending = int.from_bytes(reader.read(TID_BYTES), "little")
+                carry_tids.append(self._pending)
+                carry_codes.append(
+                    self._quantizer.decode_bytes(reader.read(width))
+                )
+                self._pending = None
+                continue
+            records = np.frombuffer(reader.read(chunk * entry_bytes), entry_dtype)
+            carry_tids.extend(records["tid"].tolist())
+            carry_codes.extend(records["code"].tolist())
+        consumed = bisect_right(carry_tids, last)
+        count = len(tids)
+        codes = np.zeros(count, dtype=np.int64)
+        defined = np.zeros(count, dtype=bool)
+        if consumed:
+            entry_tids = np.asarray(carry_tids[:consumed], dtype=np.int64)
+            entry_codes = np.asarray(carry_codes[:consumed], dtype=np.int64)
+            del carry_tids[:consumed]
+            del carry_codes[:consumed]
+            block_tids = np.asarray(tids, dtype=np.int64)
+            positions = np.searchsorted(block_tids, entry_tids)
+            matched = block_tids[positions] == entry_tids
+            codes[positions[matched]] = entry_codes[matched]
+            defined[positions[matched]] = True
+        return NumericSegment(codes, defined)
 
 
 class NumericTypeIVScanner(VectorListScanner):
@@ -328,3 +730,24 @@ class NumericTypeIVScanner(VectorListScanner):
             code = decode(reader.read(width))
             column.append(None if code == ndf_code else code)
         return column
+
+    def decode_segment(self, tids: List[int]):
+        """Columnar decode: the whole block in one read + one frombuffer."""
+        np = fastpath._np
+        quantizer = self._quantizer
+        width = quantizer.vector_bytes
+        dtype_code = fastpath.dtype_for_width(width)
+        count = len(tids)
+        reader = self._reader
+        if (
+            np is None
+            or dtype_code is None
+            or reader.remaining() < count * width
+        ):
+            # The short-list case falls back so a truncated final segment
+            # fails element-by-element exactly like the scalar walk.
+            return ColumnSegment(self.move_block(tids))
+        raw = reader.read_view(count * width)
+        codes = np.frombuffer(raw, dtype=dtype_code).astype(np.int64)
+        defined = codes != quantizer.ndf_code
+        return NumericSegment(codes, defined)

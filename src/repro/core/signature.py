@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.ngram import estimate_from_hits, gram_multiset
 from repro.core.params import optimal_t
@@ -137,6 +137,21 @@ class SignatureScheme:
             raise EncodingError(f"gram length n must be >= 1, got {n}")
         self.alpha = alpha
         self.n = n
+        self._higher_table: Optional[List[int]] = None
+
+    @property
+    def higher_table(self) -> List[int]:
+        """``higher_bytes`` for every possible stored-length byte, cached.
+
+        The segment decoders parse thousands of signatures per block; a
+        256-entry table turns the per-signature ``ceil`` into one index.
+        """
+        table = self._higher_table
+        if table is None:
+            table = self._higher_table = [
+                self.higher_bytes(length) for length in range(256)
+            ]
+        return table
 
     def stored_length(self, s: str) -> int:
         """The (saturating) length recorded in cL."""

@@ -213,7 +213,7 @@ class QueryProfile:
                 "query_time_ms": self.query_time_ms,
             },
         }
-        if self.kernel == "block":
+        if self.kernel in ("block", "v3"):
             out["blocks"] = {
                 "count": self.blocks,
                 "pruned_per_block": list(self.block_pruned),
@@ -294,7 +294,7 @@ class QueryProfile:
                 f"max slack {self.slack_max:.3f}  tightness {self.tightness:.3f}"
             )
 
-        if self.kernel == "block" and self.blocks:
+        if self.kernel in ("block", "v3") and self.blocks:
             pruned = self.block_pruned or [0]
             lines.append(
                 f"block kernel: {self.blocks} blocks, pruned/block "
@@ -422,6 +422,20 @@ class ProfileCollector:
             for j in range(count):
                 if column[j] is not None:
                     defined += 1
+            self.defined[i] += defined
+            self.ndf[i] += count - defined
+
+    def on_segments(self, segments: Sequence[object], count: int) -> None:
+        """One block of *count* columnar segments was decoded (v3 path).
+
+        Mirrors :meth:`on_block`: each segment knows how many of its
+        *count* tuples store a defined value, so the per-attribute
+        defined/ndf tallies match the scalar probe exactly.
+        """
+        self.blocks += 1
+        self.block_pruned.append(0)
+        for i, slot in enumerate(self.slots):
+            defined = segments[slot].defined_count(count)
             self.defined[i] += defined
             self.ndf[i] += count - defined
 

@@ -64,6 +64,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import (
     FAIL_MODES,
+    REFINE_BATCH,
     BoundEvaluator,
     QueryResult,
     SearchReport,
@@ -166,6 +167,8 @@ class _ShardStats:
     pages: int = 0
     cpu_s: float = 0.0
     error: Optional[BaseException] = None
+    #: Vector-list segments decoded columnar (v3 kernel shards only).
+    segments: int = 0
     #: The scan loop saw the abort flag and stopped early.  In degrade
     #: mode nothing but a deadline cut sets abort, so ``aborted`` there
     #: means "cut by the deadline" and the shard's tail was not scanned.
@@ -216,6 +219,8 @@ class _RunResult:
     setup_cpu_s: float = 0.0
     merged_candidates: int = 0
     max_queue_depth: int = 0
+    #: Vector-list segments decoded columnar across all shards (v3 only).
+    segments_total: int = 0
     #: Degradation account (``fail_mode="degrade"`` only): shards whose
     #: scan could not be recovered, and the tid ranges they covered.
     degraded: bool = False
@@ -258,6 +263,7 @@ class ParallelScanExecutor:
         self._run_profile: bool = False
         self._run_position: Optional[Dict[int, int]] = None
         self._run_profiles: Optional[List[ProfileCollector]] = None
+        self._run_kernel: str = "scalar"
 
     # ------------------------------------------------------------------ run
 
@@ -293,7 +299,10 @@ class ParallelScanExecutor:
         :class:`QueryKernel` per query up front — sharing gram sets, masks
         and lookup tables through one :class:`KernelCache` across every
         query *and* every shard worker — and shard workers then scan
-        block-at-a-time.  Answers are bit-identical either way.
+        block-at-a-time.  ``"v3"`` additionally decodes whole segments
+        columnar (``decode_segment``/``evaluate_segments``) and batches the
+        refiner's table reads by page.  Answers are bit-identical in every
+        mode.
 
         *fail_mode* picks the shard-failure policy: ``"raise"`` aborts
         the run on the first dead shard (sequential-fallback semantics);
@@ -328,6 +337,7 @@ class ParallelScanExecutor:
             if profile
             else None
         )
+        self._run_kernel = kernel
 
         result = _RunResult(pools=[ResultPool(k) for _ in queries])
         result.exact_shortcuts = [0] * len(queries)
@@ -358,7 +368,7 @@ class ParallelScanExecutor:
             )
             for query in queries
         ]
-        if kernel == "block":
+        if kernel in ("block", "v3"):
             compile_cpu0 = time.thread_time()
             shared_terms = kernel_cache if kernel_cache is not None else KernelCache()
             for ctx in contexts:
@@ -677,22 +687,34 @@ class ParallelScanExecutor:
         match; only the decode/evaluate granularity differs.
         """
         batch = len(contexts) > 1
+        use_v3 = self._run_kernel == "v3"
         for tids, ptrs in self.index.tuples.scan_range_blocks(
             shard.start_element, shard.end_element, BLOCK_TUPLES
         ):
             if abort.is_set():
                 stats.aborted = True
                 break
-            columns = [scanner.move_block(tids) for scanner in scanners]
             count = len(tids)
-            if collectors is not None:
-                for collector in collectors:
-                    collector.on_block(columns, count)
             block_cache: Optional[dict] = {} if batch else None
-            evaluated = [
-                ctx.kernel.evaluate_block(columns, count, block_cache)
-                for ctx in contexts
-            ]
+            if use_v3:
+                segments = [scanner.decode_segment(tids) for scanner in scanners]
+                stats.segments += len(segments)
+                if collectors is not None:
+                    for collector in collectors:
+                        collector.on_segments(segments, count)
+                evaluated = [
+                    ctx.kernel.evaluate_segments(segments, count, block_cache)
+                    for ctx in contexts
+                ]
+            else:
+                columns = [scanner.move_block(tids) for scanner in scanners]
+                if collectors is not None:
+                    for collector in collectors:
+                        collector.on_block(columns, count)
+                evaluated = [
+                    ctx.kernel.evaluate_block(columns, count, block_cache)
+                    for ctx in contexts
+                ]
             for i in range(count):
                 if ptrs[i] == DELETED_PTR:
                     continue
@@ -747,10 +769,44 @@ class ParallelScanExecutor:
         expiry flips the abort flag.  Candidates already enqueued are still
         refined — they came from scanned ranges, so refining them can only
         improve the partial answer.
+
+        Under the v3 kernel the refiner drains candidates greedily into
+        batches of up to :data:`~repro.core.engine.REFINE_BATCH` and sorts
+        each batch by the candidates' base-table file offsets before
+        fetching, so random table reads issue in page order.  Sentinels met
+        mid-drain merge immediately — tightening the bound *earlier* than
+        strict FIFO order would only prunes more, and every fetch re-checks
+        candidacy, so the answer multiset is unchanged.
         """
         pools = result.pools
         pending = result.shards
         failures: List[_ShardStats] = []
+        batched = self._run_kernel == "v3"
+        locate = self.table.locate
+
+        def handle_done(item: _ShardDone) -> None:
+            nonlocal pending
+            pending -= 1
+            if item.stats.error is not None:
+                failures.append(item.stats)
+                if fail_mode == "raise":
+                    abort.set()
+                return
+            if failures and fail_mode == "raise":
+                return  # draining after a sibling shard died
+            result.shard_stats.append(item.stats)
+            result.tuples_scanned += item.stats.tuples
+            result.segments_total += item.stats.segments
+            if self._run_profiles is not None and item.profiles is not None:
+                for qi, shard_profile in enumerate(item.profiles):
+                    self._run_profiles[qi].absorb(shard_profile)
+            merge_cpu0 = time.thread_time()
+            for qi, local in enumerate(item.local_pools):
+                result.exact_shortcuts[qi] += item.stats.exact_shortcuts[qi]
+                result.merged_candidates += pools[qi].merge_from(local)
+                self._tighten(contexts[qi], pools[qi])
+            result.merge_cpu_s += time.thread_time() - merge_cpu0
+
         while pending:
             if deadline is not None and not result.deadline_hit:
                 remaining = deadline - time.perf_counter()
@@ -769,32 +825,34 @@ class ParallelScanExecutor:
             if depth > result.max_queue_depth:
                 result.max_queue_depth = depth
             if isinstance(item, _ShardDone):
-                pending -= 1
-                if item.stats.error is not None:
-                    failures.append(item.stats)
-                    if fail_mode == "raise":
-                        abort.set()
-                    continue
-                if failures and fail_mode == "raise":
-                    continue  # draining after a sibling shard died
-                result.shard_stats.append(item.stats)
-                result.tuples_scanned += item.stats.tuples
-                if self._run_profiles is not None and item.profiles is not None:
-                    for qi, shard_profile in enumerate(item.profiles):
-                        self._run_profiles[qi].absorb(shard_profile)
-                merge_cpu0 = time.thread_time()
-                for qi, local in enumerate(item.local_pools):
-                    result.exact_shortcuts[qi] += item.stats.exact_shortcuts[qi]
-                    result.merged_candidates += pools[qi].merge_from(local)
-                    self._tighten(contexts[qi], pools[qi])
-                result.merge_cpu_s += time.thread_time() - merge_cpu0
+                handle_done(item)
                 continue
             if failures and fail_mode == "raise":
                 continue
-            qi, tid, estimated = item
-            self._refine_candidate(
-                qi, tid, estimated, contexts, dist, result, records, seen
-            )
+            if not batched:
+                qi, tid, estimated = item
+                self._refine_candidate(
+                    qi, tid, estimated, contexts, dist, result, records, seen
+                )
+                continue
+            # v3: drain greedily without blocking, then fetch page-ordered.
+            batch_items: List[Tuple[int, int, float]] = [item]
+            while len(batch_items) < REFINE_BATCH:
+                try:
+                    extra = out_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                if isinstance(extra, _ShardDone):
+                    handle_done(extra)
+                    continue
+                if failures and fail_mode == "raise":
+                    continue
+                batch_items.append(extra)
+            batch_items.sort(key=lambda entry: locate(entry[1])[0])
+            for qi, tid, estimated in batch_items:
+                self._refine_candidate(
+                    qi, tid, estimated, contexts, dist, result, records, seen
+                )
         result.shard_stats.sort(key=lambda s: s.shard)
         failures.sort(key=lambda s: s.shard)
         return failures
@@ -944,6 +1002,7 @@ class ParallelScanExecutor:
         result.shard_stats.append(done.stats)
         result.shard_stats.sort(key=lambda s: s.shard)
         result.tuples_scanned += done.stats.tuples
+        result.segments_total += done.stats.segments
         for qi, local in enumerate(done.local_pools):
             result.exact_shortcuts[qi] += done.stats.exact_shortcuts[qi]
             result.merged_candidates += result.pools[qi].merge_from(local)
@@ -1072,6 +1131,12 @@ def _emit_parallel_obs(
         labels=labels,
         help="Searches executed by the parallel scan executor.",
     ).inc()
+    if run.segments_total:
+        registry.counter(
+            "repro_kernel_segments_total",
+            labels=labels,
+            help="Vector-list segments decoded columnar by the v3 kernel.",
+        ).inc(run.segments_total)
     registry.gauge(
         "repro_parallel_queue_depth",
         labels=labels,

@@ -16,6 +16,14 @@ from typing import List
 class DelegatingBackend:
     """Forwards the complete ``StorageBackend`` protocol to ``inner``."""
 
+    #: Zero-copy reads are an *optional* backend capability discovered by
+    #: duck-typed probe (``BufferedReader``).  Wrappers must not let the
+    #: probe tunnel through ``__getattr__`` to the inner backend — a
+    #: checksummed or fault-injected stack would be silently bypassed.
+    #: Pinned to None here; a wrapper that can legitimately pass views
+    #: through (none today) would override it explicitly.
+    read_view = None
+
     def __init__(self, inner) -> None:
         self.inner = inner
 

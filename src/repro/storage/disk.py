@@ -74,6 +74,9 @@ class DiskStats:
     io_time_ms: float = 0.0
     read_calls: int = 0
     write_calls: int = 0
+    #: Zero-copy ``read_view`` calls served from an mmap (HostDisk only;
+    #: the simulated disk has no mmap path, so this stays zero there).
+    mmap_reads: int = 0
     per_file_reads: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> "DiskStats":
@@ -88,6 +91,7 @@ class DiskStats:
             io_time_ms=self.io_time_ms,
             read_calls=self.read_calls,
             write_calls=self.write_calls,
+            mmap_reads=self.mmap_reads,
             per_file_reads=dict(self.per_file_reads),
         )
 
@@ -107,6 +111,7 @@ class DiskStats:
             io_time_ms=self.io_time_ms - other.io_time_ms,
             read_calls=self.read_calls - other.read_calls,
             write_calls=self.write_calls - other.write_calls,
+            mmap_reads=self.mmap_reads - other.mmap_reads,
             per_file_reads=per_file,
         )
 

@@ -17,9 +17,10 @@ Notes:
 
 from __future__ import annotations
 
+import mmap
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.errors import StorageError
 from repro.storage.cache import LRUCache
@@ -41,7 +42,7 @@ def _host_name(name: str) -> str:
 class HostDisk:
     """Disk interface over a directory on the host filesystem."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], *, use_mmap: bool = True) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.params = DiskParameters()
@@ -49,6 +50,14 @@ class HostDisk:
         self.cache = LRUCache(0)
         #: Per-read span hook (unused here: real I/O has no modeled cost).
         self.tracer = None
+        #: Serve :meth:`read_view` from shared read-only mmaps (zero-copy).
+        self.use_mmap = use_mmap
+        #: name -> (mapping, mapped size).  A mapping is superseded — never
+        #: closed — when the file outgrows it or is mutated: handed-out
+        #: memoryviews may still reference its buffer, and closing a mapped
+        #: region with live exports raises ``BufferError``.
+        self._maps: Dict[str, Tuple[mmap.mmap, int]] = {}
+        self._retired_maps: List[mmap.mmap] = []
         self._names: dict = {}
         for path in self.root.iterdir():
             if path.is_file():
@@ -73,12 +82,18 @@ class HostDisk:
             raise StorageError(f"no such file: {name!r}")
         return self.root / host
 
+    def _invalidate_map(self, name: str) -> None:
+        mapped = self._maps.pop(name, None)
+        if mapped is not None:
+            self._retired_maps.append(mapped[0])
+
     # ------------------------------------------------------------------ files
 
     def create(self, name: str, *, overwrite: bool = False) -> None:
         """Create an empty file (overwrite optional)."""
         if name in self._names and not overwrite:
             raise StorageError(f"file already exists: {name!r}")
+        self._invalidate_map(name)
         host = _host_name(name)
         (self.root / host).write_bytes(b"")
         self._names[name] = host
@@ -86,6 +101,7 @@ class HostDisk:
     def delete(self, name: str) -> None:
         """Tombstone the tuple with this tid."""
         path = self._path(name)
+        self._invalidate_map(name)
         path.unlink()
         del self._names[name]
 
@@ -128,11 +144,51 @@ class HostDisk:
         self.stats.per_file_reads[name] = self.stats.per_file_reads.get(name, 0) + 1
         return data
 
+    def read_view(self, name: str, offset: int, length: int) -> memoryview:
+        """Zero-copy read: a memoryview over a shared read-only mmap.
+
+        The optional capability :class:`~repro.storage.pager.BufferedReader`
+        probes for — same validation and short-read contract as
+        :meth:`read`, but the returned view aliases the OS page cache
+        instead of copying.  A view stays valid across later mutations of
+        the file: the superseded mapping is retired, not closed (the
+        exported buffer pins it), and the next ``read_view`` remaps.
+
+        With ``use_mmap=False`` this degrades to a copying :meth:`read`
+        wrapped in a memoryview, so callers need no fallback of their own.
+        """
+        if offset < 0 or length < 0:
+            raise StorageError("negative offset or length")
+        if not self.use_mmap or length == 0:
+            return memoryview(self.read(name, offset, length))
+        path = self._path(name)
+        end = offset + length
+        mapped = self._maps.get(name)
+        if mapped is None or mapped[1] < end:
+            self._invalidate_map(name)
+            size = path.stat().st_size
+            if end > size:
+                actual = max(0, size - offset)
+                raise StorageError(
+                    f"short read on {name!r}: offset={offset} "
+                    f"expected={length} actual={actual}"
+                )
+            with open(path, "rb") as fh:
+                mapping = mmap.mmap(fh.fileno(), size, access=mmap.ACCESS_READ)
+            mapped = (mapping, size)
+            self._maps[name] = mapped
+        self.stats.read_calls += 1
+        self.stats.bytes_read += length
+        self.stats.mmap_reads += 1
+        self.stats.per_file_reads[name] = self.stats.per_file_reads.get(name, 0) + 1
+        return memoryview(mapped[0])[offset:end]
+
     def write(self, name: str, offset: int, payload: bytes) -> None:
         """Write bytes at an offset (may extend the file)."""
         if offset < 0:
             raise StorageError("negative offset")
         path = self._path(name)
+        self._invalidate_map(name)
         size = path.stat().st_size
         if offset > size:
             raise StorageError(
@@ -152,6 +208,7 @@ class HostDisk:
     def append(self, name: str, payload: bytes) -> int:
         """Append bytes; returns the offset written at."""
         path = self._path(name)
+        self._invalidate_map(name)
         with open(path, "ab") as fh:
             offset = fh.tell()
             written = fh.write(payload)
@@ -167,6 +224,7 @@ class HostDisk:
     def truncate(self, name: str, size: int) -> None:
         """Shrink the file to *size* bytes."""
         path = self._path(name)
+        self._invalidate_map(name)
         current = path.stat().st_size
         if size < 0 or size > current:
             raise StorageError(f"bad truncate size {size} for {name!r}")
@@ -176,6 +234,8 @@ class HostDisk:
     def rename(self, old: str, new: str) -> None:
         """Rename a file, replacing the target if present."""
         path = self._path(old)
+        self._invalidate_map(old)
+        self._invalidate_map(new)
         new_host = _host_name(new)
         if new in self._names:
             (self.root / self._names[new]).unlink()
@@ -237,6 +297,8 @@ class HostDisk:
                  "read() invocations."),
                 ("repro_disk_write_calls", stats.write_calls,
                  "write() invocations."),
+                ("repro_disk_mmap_reads", stats.mmap_reads,
+                 "Zero-copy read_view() calls served from a shared mmap."),
             )
             for name, value, help_text in pairs:
                 reg.gauge(name, labels, help=help_text).set(float(value))

@@ -46,6 +46,12 @@ class BufferedReader:
         self._chunk_bytes = chunk_bytes
         self._buffer = b""
         self._buffer_start = start
+        # Zero-copy seam: mmap-capable backends expose ``read_view``; probe
+        # once here so the hot loop is a plain attribute check.  The probe
+        # is deliberately duck-typed — DelegatingBackend wrappers that must
+        # not be bypassed (checksummed frames) pin ``read_view = None``.
+        view = getattr(disk, "read_view", None)
+        self._disk_view = view if callable(view) else None
 
     @property
     def position(self) -> int:
@@ -87,6 +93,42 @@ class BufferedReader:
             length -= take
         return bytes(out)
 
+    def read_view(self, length: int):
+        """Read exactly *length* bytes, zero-copy where the backend allows.
+
+        Returns a :class:`memoryview` when the span sits inside the current
+        buffer or the backend exposes mmap-backed ``read_view``; otherwise
+        falls back to :meth:`read` (plain bytes).  Either return type is a
+        valid buffer for ``numpy.frombuffer`` — the segment decoders'
+        bulk-crack entry point.
+        """
+        if length < 0:
+            raise StorageError("negative read length")
+        if self._pos + length > self._end:
+            raise StorageError(
+                f"read past range end on {self._name!r}: pos={self._pos} "
+                f"length={length} end={self._end}"
+            )
+        available = self._buffer_start + len(self._buffer) - self._pos
+        if available >= length:
+            at = self._pos - self._buffer_start
+            self._pos += length
+            return memoryview(self._buffer)[at : at + length]
+        if self._disk_view is not None:
+            view = self._disk_view(self._name, self._pos, length)
+            self._pos += length
+            registry = get_registry()
+            registry.counter(
+                "repro_pager_fills_total",
+                help="Chunk fetches issued by buffered sequential readers.",
+            ).inc()
+            registry.counter(
+                "repro_pager_bytes_total",
+                help="Bytes fetched by buffered sequential readers.",
+            ).inc(length)
+            return view
+        return self.read(length)
+
     def skip(self, length: int) -> None:
         """Advance without materialising bytes (still bounded by the range).
 
@@ -105,7 +147,10 @@ class BufferedReader:
         length = min(self._chunk_bytes, self._end - start)
         if length <= 0:
             raise StorageError("buffered reader exhausted")
-        self._buffer = self._disk.read(self._name, start, length)
+        if self._disk_view is not None:
+            self._buffer = self._disk_view(self._name, start, length)
+        else:
+            self._buffer = self._disk.read(self._name, start, length)
         self._buffer_start = start
         registry = get_registry()
         registry.counter(
