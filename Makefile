@@ -17,9 +17,11 @@ check-docs:
 # kernel cross-check (block filter == scalar filter on every path), a
 # chaos cross-check (injected faults never produce silently-wrong answers),
 # the perf-regression sentinel (deterministic bench counters vs. committed
-# baselines), the obs-catalog gate (emitted metric/span names == docs), and
-# the serving gate (daemon boot + query/cache/compact/deadline round-trip
-# over real HTTP).
+# baselines), the obs-catalog gate (emitted metric/span names == docs), the
+# serving gate (daemon boot + query/cache/compact/deadline round-trip over
+# real HTTP), and the crash gate (journaled kill-point sweep: every
+# acknowledged write survives a crash at every kill site, torn tails are
+# quarantined, and recovery is deterministic).
 smoke: check-docs
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/check_bench_metrics.py
@@ -29,6 +31,7 @@ smoke: check-docs
 	PYTHONPATH=src python scripts/check_bench_regression.py
 	PYTHONPATH=src python scripts/check_obs_catalog.py
 	PYTHONPATH=src python scripts/check_serve_smoke.py
+	PYTHONPATH=src python scripts/check_crash_smoke.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -265,7 +265,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "suite",
-        choices=["parallel-scaling", "codec-compare", "kernel-compare", "fault-sweep"],
+        choices=[
+            "parallel-scaling",
+            "codec-compare",
+            "kernel-compare",
+            "fault-sweep",
+            "crash-sweep",
+        ],
         help="benchmark suite to run",
     )
     bench.add_argument(
@@ -286,7 +292,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=13,
-        help="fault-sweep only: fault-plan seed (chaos runs are replayable)",
+        help="fault-sweep / crash-sweep: scenario seed (runs are replayable)",
+    )
+    bench.add_argument(
+        "--ops",
+        type=int,
+        default=24,
+        help="crash-sweep only: mutations in the journaled workload",
     )
 
     fsck = sub.add_parser("fsck", help="check table and index integrity")
@@ -364,6 +376,33 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--save-on-exit", action="store_true",
                        help="write the served state back to the snapshot "
                        "file on shutdown")
+    serve.add_argument("--journal", nargs="?", const="auto", default=None,
+                       metavar="DIR",
+                       help="write-ahead journal directory (crash-safe "
+                       "acknowledged writes + recovery on startup); bare "
+                       "--journal uses <snapshot>.wal")
+    serve.add_argument("--fsync", choices=["always", "interval", "off"],
+                       default="always",
+                       help="journal flush policy (default: always)")
+    serve.add_argument("--fsync-interval-ms", type=float, default=500.0,
+                       help="flush cadence for --fsync interval")
+    serve.add_argument("--lock", default=None, metavar="PATH",
+                       help="serve-lock file guarding the snapshot "
+                       "(default: <snapshot>.lock)")
+    serve.add_argument("--takeover", action="store_true",
+                       help="rolling restart: ask the live lock holder to "
+                       "drain, wait for it to exit, recover, then serve")
+    serve.add_argument("--takeover-wait-s", type=float, default=30.0,
+                       help="max seconds to wait for the predecessor")
+    serve.add_argument("--quota-rps", type=float, default=None,
+                       help="per-client token-bucket rate (X-Client-Id "
+                       "header); unset disables per-client quotas")
+    serve.add_argument("--quota-burst", type=float, default=None,
+                       help="per-client bucket depth (default: 2x rate)")
+    serve.add_argument("--cache-probation-s", type=float, default=0.0,
+                       help="result-cache doorkeeper window: cache a query "
+                       "only on its second sighting within this many "
+                       "seconds (0 disables the doorkeeper)")
 
     trace = sub.add_parser(
         "trace", help="aggregate a JSONL span file into latency tables"
@@ -734,6 +773,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if args.suite == "crash-sweep":
+        from repro.bench.crash_sweep import crash_sweep, emit_crash_sweep
+
+        if args.ops < 4:
+            raise ReproError("--ops must be at least 4")
+        print(
+            "building the crash environment (journaled daemon + kill points)..."
+        )
+        runs = crash_sweep(seed=args.seed, ops=args.ops, k=args.k)
+        emit_crash_sweep(runs)
+        failing = [run.name for run in runs if not run.ok]
+        if failing:
+            raise ReproError(
+                f"acknowledged writes lost or divergent recovery at kill "
+                f"point(s): {failing}"
+            )
+        return 0
+
     if args.suite == "kernel-compare":
         from repro.bench.kernel_compare import (
             emit_kernel_compare,
@@ -898,52 +955,115 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.server import SpanRingBuffer
     from repro.obs.trace import get_tracer
-    from repro.serve import AdmissionController, QueryDaemon, ResultCache, SnapshotManager
+    from repro.serve import (
+        AdmissionController,
+        ClientQuota,
+        QueryDaemon,
+        ResultCache,
+        ServeLock,
+        SnapshotManager,
+        WriteAheadJournal,
+        recover,
+    )
 
     if args.queue_timeout_ms <= 0:
         raise ReproError("--queue-timeout-ms must be positive")
-    disk, table, index = _open(args)
-    manager = SnapshotManager(disk, table, index)
-    ring = SpanRingBuffer(capacity=args.ring)
-    get_tracer().sink = ring
-    admission = AdmissionController(
-        max_concurrency=args.max_concurrency,
-        max_queue=args.max_queue,
-        queue_timeout_s=args.queue_timeout_ms / 1000.0,
-    )
+    lock = ServeLock(args.lock or f"{args.snapshot}.lock")
+    lock.acquire(takeover=args.takeover, wait_s=args.takeover_wait_s)
     try:
-        daemon = QueryDaemon(
-            manager,
-            host=args.host,
-            port=args.port,
-            kernel=args.kernel,
-            metric=args.metric,
-            ndf_penalty=args.ndf_penalty,
-            workers=args.workers,
-            deadline_ms=args.deadline_ms,
-            beta=args.beta,
-            admission=admission,
-            result_cache=ResultCache(capacity=args.cache_entries),
-            ring=ring,
+        disk, table, index = _open(args)
+        journal = None
+        checkpointer = None
+        if args.journal is not None:
+            from repro.storage.hostdisk import HostDisk
+
+            journal_dir = (
+                f"{args.snapshot}.wal" if args.journal == "auto" else args.journal
+            )
+            journal = WriteAheadJournal(
+                HostDisk(journal_dir),
+                fsync=args.fsync,
+                fsync_interval_s=args.fsync_interval_ms / 1000.0,
+            )
+            report = recover(table, index, journal)
+            if not report.clean:
+                print(f"journal recovery: {report.to_dict()}")
+
+            def checkpointer(gen):
+                return save_disk(gen.disk, args.snapshot)
+
+        manager = SnapshotManager(
+            disk, table, index, journal=journal, checkpointer=checkpointer
         )
-    except OSError as exc:
-        raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}")
-    print(f"serving snapshot {args.snapshot!r} (index {args.name!r}) at {daemon.url}")
-    print(
-        "endpoints: POST /query /query/batch /admin/insert /admin/delete "
-        "/admin/update /admin/compact /admin/drain"
-    )
-    print("           GET  /metrics /metrics.json /healthz /traces/recent")
-    print("press Ctrl-C to stop")
-    try:
-        daemon.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
+        if journal is not None and not report.clean:
+            # Persist the replayed state immediately so a crash loop can't
+            # keep re-replaying an ever-longer journal.
+            manager.checkpoint(reason="recovery")
+        ring = SpanRingBuffer(capacity=args.ring)
+        get_tracer().sink = ring
+        quota = None
+        if args.quota_rps is not None:
+            quota = ClientQuota(args.quota_rps, args.quota_burst)
+        admission = AdmissionController(
+            max_concurrency=args.max_concurrency,
+            max_queue=args.max_queue,
+            queue_timeout_s=args.queue_timeout_ms / 1000.0,
+            quota=quota,
+        )
+        try:
+            daemon = QueryDaemon(
+                manager,
+                host=args.host,
+                port=args.port,
+                kernel=args.kernel,
+                metric=args.metric,
+                ndf_penalty=args.ndf_penalty,
+                workers=args.workers,
+                deadline_ms=args.deadline_ms,
+                beta=args.beta,
+                admission=admission,
+                result_cache=ResultCache(
+                    capacity=args.cache_entries,
+                    probation_s=args.cache_probation_s,
+                ),
+                ring=ring,
+            )
+        except OSError as exc:
+            raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}")
+        lock.update(host=args.host, port=daemon.port, url=daemon.url)
+        print(
+            f"serving snapshot {args.snapshot!r} (index {args.name!r}) "
+            f"at {daemon.url}"
+        )
+        print(
+            "endpoints: POST /query /query/batch /admin/insert /admin/delete "
+            "/admin/update /admin/compact /admin/checkpoint /admin/drain "
+            "/admin/undrain"
+        )
+        print("           GET  /metrics /metrics.json /healthz /traces/recent")
+        if journal is not None:
+            print(f"journal: {journal_dir} (fsync {args.fsync})")
+        print("press Ctrl-C to stop")
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            daemon.close()
+            if journal is not None:
+                summary = manager.checkpoint(reason="shutdown")
+                print(
+                    f"checkpointed {args.snapshot} at seq "
+                    f"{summary['applied_seq']} and rotated the journal"
+                )
+            elif args.save_on_exit:
+                written = save_disk(manager.current.disk, args.snapshot)
+                print(
+                    f"saved served state back to {args.snapshot} "
+                    f"({written} bytes)"
+                )
     finally:
-        daemon.close()
-        if args.save_on_exit:
-            written = save_disk(manager.current.disk, args.snapshot)
-            print(f"saved served state back to {args.snapshot} ({written} bytes)")
+        lock.release()
     return 0
 
 

@@ -35,6 +35,29 @@ class ChecksumError(StorageError):
     """Stored bytes disagree with their recorded CRC32C frame checksums."""
 
 
+class JournalError(StorageError):
+    """The write-ahead journal cannot uphold its durability contract.
+
+    Raised when an acknowledged mutation could not be journaled (the
+    daemon then poisons further writes until restarted — restarting
+    recovers from the journal), or when recovery finds the journal and
+    the snapshot irreconcilable (e.g. a replayed insert landed on a
+    different tid than the one journaled).
+    """
+
+
+class SimulatedCrash(ReproError):
+    """A deterministic kill point fired (crash-recovery harness only).
+
+    Raised by :meth:`~repro.resilience.faults.FaultPlan.maybe_kill` when
+    an armed plan's :class:`~repro.resilience.faults.KillPoint` is hit.
+    Models the process dying at that exact instruction: the harness
+    abandons the in-memory state and recovers from durable bytes alone.
+    Never raised in production paths (plans without kill points are
+    inert).
+    """
+
+
 class IndexError_(ReproError):
     """The index is inconsistent with the table it claims to cover."""
 

@@ -35,6 +35,7 @@ from repro.resilience.faults import (
     FaultInjectingBackend,
     FaultPlan,
     FaultRule,
+    KillPoint,
 )
 from repro.resilience.retry import ResilientBackend, RetryPolicy
 
@@ -44,6 +45,7 @@ __all__ = [
     "FaultInjectingBackend",
     "FaultPlan",
     "FaultRule",
+    "KillPoint",
     "ResilientBackend",
     "RetryPolicy",
     "crc32c",

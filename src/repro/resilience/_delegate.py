@@ -86,6 +86,9 @@ class DelegatingBackend:
     def rename(self, old: str, new: str) -> None:
         self.inner.rename(old, new)
 
+    def sync(self, name: str) -> None:
+        self.inner.sync(name)
+
     # ----------------------------------------------------------- cache
 
     def warm_file(self, name: str) -> None:
@@ -104,6 +107,9 @@ class DelegatingBackend:
 
     def io_channel(self, name: str):
         return self.inner.io_channel(name)
+
+    def accounting_scope(self, stats=None):
+        return self.inner.accounting_scope(stats)
 
     def publish_metrics(self, registry=None, label: str = "disk0") -> None:
         self.inner.publish_metrics(registry, label=label)

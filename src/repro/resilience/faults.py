@@ -26,6 +26,14 @@ Fault kinds:
 ``latency``
     The modeled I/O clock (``stats.io_time_ms``) is charged an extra
     ``latency_ms`` spike.
+
+Beyond per-operation faults, a plan can carry :class:`KillPoint`\\ s —
+named code sites at which the *whole process* "dies" on the Nth hit
+(:meth:`FaultPlan.maybe_kill` raises
+:class:`~repro.errors.SimulatedCrash`).  The crash-recovery harness
+(``repro bench crash-sweep``) uses these to kill the serving write path
+mid-append, mid-fsync, or mid-compaction-swap and then prove recovery
+from the surviving durable bytes.
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from repro.errors import StorageError, TransientIOError
+from repro.errors import SimulatedCrash, StorageError, TransientIOError
 from repro.obs.metrics import get_registry
 from repro.resilience._delegate import DelegatingBackend
 
@@ -111,6 +119,40 @@ class FaultRule:
         )
 
 
+@dataclass(frozen=True)
+class KillPoint:
+    """Die at the named code *site* on its ``hit``-th traversal.
+
+    ``site`` is a dotted label baked into the code path (e.g.
+    ``journal.append``, ``commit.post_journal``, ``compact.swap``).
+    ``torn_bytes`` only matters at sites that persist a payload before
+    dying: it caps how many bytes of the in-flight frame reach "disk"
+    before the crash, modeling a torn write (``None`` means the site's
+    default tear).
+    """
+
+    site: str
+    hit: int = 1
+    torn_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise StorageError("kill point site must be non-empty")
+        if self.hit < 1:
+            raise StorageError(f"kill point hit must be >= 1, got {self.hit}")
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "hit": self.hit, "torn_bytes": self.torn_bytes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KillPoint":
+        return cls(
+            site=data["site"],
+            hit=data.get("hit", 1),
+            torn_bytes=data.get("torn_bytes"),
+        )
+
+
 @dataclass
 class FaultPlan:
     """A seeded, armable set of fault rules — the whole chaos scenario."""
@@ -118,9 +160,13 @@ class FaultPlan:
     seed: int
     rules: Tuple[FaultRule, ...] = ()
     armed: bool = False
+    kill_points: Tuple[KillPoint, ...] = ()
 
     def __post_init__(self) -> None:
         self.rules = tuple(self.rules)
+        self.kill_points = tuple(self.kill_points)
+        self._kill_hits: Dict[str, int] = {}
+        self._kill_lock = threading.Lock()
 
     def arm(self) -> None:
         self.armed = True
@@ -131,11 +177,45 @@ class FaultPlan:
     def with_rules(self, *rules: FaultRule) -> "FaultPlan":
         return replace(self, rules=tuple(rules))
 
+    def with_kill_points(self, *points: KillPoint) -> "FaultPlan":
+        return replace(self, kill_points=tuple(points))
+
+    # --------------------------------------------------- kill points
+
+    def reached(self, site: str) -> Optional[KillPoint]:
+        """Record one traversal of *site*; the kill point due now, if any.
+
+        Hit counting happens even when no kill point targets the site,
+        so a plan re-armed mid-run still counts deterministically.
+        Disarmed plans neither count nor kill.
+        """
+        if not self.armed:
+            return None
+        with self._kill_lock:
+            hits = self._kill_hits.get(site, 0) + 1
+            self._kill_hits[site] = hits
+        for point in self.kill_points:
+            if point.site == site and point.hit == hits:
+                return point
+        return None
+
+    def maybe_kill(self, site: str) -> None:
+        """Raise :class:`SimulatedCrash` when a kill point is due at *site*."""
+        point = self.reached(site)
+        if point is not None:
+            raise SimulatedCrash(
+                f"simulated crash at kill point {site!r} (hit {point.hit})"
+            )
+
     # -------------------------------------------------------- replay
 
     def to_json(self) -> str:
         return json.dumps(
-            {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]},
+            {
+                "seed": self.seed,
+                "rules": [rule.to_dict() for rule in self.rules],
+                "kill_points": [point.to_dict() for point in self.kill_points],
+            },
             indent=2,
         )
 
@@ -145,6 +225,9 @@ class FaultPlan:
         return cls(
             seed=data["seed"],
             rules=tuple(FaultRule.from_dict(r) for r in data.get("rules", ())),
+            kill_points=tuple(
+                KillPoint.from_dict(p) for p in data.get("kill_points", ())
+            ),
         )
 
     def dump(self, path: str) -> None:

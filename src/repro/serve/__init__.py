@@ -3,9 +3,16 @@
 Layers (each its own module):
 
 * :mod:`repro.serve.admission` — bounded concurrency + queue with 429
-  backpressure and a latency-derived ``Retry-After``;
-* :mod:`repro.serve.cache` — the LRU result cache (the kernel-artifact
-  cache lives per generation in :mod:`repro.serve.snapshots`);
+  backpressure, a latency-derived ``Retry-After``, and per-client token
+  buckets (:class:`ClientQuota`);
+* :mod:`repro.serve.cache` — the LRU result cache with optional
+  doorkeeper admission (the kernel-artifact cache lives per generation
+  in :mod:`repro.serve.snapshots`);
+* :mod:`repro.serve.journal` — the CRC-framed write-ahead journal every
+  acknowledged mutation hits before its snapshot generation advances;
+* :mod:`repro.serve.recovery` — deterministic crash recovery (torn-tail
+  quarantine + idempotent replay) and the :class:`ServeLock` that
+  coordinates graceful restart handoff (``--takeover``);
 * :mod:`repro.serve.snapshots` — generation-based snapshot isolation and
   the online β-compaction (paper Sec. IV-B, made non-blocking);
 * :mod:`repro.serve.server` — the HTTP daemon extending the
@@ -16,8 +23,14 @@ See ``docs/serving.md`` for the architecture and the endpoint reference,
 and ``docs/runbook.md`` for operating it.
 """
 
-from repro.serve.admission import AdmissionController, AdmissionRejected
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    ClientQuota,
+)
 from repro.serve.cache import ResultCache, result_key
+from repro.serve.journal import WriteAheadJournal, scan_journal
+from repro.serve.recovery import RecoveryReport, ServeLock, recover
 from repro.serve.server import QueryDaemon
 from repro.serve.snapshots import (
     CompactionInProgress,
@@ -29,11 +42,17 @@ from repro.serve.snapshots import (
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
+    "ClientQuota",
     "CompactionInProgress",
     "Generation",
     "QueryDaemon",
+    "RecoveryReport",
     "ResultCache",
+    "ServeLock",
     "Snapshot",
     "SnapshotManager",
+    "WriteAheadJournal",
+    "recover",
     "result_key",
+    "scan_journal",
 ]

@@ -15,17 +15,26 @@ The suggested retry delay is an exponentially weighted moving average of
 recent query latencies scaled by the queue backlog — "come back after
 roughly the work ahead of you drains" — clamped to a sane [1, 30] s
 window so a cold EWMA never produces a silly header.
+
+On top of the global bounds, an optional :class:`ClientQuota` enforces
+per-client fairness: a token bucket keyed on the caller-supplied
+``X-Client-Id`` header, so one chatty client exhausts *its* bucket
+instead of the shared queue.  Quota rejections are 429s with reason
+``"quota"`` and a precise ``Retry-After`` (time until the bucket refills
+one token).
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from collections import OrderedDict
 from typing import Optional
 
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry, get_registry
 
-__all__ = ["AdmissionController", "AdmissionRejected"]
+__all__ = ["AdmissionController", "AdmissionRejected", "ClientQuota"]
 
 #: Clamp bounds for the suggested Retry-After delay, in seconds.
 RETRY_AFTER_MIN_S = 1.0
@@ -39,6 +48,66 @@ class AdmissionRejected(ReproError):
         super().__init__(f"admission rejected: {reason}")
         self.reason = reason
         self.retry_after_s = retry_after_s
+
+
+class ClientQuota:
+    """A per-client token bucket; thread-safe, bounded client map.
+
+    Each client id owns a bucket of ``burst`` tokens refilled at
+    ``rate_per_s``.  :meth:`try_acquire` takes one token and returns
+    ``0.0`` on success, else the number of seconds until one token will
+    be available (the precise ``Retry-After``).  Buckets live in an LRU
+    capped at ``max_clients`` so an adversarial spray of fresh ids
+    cannot grow memory without bound — evicted clients simply start
+    over with a full bucket.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: Optional[float] = None,
+        *,
+        max_clients: int = 4096,
+        clock=time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = (
+            float(burst) if burst is not None else max(1.0, 2.0 * self.rate_per_s)
+        )
+        if self.burst < 1.0:
+            raise ValueError("burst must be >= 1 token")
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: client id -> (tokens, last refill timestamp); insertion order is
+        #: recency order (move_to_end on touch).
+        self._buckets: "OrderedDict[str, tuple]" = OrderedDict()
+
+    def try_acquire(self, client_id: str) -> float:
+        """Take one token for *client_id*; 0.0 = admitted, >0 = wait s."""
+        now = self._clock()
+        with self._lock:
+            entry = self._buckets.get(client_id)
+            if entry is None:
+                tokens = self.burst
+            else:
+                tokens, last = entry
+                tokens = min(self.burst, tokens + (now - last) * self.rate_per_s)
+            if tokens >= 1.0:
+                self._buckets[client_id] = (tokens - 1.0, now)
+                self._buckets.move_to_end(client_id)
+                self._evict_locked()
+                return 0.0
+            self._buckets[client_id] = (tokens, now)
+            self._buckets.move_to_end(client_id)
+            self._evict_locked()
+            return (1.0 - tokens) / self.rate_per_s
+
+    def _evict_locked(self) -> None:
+        while len(self._buckets) > self.max_clients:
+            self._buckets.popitem(last=False)
 
 
 class AdmissionController:
@@ -61,6 +130,7 @@ class AdmissionController:
         max_queue: int = 32,
         queue_timeout_s: float = 2.0,
         *,
+        quota: Optional[ClientQuota] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_concurrency < 1:
@@ -72,6 +142,7 @@ class AdmissionController:
         self.max_concurrency = max_concurrency
         self.max_queue = max_queue
         self.queue_timeout_s = queue_timeout_s
+        self.quota = quota
         self._registry = registry
         self._cond = threading.Condition()
         self._running = 0
@@ -85,14 +156,25 @@ class AdmissionController:
 
     # ------------------------------------------------------------ admission
 
-    def admit(self) -> "_AdmissionSlot":
+    def admit(self, client_id: Optional[str] = None) -> "_AdmissionSlot":
         """Acquire a slot (blocking, bounded); returns a context manager.
 
-        Raises :class:`AdmissionRejected` with reason ``"queue_full"``
-        when ``max_queue`` requests are already waiting, or ``"timeout"``
-        when no slot frees within ``queue_timeout_s``.
+        Raises :class:`AdmissionRejected` with reason ``"quota"`` when a
+        per-client quota is configured and *client_id*'s bucket is empty,
+        ``"queue_full"`` when ``max_queue`` requests are already waiting,
+        or ``"timeout"`` when no slot frees within ``queue_timeout_s``.
+        The quota check runs *first* — a throttled client never occupies
+        a queue slot.
         """
         registry = self._metrics()
+        if self.quota is not None:
+            wait = self.quota.try_acquire(client_id or "anonymous")
+            if wait > 0.0:
+                registry.counter(
+                    "repro_serve_quota_rejections_total",
+                    help="Requests rejected by the per-client token bucket.",
+                ).inc()
+                raise AdmissionRejected("quota", wait)
         with self._cond:
             if self._running < self.max_concurrency:
                 self._running += 1

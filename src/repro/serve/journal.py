@@ -1,0 +1,481 @@
+"""CRC32C-framed write-ahead journal for the serving daemon.
+
+The daemon serves an in-memory working set loaded from a snapshot file;
+``--save-on-exit`` persists it on *clean* exit only.  This module closes
+the crash window: every acknowledged mutation is appended here — and
+flushed per the fsync policy — *before* the snapshot generation's
+watermark advances, so a process death at any instruction loses no
+acknowledged write (see :meth:`SnapshotManager._commit` for the ordering
+proof).
+
+Wire format (all integers little-endian, CRC32C is the Castagnoli
+polynomial from :mod:`repro.resilience.checksum`, same as the PR-5
+frame machinery):
+
+* header — ``b"IVAWAL1\\0"`` magic, ``u32`` JSON length, ``u32``
+  CRC32C of the JSON, then the JSON: ``{"base_seq", "base_next_tid",
+  "checkpoint_id"}``.  ``base_seq`` is the last sequence number already
+  folded into the snapshot this journal extends.
+* record — ``u32`` JSON length, ``u32`` CRC32C of the JSON, then the
+  JSON payload: ``{"seq", "op", ...}`` (``insert``: values + assigned
+  tid; ``delete``: tid; ``update``: tid + values + new_tid).
+
+A torn tail — truncation or bit corruption from a mid-write crash — is
+detected by length/CRC/sequence validation: :func:`scan_journal` stops
+at the first bad frame, the valid prefix replays, and the torn suffix is
+moved to a ``.quarantine`` file for inspection (never silently dropped,
+never replayed).
+
+Rotation (after a successful checkpoint) writes a fresh single-header
+journal to ``<name>.new`` and atomically renames it over the old file,
+so there is no instant at which the journal is missing or half-written.
+
+The durable companion of the journal is the *state file*
+(:data:`STATE_FILE`) written **into the snapshotted disk itself** right
+before each checkpoint save — ``{"applied_seq", "next_tid"}`` travels
+atomically with the data it describes, which is what makes replay
+idempotent (records ``<= applied_seq`` are skipped) and tid-exact
+(the allocator is restored before replay; see
+:meth:`~repro.storage.table.SparseWideTable.advance_next_tid`).
+
+Fsync policies: ``always`` flushes after every append (maximum
+durability), ``interval`` flushes at most every ``fsync_interval_s``
+seconds (bounded loss window, amortized cost), ``off`` leaves flushing
+to the backend/OS entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.errors import JournalError, ReproError, SimulatedCrash
+from repro.resilience.checksum import crc32c
+
+__all__ = [
+    "JOURNAL_MAGIC",
+    "STATE_FILE",
+    "JournalScan",
+    "WriteAheadJournal",
+    "read_journal_state",
+    "scan_journal",
+    "write_journal_state",
+]
+
+JOURNAL_MAGIC = b"IVAWAL1\x00"
+
+#: Name of the durable-state file written into the snapshotted disk at
+#: checkpoint time: ``{"applied_seq": int, "next_tid": int}``.
+STATE_FILE = "serve.journal.state"
+
+FSYNC_POLICIES = ("always", "interval", "off")
+
+#: Upper bound on one record's JSON payload; a corrupt length field past
+#: this is classified as a torn tail instead of attempted as a frame.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+_FRAME_HEAD = struct.Struct("<II")
+
+
+def _encode_frame(payload: bytes) -> bytes:
+    return _FRAME_HEAD.pack(len(payload), crc32c(payload)) + payload
+
+
+# --------------------------------------------------------------------- state
+
+
+def write_journal_state(disk, *, applied_seq: int, next_tid: int) -> None:
+    """Persist ``{applied_seq, next_tid}`` into *disk* (pre-checkpoint).
+
+    Written immediately before the checkpoint save so the state rides in
+    the same snapshot file as the data it describes.
+    """
+    payload = json.dumps(
+        {"applied_seq": int(applied_seq), "next_tid": int(next_tid)},
+        sort_keys=True,
+    ).encode("utf-8")
+    if disk.exists(STATE_FILE):
+        disk.create(STATE_FILE, overwrite=True)
+    else:
+        disk.create(STATE_FILE)
+    disk.append(STATE_FILE, payload)
+
+
+def read_journal_state(disk) -> dict:
+    """The snapshot's journal state; zeros when it predates journaling."""
+    if not disk.exists(STATE_FILE):
+        return {"applied_seq": 0, "next_tid": None}
+    raw = disk.read(STATE_FILE, 0, disk.size(STATE_FILE))
+    try:
+        state = json.loads(raw)
+    except ValueError as exc:
+        raise JournalError(f"corrupt {STATE_FILE!r}: {exc}") from exc
+    return {
+        "applied_seq": int(state.get("applied_seq", 0)),
+        "next_tid": state.get("next_tid"),
+    }
+
+
+# ---------------------------------------------------------------------- scan
+
+
+@dataclass
+class JournalScan:
+    """Everything :func:`scan_journal` learned about a journal file."""
+
+    #: Parsed header JSON, or ``None`` when the header itself is torn.
+    header: Optional[dict]
+    #: Records in the valid prefix, in order.
+    records: List[dict]
+    #: Bytes of the valid prefix (header + whole valid records).
+    valid_bytes: int
+    #: Total bytes in the file.
+    total_bytes: int
+    #: True when a torn/corrupt suffix follows the valid prefix.
+    torn: bool
+    #: Human-readable reason the scan stopped, when torn.
+    reason: Optional[str] = None
+
+
+def scan_journal(backend, name: str) -> JournalScan:
+    """Validate a journal file, stopping at the first bad frame.
+
+    Never raises on corrupt content — corruption is the expected input
+    after a crash.  The scan enforces length bounds, CRC32C, JSON shape,
+    and strictly consecutive sequence numbers, so the returned records
+    are always a prefix-consistent replay set.
+    """
+    total = backend.size(name)
+    raw = backend.read(name, 0, total) if total else b""
+    if len(raw) < len(JOURNAL_MAGIC) + _FRAME_HEAD.size:
+        return JournalScan(None, [], 0, total, total > 0, "header truncated")
+    if raw[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+        return JournalScan(None, [], 0, total, True, "bad magic")
+    pos = len(JOURNAL_MAGIC)
+    length, crc = _FRAME_HEAD.unpack_from(raw, pos)
+    pos += _FRAME_HEAD.size
+    if length > MAX_RECORD_BYTES or pos + length > total:
+        return JournalScan(None, [], 0, total, True, "header truncated")
+    payload = raw[pos : pos + length]
+    if crc32c(payload) != crc:
+        return JournalScan(None, [], 0, total, True, "header checksum mismatch")
+    try:
+        header = json.loads(payload)
+    except ValueError:
+        return JournalScan(None, [], 0, total, True, "header not JSON")
+    pos += length
+    base_seq = int(header.get("base_seq", 0))
+
+    records: List[dict] = []
+    reason: Optional[str] = None
+    expected_seq = base_seq + 1
+    while pos < total:
+        if pos + _FRAME_HEAD.size > total:
+            reason = "record frame truncated"
+            break
+        length, crc = _FRAME_HEAD.unpack_from(raw, pos)
+        if length > MAX_RECORD_BYTES or pos + _FRAME_HEAD.size + length > total:
+            reason = "record payload truncated"
+            break
+        payload = raw[pos + _FRAME_HEAD.size : pos + _FRAME_HEAD.size + length]
+        if crc32c(payload) != crc:
+            reason = "record checksum mismatch"
+            break
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            reason = "record not JSON"
+            break
+        if not isinstance(record, dict) or record.get("seq") != expected_seq:
+            reason = (
+                f"sequence break: expected {expected_seq}, "
+                f"got {record.get('seq') if isinstance(record, dict) else record!r}"
+            )
+            break
+        records.append(record)
+        expected_seq += 1
+        pos += _FRAME_HEAD.size + length
+    return JournalScan(header, records, pos, total, pos < total, reason)
+
+
+# ------------------------------------------------------------------- journal
+
+
+class WriteAheadJournal:
+    """Append-only durability log over any :class:`StorageBackend`.
+
+    Opening an existing journal scans it: a torn tail is quarantined
+    (moved to ``<name>.quarantine``, the journal truncated back to its
+    valid prefix) and the surviving records are exposed as
+    :attr:`recovered_records` for :func:`repro.serve.recovery.recover`
+    to replay.  Opening thereby always terminates with a clean journal —
+    a crash loop over the same torn tail is impossible.
+
+    *failpoints* is a :class:`~repro.resilience.faults.FaultPlan`; the
+    kill sites here are ``journal.append`` (die mid-frame-write, honoring
+    ``KillPoint.torn_bytes``) and ``journal.fsync`` (die before the flush
+    completes).
+    """
+
+    def __init__(
+        self,
+        backend,
+        name: str = "serve.journal",
+        *,
+        fsync: str = "always",
+        fsync_interval_s: float = 0.5,
+        registry=None,
+        tracer=None,
+        failpoints=None,
+        clock=time.monotonic,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise JournalError(
+                f"unknown fsync policy {fsync!r}; one of {FSYNC_POLICIES}"
+            )
+        self.backend = backend
+        self.name = name
+        self.fsync = fsync
+        self.fsync_interval_s = float(fsync_interval_s)
+        self.tracer = tracer
+        self.failpoints = failpoints
+        self._clock = clock
+        self._lock = threading.Lock()
+        from repro.obs.metrics import get_registry
+
+        self._registry = registry if registry is not None else get_registry()
+
+        self.quarantined_bytes = 0
+        self.recovered_records: List[dict] = []
+        if backend.exists(name):
+            scan = scan_journal(backend, name)
+            if scan.torn:
+                self.quarantined_bytes = self._quarantine(scan)
+            if scan.header is None:
+                # The header itself was unreadable: the whole file went to
+                # quarantine; start a fresh journal.  (Rotation renames a
+                # fully-written file into place, so only media corruption
+                # can land here.)
+                self.header = self._fresh_header()
+                self._write_header()
+            else:
+                self.header = scan.header
+                self.recovered_records = list(scan.records)
+        else:
+            backend.create(name)
+            self.header = self._fresh_header()
+            self._write_header()
+
+        self._size = backend.size(name)
+        if self.recovered_records:
+            self.last_seq = int(self.recovered_records[-1]["seq"])
+        else:
+            self.last_seq = int(self.header.get("base_seq", 0))
+        #: Bytes known flushed to stable storage.  Everything present at
+        #: open is durable by definition (we just read it back).
+        self.synced_bytes = self._size
+        self._last_sync = self._clock()
+        self._publish_gauges()
+
+    # ----------------------------------------------------------- internals
+
+    @staticmethod
+    def _fresh_header(
+        base_seq: int = 0,
+        base_next_tid: Optional[int] = None,
+        checkpoint_id: int = 0,
+    ) -> dict:
+        return {
+            "base_seq": int(base_seq),
+            "base_next_tid": base_next_tid,
+            "checkpoint_id": int(checkpoint_id),
+        }
+
+    @staticmethod
+    def _header_bytes(header: dict) -> bytes:
+        payload = json.dumps(header, sort_keys=True).encode("utf-8")
+        return JOURNAL_MAGIC + _encode_frame(payload)
+
+    def _write_header(self) -> None:
+        if self.backend.size(self.name):
+            self.backend.truncate(self.name, 0)
+        self.backend.append(self.name, self._header_bytes(self.header))
+
+    def _quarantine(self, scan: JournalScan) -> int:
+        torn = scan.total_bytes - scan.valid_bytes
+        if torn <= 0:
+            return 0
+        qname = self.name + ".quarantine"
+        data = self.backend.read(self.name, scan.valid_bytes, torn)
+        if self.backend.exists(qname):
+            self.backend.create(qname, overwrite=True)
+        else:
+            self.backend.create(qname)
+        self.backend.append(qname, data)
+        self.backend.truncate(self.name, scan.valid_bytes)
+        self._registry.counter(
+            "repro_journal_torn_tails_total",
+            help="Torn journal tails quarantined while opening the journal.",
+        ).inc()
+        return torn
+
+    def _publish_gauges(self) -> None:
+        self._registry.gauge(
+            "repro_journal_size_bytes",
+            help="Current byte size of the write-ahead journal.",
+        ).set(float(self._size))
+        self._registry.gauge(
+            "repro_journal_records",
+            help="Records in the journal beyond its checkpoint base.",
+        ).set(float(self.last_seq - int(self.header.get("base_seq", 0))))
+
+    # -------------------------------------------------------------- public
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    @property
+    def base_seq(self) -> int:
+        return int(self.header.get("base_seq", 0))
+
+    def append(self, record: Mapping) -> int:
+        """Durably frame one mutation; returns its sequence number.
+
+        The record must not carry ``seq`` — the journal assigns the next
+        consecutive number.  Raises :class:`SimulatedCrash` when an armed
+        kill point fires (the harness's modeled process death) and
+        :class:`JournalError` when the backend cannot persist the frame.
+        """
+        with self._lock:
+            seq = self.last_seq + 1
+            payload = dict(record)
+            payload["seq"] = seq
+            frame = _encode_frame(
+                json.dumps(payload, sort_keys=True).encode("utf-8")
+            )
+            started = time.perf_counter()
+            if self.failpoints is not None:
+                point = self.failpoints.reached("journal.append")
+                if point is not None:
+                    torn = point.torn_bytes
+                    if torn is None:
+                        torn = len(frame) // 2
+                    torn = max(0, min(int(torn), len(frame) - 1))
+                    if torn:
+                        self.backend.append(self.name, frame[:torn])
+                        self._size += torn
+                    raise SimulatedCrash(
+                        f"simulated crash mid-append at seq {seq} "
+                        f"({torn}/{len(frame)} bytes persisted)"
+                    )
+            try:
+                self.backend.append(self.name, frame)
+            except SimulatedCrash:
+                raise
+            except ReproError as exc:
+                raise JournalError(
+                    f"journal append failed at seq {seq}: {exc}"
+                ) from exc
+            self._size += len(frame)
+            self.last_seq = seq
+            self._registry.counter(
+                "repro_journal_appends_total",
+                help="Mutation records appended to the write-ahead journal.",
+            ).inc()
+            self._registry.counter(
+                "repro_journal_bytes_written_total",
+                help="Framed bytes appended to the write-ahead journal.",
+            ).inc(len(frame))
+            self._maybe_sync_locked()
+            self._publish_gauges()
+            if self.tracer is not None:
+                self.tracer.record(
+                    "journal.append",
+                    (time.perf_counter() - started) * 1000.0,
+                    seq=seq,
+                    bytes=len(frame),
+                    fsync=self.fsync,
+                )
+            return seq
+
+    def _maybe_sync_locked(self) -> None:
+        if self.fsync == "off":
+            return
+        if self.fsync == "interval":
+            now = self._clock()
+            if now - self._last_sync < self.fsync_interval_s:
+                return
+        self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        if self.failpoints is not None:
+            self.failpoints.maybe_kill("journal.fsync")
+        sync = getattr(self.backend, "sync", None)
+        if sync is not None:
+            sync(self.name)
+        self.synced_bytes = self._size
+        self._last_sync = self._clock()
+        self._registry.counter(
+            "repro_journal_fsyncs_total",
+            help="Flushes of the write-ahead journal to stable storage.",
+        ).inc()
+
+    def sync(self) -> None:
+        """Force a flush regardless of policy (shutdown, checkpoints)."""
+        with self._lock:
+            self._sync_locked()
+
+    def rotate(self, base_seq: int, base_next_tid: Optional[int]) -> None:
+        """Truncate history up to *base_seq* (it is in the checkpoint now).
+
+        Writes a fresh single-header journal beside the old one and
+        atomically renames it into place — at no instant is the journal
+        absent or partially written.  Called after a successful
+        checkpoint save; a crash before the rename leaves the old journal
+        whole (its records merely skip-guarded on replay), a crash after
+        leaves the new one.
+        """
+        with self._lock:
+            header = self._fresh_header(
+                base_seq=base_seq,
+                base_next_tid=base_next_tid,
+                checkpoint_id=int(self.header.get("checkpoint_id", 0)) + 1,
+            )
+            staging = self.name + ".new"
+            if self.backend.exists(staging):
+                self.backend.create(staging, overwrite=True)
+            else:
+                self.backend.create(staging)
+            self.backend.append(staging, self._header_bytes(header))
+            sync = getattr(self.backend, "sync", None)
+            if sync is not None:
+                sync(staging)
+            self.backend.rename(staging, self.name)
+            self.header = header
+            self.last_seq = int(base_seq)
+            self._size = self.backend.size(self.name)
+            self.synced_bytes = self._size
+            self._last_sync = self._clock()
+            self._registry.counter(
+                "repro_journal_rotations_total",
+                help="Journal rotations (history truncated after a checkpoint).",
+            ).inc()
+            self._publish_gauges()
+
+    def status(self) -> dict:
+        """A JSON-able snapshot for ``/healthz``."""
+        return {
+            "file": self.name,
+            "fsync": self.fsync,
+            "base_seq": self.base_seq,
+            "last_seq": self.last_seq,
+            "size_bytes": self._size,
+            "synced_bytes": self.synced_bytes,
+            "checkpoint_id": int(self.header.get("checkpoint_id", 0)),
+            "quarantined_bytes": self.quarantined_bytes,
+        }

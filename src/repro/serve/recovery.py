@@ -1,0 +1,334 @@
+"""Deterministic crash recovery and restart handoff for the daemon.
+
+Startup after an unclean shutdown is three steps, all here:
+
+1. :class:`ServeLock` — a JSON pid/port lock file on the host filesystem.
+   Normal start fails fast when a live predecessor holds it; a stale lock
+   (holder pid dead) is broken automatically; ``--takeover`` asks the
+   live predecessor to drain and waits for it to exit, bounding the
+   rolling-restart overlap.
+2. :class:`~repro.serve.journal.WriteAheadJournal` open — quarantines a
+   torn tail and surfaces the valid-prefix records (see that module).
+3. :func:`recover` — restores the tid allocator from the snapshot's
+   durable state, then replays every journal record newer than the
+   snapshot's ``applied_seq`` through the same
+   :class:`~repro.maintenance.MaintainedSystem` path live mutations use.
+   Replay is **idempotent** (the skip guard makes a second recovery of
+   the same durable bytes a no-op) and **tid-exact** (each replayed
+   insert/update must land on the tid the journal recorded, else
+   recovery fails loudly rather than serve silently-renumbered data).
+
+The result is the exact pre-crash generation: the crash-sweep harness
+(``repro bench crash-sweep``) asserts recovered answers bit-identical to
+a never-crashed reference at every deterministic kill point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import JournalError, ReproError
+from repro.maintenance import MaintainedSystem
+from repro.serve.journal import WriteAheadJournal, read_journal_state
+
+__all__ = ["RecoveryReport", "ServeLock", "recover"]
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` did, for logs / the crash-sweep harness."""
+
+    #: ``applied_seq`` found in the snapshot's durable state file.
+    base_applied_seq: int
+    #: Highest sequence number reflected in the recovered state.
+    recovered_seq: int
+    #: Tid allocator value after recovery.
+    next_tid: int
+    records_scanned: int = 0
+    replayed: int = 0
+    skipped: int = 0
+    quarantined_bytes: int = 0
+    torn: bool = False
+    duration_ms: float = 0.0
+    #: Per-record notes (currently only populated on hard failures).
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when there was nothing to replay and no torn tail."""
+        return self.replayed == 0 and not self.torn
+
+    def to_dict(self) -> dict:
+        return {
+            "base_applied_seq": self.base_applied_seq,
+            "recovered_seq": self.recovered_seq,
+            "next_tid": self.next_tid,
+            "records_scanned": self.records_scanned,
+            "replayed": self.replayed,
+            "skipped": self.skipped,
+            "quarantined_bytes": self.quarantined_bytes,
+            "torn": self.torn,
+            "clean": self.clean,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+
+
+def recover(
+    table,
+    index,
+    journal: WriteAheadJournal,
+    *,
+    registry=None,
+    tracer=None,
+) -> RecoveryReport:
+    """Replay the journal's valid prefix onto an attached table + index.
+
+    *table*/*index* must be freshly attached from the last durable
+    snapshot.  The journal must already be opened (its constructor did
+    the torn-tail quarantine).  Mutates both in place; returns a report.
+    """
+    from repro.obs.metrics import get_registry
+
+    registry = registry if registry is not None else get_registry()
+    started = time.perf_counter()
+    state = read_journal_state(table.disk)
+    applied = int(state["applied_seq"])
+    if state["next_tid"] is not None:
+        table.advance_next_tid(int(state["next_tid"]))
+    base_next_tid = journal.header.get("base_next_tid")
+    if base_next_tid is not None:
+        table.advance_next_tid(int(base_next_tid))
+
+    system = MaintainedSystem(table, [index], registry=registry, tracer=tracer)
+    replayed = skipped = 0
+    last = applied
+    for record in journal.recovered_records:
+        seq = int(record["seq"])
+        if seq <= applied:
+            skipped += 1
+            continue
+        if seq != last + 1:
+            raise JournalError(
+                f"journal gap during replay: expected seq {last + 1}, got {seq}"
+            )
+        op = record.get("op")
+        if op == "insert":
+            tid = system.insert(record["values"])
+            if tid != record["tid"]:
+                raise JournalError(
+                    f"replay divergence at seq {seq}: insert landed on tid "
+                    f"{tid}, journal recorded {record['tid']}"
+                )
+        elif op == "delete":
+            system.delete(record["tid"])
+        elif op == "update":
+            new_tid = system.update(record["tid"], record["values"])
+            if new_tid != record["new_tid"]:
+                raise JournalError(
+                    f"replay divergence at seq {seq}: update landed on tid "
+                    f"{new_tid}, journal recorded {record['new_tid']}"
+                )
+        else:
+            raise JournalError(f"unknown journal op {op!r} at seq {seq}")
+        replayed += 1
+        last = seq
+
+    if journal.last_seq < last:
+        # The journal is behind the durable state (fully quarantined or
+        # pre-journal snapshot): rebase it so future sequence numbers
+        # stay monotonic.  Nothing is discarded — every record it held
+        # was <= last and already folded in or skip-guarded.
+        journal.rotate(last, table.next_tid)
+
+    duration_ms = (time.perf_counter() - started) * 1000.0
+    registry.counter(
+        "repro_journal_replayed_total",
+        help="Journal records replayed during crash recovery.",
+    ).inc(replayed)
+    registry.counter(
+        "repro_journal_recoveries_total",
+        labels={"outcome": "torn" if journal.quarantined_bytes else "clean"},
+        help="Daemon startups that ran journal recovery.",
+    ).inc()
+    if tracer is not None:
+        tracer.record(
+            "recovery.replay",
+            duration_ms,
+            replayed=replayed,
+            skipped=skipped,
+            quarantined_bytes=journal.quarantined_bytes,
+        )
+    return RecoveryReport(
+        base_applied_seq=applied,
+        recovered_seq=last,
+        next_tid=table.next_tid,
+        records_scanned=len(journal.recovered_records),
+        replayed=replayed,
+        skipped=skipped,
+        quarantined_bytes=journal.quarantined_bytes,
+        torn=journal.quarantined_bytes > 0,
+        duration_ms=duration_ms,
+    )
+
+
+# ----------------------------------------------------------------- serve lock
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class ServeLock:
+    """Single-writer lock file guarding a snapshot's serving role.
+
+    The holder writes ``{"pid", "started_unix", ...}`` into the file via
+    ``O_CREAT | O_EXCL`` (the atomic claim); :meth:`update` adds the
+    bound host/port once known so a successor's ``--takeover`` can ask
+    the predecessor to drain.  A lock whose recorded pid is dead is
+    *stale* and broken automatically — a crashed daemon never wedges the
+    next start.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        poll_interval_s: float = 0.2,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.path = Path(path)
+        self.poll_interval_s = float(poll_interval_s)
+        self._clock = clock
+        self._sleep = sleep
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def read_holder(self) -> Optional[dict]:
+        """The current holder's JSON, or ``None`` (absent/corrupt)."""
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            holder = json.loads(raw)
+        except ValueError:
+            return None
+        return holder if isinstance(holder, dict) else None
+
+    def _try_lock(self) -> bool:
+        try:
+            fd = os.open(str(self.path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump({"pid": os.getpid(), "started_unix": time.time()}, fh)
+        self._held = True
+        return True
+
+    @staticmethod
+    def _request_drain(holder: dict) -> None:
+        """Best-effort ``POST /admin/drain`` to the recorded predecessor."""
+        url = holder.get("url")
+        if not url and holder.get("port"):
+            url = f"http://{holder.get('host', '127.0.0.1')}:{holder['port']}"
+        if not url:
+            return
+        import urllib.request
+
+        request = urllib.request.Request(
+            url.rstrip("/") + "/admin/drain", data=b"{}", method="POST"
+        )
+        request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=2.0):
+                pass
+        except Exception:  # noqa: BLE001 - handoff must not die on a sick peer
+            pass
+
+    def acquire(
+        self, *, takeover: bool = False, wait_s: float = 30.0, drain: bool = True
+    ) -> "ServeLock":
+        """Claim the lock; returns self.
+
+        Without *takeover*: break a stale lock, else fail fast on a live
+        holder.  With *takeover*: ask the live holder to drain (once),
+        then poll until it releases/dies or *wait_s* elapses.
+        """
+        deadline = self._clock() + float(wait_s)
+        drain_sent = False
+        while True:
+            if self._try_lock():
+                return self
+            holder = self.read_holder()
+            if holder is None:
+                # Corrupt or vanished mid-race: break it and retry.
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+                continue
+            pid = holder.get("pid")
+            if not isinstance(pid, int) or not _pid_alive(pid):
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+                continue
+            if not takeover:
+                raise ReproError(
+                    f"serve lock {self.path} is held by live pid {pid}; "
+                    "start with --takeover for a rolling restart"
+                )
+            if drain and not drain_sent:
+                drain_sent = True
+                self._request_drain(holder)
+            if self._clock() >= deadline:
+                raise ReproError(
+                    f"takeover timed out after {wait_s}s: pid {pid} still "
+                    f"holds {self.path}"
+                )
+            self._sleep(self.poll_interval_s)
+
+    def update(self, **fields) -> None:
+        """Merge extra fields (host/port/url) into the held lock file."""
+        if not self._held:
+            raise ReproError("cannot update a lock that is not held")
+        holder = self.read_holder() or {}
+        holder.update(fields)
+        self.path.write_text(
+            json.dumps(holder, sort_keys=True), encoding="utf-8"
+        )
+
+    def release(self) -> None:
+        """Drop the lock (idempotent; only removes what we hold)."""
+        if not self._held:
+            return
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        self._held = False
+
+    def __enter__(self) -> "ServeLock":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False

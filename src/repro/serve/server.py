@@ -18,7 +18,17 @@ observability routes (``/metrics``, ``/metrics.json``, ``/healthz``,
   already running);
 * ``POST /admin/drain`` — stop admitting new queries; ``/healthz`` turns
   503 so a load balancer rotates the instance out while in-flight
-  requests finish.
+  requests finish;
+* ``POST /admin/undrain`` — re-enter serving after a drain (the other
+  half of graceful restart handoff: a cancelled restart does not require
+  a process bounce);
+* ``POST /admin/checkpoint`` — durably save the current generation and
+  rotate the write-ahead journal (requires a configured checkpointer).
+
+Per-client quotas: when the admission controller carries a
+:class:`~repro.serve.admission.ClientQuota`, the ``X-Client-Id`` request
+header keys a token bucket checked before global admission; exceeding it
+is a 429 with ``reason="quota"`` and a ``Retry-After`` header.
 
 Every request runs on its own engine instance (``engine.search`` is not
 re-entrant: per-search state lives on the engine), but all requests
@@ -42,7 +52,7 @@ from urllib.parse import urlparse
 
 from repro.core.batch import BatchIVAEngine
 from repro.core.engine import IVAEngine, SearchReport
-from repro.errors import QueryError, ReproError
+from repro.errors import JournalError, QueryError, ReproError
 from repro.metrics.distance import DistanceFunction
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.server import JSON_CONTENT_TYPE, ObsServer, SpanRingBuffer
@@ -126,6 +136,7 @@ class QueryDaemon(ObsServer):
                 "queue_depth": self.admission.waiting,
                 "result_cache_entries": len(self.result_cache),
                 "draining": self.draining,
+                "journal": self.manager.journal_status,
             }
         )
         if self.draining:
@@ -146,6 +157,8 @@ class QueryDaemon(ObsServer):
             "/admin/update": self._handle_update,
             "/admin/compact": self._handle_compact,
             "/admin/drain": self._handle_drain,
+            "/admin/undrain": self._handle_undrain,
+            "/admin/checkpoint": self._handle_checkpoint,
         }
         route = routes.get(path)
         if route is None:
@@ -156,11 +169,19 @@ class QueryDaemon(ObsServer):
         try:
             try:
                 body = self._read_body(handler)
-                code, payload, headers = 200, route(body), None
+                code, payload, headers = 200, route(body, handler.headers), None
             except _HTTPError as exc:
                 code, payload, headers = exc.code, exc.payload, exc.headers
             except QueryError as exc:
                 code, payload, headers = 400, {"error": str(exc)}, None
+            except JournalError as exc:
+                # Durability is broken: acknowledged-write safety cannot be
+                # promised, so writes are refused until a restart recovers.
+                code, payload, headers = (
+                    503,
+                    {"error": str(exc), "journal_failed": True},
+                    None,
+                )
             except ReproError as exc:
                 code, payload, headers = 400, {"error": str(exc)}, None
             self._respond(handler, path, code, payload, headers)
@@ -207,7 +228,7 @@ class QueryDaemon(ObsServer):
 
     # --------------------------------------------------------------- query
 
-    def _handle_query(self, body: dict) -> dict:
+    def _handle_query(self, body: dict, headers) -> dict:
         if self.draining:
             raise _HTTPError(503, {"error": "draining; not accepting queries"})
         terms = body.get("terms")
@@ -218,18 +239,7 @@ class QueryDaemon(ObsServer):
         k = self._int_field(body, "k", self.default_k)
         metric = body.get("metric", self.metric)
         deadline_s = self._deadline_s(body)
-        try:
-            slot = self.admission.admit()
-        except AdmissionRejected as exc:
-            raise _HTTPError(
-                429,
-                {
-                    "error": "overloaded",
-                    "reason": exc.reason,
-                    "retry_after_s": round(exc.retry_after_s, 3),
-                },
-                headers={"Retry-After": int(math.ceil(exc.retry_after_s))},
-            )
+        slot = self._admit(headers)
         with slot:
             started = time.perf_counter()
             snapshot = self.manager.pin()
@@ -254,7 +264,7 @@ class QueryDaemon(ObsServer):
                 snapshot.release()
                 self.admission.observe_latency(time.perf_counter() - started)
 
-    def _handle_batch(self, body: dict) -> dict:
+    def _handle_batch(self, body: dict, headers) -> dict:
         if self.draining:
             raise _HTTPError(503, {"error": "draining; not accepting queries"})
         raw_queries = body.get("queries")
@@ -265,18 +275,7 @@ class QueryDaemon(ObsServer):
         k = self._int_field(body, "k", self.default_k)
         metric = body.get("metric", self.metric)
         deadline_s = self._deadline_s(body)
-        try:
-            slot = self.admission.admit()
-        except AdmissionRejected as exc:
-            raise _HTTPError(
-                429,
-                {
-                    "error": "overloaded",
-                    "reason": exc.reason,
-                    "retry_after_s": round(exc.retry_after_s, 3),
-                },
-                headers={"Retry-After": int(math.ceil(exc.retry_after_s))},
-            )
+        slot = self._admit(headers)
         with slot:
             started = time.perf_counter()
             snapshot = self.manager.pin()
@@ -316,6 +315,22 @@ class QueryDaemon(ObsServer):
             finally:
                 snapshot.release()
                 self.admission.observe_latency(time.perf_counter() - started)
+
+    def _admit(self, headers):
+        """Admission (quota first, then global) translated to HTTP 429."""
+        client_id = headers.get("X-Client-Id") if headers is not None else None
+        try:
+            return self.admission.admit(client_id=client_id)
+        except AdmissionRejected as exc:
+            raise _HTTPError(
+                429,
+                {
+                    "error": "overloaded",
+                    "reason": exc.reason,
+                    "retry_after_s": round(exc.retry_after_s, 3),
+                },
+                headers={"Retry-After": int(math.ceil(exc.retry_after_s))},
+            )
 
     def _engine_for(self, gen, snapshot, metric: str) -> IVAEngine:
         return IVAEngine(
@@ -401,7 +416,7 @@ class QueryDaemon(ObsServer):
 
     # --------------------------------------------------------------- admin
 
-    def _handle_insert(self, body: dict) -> dict:
+    def _handle_insert(self, body: dict, headers=None) -> dict:
         values = body.get("values")
         if not isinstance(values, dict) or not values:
             raise _HTTPError(
@@ -412,7 +427,7 @@ class QueryDaemon(ObsServer):
         self._maybe_background_compact()
         return {"tid": tid}
 
-    def _handle_delete(self, body: dict) -> dict:
+    def _handle_delete(self, body: dict, headers=None) -> dict:
         tid = body.get("tid")
         if not isinstance(tid, int) or isinstance(tid, bool):
             raise _HTTPError(400, {"error": 'body must include an integer "tid"'})
@@ -421,7 +436,7 @@ class QueryDaemon(ObsServer):
         self._maybe_background_compact()
         return {"deleted": tid}
 
-    def _handle_update(self, body: dict) -> dict:
+    def _handle_update(self, body: dict, headers=None) -> dict:
         tid = body.get("tid")
         values = body.get("values")
         if not isinstance(tid, int) or isinstance(tid, bool):
@@ -435,7 +450,7 @@ class QueryDaemon(ObsServer):
         self._maybe_background_compact()
         return {"tid": new_tid, "replaced": tid}
 
-    def _handle_compact(self, body: dict) -> dict:
+    def _handle_compact(self, body: dict, headers=None) -> dict:
         try:
             summary = self.manager.compact()
         except CompactionInProgress as exc:
@@ -443,13 +458,22 @@ class QueryDaemon(ObsServer):
         self.result_cache.invalidate()
         return summary
 
-    def _handle_drain(self, body: dict) -> dict:
+    def _handle_drain(self, body: dict, headers=None) -> dict:
         self.draining = True
         return {
             "draining": True,
             "inflight": self.admission.running,
             "queued": self.admission.waiting,
         }
+
+    def _handle_undrain(self, body: dict, headers=None) -> dict:
+        """Re-enter serving after a drain (e.g. a cancelled takeover)."""
+        self.draining = False
+        return {"draining": False}
+
+    def _handle_checkpoint(self, body: dict, headers=None) -> dict:
+        """Durably save the served state and rotate the journal."""
+        return self.manager.checkpoint(reason="admin")
 
     def _maybe_background_compact(self) -> None:
         """Kick the β-cleaning of Sec. IV-B as a background thread.

@@ -103,6 +103,10 @@ class StorageBackend(Protocol):
         """Rename a file, replacing the target if present."""
         ...
 
+    def sync(self, name: str) -> None:
+        """Flush a file to stable storage (``fsync`` on real backends)."""
+        ...
+
     # ------------------------------------------------------- cache/stats
     def warm_file(self, name: str) -> None:
         """Pull a file into the page cache (no-op where the OS caches)."""
@@ -123,6 +127,12 @@ class StorageBackend(Protocol):
 
     def io_channel(self, name: str) -> ContextManager[None]:
         """Route this thread's accesses through their own head channel."""
+        ...
+
+    def accounting_scope(
+        self, stats: Optional[DiskStats] = None
+    ) -> ContextManager[DiskStats]:
+        """Route this thread's counters into a side :class:`DiskStats`."""
         ...
 
     def publish_metrics(self, registry=None, label: str = "disk0") -> None:

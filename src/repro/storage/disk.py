@@ -206,6 +206,31 @@ class SimulatedDisk:
         finally:
             meters.remove(meter)
 
+    def _active_stats(self) -> DiskStats:
+        """The :class:`DiskStats` this thread's charges land in."""
+        override = getattr(self._tls, "stats", None)
+        return self.stats if override is None else override
+
+    @contextmanager
+    def accounting_scope(self, stats: Optional[DiskStats] = None):
+        """Route this thread's charges into a side :class:`DiskStats`.
+
+        Background maintenance (online compaction's clone/rebuild) opens a
+        scope so its I/O does not pollute the global counters that the
+        perf-regression sentinel and ``/metrics`` consumers watch.  The
+        scope is thread-local: concurrent readers on other threads keep
+        charging the global stats.  Scopes nest (inner override wins);
+        the page cache and head state stay shared — only *accounting*
+        is redirected, the modeled device is still one device.
+        """
+        scoped = stats if stats is not None else DiskStats()
+        previous = getattr(self._tls, "stats", None)
+        self._tls.stats = scoped
+        try:
+            yield scoped
+        finally:
+            self._tls.stats = previous
+
     # ------------------------------------------------------------------ files
 
     def create(self, name: str, *, overwrite: bool = False) -> None:
@@ -252,22 +277,21 @@ class SimulatedDisk:
                     f"read past EOF on {name!r}: offset={offset} length={length} "
                     f"size={len(data)}"
                 )
-            io_before = self.stats.io_time_ms
-            hits_before = self.stats.cache_hits
+            stats = self._active_stats()
+            io_before = stats.io_time_ms
+            hits_before = stats.cache_hits
             if length:
                 self._charge(name, offset, length, write=False)
-            self.stats.read_calls += 1
-            self.stats.bytes_read += length
-            self.stats.per_file_reads[name] = (
-                self.stats.per_file_reads.get(name, 0) + 1
-            )
+            stats.read_calls += 1
+            stats.bytes_read += length
+            stats.per_file_reads[name] = stats.per_file_reads.get(name, 0) + 1
             if self.tracer is not None:
                 self.tracer.record(
                     "disk.read",
-                    self.stats.io_time_ms - io_before,
+                    stats.io_time_ms - io_before,
                     file=name,
                     bytes=length,
-                    cache_hits=self.stats.cache_hits - hits_before,
+                    cache_hits=stats.cache_hits - hits_before,
                 )
             return bytes(data[offset : offset + length])
 
@@ -286,10 +310,11 @@ class SimulatedDisk:
             if end > len(data):
                 data.extend(b"\x00" * (end - len(data)))
             data[offset:end] = payload
+            stats = self._active_stats()
             if payload:
                 self._charge(name, offset, len(payload), write=True)
-            self.stats.write_calls += 1
-            self.stats.bytes_written += len(payload)
+            stats.write_calls += 1
+            stats.bytes_written += len(payload)
 
     def append(self, name: str, payload: bytes) -> int:
         """Append *payload*; returns the offset it was written at."""
@@ -314,6 +339,16 @@ class SimulatedDisk:
             self.cache.invalidate_prefix(new)
         self._files[new] = self._files.pop(old)
         self.cache.invalidate_prefix(old)
+
+    def sync(self, name: str) -> None:
+        """Flush a file to stable storage.
+
+        The simulated disk has no volatile write-back layer — every write
+        is immediately "durable" — so this only validates the name.  The
+        write-ahead journal still calls it so the same code path does a
+        real ``fsync`` on :class:`~repro.storage.hostdisk.HostDisk`.
+        """
+        self._file(name)
 
     # ------------------------------------------------------------- cache ops
 
@@ -407,31 +442,39 @@ class SimulatedDisk:
         last = (offset + length - 1) // page_size
         meters = self._meters()
         channel = self._channel()
+        stats = self._active_stats()
         for page in range(first, last + 1):
             key = (name, page)
             if not write and self.cache.touch(key):
-                self.stats.cache_hits += 1
+                stats.cache_hits += 1
                 for meter in meters:
                     meter.cache_hits += 1
                 continue
             if write:
                 # Write-through: page becomes resident, cost is charged.
                 self.cache.insert(key)
-            seeks_before = self.stats.seeks
-            cost = self._positioning_ms(name, page, channel)
+            seeks_before = stats.seeks
+            cost = self._positioning_ms(name, page, channel, stats=stats)
             cost += self.params.transfer_ms_per_page
-            self.stats.io_time_ms += cost
+            stats.io_time_ms += cost
             if write:
-                self.stats.pages_written += 1
+                stats.pages_written += 1
             else:
-                self.stats.pages_read += 1
+                stats.pages_read += 1
             for meter in meters:
                 meter.io_ms += cost
                 meter.pages += 1
-                meter.seeks += self.stats.seeks - seeks_before
+                meter.seeks += stats.seeks - seeks_before
             self._heads[channel] = (name, page)
 
-    def _positioning_ms(self, name: str, page: int, channel: str = "main") -> float:
+    def _positioning_ms(
+        self,
+        name: str,
+        page: int,
+        channel: str = "main",
+        *,
+        stats: Optional[DiskStats] = None,
+    ) -> float:
         """Head-movement cost of touching (name, page) on *channel*.
 
         * same page or the next page of the same file — sequential, free;
@@ -451,5 +494,5 @@ class SimulatedDisk:
                 skip_ms = (gap - 1) * self.params.transfer_ms_per_page
                 if skip_ms < self.params.seek_ms:
                     return skip_ms
-        self.stats.seeks += 1
+        (stats if stats is not None else self._active_stats()).seeks += 1
         return self.params.seek_ms

@@ -18,9 +18,11 @@ Notes:
 from __future__ import annotations
 
 import mmap
+import os
+import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import StorageError
 from repro.storage.cache import LRUCache
@@ -58,6 +60,7 @@ class HostDisk:
         #: region with live exports raises ``BufferError``.
         self._maps: Dict[str, Tuple[mmap.mmap, int]] = {}
         self._retired_maps: List[mmap.mmap] = []
+        self._tls = threading.local()
         self._names: dict = {}
         for path in self.root.iterdir():
             if path.is_file():
@@ -139,9 +142,10 @@ class HostDisk:
                 f"short read on {name!r}: offset={offset} "
                 f"expected={length} actual={len(data)}"
             )
-        self.stats.read_calls += 1
-        self.stats.bytes_read += length
-        self.stats.per_file_reads[name] = self.stats.per_file_reads.get(name, 0) + 1
+        stats = self._active_stats()
+        stats.read_calls += 1
+        stats.bytes_read += length
+        stats.per_file_reads[name] = stats.per_file_reads.get(name, 0) + 1
         return data
 
     def read_view(self, name: str, offset: int, length: int) -> memoryview:
@@ -177,10 +181,11 @@ class HostDisk:
                 mapping = mmap.mmap(fh.fileno(), size, access=mmap.ACCESS_READ)
             mapped = (mapping, size)
             self._maps[name] = mapped
-        self.stats.read_calls += 1
-        self.stats.bytes_read += length
-        self.stats.mmap_reads += 1
-        self.stats.per_file_reads[name] = self.stats.per_file_reads.get(name, 0) + 1
+        stats = self._active_stats()
+        stats.read_calls += 1
+        stats.bytes_read += length
+        stats.mmap_reads += 1
+        stats.per_file_reads[name] = stats.per_file_reads.get(name, 0) + 1
         return memoryview(mapped[0])[offset:end]
 
     def write(self, name: str, offset: int, payload: bytes) -> None:
@@ -202,8 +207,9 @@ class HostDisk:
                 f"partial write on {name!r}: offset={offset} "
                 f"expected={len(payload)} actual={written}"
             )
-        self.stats.write_calls += 1
-        self.stats.bytes_written += len(payload)
+        stats = self._active_stats()
+        stats.write_calls += 1
+        stats.bytes_written += len(payload)
 
     def append(self, name: str, payload: bytes) -> int:
         """Append bytes; returns the offset written at."""
@@ -217,8 +223,9 @@ class HostDisk:
                 f"partial write on {name!r}: offset={offset} "
                 f"expected={len(payload)} actual={written}"
             )
-        self.stats.write_calls += 1
-        self.stats.bytes_written += len(payload)
+        stats = self._active_stats()
+        stats.write_calls += 1
+        stats.bytes_written += len(payload)
         return offset
 
     def truncate(self, name: str, size: int) -> None:
@@ -243,6 +250,15 @@ class HostDisk:
         path.rename(self.root / new_host)
         del self._names[old]
         self._names[new] = new_host
+
+    def sync(self, name: str) -> None:
+        """``fsync`` the file — real durability for the write-ahead journal."""
+        path = self._path(name)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------- cache ops
 
@@ -274,6 +290,27 @@ class HostDisk:
     def io_channel(self, name: str):
         """No-op: the OS I/O scheduler owns head positioning here."""
         yield
+
+    def _active_stats(self) -> DiskStats:
+        """The :class:`DiskStats` this thread's counters land in."""
+        override = getattr(self._tls, "stats", None)
+        return self.stats if override is None else override
+
+    @contextmanager
+    def accounting_scope(self, stats: Optional[DiskStats] = None):
+        """Route this thread's counters into a side :class:`DiskStats`.
+
+        Same contract as :meth:`SimulatedDisk.accounting_scope`: background
+        maintenance opens a scope so its I/O stays out of the global
+        counters other threads keep charging.
+        """
+        scoped = stats if stats is not None else DiskStats()
+        previous = getattr(self._tls, "stats", None)
+        self._tls.stats = scoped
+        try:
+            yield scoped
+        finally:
+            self._tls.stats = previous
 
     def publish_metrics(self, registry=None, label: str = "disk0") -> None:
         """Mirror the logical counters into a metrics registry.

@@ -118,6 +118,24 @@ class SparseWideTable:
         """True if the tid exists and is not tombstoned."""
         return tid in self._directory and tid not in self._tombstones
 
+    @property
+    def next_tid(self) -> int:
+        """The tid the next insert will be assigned."""
+        return self._next_tid
+
+    def advance_next_tid(self, next_tid: int) -> None:
+        """Raise the tid allocator to at least *next_tid* (never lowers it).
+
+        Crash recovery needs this: :meth:`attach` recomputes the allocator
+        from the records present in the file, but a checkpoint taken after
+        compaction has dropped dead rows, so the highest surviving tid can
+        undershoot the highest tid ever issued.  Replaying the journal
+        against such a snapshot would re-issue old tids — the journal's
+        durable state carries the true allocator value and restores it
+        here before replay.
+        """
+        self._next_tid = max(self._next_tid, int(next_tid))
+
     # --------------------------------------------------------------- inserts
 
     def prepare_cells(self, values: Mapping[str, object]) -> Dict[int, CellValue]:

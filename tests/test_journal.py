@@ -1,0 +1,448 @@
+"""The write-ahead journal, crash recovery, and the serve lock.
+
+The durability acceptance bar, unit-sized:
+
+* the journal round-trips records through its CRC32C frames and a
+  reopen recovers exactly what was appended;
+* any torn tail — truncation or a bit flip anywhere — yields a strict
+  prefix of the original records, the suffix goes to quarantine, and a
+  second open of the repaired file is clean (no crash loops);
+* the commit ordering is load-bearing: dying before the journal append
+  leaves no record and no acknowledgment; dying after leaves the record
+  and still no acknowledgment — there is no state where an acknowledged
+  write is unjournaled;
+* replay is idempotent (skip-guarded by the snapshot's ``applied_seq``)
+  and tid-exact;
+* a journal append *failure* poisons the write path (fail fast, reads
+  keep working) instead of silently dropping durability;
+* the serve lock is single-holder, breaks stale (dead-pid) locks, and
+  bounds takeover waits.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.iva_file import IVAFile
+from repro.errors import JournalError, ReproError, SimulatedCrash, StorageError
+from repro.maintenance import MaintainedSystem
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultPlan, KillPoint
+from repro.serve.journal import (
+    STATE_FILE,
+    WriteAheadJournal,
+    read_journal_state,
+    scan_journal,
+    write_journal_state,
+)
+from repro.serve.recovery import RecoveryReport, ServeLock, recover
+from repro.serve.snapshots import SnapshotManager
+from repro import SimulatedDisk, SparseWideTable
+
+
+def _fresh_journal(disk=None, **kwargs) -> WriteAheadJournal:
+    return WriteAheadJournal(
+        disk if disk is not None else SimulatedDisk(),
+        registry=MetricsRegistry(),
+        **kwargs,
+    )
+
+
+def _journal_bytes(journal: WriteAheadJournal) -> bytes:
+    size = journal.backend.size(journal.name)
+    return journal.backend.read(journal.name, 0, size)
+
+
+def _disk_with_journal(data: bytes) -> SimulatedDisk:
+    disk = SimulatedDisk()
+    disk.create("serve.journal")
+    if data:
+        disk.append("serve.journal", data)
+    return disk
+
+
+RECORDS = [
+    {"op": "insert", "values": {"a": 1.0}, "tid": 0},
+    {"op": "insert", "values": {"b": "two words"}, "tid": 1},
+    {"op": "delete", "tid": 0},
+    {"op": "update", "tid": 1, "values": {"b": "replaced"}, "new_tid": 2},
+]
+
+
+# ------------------------------------------------------------------- framing
+
+
+def test_append_scan_reopen_round_trip():
+    journal = _fresh_journal()
+    for i, record in enumerate(RECORDS):
+        assert journal.append(record) == i + 1
+    assert journal.last_seq == len(RECORDS)
+
+    scan = scan_journal(journal.backend, journal.name)
+    assert not scan.torn
+    assert [r["op"] for r in scan.records] == [r["op"] for r in RECORDS]
+    assert [r["seq"] for r in scan.records] == [1, 2, 3, 4]
+
+    reopened = _fresh_journal(journal.backend)
+    assert reopened.recovered_records == scan.records
+    assert reopened.quarantined_bytes == 0
+    assert reopened.last_seq == len(RECORDS)
+
+
+def test_append_rejects_oversized_backend_failure_as_journal_error():
+    class FailingDisk(SimulatedDisk):
+        def append(self, name, payload):
+            if name == "serve.journal" and getattr(self, "broken", False):
+                raise StorageError("disk full")
+            return super().append(name, payload)
+
+    disk = FailingDisk()
+    journal = _fresh_journal(disk)
+    journal.append(RECORDS[0])
+    disk.broken = True
+    with pytest.raises(JournalError):
+        journal.append(RECORDS[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_torn_tail_recovers_a_strict_prefix(data):
+    journal = _fresh_journal()
+    for record in RECORDS:
+        journal.append(record)
+    raw = _journal_bytes(journal)
+    original = list(journal.recovered_records or scan_journal(
+        journal.backend, journal.name
+    ).records)
+
+    if data.draw(st.booleans(), label="truncate (vs bit flip)"):
+        cut = data.draw(st.integers(0, len(raw) - 1), label="cut")
+        damaged = raw[:cut]
+    else:
+        pos = data.draw(st.integers(0, len(raw) - 1), label="flip at")
+        bit = data.draw(st.integers(0, 7), label="bit")
+        flipped = bytearray(raw)
+        flipped[pos] ^= 1 << bit
+        damaged = bytes(flipped)
+
+    disk = _disk_with_journal(damaged)
+    recovered = _fresh_journal(disk)
+    # Strict prefix: every surviving record equals the original at its seq.
+    survivors = recovered.recovered_records
+    assert survivors == original[: len(survivors)]
+    # The repaired file re-opens clean: no crash loop over the same tail.
+    again = _fresh_journal(disk)
+    assert again.quarantined_bytes == 0
+    assert again.recovered_records == survivors
+
+
+def test_quarantine_preserves_the_torn_suffix():
+    journal = _fresh_journal()
+    for record in RECORDS:
+        journal.append(record)
+    raw = _journal_bytes(journal)
+    damaged = raw[: len(raw) - 5]
+    disk = _disk_with_journal(damaged)
+    recovered = _fresh_journal(disk)
+    assert recovered.quarantined_bytes > 0
+    qname = "serve.journal.quarantine"
+    quarantined = disk.read(qname, 0, disk.size(qname))
+    assert damaged.endswith(quarantined)
+    assert len(quarantined) == recovered.quarantined_bytes
+
+
+# ------------------------------------------------------------- fsync policies
+
+
+def test_fsync_policies_track_synced_bytes():
+    clock = [0.0]
+    always = _fresh_journal(fsync="always", clock=lambda: clock[0])
+    always.append(RECORDS[0])
+    assert always.synced_bytes == always.size_bytes
+
+    interval = _fresh_journal(
+        fsync="interval", fsync_interval_s=0.5, clock=lambda: clock[0]
+    )
+    opened_at = interval.synced_bytes
+    interval.append(RECORDS[0])
+    assert interval.synced_bytes == opened_at  # within the window: no flush
+    clock[0] = 1.0
+    interval.append(RECORDS[1])
+    assert interval.synced_bytes == interval.size_bytes
+
+    off = _fresh_journal(fsync="off", clock=lambda: clock[0])
+    base = off.synced_bytes
+    off.append(RECORDS[0])
+    assert off.synced_bytes == base
+    off.sync()  # explicit flush works regardless of policy
+    assert off.synced_bytes == off.size_bytes
+
+    with pytest.raises(JournalError):
+        _fresh_journal(fsync="sometimes")
+
+
+def test_rotation_truncates_history_and_keeps_seq_monotonic():
+    journal = _fresh_journal()
+    for record in RECORDS:
+        journal.append(record)
+    size_before = journal.size_bytes
+    journal.rotate(base_seq=4, base_next_tid=3)
+    assert journal.size_bytes < size_before
+    assert journal.base_seq == 4
+    assert journal.last_seq == 4
+    assert journal.header["checkpoint_id"] == 1
+    assert journal.append({"op": "delete", "tid": 2}) == 5
+
+    reopened = _fresh_journal(journal.backend)
+    assert [r["seq"] for r in reopened.recovered_records] == [5]
+    assert reopened.header["base_next_tid"] == 3
+
+
+# ------------------------------------------------------------------ recovery
+
+
+def _base_system():
+    disk = SimulatedDisk()
+    table = SparseWideTable(disk)
+    table.insert({"a": 1.0, "t": "seed tuple"})
+    index = IVAFile.build(table)
+    return disk, table, index
+
+
+def test_recover_replays_skip_guards_and_restores_the_allocator():
+    disk, table, index = _base_system()
+    # Ops 1-2 are already folded into the "snapshot": apply them and
+    # record applied_seq=2.  Op 2 consumed tid 2 via update, so the
+    # honest allocator value (3) exceeds what attach would infer.
+    system = MaintainedSystem(table, [index], registry=MetricsRegistry())
+    t1 = system.insert({"a": 2.0})
+    assert t1 == 1
+    assert system.update(t1, {"a": 2.5}) == 2
+    write_journal_state(disk, applied_seq=2, next_tid=table.next_tid)
+
+    journal = _fresh_journal()
+    journal.append({"op": "insert", "values": {"a": 2.0}, "tid": 1})
+    journal.append({"op": "update", "tid": 1, "values": {"a": 2.5}, "new_tid": 2})
+    journal.append({"op": "insert", "values": {"b": 9.0}, "tid": 3})
+    replayable = _fresh_journal(journal.backend)
+
+    report = recover(table, index, replayable, registry=MetricsRegistry())
+    assert isinstance(report, RecoveryReport)
+    assert report.skipped == 2 and report.replayed == 1
+    assert report.recovered_seq == 3
+    assert table.is_live(3)
+    assert table.next_tid == 4
+
+    state = read_journal_state(disk)
+    assert state["applied_seq"] == 2  # recovery never rewrites the state file
+
+
+def test_recover_is_deterministic_across_repeated_runs():
+    base_disk, table, index = _base_system()
+    journal = _fresh_journal()
+    journal.append({"op": "insert", "values": {"a": 5.0}, "tid": 1})
+    journal.append({"op": "delete", "tid": 0})
+    durable = _journal_bytes(journal)
+    base_files = {
+        name: base_disk.read(name, 0, base_disk.size(name))
+        if base_disk.size(name)
+        else b""
+        for name in base_disk.list_files()
+    }
+
+    outcomes = []
+    for _ in range(2):
+        disk = SimulatedDisk()
+        for name, payload in base_files.items():
+            disk.create(name)
+            if payload:
+                disk.append(name, payload)
+        tbl = SparseWideTable.attach(disk)
+        idx = IVAFile.attach(tbl)
+        jrn = _fresh_journal(_disk_with_journal(durable))
+        report = recover(tbl, idx, jrn, registry=MetricsRegistry())
+        outcomes.append((report.recovered_seq, tbl.live_tids(), tbl.next_tid))
+    assert outcomes[0] == outcomes[1] == (2, [1], 2)
+
+
+def test_replay_divergence_fails_loudly():
+    disk, table, index = _base_system()
+    journal = _fresh_journal()
+    # The journal claims the insert landed on tid 7; the allocator will
+    # actually hand out tid 1 — recovery must refuse to serve that.
+    journal.append({"op": "insert", "values": {"a": 2.0}, "tid": 7})
+    replayable = _fresh_journal(journal.backend)
+    with pytest.raises(JournalError, match="divergence"):
+        recover(table, index, replayable, registry=MetricsRegistry())
+
+
+# ----------------------------------------------------------- commit ordering
+
+
+def _journaled_manager(plan=None):
+    disk, table, index = _base_system()
+    journal = _fresh_journal(failpoints=plan)
+    manager = SnapshotManager(
+        disk,
+        table,
+        index,
+        registry=MetricsRegistry(),
+        journal=journal,
+        failpoints=plan,
+    )
+    return manager, journal
+
+
+def test_crash_before_journal_leaves_no_record_and_no_ack():
+    plan = FaultPlan(seed=0, kill_points=(KillPoint("commit.pre_journal", hit=1),))
+    manager, journal = _journaled_manager(plan)
+    watermark = manager.current.visible_elements
+    plan.arm()
+    try:
+        with pytest.raises(SimulatedCrash):
+            manager.insert({"a": 3.0})
+    finally:
+        plan.disarm()
+    assert journal.last_seq == 0  # nothing journaled
+    assert manager.current.visible_elements == watermark  # nothing acked
+
+
+def test_crash_after_journal_leaves_record_but_no_ack():
+    plan = FaultPlan(seed=0, kill_points=(KillPoint("commit.post_journal", hit=1),))
+    manager, journal = _journaled_manager(plan)
+    watermark = manager.current.visible_elements
+    plan.arm()
+    try:
+        with pytest.raises(SimulatedCrash):
+            manager.insert({"a": 3.0})
+    finally:
+        plan.disarm()
+    assert journal.last_seq == 1  # journaled...
+    assert manager.current.visible_elements == watermark  # ...but never acked
+
+
+def test_journal_failure_poisons_writes_but_not_reads():
+    class FailingDisk(SimulatedDisk):
+        broken = False
+
+        def append(self, name, payload):
+            if name == "serve.journal" and self.broken:
+                raise StorageError("disk full")
+            return super().append(name, payload)
+
+    disk, table, index = _base_system()
+    journal_disk = FailingDisk()
+    journal = WriteAheadJournal(journal_disk, registry=MetricsRegistry())
+    manager = SnapshotManager(
+        disk, table, index, registry=MetricsRegistry(), journal=journal
+    )
+    manager.insert({"a": 4.0})
+    journal_disk.broken = True
+    with pytest.raises(JournalError):
+        manager.insert({"a": 5.0})
+    # Poisoned: even after the disk "heals", writes fail fast until restart.
+    journal_disk.broken = False
+    with pytest.raises(JournalError):
+        manager.insert({"a": 6.0})
+    assert manager.journal_status["write_poisoned"] is True
+    # Reads keep serving.
+    snapshot = manager.pin()
+    try:
+        assert snapshot.generation.table.is_live(0)
+    finally:
+        snapshot.release()
+
+
+def test_checkpoint_rotates_and_replay_skips_checkpointed_records(tmp_path):
+    saved = {}
+
+    def checkpointer(gen):
+        saved["files"] = {
+            name: gen.disk.read(name, 0, gen.disk.size(name))
+            if gen.disk.size(name)
+            else b""
+            for name in gen.disk.list_files()
+        }
+
+    disk, table, index = _base_system()
+    journal = _fresh_journal()
+    manager = SnapshotManager(
+        disk,
+        table,
+        index,
+        registry=MetricsRegistry(),
+        journal=journal,
+        checkpointer=checkpointer,
+    )
+    manager.insert({"a": 4.0})
+    summary = manager.checkpoint()
+    assert summary["applied_seq"] == 1
+    assert journal.base_seq == 1 and journal.size_bytes < 200
+    assert STATE_FILE in saved["files"]
+
+    # Recover from the checkpoint + (empty) journal: nothing to replay.
+    disk2 = SimulatedDisk()
+    for name, payload in saved["files"].items():
+        disk2.create(name)
+        if payload:
+            disk2.append(name, payload)
+    table2 = SparseWideTable.attach(disk2)
+    index2 = IVAFile.attach(table2)
+    replayable = _fresh_journal(journal.backend)
+    report = recover(table2, index2, replayable, registry=MetricsRegistry())
+    assert report.clean and report.recovered_seq == 1
+    assert table2.live_tids() == table.live_tids()
+
+
+# ----------------------------------------------------------------- serve lock
+
+
+def test_serve_lock_is_single_holder(tmp_path):
+    path = tmp_path / "serve.lock"
+    lock = ServeLock(path)
+    lock.acquire()
+    assert lock.held
+    other = ServeLock(path)
+    with pytest.raises(ReproError, match="--takeover"):
+        other.acquire(wait_s=0.2)
+    lock.update(port=1234)
+    assert ServeLock(path).read_holder()["port"] == 1234
+    lock.release()
+    other.acquire(wait_s=0.2)
+    assert other.held
+    other.release()
+    assert not path.exists()
+
+
+def test_serve_lock_breaks_stale_dead_pid(tmp_path):
+    path = tmp_path / "serve.lock"
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    path.write_text('{"pid": %d}' % proc.pid)
+    lock = ServeLock(path)
+    lock.acquire(wait_s=0.2)  # dead holder: broken without takeover
+    assert lock.held
+    lock.release()
+
+
+def test_serve_lock_breaks_corrupt_lock_files(tmp_path):
+    path = tmp_path / "serve.lock"
+    path.write_text("not json at all{")
+    lock = ServeLock(path)
+    lock.acquire(wait_s=0.2)
+    assert lock.held
+    lock.release()
+
+
+def test_takeover_times_out_against_a_live_holder(tmp_path):
+    path = tmp_path / "serve.lock"
+    path.write_text('{"pid": %d}' % os.getpid())  # a live pid: ourselves
+    lock = ServeLock(path, poll_interval_s=0.01)
+    with pytest.raises(ReproError, match="timed out"):
+        lock.acquire(takeover=True, wait_s=0.1, drain=False)
+    assert not lock.held

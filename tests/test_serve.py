@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -31,19 +32,23 @@ from repro.obs.metrics import MetricsRegistry
 from repro.serve import (
     AdmissionController,
     AdmissionRejected,
+    ClientQuota,
     CompactionInProgress,
     QueryDaemon,
     ResultCache,
+    ServeLock,
     SnapshotManager,
     result_key,
 )
 from repro import SimulatedDisk, SparseWideTable
 
 
-def _post(url: str, body: dict):
+def _post(url: str, body: dict, headers: dict | None = None):
     req = urllib.request.Request(
         url, data=json.dumps(body).encode("utf-8"), method="POST"
     )
+    for name, value in (headers or {}).items():
+        req.add_header(name, value)
     try:
         with urllib.request.urlopen(req, timeout=10) as resp:
             return resp.status, dict(resp.headers), json.loads(resp.read())
@@ -481,3 +486,99 @@ def test_health_reports_serving_state(daemon, manager):
         "draining",
     ):
         assert field in payload
+
+
+# ------------------------------------------ restart handoff / quotas / cache
+
+
+def test_undrain_restores_serving(daemon, manager):
+    """Drain is reversible: a drained daemon can rejoin the rotation."""
+    code, _, payload = _post(daemon.url + "/admin/drain", {})
+    assert code == 200 and payload["draining"] is True
+    code, _ = _get(daemon.url + "/healthz")
+    assert code == 503
+    code, _, payload = _post(daemon.url + "/admin/undrain", {})
+    assert code == 200 and payload["draining"] is False
+    code, body = _get(daemon.url + "/healthz")
+    assert code == 200
+    assert json.loads(body)["draining"] is False
+    code, _, payload = _post(
+        daemon.url + "/query", {"terms": _some_terms(manager), "k": 3}
+    )
+    assert code == 200
+
+
+def test_quota_429_is_per_client(daemon, manager):
+    daemon.admission = AdmissionController(
+        max_concurrency=8, max_queue=32, queue_timeout_s=2.0,
+        quota=ClientQuota(rate_per_s=0.01, burst=1),
+        registry=MetricsRegistry(),
+    )
+    terms = _some_terms(manager)
+    alice = {"X-Client-Id": "alice"}
+    code, _, _ = _post(daemon.url + "/query", {"terms": terms, "k": 3}, alice)
+    assert code == 200
+    code, headers, payload = _post(
+        daemon.url + "/query", {"terms": terms, "k": 3}, alice
+    )
+    assert code == 429
+    assert payload["reason"] == "quota"
+    assert int(headers["Retry-After"]) >= 1
+    # A different client has its own bucket and is still admitted.
+    code, _, _ = _post(
+        daemon.url + "/query", {"terms": terms, "k": 3}, {"X-Client-Id": "bob"}
+    )
+    assert code == 200
+
+
+def test_doorkeeper_admits_only_repeated_keys():
+    now = [0.0]
+    cache = ResultCache(
+        capacity=4, probation_s=10.0, registry=MetricsRegistry(),
+        clock=lambda: now[0],
+    )
+    k1 = result_key(0, 1, {"a": 1}, 10, "L2", "block")
+    cache.put(k1, {"r": 1})
+    assert len(cache) == 0  # one-hit wonder: skipped
+    assert cache.doorkeeper_skips == 1
+    cache.put(k1, {"r": 1})  # second sighting within the window: admitted
+    assert cache.get(k1) == {"r": 1}
+    # A sighting outside the probation window does not count.
+    k2 = result_key(0, 1, {"b": 2}, 10, "L2", "block")
+    cache.put(k2, {"r": 2})
+    now[0] = 20.0
+    cache.put(k2, {"r": 2})  # stale first sighting: restamped, still skipped
+    assert cache.get(k2) is None
+    cache.put(k2, {"r": 2})
+    assert cache.get(k2) == {"r": 2}
+    assert cache.doorkeeper_skips == 3
+
+
+def test_takeover_drains_the_live_holder(daemon, manager, tmp_path):
+    path = str(tmp_path / "serve.lock")
+    holder = ServeLock(path)
+    holder.acquire()
+    holder.update(url=daemon.url)
+    taken = []
+
+    def successor():
+        lock = ServeLock(path)
+        lock.acquire(takeover=True, wait_s=10.0)
+        taken.append(lock)
+
+    thread = threading.Thread(target=successor)
+    thread.start()
+    try:
+        deadline = time.monotonic() + 10.0
+        while not daemon.draining and time.monotonic() < deadline:
+            time.sleep(0.02)
+        # The takeover reached through the lock file and drained the holder.
+        assert daemon.draining is True
+        holder.release()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert taken and taken[0].held
+    finally:
+        holder.release()
+        if taken:
+            taken[0].release()
